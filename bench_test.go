@@ -1,0 +1,301 @@
+package objectbase_test
+
+// One benchmark per experiment of DESIGN.md §4 (the paper has no tables or
+// figures — these regenerate the executable experiments standing in for
+// them; see EXPERIMENTS.md). Each benchmark measures the end-to-end cost of
+// the experiment's workload under its scheduler(s) and reports
+// domain-specific metrics alongside ns/op.
+//
+// Run: go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"objectbase/internal/bench"
+	"objectbase/internal/btree"
+	"objectbase/internal/cc"
+	"objectbase/internal/core"
+	"objectbase/internal/engine"
+	"objectbase/internal/graph"
+	"objectbase/internal/lock"
+	"objectbase/internal/objects"
+	"objectbase/internal/workload"
+)
+
+// driveOnce builds a fresh engine for the spec/scheduler and drives it.
+func driveOnce(b *testing.B, mk func() engine.Scheduler, spec workload.Spec, clients, txns int, seed int64) *engine.Engine {
+	b.Helper()
+	en := cc.NewEngine(mk(), engine.Options{})
+	spec.Setup(en)
+	if err := workload.Drive(en, spec, clients, txns, seed); err != nil {
+		b.Fatal(err)
+	}
+	return en
+}
+
+// BenchmarkE1_Theorem1Replay measures conflict-consistent permutation
+// replay over random histories (Theorem 1 determinism).
+func BenchmarkE1_Theorem1Replay(b *testing.B) {
+	h, err := workload.RandomHistory(workload.HistoryConfig{
+		Seed: 1, Objects: 2, VarsPerObject: 3, Txns: 6, StepsPerTxn: 8, WritePct: 50, NestPct: 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, obj := range h.ObjectNames() {
+			perm := workload.ConflictConsistentPermutation(r, h, obj)
+			if _, err := core.ReplayObject(h.Schemas[obj], h.InitialStates[obj], perm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE2_SGChecker measures the full oracle (SG build + acyclicity +
+// serial replay) on random histories.
+func BenchmarkE2_SGChecker(b *testing.B) {
+	var hs []*core.History
+	for seed := int64(0); seed < 8; seed++ {
+		h, err := workload.RandomHistory(workload.HistoryConfig{
+			Seed: seed, Objects: 3, VarsPerObject: 4, Txns: 5, StepsPerTxn: 5, WritePct: 35, NestPct: 20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.Check(hs[i%len(hs)])
+	}
+}
+
+// benchSerialisability drives the bank workload under a scheduler and
+// verifies the result once (E3/E4).
+func benchSerialisability(b *testing.B, mk func() engine.Scheduler) {
+	const clients, txns = 4, 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en := driveOnce(b, mk, workload.Bank(3, 100), clients, txns, int64(i))
+		b.StopTimer()
+		if i == 0 { // oracle once per benchmark: the guarantee, not the cost
+			if v := graph.Check(en.History()); !v.Serialisable {
+				b.Fatalf("not serialisable: %v", v)
+			}
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(clients*txns), "txns/op")
+}
+
+func BenchmarkE3_N2PLSerialisable(b *testing.B) {
+	benchSerialisability(b, func() engine.Scheduler { return cc.NewN2PL(lock.OpGranularity, 10*time.Second) })
+}
+
+func BenchmarkE4_NTOSerialisable(b *testing.B) {
+	benchSerialisability(b, func() engine.Scheduler { return cc.NewNTO(false) })
+}
+
+// BenchmarkE5_QueueGranularity compares lock granularities on the
+// producer/consumer queue (Section 5.1 example).
+func BenchmarkE5_QueueGranularity(b *testing.B) {
+	for _, g := range []lock.Granularity{lock.OpGranularity, lock.StepGranularity} {
+		g := g
+		b.Run("n2pl-"+g.String(), func(b *testing.B) {
+			waits := int64(0)
+			const clients, txns = 2, 100
+			for i := 0; i < b.N; i++ {
+				sched := cc.NewN2PL(g, 10*time.Second)
+				en := cc.NewEngine(sched, engine.Options{})
+				spec := workload.ProducerConsumer(256, 20000)
+				spec.Setup(en)
+				if err := workload.Drive(en, spec, clients, txns, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+				waits += sched.Manager().Stats().Waits.Load()
+			}
+			b.ReportMetric(float64(waits)/float64(b.N), "lockwaits/op")
+			b.ReportMetric(float64(clients*txns), "txns/op")
+		})
+	}
+}
+
+// BenchmarkE6_VsGemstone compares method-level N2PL against the
+// object-as-data-item baseline on the hot-object workload (Section 1).
+func BenchmarkE6_VsGemstone(b *testing.B) {
+	mks := map[string]func() engine.Scheduler{
+		"n2pl-op":  func() engine.Scheduler { return cc.NewN2PL(lock.OpGranularity, 10*time.Second) },
+		"gemstone": func() engine.Scheduler { return cc.NewGemstone(10*time.Second, nil) },
+	}
+	for name, mk := range mks {
+		mk := mk
+		b.Run(name, func(b *testing.B) {
+			const clients, txns = 8, 25
+			for i := 0; i < b.N; i++ {
+				driveOnce(b, mk, workload.HotObject(64, 2_000_000), clients, txns, int64(i))
+			}
+			b.ReportMetric(float64(clients*txns), "txns/op")
+		})
+	}
+}
+
+// BenchmarkE7_NTOAborts measures retry rates under contention for the two
+// NTO variants.
+func BenchmarkE7_NTOAborts(b *testing.B) {
+	for _, exact := range []bool{false, true} {
+		exact := exact
+		name := "nto-op"
+		if exact {
+			name = "nto-step"
+		}
+		b.Run(name, func(b *testing.B) {
+			retries, commits := int64(0), int64(0)
+			for i := 0; i < b.N; i++ {
+				en := driveOnce(b, func() engine.Scheduler { return cc.NewNTO(exact) },
+					workload.AccountMix(16, 70, 300_000), 4, 25, int64(i))
+				retries += en.Retries()
+				commits += en.Commits()
+			}
+			b.ReportMetric(float64(retries)/float64(commits), "retries/commit")
+		})
+	}
+}
+
+// BenchmarkE8_ModularBTree compares the modular certifier (per-key B-tree
+// dictionary) against the whole-object baseline.
+func BenchmarkE8_ModularBTree(b *testing.B) {
+	mks := map[string]func() engine.Scheduler{
+		"modular":  func() engine.Scheduler { return cc.NewModular() },
+		"gemstone": func() engine.Scheduler { return cc.NewGemstone(10*time.Second, nil) },
+	}
+	for name, mk := range mks {
+		mk := mk
+		b.Run(name, func(b *testing.B) {
+			const clients, txns = 4, 50
+			for i := 0; i < b.N; i++ {
+				driveOnce(b, mk, workload.Dictionary(1024, 512, 60, 500_000), clients, txns, int64(i))
+			}
+			b.ReportMetric(float64(clients*txns), "txns/op")
+		})
+	}
+}
+
+// BenchmarkE9_AbortRetry measures the failure-injection workload: child
+// aborts with fallback paths.
+func BenchmarkE9_AbortRetry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		en := driveOnce(b, func() engine.Scheduler { return cc.NewN2PL(lock.OpGranularity, 10*time.Second) },
+			workload.FailureInjection(25), 4, 50, int64(i))
+		if i == 0 {
+			h := en.History()
+			if err := h.CheckLegal(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE10_Theorem5Certifier measures the adversarial cross rounds
+// under the certifier.
+func BenchmarkE10_Theorem5Certifier(b *testing.B) {
+	tbl, err := bench.E10(bench.Config{Quick: true, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = tbl
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched := cc.NewModular()
+		en := cc.NewEngine(sched, engine.Options{})
+		en.AddObject("A", objects.Register(), core.State{"x": int64(0)})
+		en.AddObject("B", objects.Register(), core.State{"y": int64(0)})
+		if err := bench.CrossRound(en, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE11_TimestampGC measures exact NTO with and without low-water
+// pruning and reports the table footprint.
+func BenchmarkE11_TimestampGC(b *testing.B) {
+	for _, gc := range []int64{1, 1 << 60} {
+		gc := gc
+		name := "gc-every-1"
+		if gc == 1<<60 {
+			name = "gc-never"
+		}
+		b.Run(name, func(b *testing.B) {
+			entries := int64(0)
+			for i := 0; i < b.N; i++ {
+				sched := cc.NewNTO(true)
+				sched.GCEvery = gc
+				en := cc.NewEngine(sched, engine.Options{})
+				spec := workload.Skewed(16, 30, 0)
+				spec.Setup(en)
+				if err := workload.Drive(en, spec, 4, 50, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+				entries += int64(sched.TableSize())
+			}
+			b.ReportMetric(float64(entries)/float64(b.N), "entries/op")
+		})
+	}
+}
+
+// BenchmarkLockManager micro-benchmarks the lock manager's grant path.
+func BenchmarkLockManager(b *testing.B) {
+	m := lock.New(lock.Options{})
+	rel := objects.Register().Conflicts
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := core.RootID(int32(i))
+		inv := core.OpInvocation{Op: "Write", Args: []core.Value{fmt.Sprintf("v%d", i%64), int64(i)}}
+		if err := m.Acquire(e, "A", rel, inv); err != nil {
+			b.Fatal(err)
+		}
+		m.CommitTransfer(e)
+	}
+}
+
+// BenchmarkBTree micro-benchmarks the lock-coupled B+ tree.
+func BenchmarkBTree(b *testing.B) {
+	b.Run("insert", func(b *testing.B) {
+		tr := newBenchTree(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Insert(int64(i%100000), int64(i))
+		}
+	})
+	b.Run("lookup", func(b *testing.B) {
+		tr := newBenchTree(100000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Lookup(int64(i % 100000))
+		}
+	})
+	b.Run("lookup-parallel", func(b *testing.B) {
+		tr := newBenchTree(100000)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				tr.Lookup(int64(i % 100000))
+				i++
+			}
+		})
+	})
+}
+
+func newBenchTree(preload int) *btree.Tree {
+	tr := btree.New(32)
+	for k := 0; k < preload; k++ {
+		tr.Insert(int64(k), int64(k))
+	}
+	return tr
+}

@@ -1,0 +1,169 @@
+// Command obsim runs the object-base reproduction's experiments and
+// workloads from the command line.
+//
+// Usage:
+//
+//	obsim list                 # catalogue of experiments
+//	obsim exp E5 [-full] [-seed N]
+//	obsim all  [-full] [-seed N]
+//	obsim bank [-sched n2pl-op|n2pl-step|nto-op|nto-step|gemstone|modular|none]
+//	           [-clients N] [-txns N] [-seed N]   # run the bank workload and verify it
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"objectbase/internal/bench"
+	"objectbase/internal/cc"
+	"objectbase/internal/engine"
+	"objectbase/internal/graph"
+	"objectbase/internal/history"
+	"objectbase/internal/lock"
+	"objectbase/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+	case "exp":
+		runExp(os.Args[2:])
+	case "all":
+		runAll(os.Args[2:])
+	case "bank":
+		runBank(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: obsim {list | exp <ID> | all | bank} [flags]")
+}
+
+func expFlags(args []string) (bench.Config, *flag.FlagSet, error) {
+	fs := flag.NewFlagSet("exp", flag.ContinueOnError)
+	full := fs.Bool("full", false, "run at full scale (EXPERIMENTS.md numbers)")
+	seed := fs.Int64("seed", 42, "deterministic seed")
+	err := fs.Parse(args)
+	return bench.Config{Quick: !*full, Seed: *seed}, fs, err
+}
+
+func runExp(args []string) {
+	if len(args) < 1 {
+		fmt.Fprintln(os.Stderr, "obsim exp: missing experiment ID")
+		os.Exit(2)
+	}
+	id := args[0]
+	cfg, _, err := expFlags(args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	exp, ok := bench.Find(id)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "obsim: unknown experiment %q (try 'obsim list')\n", id)
+		os.Exit(2)
+	}
+	tbl, err := exp.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obsim: %s failed: %v\n", id, err)
+		os.Exit(1)
+	}
+	tbl.Print(os.Stdout)
+}
+
+func runAll(args []string) {
+	cfg, _, err := expFlags(args)
+	if err != nil {
+		os.Exit(2)
+	}
+	for _, exp := range bench.All() {
+		start := time.Now()
+		tbl, err := exp.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obsim: %s failed: %v\n", exp.ID, err)
+			os.Exit(1)
+		}
+		tbl.Note("elapsed: %v", time.Since(start).Round(time.Millisecond))
+		tbl.Print(os.Stdout)
+	}
+}
+
+func newScheduler(name string) (engine.Scheduler, error) {
+	switch name {
+	case "n2pl-op":
+		return cc.NewN2PL(lock.OpGranularity, 10*time.Second), nil
+	case "n2pl-step":
+		return cc.NewN2PL(lock.StepGranularity, 10*time.Second), nil
+	case "nto-op":
+		return cc.NewNTO(false), nil
+	case "nto-step":
+		return cc.NewNTO(true), nil
+	case "gemstone":
+		return cc.NewGemstone(10*time.Second, nil), nil
+	case "modular":
+		return cc.NewModular(), nil
+	case "none":
+		return engine.None{}, nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", name)
+	}
+}
+
+func runBank(args []string) {
+	fs := flag.NewFlagSet("bank", flag.ContinueOnError)
+	schedName := fs.String("sched", "n2pl-op", "scheduler")
+	clients := fs.Int("clients", 4, "concurrent clients")
+	txns := fs.Int("txns", 50, "transactions per client")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	sched, err := newScheduler(*schedName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsim:", err)
+		os.Exit(2)
+	}
+	en := cc.NewEngine(sched, engine.Options{})
+	spec := workload.Bank(3, 100)
+	spec.Setup(en)
+	start := time.Now()
+	if err := workload.Drive(en, spec, *clients, *txns, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "obsim: workload:", err)
+		os.Exit(1)
+	}
+	el := time.Since(start)
+	h := en.History()
+	fmt.Printf("scheduler    %s\n", sched.Name())
+	fmt.Printf("transactions %d committed, %d retries, %v elapsed (%.0f txn/s)\n",
+		en.Commits(), en.Retries(), el.Round(time.Millisecond),
+		float64(en.Commits())/el.Seconds())
+	if err := h.CheckLegal(); err != nil {
+		fmt.Printf("legality     VIOLATED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("legality     ok (%d local steps, %d executions)\n", h.StepCount(), len(h.Execs))
+	fmt.Println("--- history analysis ---")
+	history.Analyze(h).Report(os.Stdout)
+	fmt.Println("------------------------")
+	v := graph.Check(h)
+	fmt.Printf("verdict      %v\n", v)
+	if err := graph.CheckTheorem5(h); err != nil {
+		fmt.Printf("theorem5     VIOLATED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("theorem5     ok\n")
+	if !v.Serialisable && sched.Name() != "none" {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,13 @@
+// Package objectbase is a reproduction of Hadzilacos & Hadzilacos,
+// "Transaction Synchronisation in Object Bases" (PODS 1988; JCSS 43,
+// 2-24, 1991): a formal model of concurrency control for object bases —
+// nested transactions issuing arbitrary operations with internal
+// parallelism — made executable, together with the paper's algorithms
+// (nested two-phase locking, nested timestamp ordering), the Section 1
+// baseline (object-as-data-item), the Theorem 5 intra/inter-object
+// decomposition with an optimistic certifier, and an oracle that verifies
+// every recorded history against the paper's own serialisability theory.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for the regenerated results.
+package objectbase

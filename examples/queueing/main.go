@@ -1,0 +1,53 @@
+// Queueing: the paper's Section 5.1 Enqueue/Dequeue example, live. The
+// same producer/consumer workload runs twice under nested 2PL — first with
+// operation-granularity locks (every Enqueue blocks every Dequeue), then
+// with step-granularity locks (an Enqueue blocks only the Dequeue that
+// would return its item). The lock-wait counters show the concurrency the
+// return-value refinement buys; both histories are verified serialisable.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"objectbase/internal/cc"
+	"objectbase/internal/engine"
+	"objectbase/internal/graph"
+	"objectbase/internal/lock"
+	"objectbase/internal/workload"
+)
+
+func run(g lock.Granularity) {
+	sched := cc.NewN2PL(g, 10*time.Second)
+	en := cc.NewEngine(sched, engine.Options{})
+	spec := workload.ProducerConsumer(256, 20000) // a healthy backlog: heads and tails never meet
+	spec.Setup(en)
+
+	start := time.Now()
+	if err := workload.Drive(en, spec, 2, 400, 7); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	h := en.History()
+	if err := h.CheckLegal(); err != nil {
+		log.Fatalf("%s: history not legal: %v", sched.Name(), err)
+	}
+	if v := graph.Check(h); !v.Serialisable {
+		log.Fatalf("%s: not serialisable: %v", sched.Name(), v)
+	}
+	st := sched.Manager().Stats()
+	fmt.Printf("%-10s  %4d txns in %7s  (%6.0f txn/s)  lock-waits=%-4d deadlock-aborts=%d\n",
+		sched.Name(), en.Commits(), elapsed.Round(time.Millisecond),
+		float64(en.Commits())/elapsed.Seconds(), st.Waits.Load(), st.Deadlocks.Load())
+}
+
+func main() {
+	fmt.Println("producer/consumer over one queue object: 1 producer + 1 consumer, 400 txns each")
+	fmt.Println("(the paper: \"an Enqueue conflicts with a Dequeue only if the latter")
+	fmt.Println(" returns the item placed into the queue by the former\")")
+	fmt.Println()
+	run(lock.OpGranularity)
+	run(lock.StepGranularity)
+}

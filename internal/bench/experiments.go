@@ -1,0 +1,493 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"objectbase/internal/cc"
+	"objectbase/internal/core"
+	"objectbase/internal/engine"
+	"objectbase/internal/graph"
+	"objectbase/internal/lock"
+	"objectbase/internal/workload"
+)
+
+// Experiment is one runnable experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) (*Table, error)
+}
+
+// All returns the experiment catalogue in order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Theorem 1: conflict-consistent replay determinism", E1},
+		{"E2", "Theorem 2: SG acyclicity vs replay ground truth", E2},
+		{"E3", "Theorem 3: N2PL admits only serialisable histories", E3},
+		{"E4", "Theorem 4: NTO admits only serialisable histories", E4},
+		{"E5", "§5.1: step- vs operation-granularity locking on queues", E5},
+		{"E6", "§1: method-level N2PL vs object-as-data-item (Gemstone)", E6},
+		{"E7", "§5.2: NTO abort rate vs contention, conservative vs exact", E7},
+		{"E8", "§2/§5.3: modular dictionary (B-tree) vs uniform whole-object policy", E8},
+		{"E9", "§3: abort semantics — parent survives child failure", E9},
+		{"E10", "Theorem 5: intra-object serialisability alone is insufficient; certification restores it", E10},
+		{"E11", "§5.2: timestamp-table garbage collection (low-water pruning)", E11},
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---------------------------------------------------------------- E1 --
+
+// E1 regenerates the Theorem 1 table: for random legal histories, every
+// conflict-consistent permutation of an object's steps replays with
+// identical return values and final state.
+func E1(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E1",
+		Title:  "Theorem 1: permutation replay determinism",
+		Claim:  "any conflict-consistent topological sort of an object's local steps is legal and yields the same final state",
+		Header: []string{"txns", "steps/txn", "writePct", "histories", "permutations", "mismatches"},
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	histories := cfg.scale(5, 40)
+	perms := cfg.scale(4, 16)
+	for _, p := range []struct{ txns, steps, writePct int }{
+		{3, 4, 20}, {4, 6, 50}, {6, 8, 80},
+	} {
+		mismatches := 0
+		for seed := 0; seed < histories; seed++ {
+			h, err := workload.RandomHistory(workload.HistoryConfig{
+				Seed: cfg.Seed + int64(seed), Objects: 2, VarsPerObject: 3,
+				Txns: p.txns, StepsPerTxn: p.steps, WritePct: p.writePct, NestPct: 20,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, obj := range h.ObjectNames() {
+				want, err := core.ReplayObject(h.Schemas[obj], h.InitialStates[obj], h.Steps[obj])
+				if err != nil {
+					return nil, err
+				}
+				for k := 0; k < perms; k++ {
+					perm := workload.ConflictConsistentPermutation(r, h, obj)
+					got, err := core.ReplayObject(h.Schemas[obj], h.InitialStates[obj], perm)
+					if err != nil || !h.Schemas[obj].EqualStates(got, want) {
+						mismatches++
+					}
+				}
+			}
+		}
+		t.AddRow(p.txns, p.steps, p.writePct, histories, perms, mismatches)
+	}
+	t.Note("expected mismatches: 0 in every row (Theorem 1 holds)")
+	return t, nil
+}
+
+// ---------------------------------------------------------------- E2 --
+
+// E2 regenerates the Theorem 2 table: on random histories, whenever the
+// serialisation graph is acyclic, serial replay succeeds.
+func E2(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E2",
+		Title:  "Theorem 2: SG acyclic => serialisable",
+		Claim:  "if SG(h) is acyclic then h is equivalent to a serial history",
+		Header: []string{"density", "histories", "SG-acyclic", "replay-confirmed", "violations"},
+	}
+	n := cfg.scale(20, 200)
+	for _, d := range []struct {
+		name string
+		cfgH workload.HistoryConfig
+	}{
+		{"sparse", workload.HistoryConfig{Objects: 4, VarsPerObject: 6, Txns: 3, StepsPerTxn: 2, WritePct: 15, NestPct: 10}},
+		{"medium", workload.HistoryConfig{Objects: 3, VarsPerObject: 4, Txns: 4, StepsPerTxn: 3, WritePct: 35, NestPct: 20}},
+		{"dense", workload.HistoryConfig{Objects: 2, VarsPerObject: 2, Txns: 4, StepsPerTxn: 4, WritePct: 60, NestPct: 20}},
+	} {
+		acyc, confirmed, violations := 0, 0, 0
+		for seed := 0; seed < n; seed++ {
+			h := d.cfgH
+			h.Seed = cfg.Seed + int64(seed)
+			hist, err := workload.RandomHistory(h)
+			if err != nil {
+				return nil, err
+			}
+			v := graph.Check(hist)
+			if v.SGAcyclic {
+				acyc++
+				if v.Serialisable {
+					confirmed++
+				} else {
+					violations++
+				}
+			}
+		}
+		t.AddRow(d.name, n, acyc, confirmed, violations)
+	}
+	t.Note("expected violations: 0 (the sufficient condition never lies)")
+	return t, nil
+}
+
+// ------------------------------------------------------------ E3/E4 --
+
+func serialisabilitySweep(id, title, claim string, mk func() engine.Scheduler, cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Claim:  claim,
+		Header: []string{"clients", "txns", "committed", "retries", "serialisable", "thm5"},
+	}
+	txns := cfg.scale(10, 60)
+	for _, clients := range []int{1, 2, 4, 8} {
+		sched := mk()
+		en := cc.NewEngine(sched, engine.Options{})
+		spec := workload.Bank(3, 100)
+		spec.Setup(en)
+		if err := workload.Drive(en, spec, clients, txns, cfg.Seed); err != nil {
+			return nil, err
+		}
+		h := en.History()
+		if err := h.CheckLegal(); err != nil {
+			return nil, fmt.Errorf("%s clients=%d: %w", id, clients, err)
+		}
+		v := graph.Check(h)
+		thm5 := "ok"
+		if err := graph.CheckTheorem5(h); err != nil {
+			thm5 = "VIOLATED"
+		}
+		serial := "yes"
+		if !v.Serialisable {
+			serial = "NO"
+		}
+		t.AddRow(clients, clients*txns, en.Commits(), en.Retries(), serial, thm5)
+	}
+	t.Note("expected: serialisable=yes and thm5=ok in every row")
+	return t, nil
+}
+
+// E3 validates Theorem 3 empirically.
+func E3(cfg Config) (*Table, error) {
+	return serialisabilitySweep("E3", "Theorem 3: N2PL (operation granularity)",
+		"nested two-phase locking admits only serialisable executions",
+		func() engine.Scheduler { return cc.NewN2PL(lock.OpGranularity, 10*time.Second) }, cfg)
+}
+
+// E4 validates Theorem 4 empirically.
+func E4(cfg Config) (*Table, error) {
+	return serialisabilitySweep("E4", "Theorem 4: NTO (conservative)",
+		"nested timestamp ordering admits only serialisable executions",
+		func() engine.Scheduler { return cc.NewNTO(false) }, cfg)
+}
+
+// ---------------------------------------------------------------- E5 --
+
+// E5 measures the §5.1 claim on queues: at step granularity an Enqueue
+// blocks only the Dequeue returning its item, so producer/consumer mixes
+// on a non-empty queue run concurrently; operation granularity serialises
+// them.
+func E5(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E5",
+		Title:  "queue producer/consumer: lock granularity",
+		Claim:  "locking steps instead of operations exploits return values for concurrency (Enqueue/Dequeue example)",
+		Header: []string{"backlog", "scheduler", "txns", "elapsed_ms", "txn/s", "lock-waits", "deadlock-aborts"},
+	}
+	txns := cfg.scale(30, 300)
+	clients := 2 // one producer, one consumer: cross-conflicts only
+	for _, backlog := range []int{4, 64, 1024} {
+		for _, g := range []lock.Granularity{lock.OpGranularity, lock.StepGranularity} {
+			sched := cc.NewN2PL(g, 10*time.Second)
+			en := cc.NewEngine(sched, engine.Options{})
+			spec := workload.ProducerConsumer(backlog, 20000)
+			spec.Setup(en)
+			start := time.Now()
+			if err := workload.Drive(en, spec, clients, txns, cfg.Seed); err != nil {
+				return nil, err
+			}
+			el := time.Since(start)
+			st := sched.Manager().Stats()
+			total := clients * txns
+			t.AddRow(backlog, sched.Name(), total,
+				fmt.Sprintf("%.1f", float64(el.Microseconds())/1000),
+				fmt.Sprintf("%.0f", float64(total)/el.Seconds()),
+				st.Waits.Load(), st.Deadlocks.Load())
+		}
+	}
+	t.Note("expected shape: n2pl-step waits << n2pl-op waits once the backlog exceeds the consumers' reach")
+	return t, nil
+}
+
+// ---------------------------------------------------------------- E6 --
+
+// E6 measures the §1 claim: treating whole objects as data items (one
+// active method execution per object) forfeits the parallelism that
+// method-level locking recovers when methods are long and touch little
+// state.
+func E6(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E6",
+		Title:  "hot object: method-level N2PL vs object-as-data-item",
+		Claim:  "object-granularity exclusion severely curtails parallelism for long methods (Section 1(b))",
+		Header: []string{"clients", "scheduler", "txns", "elapsed_ms", "txn/s"},
+	}
+	txns := cfg.scale(20, 200)
+	spin := 2_000_000 // ~1ms methods: the paper's "quite long programmes"
+	for _, clients := range []int{1, 2, 4, 8} {
+		for _, mk := range []func() engine.Scheduler{
+			func() engine.Scheduler { return cc.NewN2PL(lock.OpGranularity, 10*time.Second) },
+			func() engine.Scheduler { return cc.NewGemstone(10*time.Second, nil) },
+		} {
+			sched := mk()
+			en := cc.NewEngine(sched, engine.Options{})
+			spec := workload.HotObject(64, spin)
+			spec.Setup(en)
+			start := time.Now()
+			if err := workload.Drive(en, spec, clients, txns, cfg.Seed); err != nil {
+				return nil, err
+			}
+			el := time.Since(start)
+			total := clients * txns
+			t.AddRow(clients, sched.Name(), total,
+				fmt.Sprintf("%.1f", float64(el.Microseconds())/1000),
+				fmt.Sprintf("%.0f", float64(total)/el.Seconds()))
+		}
+	}
+	t.Note("expected shape: n2pl-op scales with clients, gemstone stays flat (one active method per object)")
+	return t, nil
+}
+
+// ---------------------------------------------------------------- E7 --
+
+// E7 sweeps contention and reports NTO abort behaviour: aborts grow with
+// contention, and the exact (step-granularity) variant aborts no more than
+// the conservative one.
+func E7(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E7",
+		Title:  "NTO abort rate vs contention",
+		Claim:  "timestamp rejections grow with contention; return-value-exact conflicts reject less",
+		Header: []string{"hotPct", "scheduler", "commits", "retries", "retry/commit", "serialisable"},
+	}
+	txns := cfg.scale(15, 120)
+	clients := 4
+	for _, hot := range []int{10, 50, 90} {
+		for _, exact := range []bool{false, true} {
+			sched := cc.NewNTO(exact)
+			en := cc.NewEngine(sched, engine.Options{})
+			spec := workload.AccountMix(16, hot, 300_000)
+			spec.Setup(en)
+			if err := workload.Drive(en, spec, clients, txns, cfg.Seed); err != nil {
+				return nil, err
+			}
+			h := en.History()
+			v := graph.Check(h)
+			serial := "yes"
+			if !v.Serialisable {
+				serial = "NO"
+			}
+			ratio := float64(en.Retries()) / float64(en.Commits())
+			t.AddRow(hot, sched.Name(), en.Commits(), en.Retries(), fmt.Sprintf("%.3f", ratio), serial)
+		}
+	}
+	t.Note("expected shape: retry/commit clearly higher at hotPct>=50 than at 10; nto-step <= nto-op under high contention (return values prune false conflicts)")
+	return t, nil
+}
+
+// ---------------------------------------------------------------- E8 --
+
+// E8 compares the modular scheme — the dictionary object running its own
+// B-tree with per-key conflicts under optimistic certification — against
+// the uniform whole-object policy.
+func E8(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E8",
+		Title:  "dictionary: modular per-object algorithm vs whole-object policy",
+		Claim:  "letting each object choose its own synchronisation (B-tree, per-key conflicts) beats one uniform coarse policy (Section 2)",
+		Header: []string{"keyRange", "scheduler", "txns", "elapsed_ms", "txn/s", "retries"},
+	}
+	txns := cfg.scale(20, 200)
+	clients := 4
+	for _, keys := range []int{8, 256, 4096} {
+		for _, mk := range []func() engine.Scheduler{
+			func() engine.Scheduler { return cc.NewModular() },
+			func() engine.Scheduler { return cc.NewGemstone(10*time.Second, nil) },
+		} {
+			sched := mk()
+			en := cc.NewEngine(sched, engine.Options{})
+			spec := workload.Dictionary(keys, keys/2, 60, 500_000)
+			spec.Setup(en)
+			start := time.Now()
+			if err := workload.Drive(en, spec, clients, txns, cfg.Seed); err != nil {
+				return nil, err
+			}
+			el := time.Since(start)
+			total := clients * txns
+			t.AddRow(keys, sched.Name(), total,
+				fmt.Sprintf("%.1f", float64(el.Microseconds())/1000),
+				fmt.Sprintf("%.0f", float64(total)/el.Seconds()),
+				en.Retries())
+		}
+	}
+	t.Note("expected shape: modular-certifier sustains multi-client parallelism at every key range; gemstone admits one method per object and stays serial")
+	return t, nil
+}
+
+// ---------------------------------------------------------------- E9 --
+
+// E9 regenerates the abort-semantics table: injected child failures never
+// leak state, parents take their fallback, and totals add up.
+func E9(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E9",
+		Title:  "abort semantics: child fails, parent survives",
+		Claim:  "an aborted method execution has no effect and its parent may try an alternative (Section 3)",
+		Header: []string{"abortPct", "txns", "ok-path", "fallback-path", "legal", "serialisable"},
+	}
+	txns := cfg.scale(30, 300)
+	for _, pct := range []int{0, 25, 75} {
+		sched := cc.NewN2PL(lock.OpGranularity, 10*time.Second)
+		en := cc.NewEngine(sched, engine.Options{})
+		spec := workload.FailureInjection(pct)
+		spec.Setup(en)
+		if err := workload.Drive(en, spec, 4, txns, cfg.Seed); err != nil {
+			return nil, err
+		}
+		h := en.History()
+		legal := "yes"
+		if err := h.CheckLegal(); err != nil {
+			legal = "NO: " + err.Error()
+		}
+		v := graph.Check(h)
+		serial := "yes"
+		if !v.Serialisable {
+			serial = "NO"
+		}
+		good := h.FinalStates["good"]["n"].(int64)
+		bad := h.FinalStates["bad"]["n"].(int64)
+		t.AddRow(pct, 4*txns, good, bad, legal, serial)
+	}
+	t.Note("expected: ok+fallback == txns; legal and serialisable everywhere")
+	return t, nil
+}
+
+// --------------------------------------------------------------- E10 --
+
+// E10 demonstrates the Section 2 counterexample and its repair: without
+// inter-object synchronisation (None scheduler), per-object serialisable
+// orders combine into global cycles; under the certifier the same
+// adversarial workload stays serialisable at the cost of retries.
+func E10(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E10",
+		Title:  "Theorem 5: per-object serialisability is not enough",
+		Claim:  "intra-object serialisability alone does not guarantee global serialisability; compatible per-object orders (certification) do",
+		Header: []string{"scheduler", "rounds", "non-serialisable", "retries"},
+	}
+	rounds := cfg.scale(10, 60)
+
+	for _, mode := range []string{"none", "modular-certifier"} {
+		nonSerial := 0
+		retries := int64(0)
+		for round := 0; round < rounds; round++ {
+			var sched engine.Scheduler
+			if mode == "none" {
+				sched = engine.None{}
+			} else {
+				sched = cc.NewModular()
+			}
+			en := cc.NewEngine(sched, engine.Options{})
+			en.AddObject("A", nil2(), core.State{"x": int64(0)})
+			en.AddObject("B", nil2(), core.State{"y": int64(0)})
+			if err := CrossRound(en, cfg.Seed+int64(round)); err != nil {
+				return nil, err
+			}
+			if v := graph.Check(en.History()); !v.Serialisable {
+				nonSerial++
+			}
+			retries += en.Retries()
+		}
+		t.AddRow(mode, rounds, nonSerial, retries)
+	}
+	t.Note("expected: none yields non-serialisable rounds; modular-certifier yields zero, paying retries")
+	return t, nil
+}
+
+// CrossRound runs the cross read/write pattern (the Section 2 shape) with
+// a handshake that maximises the chance of the write-skew interleaving.
+func CrossRound(en *engine.Engine, seed int64) error {
+	var barrier = make(chan struct{})
+	errs := make(chan error, 2)
+	run := func(readObj, readVar, writeObj, writeVar string, val int64, lead bool) {
+		first := true
+		_, err := en.Run("cross", func(ctx *engine.Ctx) (core.Value, error) {
+			if _, err := ctx.Do(readObj, "Read", readVar); err != nil {
+				return nil, err
+			}
+			if first {
+				first = false
+				if lead {
+					close(barrier)
+				} else {
+					<-barrier
+				}
+			}
+			_, err := ctx.Do(writeObj, "Write", writeVar, val)
+			return nil, err
+		})
+		errs <- err
+	}
+	go run("A", "x", "B", "y", 1, true)
+	go run("B", "y", "A", "x", 2, false)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --------------------------------------------------------------- E11 --
+
+// E11 regenerates the footnote-8 table: without low-water pruning the
+// exact NTO bookkeeping grows with the number of executed steps; with the
+// paper's GC it stays bounded by the live window.
+func E11(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E11",
+		Title:  "NTO timestamp-table garbage collection",
+		Claim:  "step-exact NTO must remember every step unless inactive timestamps below all active ones are discarded (Section 5.2)",
+		Header: []string{"gcEvery", "txns", "table-entries-after"},
+	}
+	txns := cfg.scale(40, 400)
+	for _, gcEvery := range []int64{1, 64, 1 << 60} {
+		sched := cc.NewNTO(true)
+		sched.GCEvery = gcEvery
+		en := cc.NewEngine(sched, engine.Options{})
+		spec := workload.Skewed(16, 30, 0)
+		spec.Setup(en)
+		if err := workload.Drive(en, spec, 4, txns, cfg.Seed); err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%d", gcEvery)
+		if gcEvery == 1<<60 {
+			label = "never"
+		}
+		t.AddRow(label, 4*txns, sched.TableSize())
+	}
+	t.Note("expected shape: entries after 'never' >> entries with pruning")
+	return t, nil
+}
+
+func nil2() *core.Schema {
+	return registerSchema()
+}

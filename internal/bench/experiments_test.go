@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every experiment at Quick scale and asserts
+// its correctness columns — this is the CI-grade version of the full
+// experiment suite recorded in EXPERIMENTS.md.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			t.Parallel()
+			tbl, err := exp.Run(Config{Quick: true, Seed: 42})
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s: empty table", exp.ID)
+			}
+			var buf bytes.Buffer
+			tbl.Print(&buf)
+			out := buf.String()
+			if !strings.Contains(out, exp.ID) {
+				t.Fatalf("%s: print lacks ID:\n%s", exp.ID, out)
+			}
+			assertTable(t, tbl)
+		})
+	}
+}
+
+// assertTable checks the per-experiment correctness columns.
+func assertTable(t *testing.T, tbl *Table) {
+	t.Helper()
+	col := func(name string) int {
+		for i, h := range tbl.Header {
+			if h == name {
+				return i
+			}
+		}
+		return -1
+	}
+	switch tbl.ID {
+	case "E1":
+		c := col("mismatches")
+		for _, row := range tbl.Rows {
+			if row[c] != "0" {
+				t.Fatalf("E1 mismatches: %v", row)
+			}
+		}
+	case "E2":
+		v := col("violations")
+		a := col("SG-acyclic")
+		c := col("replay-confirmed")
+		for _, row := range tbl.Rows {
+			if row[v] != "0" {
+				t.Fatalf("E2 violations: %v", row)
+			}
+			if row[a] != row[c] {
+				t.Fatalf("E2 acyclic != confirmed: %v", row)
+			}
+		}
+	case "E3", "E4":
+		s := col("serialisable")
+		th := col("thm5")
+		for _, row := range tbl.Rows {
+			if row[s] != "yes" || row[th] != "ok" {
+				t.Fatalf("%s row failed: %v", tbl.ID, row)
+			}
+		}
+	case "E5":
+		// Step granularity must wait strictly less than operation
+		// granularity on the largest backlog.
+		w := col("lock-waits")
+		var opWaits, stepWaits int
+		for _, row := range tbl.Rows {
+			if row[0] == "1024" {
+				n, _ := strconv.Atoi(row[w])
+				if strings.Contains(row[1], "step") {
+					stepWaits = n
+				} else {
+					opWaits = n
+				}
+			}
+		}
+		if stepWaits >= opWaits && opWaits > 0 {
+			t.Fatalf("E5 shape: step waits (%d) should be below op waits (%d)", stepWaits, opWaits)
+		}
+	case "E7":
+		s := col("serialisable")
+		for _, row := range tbl.Rows {
+			if row[s] != "yes" {
+				t.Fatalf("E7 row not serialisable: %v", row)
+			}
+		}
+	case "E9":
+		l := col("legal")
+		s := col("serialisable")
+		ok := col("ok-path")
+		fb := col("fallback-path")
+		txns := col("txns")
+		for _, row := range tbl.Rows {
+			if row[l] != "yes" || row[s] != "yes" {
+				t.Fatalf("E9 row failed: %v", row)
+			}
+			a, _ := strconv.Atoi(row[ok])
+			b, _ := strconv.Atoi(row[fb])
+			n, _ := strconv.Atoi(row[txns])
+			if a+b != n {
+				t.Fatalf("E9 totals: %v", row)
+			}
+		}
+	case "E10":
+		ns := col("non-serialisable")
+		for _, row := range tbl.Rows {
+			if row[0] == "modular-certifier" && row[ns] != "0" {
+				t.Fatalf("E10: certifier admitted non-serialisable rounds: %v", row)
+			}
+		}
+	case "E11":
+		c := col("table-entries-after")
+		var never, aggressive int
+		for _, row := range tbl.Rows {
+			n, _ := strconv.Atoi(row[c])
+			switch row[0] {
+			case "never":
+				never = n
+			case "1":
+				aggressive = n
+			}
+		}
+		if aggressive >= never {
+			t.Fatalf("E11 shape: pruned (%d) should be below never-pruned (%d)", aggressive, never)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("E3"); !ok {
+		t.Fatalf("E3 missing")
+	}
+	if _, ok := Find("E99"); ok {
+		t.Fatalf("E99 should not exist")
+	}
+}

@@ -1,0 +1,14 @@
+package bench
+
+import (
+	"math/rand"
+
+	"objectbase/internal/core"
+	"objectbase/internal/objects"
+)
+
+// registerSchema is a local alias used by experiment setups.
+func registerSchema() *core.Schema { return objects.Register() }
+
+// Rng returns a deterministic source for ad-hoc harness needs.
+func Rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,388 @@
+// Package btree implements a concurrent B+ tree with lock coupling — the
+// representative "special algorithm" of the paper's Section 2 discussion:
+// "an object representing a dictionary data type (with methods Lookup,
+// Insert and Delete) might be implemented as a B-tree. Thus, one of the
+// many special B-tree algorithms could be used for intra-object
+// synchronisation by this object" (the paper cites Bayer & Schkolnick,
+// Ellis, Kung & Lehman, Lehman & Yao, Samadi, and others).
+//
+// The tree is a B+ tree: separator keys in internal nodes, key/value pairs
+// and a next-pointer chain in the leaves. Concurrency control is pessimistic
+// lock coupling with preemptive splitting (Bayer & Schkolnick's scheme):
+//
+//   - readers crab down with shared node locks, holding at most two at a
+//     time;
+//   - writers crab down with exclusive locks, splitting any full node
+//     encountered on the way; because parents are split preemptively, a
+//     split never propagates upward and at most two exclusive locks are
+//     held at any moment;
+//   - deletion is lazy (no merging): the key is removed from its leaf,
+//     which may underfill; the structure remains a valid search tree. Lazy
+//     deletion is the standard simplification in the concurrent B-tree
+//     literature when workloads do not shrink dramatically.
+//
+// The tree synchronises its own physical operations — the object's
+// intra-object concurrency in the paper's decomposition — while logical
+// conflicts between transactions are handled by whichever scheduler the
+// object base runs.
+package btree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Value is the tree's value type.
+type Value = interface{}
+
+// DefaultOrder is the default maximum number of children of an internal
+// node.
+const DefaultOrder = 8
+
+// Tree is a concurrent B+ tree keyed by int64.
+type Tree struct {
+	order int
+	// rootMu guards the root pointer (the root node itself has its own
+	// lock; swapping the root requires this outer lock).
+	rootMu sync.RWMutex
+	root   *node
+}
+
+type node struct {
+	mu   sync.RWMutex
+	leaf bool
+	keys []int64
+	// vals is parallel to keys in leaves.
+	vals []Value
+	// children is parallel to keys+1 in internal nodes.
+	children []*node
+	// next chains leaves for scans.
+	next *node
+}
+
+// New returns an empty tree of the given order (minimum 3; 0 selects
+// DefaultOrder).
+func New(order int) *Tree {
+	if order == 0 {
+		order = DefaultOrder
+	}
+	if order < 3 {
+		order = 3
+	}
+	return &Tree{order: order, root: &node{leaf: true}}
+}
+
+func (n *node) full(order int) bool {
+	return len(n.keys) >= order-1
+}
+
+// search finds the index of the child to descend for key k in an internal
+// node: the first separator greater than k.
+func (n *node) childIndex(k int64) int {
+	return sort.Search(len(n.keys), func(i int) bool { return k < n.keys[i] })
+}
+
+// leafIndex finds k's position in a leaf: (index, found).
+func (n *node) leafIndex(k int64) (int, bool) {
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= k })
+	return i, i < len(n.keys) && n.keys[i] == k
+}
+
+// Lookup returns the value stored under k, or (nil, false).
+func (t *Tree) Lookup(k int64) (Value, bool) {
+	t.rootMu.RLock()
+	cur := t.root
+	cur.mu.RLock()
+	t.rootMu.RUnlock()
+	for !cur.leaf {
+		child := cur.children[cur.childIndex(k)]
+		child.mu.RLock()
+		cur.mu.RUnlock()
+		cur = child
+	}
+	defer cur.mu.RUnlock()
+	if i, ok := cur.leafIndex(k); ok {
+		return cur.vals[i], true
+	}
+	return nil, false
+}
+
+// Insert stores v under k, returning the previous value and whether one
+// existed.
+func (t *Tree) Insert(k int64, v Value) (Value, bool) {
+	cur := t.lockRootForWrite()
+	for !cur.leaf {
+		idx := cur.childIndex(k)
+		child := cur.children[idx]
+		child.mu.Lock()
+		if child.full(t.order) {
+			// Preemptive split: cur is never full here (splitting on the
+			// way down maintains the invariant), so the separator fits.
+			left, right, sep := t.splitChild(cur, idx, child)
+			// Descend into the correct half; unlock the other.
+			if k < sep {
+				right.mu.Unlock()
+				child = left
+			} else {
+				left.mu.Unlock()
+				child = right
+			}
+		}
+		cur.mu.Unlock()
+		cur = child
+	}
+	defer cur.mu.Unlock()
+	i, found := cur.leafIndex(k)
+	if found {
+		old := cur.vals[i]
+		cur.vals[i] = v
+		return old, true
+	}
+	cur.keys = append(cur.keys, 0)
+	cur.vals = append(cur.vals, nil)
+	copy(cur.keys[i+1:], cur.keys[i:])
+	copy(cur.vals[i+1:], cur.vals[i:])
+	cur.keys[i] = k
+	cur.vals[i] = v
+	return nil, false
+}
+
+// lockRootForWrite returns the locked root, splitting a full root first so
+// the descent invariant ("current node is not full") holds.
+func (t *Tree) lockRootForWrite() *node {
+	for {
+		t.rootMu.Lock()
+		r := t.root
+		r.mu.Lock()
+		if !r.full(t.order) {
+			t.rootMu.Unlock()
+			return r
+		}
+		// Grow the tree: new root above the split halves.
+		newRoot := &node{leaf: false, children: []*node{r}}
+		newRoot.mu.Lock()
+		t.root = newRoot
+		t.rootMu.Unlock()
+		_, _, _ = t.splitChild(newRoot, 0, r)
+		// Both halves stay locked by splitChild; unlock them — the next
+		// iteration re-descends from the new root.
+		newRoot.children[0].mu.Unlock()
+		newRoot.children[1].mu.Unlock()
+		newRoot.mu.Unlock()
+	}
+}
+
+// splitChild splits the full child at index idx of parent (both locked
+// exclusively). It returns the two halves — both locked — and the separator
+// key inserted into the parent.
+func (t *Tree) splitChild(parent *node, idx int, child *node) (*node, *node, int64) {
+	mid := len(child.keys) / 2
+	var sep int64
+	right := &node{leaf: child.leaf}
+	right.mu.Lock()
+	if child.leaf {
+		sep = child.keys[mid]
+		right.keys = append(right.keys, child.keys[mid:]...)
+		right.vals = append(right.vals, child.vals[mid:]...)
+		child.keys = child.keys[:mid:mid]
+		child.vals = child.vals[:mid:mid]
+		right.next = child.next
+		child.next = right
+	} else {
+		sep = child.keys[mid]
+		right.keys = append(right.keys, child.keys[mid+1:]...)
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.keys = child.keys[:mid:mid]
+		child.children = child.children[: mid+1 : mid+1]
+	}
+	// Insert separator + right into parent at idx.
+	parent.keys = append(parent.keys, 0)
+	copy(parent.keys[idx+1:], parent.keys[idx:])
+	parent.keys[idx] = sep
+	parent.children = append(parent.children, nil)
+	copy(parent.children[idx+2:], parent.children[idx+1:])
+	parent.children[idx+1] = right
+	return child, right, sep
+}
+
+// Delete removes k, returning the removed value and whether it existed.
+// Deletion is lazy: leaves may underfill; the search structure remains
+// valid.
+func (t *Tree) Delete(k int64) (Value, bool) {
+	t.rootMu.RLock()
+	cur := t.root
+	cur.mu.Lock()
+	t.rootMu.RUnlock()
+	for !cur.leaf {
+		child := cur.children[cur.childIndex(k)]
+		child.mu.Lock()
+		cur.mu.Unlock()
+		cur = child
+	}
+	defer cur.mu.Unlock()
+	i, found := cur.leafIndex(k)
+	if !found {
+		return nil, false
+	}
+	old := cur.vals[i]
+	cur.keys = append(cur.keys[:i], cur.keys[i+1:]...)
+	cur.vals = append(cur.vals[:i], cur.vals[i+1:]...)
+	return old, true
+}
+
+// Len counts the stored pairs by walking the leaf chain with lock
+// coupling.
+func (t *Tree) Len() int {
+	n := 0
+	t.Scan(func(int64, Value) bool { n++; return true })
+	return n
+}
+
+// Scan visits pairs in ascending key order until fn returns false,
+// lock-coupling along the leaf chain. Concurrent writers may or may not be
+// observed (the scan is not a snapshot); transaction-level consistency is
+// the scheduler's business.
+func (t *Tree) Scan(fn func(k int64, v Value) bool) {
+	t.rootMu.RLock()
+	cur := t.root
+	cur.mu.RLock()
+	t.rootMu.RUnlock()
+	for !cur.leaf {
+		child := cur.children[0]
+		child.mu.RLock()
+		cur.mu.RUnlock()
+		cur = child
+	}
+	for {
+		for i := range cur.keys {
+			if !fn(cur.keys[i], cur.vals[i]) {
+				cur.mu.RUnlock()
+				return
+			}
+		}
+		nxt := cur.next
+		if nxt == nil {
+			cur.mu.RUnlock()
+			return
+		}
+		nxt.mu.RLock()
+		cur.mu.RUnlock()
+		cur = nxt
+	}
+}
+
+// Export returns the contents as a sorted slice of pairs (tests, cloning).
+func (t *Tree) Export() ([]int64, []Value) {
+	var ks []int64
+	var vs []Value
+	t.Scan(func(k int64, v Value) bool {
+		ks = append(ks, k)
+		vs = append(vs, v)
+		return true
+	})
+	return ks, vs
+}
+
+// Clone returns a deep copy (quiescent tree).
+func (t *Tree) Clone() *Tree {
+	out := New(t.order)
+	ks, vs := t.Export()
+	for i := range ks {
+		out.Insert(ks[i], vs[i])
+	}
+	return out
+}
+
+// Equal compares contents (quiescent trees); values compared with ==
+// unless they are []Value (not supported — dictionary stores scalars).
+func (t *Tree) Equal(u *Tree) bool {
+	tk, tv := t.Export()
+	uk, uv := u.Export()
+	if len(tk) != len(uk) {
+		return false
+	}
+	for i := range tk {
+		if tk[i] != uk[i] || tv[i] != uv[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckInvariants verifies structural invariants on a quiescent tree:
+// sorted keys, separator bounds, uniform leaf depth, node fan-out limits
+// (leaves may underfill due to lazy deletion, but never overfill). It
+// returns the first violation.
+func (t *Tree) CheckInvariants() error {
+	depth := -1
+	var walk func(n *node, level int, lo, hi *int64) error
+	walk = func(n *node, level int, lo, hi *int64) error {
+		if len(n.keys) > t.order-1 {
+			return fmt.Errorf("btree: node with %d keys exceeds order %d", len(n.keys), t.order)
+		}
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i-1] >= n.keys[i] {
+				return fmt.Errorf("btree: keys out of order: %d >= %d", n.keys[i-1], n.keys[i])
+			}
+		}
+		for _, k := range n.keys {
+			if lo != nil && k < *lo {
+				return fmt.Errorf("btree: key %d below separator bound %d", k, *lo)
+			}
+			if hi != nil && k >= *hi {
+				return fmt.Errorf("btree: key %d not below separator bound %d", k, *hi)
+			}
+		}
+		if n.leaf {
+			if len(n.keys) != len(n.vals) {
+				return fmt.Errorf("btree: leaf keys/vals mismatch")
+			}
+			if depth == -1 {
+				depth = level
+			} else if depth != level {
+				return fmt.Errorf("btree: leaves at depths %d and %d", depth, level)
+			}
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return fmt.Errorf("btree: internal node with %d keys, %d children", len(n.keys), len(n.children))
+		}
+		for i, c := range n.children {
+			var nlo, nhi *int64
+			if i > 0 {
+				nlo = &n.keys[i-1]
+			} else {
+				nlo = lo
+			}
+			if i < len(n.keys) {
+				nhi = &n.keys[i]
+			} else {
+				nhi = hi
+			}
+			if err := walk(c, level+1, nlo, nhi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root, 0, nil, nil)
+}
+
+// String renders the contents (small trees, debugging).
+func (t *Tree) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	t.Scan(func(k int64, v Value) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d:%v", k, v)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

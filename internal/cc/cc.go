@@ -1,0 +1,20 @@
+package cc
+
+import (
+	"objectbase/internal/engine"
+)
+
+// DependencyTracker is implemented by schedulers that state whether they
+// need the engine's recoverability machinery.
+type DependencyTracker interface {
+	RequiresDependencyTracking() bool
+}
+
+// NewEngine builds an engine for the scheduler, enabling dependency
+// tracking exactly when the scheduler requires it.
+func NewEngine(sched engine.Scheduler, opts engine.Options) *engine.Engine {
+	if dt, ok := sched.(DependencyTracker); ok && dt.RequiresDependencyTracking() {
+		opts.TrackDependencies = true
+	}
+	return engine.New(sched, opts)
+}

@@ -1,0 +1,563 @@
+package cc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"objectbase/internal/core"
+	"objectbase/internal/engine"
+	"objectbase/internal/graph"
+	"objectbase/internal/lock"
+	"objectbase/internal/objects"
+)
+
+// allSchedulers enumerates every scheduler under test, freshly constructed.
+func allSchedulers() []func() engine.Scheduler {
+	return []func() engine.Scheduler{
+		func() engine.Scheduler { return NewN2PL(lock.OpGranularity, 5*time.Second) },
+		func() engine.Scheduler { return NewN2PL(lock.StepGranularity, 5*time.Second) },
+		func() engine.Scheduler { return NewNTO(false) },
+		func() engine.Scheduler { return NewNTO(true) },
+		func() engine.Scheduler { return NewGemstone(5*time.Second, nil) },
+		func() engine.Scheduler { return NewModular() },
+	}
+}
+
+// buildBank wires a small object base: three accounts, a counter and a
+// queue, with nested methods including an audit that uses internal
+// parallelism.
+func buildBank(en *engine.Engine) {
+	for _, a := range []string{"acct0", "acct1", "acct2"} {
+		en.AddObject(a, objects.Account(), core.State{"balance": int64(100)})
+	}
+	en.AddObject("log", objects.Counter(), nil)
+	en.AddObject("inbox", objects.Queue(), nil)
+
+	en.Register("log", "note", func(ctx *engine.Ctx) (core.Value, error) {
+		return ctx.Do("log", "Add", int64(1))
+	})
+	for _, a := range []string{"acct0", "acct1", "acct2"} {
+		a := a
+		en.Register(a, "deposit", func(ctx *engine.Ctx) (core.Value, error) {
+			return ctx.Do(a, "Deposit", ctx.Arg(0))
+		})
+		en.Register(a, "withdraw", func(ctx *engine.Ctx) (core.Value, error) {
+			return ctx.Do(a, "Withdraw", ctx.Arg(0))
+		})
+		en.Register(a, "balance", func(ctx *engine.Ctx) (core.Value, error) {
+			return ctx.Do(a, "Balance")
+		})
+	}
+	en.Register("inbox", "push", func(ctx *engine.Ctx) (core.Value, error) {
+		return ctx.Do("inbox", "Enqueue", ctx.Arg(0))
+	})
+	en.Register("inbox", "pop", func(ctx *engine.Ctx) (core.Value, error) {
+		return ctx.Do("inbox", "Dequeue")
+	})
+}
+
+// transferTxn moves amount between two accounts, logging the attempt; on
+// insufficient funds it aborts the withdrawal leg and deposits nothing.
+func transferTxn(from, to string, amount int64) engine.MethodFunc {
+	return func(ctx *engine.Ctx) (core.Value, error) {
+		if _, err := ctx.Call("log", "note"); err != nil {
+			return nil, err
+		}
+		ok, err := ctx.Call(from, "withdraw", amount)
+		if err != nil {
+			return nil, err
+		}
+		if ok != true {
+			return false, nil // insufficient funds: transaction commits having done nothing else
+		}
+		if _, err := ctx.Call(to, "deposit", amount); err != nil {
+			return nil, err
+		}
+		return true, nil
+	}
+}
+
+// auditTxn reads all balances with internal parallelism and enqueues the
+// total.
+func auditTxn() engine.MethodFunc {
+	return func(ctx *engine.Ctx) (core.Value, error) {
+		var mu sync.Mutex
+		total := int64(0)
+		read := func(acct string) func(*engine.Ctx) error {
+			return func(c *engine.Ctx) error {
+				v, err := c.Call(acct, "balance")
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				total += v.(int64)
+				mu.Unlock()
+				return nil
+			}
+		}
+		if err := ctx.Parallel(read("acct0"), read("acct1"), read("acct2")); err != nil {
+			return nil, err
+		}
+		if _, err := ctx.Call("inbox", "push", total); err != nil {
+			return nil, err
+		}
+		return total, nil
+	}
+}
+
+// runBankWorkload executes a mixed contended workload and returns the
+// history.
+func runBankWorkload(t *testing.T, en *engine.Engine, seed int64, clients, txns int) {
+	t.Helper()
+	accounts := []string{"acct0", "acct1", "acct2"}
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed + int64(c)))
+			for i := 0; i < txns; i++ {
+				switch r.Intn(4) {
+				case 0, 1:
+					from := accounts[r.Intn(3)]
+					to := accounts[r.Intn(3)]
+					if from == to {
+						to = accounts[(r.Intn(3)+1)%3]
+					}
+					if _, err := en.Run("transfer", transferTxn(from, to, int64(1+r.Intn(20)))); err != nil {
+						t.Errorf("transfer: %v", err)
+						return
+					}
+				case 2:
+					if _, err := en.Run("audit", auditTxn()); err != nil {
+						t.Errorf("audit: %v", err)
+						return
+					}
+				default:
+					if _, err := en.Run("pop", func(ctx *engine.Ctx) (core.Value, error) {
+						return ctx.Call("inbox", "pop")
+					}); err != nil {
+						t.Errorf("pop: %v", err)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// verifyHistory asserts the full oracle on an engine's recorded history.
+func verifyHistory(t *testing.T, en *engine.Engine, name string) {
+	t.Helper()
+	h := en.History()
+	if err := h.CheckLegal(); err != nil {
+		t.Fatalf("[%s] history not legal: %v", name, err)
+	}
+	v := graph.Check(h)
+	if !v.Serialisable {
+		t.Fatalf("[%s] history not serialisable: %v", name, v)
+	}
+	if err := graph.CheckTheorem5(h); err != nil {
+		t.Fatalf("[%s] Theorem 5 conditions violated: %v", name, err)
+	}
+	// Money conservation: transfers move, never create (deposits equal
+	// successful withdrawals), so total balance stays 300.
+	total := int64(0)
+	for _, a := range []string{"acct0", "acct1", "acct2"} {
+		total += h.FinalStates[a]["balance"].(int64)
+	}
+	if total != 300 {
+		t.Fatalf("[%s] money not conserved: total = %d", name, total)
+	}
+}
+
+// TestSchedulersAdmitOnlySerialisableHistories is the empirical content of
+// Theorems 3, 4 and 5: every scheduler, on a contended mixed workload,
+// yields a legal, serialisable history satisfying the Theorem 5
+// decomposition, across seeds.
+func TestSchedulersAdmitOnlySerialisableHistories(t *testing.T) {
+	for _, mk := range allSchedulers() {
+		sched := mk()
+		name := sched.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				sched := mk()
+				en := NewEngine(sched, engine.Options{})
+				buildBank(en)
+				runBankWorkload(t, en, seed*1000, 4, 12)
+				verifyHistory(t, en, fmt.Sprintf("%s seed=%d", sched.Name(), seed))
+			}
+		})
+	}
+}
+
+// TestN2PLBlocksConflict: under N2PL a forced conflicting interleaving
+// serialises by blocking, not aborting.
+func TestN2PLBlocksConflict(t *testing.T) {
+	sched := NewN2PL(lock.OpGranularity, 5*time.Second)
+	en := NewEngine(sched, engine.Options{})
+	en.AddObject("A", objects.Register(), core.State{"x": int64(0)})
+
+	t1Read := make(chan struct{})
+	var readOnce sync.Once
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, err := en.Run("T1", func(ctx *engine.Ctx) (core.Value, error) {
+			v, err := ctx.Do("A", "Read", "x")
+			if err != nil {
+				return nil, err
+			}
+			readOnce.Do(func() { close(t1Read) })
+			time.Sleep(50 * time.Millisecond) // hold the read lock
+			return ctx.Do("A", "Write", "x", v.(int64)+1)
+		})
+		if err != nil {
+			t.Errorf("T1: %v", err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-t1Read
+		_, err := en.Run("T2", func(ctx *engine.Ctx) (core.Value, error) {
+			v, err := ctx.Do("A", "Read", "x") // blocks until T1 commits (or deadlocks and retries)
+			if err != nil {
+				return nil, err
+			}
+			return ctx.Do("A", "Write", "x", v.(int64)+1)
+		})
+		if err != nil {
+			t.Errorf("T2: %v", err)
+		}
+	}()
+	wg.Wait()
+
+	h := en.History()
+	if err := h.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.FinalStates["A"]["x"]; got != int64(2) {
+		t.Fatalf("x = %v, want 2 (no lost update under N2PL)", got)
+	}
+	if v := graph.Check(h); !v.Serialisable {
+		t.Fatalf("verdict: %v", v)
+	}
+}
+
+// TestNTORejectsLatecomer: an old transaction issuing a conflicting step
+// after a younger one has touched the scope is rejected and retried with a
+// fresh timestamp.
+func TestNTORejectsLatecomer(t *testing.T) {
+	sched := NewNTO(false)
+	en := NewEngine(sched, engine.Options{})
+	en.AddObject("A", objects.Register(), core.State{"x": int64(0)})
+
+	oldStarted := make(chan struct{})
+	youngDone := make(chan struct{})
+	attempts := 0
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, err := en.Run("old", func(ctx *engine.Ctx) (core.Value, error) {
+			attempts++
+			if attempts == 1 {
+				close(oldStarted)
+				<-youngDone // let the young transaction write first
+			}
+			return ctx.Do("A", "Read", "x")
+		})
+		if err != nil {
+			t.Errorf("old: %v", err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-oldStarted
+		_, err := en.Run("young", func(ctx *engine.Ctx) (core.Value, error) {
+			return ctx.Do("A", "Write", "x", int64(9))
+		})
+		close(youngDone)
+		if err != nil {
+			t.Errorf("young: %v", err)
+		}
+	}()
+	wg.Wait()
+
+	if attempts < 2 {
+		t.Fatalf("old transaction should have been rejected at least once (attempts=%d)", attempts)
+	}
+	if en.Retries() == 0 {
+		t.Fatalf("engine should have retried")
+	}
+	verify := en.History()
+	if err := verify.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+	if v := graph.Check(verify); !v.Serialisable {
+		t.Fatalf("verdict: %v", v)
+	}
+}
+
+// crossTxn runs one leg of a cross pattern: op1 on obj1, barrier, op2 on
+// obj2. The barrier fires only on each transaction's first attempt.
+func crossTxn(barrier *sync.WaitGroup, leg func(ctx *engine.Ctx, phase int) error) engine.MethodFunc {
+	first := true
+	return func(ctx *engine.Ctx) (core.Value, error) {
+		if err := leg(ctx, 1); err != nil {
+			return nil, err
+		}
+		if first {
+			first = false
+			barrier.Done()
+			barrier.Wait()
+		}
+		return nil, leg(ctx, 2)
+	}
+}
+
+// TestModularCertifierRejectsWriteSkew builds the Section 2 shape with a
+// read/write cross (T1 reads A then writes B; T2 reads B then writes A):
+// no commit dependencies arise (writes after reads), each object alone is
+// serialisable, yet the two induced orders are incompatible. The certifier
+// must reject the second committer; the retry yields a serialisable
+// history.
+func TestModularCertifierRejectsWriteSkew(t *testing.T) {
+	sched := NewModular()
+	en := NewEngine(sched, engine.Options{})
+	en.AddObject("A", objects.Register(), core.State{"x": int64(0)})
+	en.AddObject("B", objects.Register(), core.State{"y": int64(0)})
+
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, err := en.Run("T1", crossTxn(&barrier, func(ctx *engine.Ctx, phase int) error {
+			if phase == 1 {
+				_, err := ctx.Do("A", "Read", "x")
+				return err
+			}
+			_, err := ctx.Do("B", "Write", "y", int64(1))
+			return err
+		}))
+		if err != nil {
+			t.Errorf("T1: %v", err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		_, err := en.Run("T2", crossTxn(&barrier, func(ctx *engine.Ctx, phase int) error {
+			if phase == 1 {
+				_, err := ctx.Do("B", "Read", "y")
+				return err
+			}
+			_, err := ctx.Do("A", "Write", "x", int64(2))
+			return err
+		}))
+		if err != nil {
+			t.Errorf("T2: %v", err)
+		}
+	}()
+	wg.Wait()
+
+	st := sched.Stats()
+	if st.Rejected == 0 {
+		t.Fatalf("certifier should have rejected one committer (stats: %+v)", st)
+	}
+	if en.Retries() == 0 {
+		t.Fatalf("rejected transaction should have retried")
+	}
+	h := en.History()
+	if err := h.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+	if v := graph.Check(h); !v.Serialisable {
+		t.Fatalf("verdict: %v", v)
+	}
+	if err := graph.CheckTheorem5(h); err != nil {
+		t.Fatalf("Theorem 5: %v", err)
+	}
+}
+
+// TestMutualObservationRejectedEarly: the write/write cross — mutual
+// observation of uncommitted effects — is caught by the engine's
+// dependency tracker at touch time (it could never certify, and waiting
+// for each other's commit would deadlock). One transaction retries; the
+// result is serialisable.
+func TestMutualObservationRejectedEarly(t *testing.T) {
+	sched := NewModular()
+	en := NewEngine(sched, engine.Options{})
+	en.AddObject("A", objects.Register(), core.State{"x": int64(0)})
+	en.AddObject("B", objects.Register(), core.State{"y": int64(0)})
+
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	run := func(first, second string, vars [2]string, val int64) {
+		defer wg.Done()
+		_, err := en.Run("T", crossTxn(&barrier, func(ctx *engine.Ctx, phase int) error {
+			if phase == 1 {
+				_, err := ctx.Do(first, "Write", vars[0], val)
+				return err
+			}
+			_, err := ctx.Do(second, "Write", vars[1], val)
+			return err
+		}))
+		if err != nil {
+			t.Errorf("txn: %v", err)
+		}
+	}
+	go run("A", "B", [2]string{"x", "y"}, 1)
+	go run("B", "A", [2]string{"y", "x"}, 2)
+	wg.Wait()
+
+	if en.Retries() == 0 {
+		t.Fatalf("one transaction must have been rejected and retried")
+	}
+	h := en.History()
+	if err := h.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+	if v := graph.Check(h); !v.Serialisable {
+		t.Fatalf("verdict: %v", v)
+	}
+}
+
+// TestGemstoneOneActiveMethodPerObject: while one method execution is
+// active at an object, another transaction's method on the same object
+// must wait.
+func TestGemstoneOneActiveMethodPerObject(t *testing.T) {
+	sched := NewGemstone(5*time.Second, nil)
+	en := NewEngine(sched, engine.Options{})
+	en.AddObject("A", objects.Counter(), nil)
+	inside := make(chan struct{}, 2)
+	release := make(chan struct{})
+	var concurrent int32
+	var mu sync.Mutex
+	maxConcurrent := 0
+	cur := 0
+	en.Register("A", "slow", func(ctx *engine.Ctx) (core.Value, error) {
+		mu.Lock()
+		cur++
+		if cur > maxConcurrent {
+			maxConcurrent = cur
+		}
+		mu.Unlock()
+		select {
+		case inside <- struct{}{}:
+		default:
+		}
+		if ctx.Arg(0) == int64(0) {
+			<-release
+		}
+		v, err := ctx.Do("A", "Add", int64(1))
+		mu.Lock()
+		cur--
+		mu.Unlock()
+		return v, err
+	})
+	_ = concurrent
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if _, err := en.Run("T1", func(ctx *engine.Ctx) (core.Value, error) {
+			return ctx.Call("A", "slow", int64(0))
+		}); err != nil {
+			t.Errorf("T1: %v", err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-inside // T1's method is active
+		close(release)
+		if _, err := en.Run("T2", func(ctx *engine.Ctx) (core.Value, error) {
+			return ctx.Call("A", "slow", int64(1))
+		}); err != nil {
+			t.Errorf("T2: %v", err)
+		}
+	}()
+	wg.Wait()
+
+	mu.Lock()
+	mc := maxConcurrent
+	mu.Unlock()
+	if mc != 1 {
+		t.Fatalf("Gemstone must admit one active method per object, saw %d", mc)
+	}
+	h := en.History()
+	if got := h.FinalStates["A"]["n"]; got != int64(2) {
+		t.Fatalf("n = %v", got)
+	}
+	if v := graph.Check(h); !v.Serialisable {
+		t.Fatalf("verdict: %v", v)
+	}
+}
+
+// TestN2PLStepGranularityAllowsProducerConsumer: with step-granularity
+// locks, a consumer can dequeue an old item while a producer's uncommitted
+// enqueue lock is held — the concurrency the paper's Section 5.1 example
+// promises. Operation granularity blocks it.
+func TestN2PLStepGranularityAllowsProducerConsumer(t *testing.T) {
+	run := func(g lock.Granularity) (blocked bool) {
+		sched := NewN2PL(g, 200*time.Millisecond)
+		en := NewEngine(sched, engine.Options{MaxRetries: engine.NoRetry})
+		en.AddObject("Q", objects.Queue(), core.State{"items": []core.Value{int64(7), int64(8)}})
+
+		holding := make(chan struct{})
+		release := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := en.Run("producer", func(ctx *engine.Ctx) (core.Value, error) {
+				if _, err := ctx.Do("Q", "Enqueue", int64(99)); err != nil {
+					return nil, err
+				}
+				close(holding)
+				<-release
+				return nil, nil
+			})
+			if err != nil {
+				t.Errorf("producer: %v", err)
+			}
+		}()
+		<-holding
+		// Consumer tries to dequeue while the enqueue lock is held.
+		_, err := en.Run("consumer", func(ctx *engine.Ctx) (core.Value, error) {
+			return ctx.Do("Q", "Dequeue")
+		})
+		blocked = err != nil // op granularity: deadlock timeout
+		close(release)
+		wg.Wait()
+
+		h := en.History()
+		if lerr := h.CheckLegal(); lerr != nil {
+			t.Fatalf("history: %v", lerr)
+		}
+		if v := graph.Check(h); !v.Serialisable {
+			t.Fatalf("verdict: %v", v)
+		}
+		return blocked
+	}
+
+	if blocked := run(lock.StepGranularity); blocked {
+		t.Fatalf("step granularity must admit the concurrent dequeue")
+	}
+	if blocked := run(lock.OpGranularity); !blocked {
+		t.Fatalf("operation granularity should block the dequeue until the producer commits")
+	}
+}

@@ -1,0 +1,127 @@
+package cc
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"objectbase/internal/core"
+	"objectbase/internal/engine"
+	"objectbase/internal/graph"
+	"objectbase/internal/objects"
+)
+
+// TestGemstoneReadOnlyMethodsShare: methods registered read-only take the
+// whole-object lock in R mode, so two readers run concurrently while a
+// writer excludes everyone — the "conventional database concurrency
+// control" at object granularity the paper describes in Section 1.
+func TestGemstoneReadOnlyMethodsShare(t *testing.T) {
+	readOnly := func(object, method string) bool { return method == "peek" }
+	sched := NewGemstone(5*time.Second, readOnly)
+	en := NewEngine(sched, engine.Options{})
+	en.AddObject("A", objects.Counter(), nil)
+
+	var mu sync.Mutex
+	cur, maxCur := 0, 0
+	enter := func() {
+		mu.Lock()
+		cur++
+		if cur > maxCur {
+			maxCur = cur
+		}
+		mu.Unlock()
+	}
+	leave := func() {
+		mu.Lock()
+		cur--
+		mu.Unlock()
+	}
+
+	gate := make(chan struct{})
+	en.Register("A", "peek", func(ctx *engine.Ctx) (core.Value, error) {
+		enter()
+		<-gate // hold the R lock until both readers are inside
+		v, err := ctx.Do("A", "Get")
+		leave()
+		return v, err
+	})
+
+	var wg sync.WaitGroup
+	ready := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := en.Run("T", func(ctx *engine.Ctx) (core.Value, error) {
+				ready <- struct{}{}
+				return ctx.Call("A", "peek")
+			}); err != nil {
+				t.Errorf("reader: %v", err)
+			}
+		}()
+	}
+	<-ready
+	<-ready
+	// Give both goroutines a moment to enter the method, then release.
+	deadline := time.After(2 * time.Second)
+	for {
+		mu.Lock()
+		n := cur
+		mu.Unlock()
+		if n == 2 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("readers never overlapped: read-only methods must share the object lock")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(gate)
+	wg.Wait()
+
+	mu.Lock()
+	got := maxCur
+	mu.Unlock()
+	if got != 2 {
+		t.Fatalf("max concurrent readers = %d, want 2", got)
+	}
+	h := en.History()
+	if v := graph.Check(h); !v.Serialisable {
+		t.Fatalf("verdict: %v", v)
+	}
+}
+
+// TestGemstoneUpgrade: a read-only method followed by a mutating step in
+// the same transaction upgrades the object lock; a concurrent reader's
+// transaction then waits.
+func TestGemstoneUpgrade(t *testing.T) {
+	readOnly := func(object, method string) bool { return method == "check" }
+	sched := NewGemstone(5*time.Second, readOnly)
+	en := NewEngine(sched, engine.Options{})
+	en.AddObject("A", objects.Counter(), nil)
+	en.Register("A", "check", func(ctx *engine.Ctx) (core.Value, error) {
+		v, err := ctx.Do("A", "Get") // read-only step: R suffices
+		if err != nil {
+			return nil, err
+		}
+		if v.(int64) < 10 {
+			// Mutating step: upgrade to W.
+			return ctx.Do("A", "Add", int64(1))
+		}
+		return nil, nil
+	})
+	if _, err := en.Run("T", func(ctx *engine.Ctx) (core.Value, error) {
+		return ctx.Call("A", "check")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h := en.History()
+	if got := h.FinalStates["A"]["n"]; got != int64(1) {
+		t.Fatalf("n = %v", got)
+	}
+	if v := graph.Check(h); !v.Serialisable {
+		t.Fatalf("verdict: %v", v)
+	}
+}

@@ -1,0 +1,152 @@
+package cc
+
+import (
+	"testing"
+	"time"
+
+	"objectbase/internal/core"
+	"objectbase/internal/engine"
+	"objectbase/internal/graph"
+	"objectbase/internal/lock"
+	"objectbase/internal/objects"
+)
+
+// TestReentrantObjectCalls exercises the paper's footnote 1: "it is
+// permissible for a method of object A to call a method of object B which,
+// in turn, may call some other method of object A again". Under N2PL the
+// re-entrant call must not self-deadlock: the inner execution is a
+// descendant of the lock holder, and rule 2 admits ancestors' locks.
+func TestReentrantObjectCalls(t *testing.T) {
+	for _, mk := range allSchedulers() {
+		sched := mk()
+		t.Run(sched.Name(), func(t *testing.T) {
+			en := NewEngine(sched, engine.Options{})
+			en.AddObject("A", objects.Register(), core.State{"x": int64(0), "log": int64(0)})
+			en.AddObject("B", objects.Register(), core.State{"y": int64(0)})
+
+			en.Register("A", "inner", func(ctx *engine.Ctx) (core.Value, error) {
+				// Reads the very variable the outer A-method wrote: only
+				// legal because the outer execution is an ancestor.
+				return ctx.Do("A", "Read", "x")
+			})
+			en.Register("B", "relay", func(ctx *engine.Ctx) (core.Value, error) {
+				if _, err := ctx.Do("B", "Write", "y", int64(1)); err != nil {
+					return nil, err
+				}
+				return ctx.Call("A", "inner")
+			})
+			en.Register("A", "outer", func(ctx *engine.Ctx) (core.Value, error) {
+				if _, err := ctx.Do("A", "Write", "x", int64(42)); err != nil {
+					return nil, err
+				}
+				return ctx.Call("B", "relay")
+			})
+
+			ret, err := en.Run("T", func(ctx *engine.Ctx) (core.Value, error) {
+				return ctx.Call("A", "outer")
+			})
+			if err != nil {
+				t.Fatalf("re-entrant call failed: %v", err)
+			}
+			if ret != int64(42) {
+				t.Fatalf("inner read = %v, want 42 (must see ancestor's write)", ret)
+			}
+			h := en.History()
+			if err := h.CheckLegal(); err != nil {
+				t.Fatal(err)
+			}
+			if v := graph.Check(h); !v.Serialisable {
+				t.Fatalf("verdict: %v", v)
+			}
+		})
+	}
+}
+
+// TestDeepNesting runs a recursive countdown through two objects, checking
+// IDs, lock inheritance across many levels and history legality.
+func TestDeepNesting(t *testing.T) {
+	sched := NewN2PL(lock.OpGranularity, 5*time.Second)
+	en := NewEngine(sched, engine.Options{})
+	en.AddObject("A", objects.Counter(), nil)
+	en.AddObject("B", objects.Counter(), nil)
+
+	en.Register("A", "down", func(ctx *engine.Ctx) (core.Value, error) {
+		n := ctx.Arg(0).(int64)
+		if _, err := ctx.Do("A", "Add", int64(1)); err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return int64(0), nil
+		}
+		return ctx.Call("B", "down", n-1)
+	})
+	en.Register("B", "down", func(ctx *engine.Ctx) (core.Value, error) {
+		n := ctx.Arg(0).(int64)
+		if _, err := ctx.Do("B", "Add", int64(1)); err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return int64(0), nil
+		}
+		return ctx.Call("A", "down", n-1)
+	})
+
+	const depth = 12
+	if _, err := en.Run("T", func(ctx *engine.Ctx) (core.Value, error) {
+		return ctx.Call("A", "down", int64(depth))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h := en.History()
+	if err := h.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+	total := h.FinalStates["A"]["n"].(int64) + h.FinalStates["B"]["n"].(int64)
+	if total != depth+1 {
+		t.Fatalf("adds = %d, want %d", total, depth+1)
+	}
+	// Deepest execution has level depth+1.
+	deepest := 0
+	for _, e := range h.AllExecs() {
+		if e.ID.Level() > deepest {
+			deepest = e.ID.Level()
+		}
+	}
+	if deepest != depth+1 {
+		t.Fatalf("deepest level = %d, want %d", deepest, depth+1)
+	}
+}
+
+// TestParallelSiblingConflictOrdered: a method fans out two parallel
+// children that conflict at one object; Theorem 5(b)'s ->e stays acyclic
+// because the conflicts at a single scope order the siblings one way.
+func TestParallelSiblingConflictOrdered(t *testing.T) {
+	sched := NewN2PL(lock.OpGranularity, 5*time.Second)
+	en := NewEngine(sched, engine.Options{})
+	en.AddObject("A", objects.Counter(), nil)
+	en.Register("A", "addGet", func(ctx *engine.Ctx) (core.Value, error) {
+		if _, err := ctx.Do("A", "Add", int64(1)); err != nil {
+			return nil, err
+		}
+		return ctx.Do("A", "Get")
+	})
+	_, err := en.Run("T", func(ctx *engine.Ctx) (core.Value, error) {
+		return nil, ctx.Parallel(
+			func(c *engine.Ctx) error { _, e := c.Call("A", "addGet"); return e },
+			func(c *engine.Ctx) error { _, e := c.Call("A", "addGet"); return e },
+		)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := en.History()
+	if err := h.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.CheckTheorem5(h); err != nil {
+		t.Fatalf("theorem 5: %v", err)
+	}
+	if v := graph.Check(h); !v.Serialisable {
+		t.Fatalf("verdict: %v", v)
+	}
+}

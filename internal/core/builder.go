@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Builder constructs histories by hand for tests and for the offline
+// experiment generators (experiment E1/E2 generate random histories without
+// running the engine). Steps receive consecutive ticks in call order, so the
+// interleaving the test writes down is the temporal order < the history
+// records. Return values are computed by actually applying operations to
+// live object states, so built histories satisfy condition 3 by
+// construction; ForceLocal lets a test record a wrong return value to
+// exercise the legality checker.
+type Builder struct {
+	h      *History
+	states map[string]State
+	clock  Tick
+	open   map[string]*MessageStep // exec key -> its creating message (awaiting Return)
+	nTop   int32
+	nChild map[string]int32
+	lanes  map[string]int
+	undo   map[string][]func() // exec key -> undo closures in apply order
+	err    error
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		h:      NewHistory(),
+		states: make(map[string]State),
+		open:   make(map[string]*MessageStep),
+		nChild: make(map[string]int32),
+		lanes:  make(map[string]int),
+		undo:   make(map[string][]func()),
+	}
+}
+
+func (b *Builder) tick() Tick { b.clock++; return b.clock }
+
+func (b *Builder) fail(format string, args ...interface{}) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Err returns the first construction error, if any.
+func (b *Builder) Err() error { return b.err }
+
+// Object registers an object with its schema and initial state.
+func (b *Builder) Object(name string, sc *Schema, initial State) *Builder {
+	b.h.AddObject(name, sc, initial)
+	b.states[name] = sc.Clone(initial)
+	return b
+}
+
+// Top starts a new top-level transaction (a method of the environment) and
+// returns its ID.
+func (b *Builder) Top(method string) ExecID {
+	id := RootID(b.nTop)
+	b.nTop++
+	b.h.Execs[id.Key()] = &MethodExec{ID: id, Object: EnvironmentObject, Method: method}
+	b.h.Roots = append(b.h.Roots, id)
+	return id
+}
+
+// Call records a message step of parent invoking object.method and returns
+// the created child execution's ID. The message interval stays open until
+// Return or AbortExec.
+func (b *Builder) Call(parent ExecID, object, method string) ExecID {
+	pe := b.h.Exec(parent)
+	if pe == nil {
+		b.fail("builder: Call from unknown exec %s", parent)
+		return nil
+	}
+	k := b.nChild[parent.Key()]
+	b.nChild[parent.Key()]++
+	child := parent.Child(k)
+	b.h.Execs[child.Key()] = &MethodExec{ID: child, Object: object, Method: method}
+	pe.Children = append(pe.Children, child)
+	m := &MessageStep{
+		Exec:   parent,
+		Child:  child,
+		Object: object,
+		Method: method,
+		Start:  b.tick(),
+		Lane:   b.lanes[parent.Key()],
+	}
+	b.h.Messages[parent.Key()] = append(b.h.Messages[parent.Key()], m)
+	b.open[child.Key()] = m
+	return child
+}
+
+// Local records a local step of exec on object: the operation is applied to
+// the builder's live state and the observed return value recorded.
+func (b *Builder) Local(exec ExecID, object, op string, args ...Value) Value {
+	sc := b.h.Schemas[object]
+	if sc == nil {
+		b.fail("builder: local step on unknown object %s", object)
+		return nil
+	}
+	o, err := sc.Op(op)
+	if err != nil {
+		b.fail("builder: %v", err)
+		return nil
+	}
+	ret, undo, err := o.Apply(b.states[object], args)
+	if err != nil {
+		b.fail("builder: applying %s(%s) on %s: %v", op, FormatValue(args), object, err)
+		return nil
+	}
+	if undo != nil {
+		st := b.states[object]
+		b.undo[exec.Key()] = append(b.undo[exec.Key()], func() { undo(st) })
+	}
+	b.record(exec, object, StepInfo{Op: op, Args: args, Ret: ret})
+	return ret
+}
+
+// ForceLocal records a local step with an explicit (possibly wrong) return
+// value without touching the live state — for tests that need an illegal
+// history.
+func (b *Builder) ForceLocal(exec ExecID, object, op string, ret Value, args ...Value) {
+	b.record(exec, object, StepInfo{Op: op, Args: args, Ret: ret})
+}
+
+func (b *Builder) record(exec ExecID, object string, info StepInfo) {
+	if b.h.Exec(exec) == nil {
+		b.fail("builder: local step from unknown exec %s", exec)
+		return
+	}
+	st := &Step{
+		Exec:   exec,
+		Object: object,
+		Info:   info,
+		At:     b.tick(),
+		ObjSeq: len(b.h.Steps[object]),
+		Lane:   b.lanes[exec.Key()],
+	}
+	b.h.Steps[object] = append(b.h.Steps[object], st)
+	b.h.LocalSteps[exec.Key()] = append(b.h.LocalSteps[exec.Key()], st)
+}
+
+// Return closes the message interval of a child execution, recording the
+// value its parent observed.
+func (b *Builder) Return(exec ExecID, ret Value) {
+	m := b.open[exec.Key()]
+	if m == nil {
+		b.fail("builder: Return for exec %s with no open message", exec)
+		return
+	}
+	m.Ret = ret
+	m.End = b.tick()
+	delete(b.open, exec.Key())
+}
+
+// AbortExec marks the execution and all its descendants aborted, undoes
+// their applied effects on the builder's live states (abort semantics (a)),
+// and closes the execution's message interval (the abortion is "reported to
+// the parent ... just like a normal termination condition would").
+func (b *Builder) AbortExec(exec ExecID) {
+	var mark func(id ExecID)
+	mark = func(id ExecID) {
+		e := b.h.Exec(id)
+		if e == nil {
+			return
+		}
+		e.Aborted = true
+		for _, c := range e.Children {
+			mark(c)
+		}
+		undos := b.undo[id.Key()]
+		for i := len(undos) - 1; i >= 0; i-- {
+			undos[i]()
+		}
+		b.undo[id.Key()] = nil
+	}
+	mark(exec)
+	if m := b.open[exec.Key()]; m != nil {
+		m.ChildAborted = true
+		m.End = b.tick()
+		delete(b.open, exec.Key())
+	}
+}
+
+// Finish closes any open messages (in reverse creation order so intervals
+// nest), records final states, and returns the history.
+func (b *Builder) Finish() (*History, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	// Close remaining open messages deepest-first.
+	for len(b.open) > 0 {
+		var deepest *MessageStep
+		for _, m := range b.open {
+			if deepest == nil || len(m.Child) > len(deepest.Child) {
+				deepest = m
+			}
+		}
+		deepest.End = b.tick()
+		delete(b.open, deepest.Child.Key())
+	}
+	b.h.FinalStates = make(map[string]State, len(b.states))
+	for name, s := range b.states {
+		b.h.FinalStates[name] = b.h.Schemas[name].Clone(s)
+	}
+	return b.h, nil
+}
+
+// MustFinish is Finish that panics on construction errors (test helper).
+func (b *Builder) MustFinish() *History {
+	h, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return h
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRWTableScoping(t *testing.T) {
+	rel := RWTable([]string{"Read"}, []string{"Write"}, nil)
+	rx := OpInvocation{Op: "Read", Args: []Value{"x"}}
+	ry := OpInvocation{Op: "Read", Args: []Value{"y"}}
+	wx := OpInvocation{Op: "Write", Args: []Value{"x", int64(1)}}
+	wy := OpInvocation{Op: "Write", Args: []Value{"y", int64(2)}}
+
+	cases := []struct {
+		a, b OpInvocation
+		want bool
+	}{
+		{rx, rx, false}, // reads commute
+		{rx, ry, false},
+		{rx, wx, true},
+		{wx, rx, true},
+		{wx, wx, true},
+		{rx, wy, false}, // different variables
+		{wx, wy, false},
+	}
+	for _, c := range cases {
+		if got := rel.OpConflicts(c.a, c.b); got != c.want {
+			t.Errorf("OpConflicts(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTableConflictRefine(t *testing.T) {
+	// A toy step-granularity refinement: "Put" and "Take" conflict only
+	// when the Take returned the value the Put inserted (the paper's
+	// Enqueue/Dequeue observation in Section 5.1).
+	rel := &TableConflict{
+		Pairs: SymmetricPairs([2]string{"Put", "Take"}),
+		Key:   SingleKey,
+		Refine: func(a, b StepInfo) bool {
+			var put, take StepInfo
+			switch {
+			case a.Op == "Put" && b.Op == "Take":
+				put, take = a, b
+			case a.Op == "Take" && b.Op == "Put":
+				put, take = b, a
+			default:
+				return true
+			}
+			return ValueEqual(take.Ret, put.Args[0])
+		},
+	}
+	put5 := StepInfo{Op: "Put", Args: []Value{int64(5)}}
+	takeGot5 := StepInfo{Op: "Take", Ret: int64(5)}
+	takeGot9 := StepInfo{Op: "Take", Ret: int64(9)}
+
+	if !rel.OpConflicts(put5.Invocation(), takeGot5.Invocation()) {
+		t.Errorf("operation granularity must be conservative: Put/Take conflict")
+	}
+	if !rel.StepConflicts(put5, takeGot5) {
+		t.Errorf("Take returning the Put's item must conflict")
+	}
+	if rel.StepConflicts(put5, takeGot9) {
+		t.Errorf("Take returning another item must not conflict at step granularity")
+	}
+}
+
+func TestTotalConflict(t *testing.T) {
+	rel := TotalConflict{}
+	a := OpInvocation{Op: "anything"}
+	if !rel.OpConflicts(a, a) || !rel.StepConflicts(StepInfo{}, StepInfo{}) {
+		t.Errorf("TotalConflict must conflict everything")
+	}
+}
+
+// Property: the declared register conflict relation is sound per
+// Definition 3 — VerifyConflictSoundness finds no violation on random
+// states and invocations.
+func TestRegisterConflictSoundness(t *testing.T) {
+	sc := testRegisterSchema()
+	vars := []string{"x", "y", "z"}
+	r := rand.New(rand.NewSource(11))
+	randInv := func() OpInvocation {
+		v := vars[r.Intn(len(vars))]
+		if r.Intn(2) == 0 {
+			return OpInvocation{Op: "Read", Args: []Value{v}}
+		}
+		return OpInvocation{Op: "Write", Args: []Value{v, int64(r.Intn(100))}}
+	}
+	f := func() bool {
+		s := State{}
+		for _, v := range vars {
+			if r.Intn(2) == 0 {
+				s[v] = int64(r.Intn(100))
+			}
+		}
+		a, b := randInv(), randInv()
+		if err := VerifyConflictSoundness(sc, s, a, b); err != nil {
+			t.Logf("%v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: counter Incs commute, Inc/Get conflict — and the declaration is
+// sound.
+func TestCounterConflictSoundness(t *testing.T) {
+	sc := testCounterSchema()
+	r := rand.New(rand.NewSource(13))
+	ops := []string{"Inc", "Get"}
+	f := func() bool {
+		s := State{"n": int64(r.Intn(50))}
+		a := OpInvocation{Op: ops[r.Intn(2)]}
+		b := OpInvocation{Op: ops[r.Intn(2)]}
+		if err := VerifyConflictSoundness(sc, s, a, b); err != nil {
+			t.Logf("%v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	if sc.Conflicts.OpConflicts(OpInvocation{Op: "Inc"}, OpInvocation{Op: "Inc"}) {
+		t.Errorf("Incs must commute")
+	}
+	if !sc.Conflicts.OpConflicts(OpInvocation{Op: "Inc"}, OpInvocation{Op: "Get"}) {
+		t.Errorf("Inc/Get must conflict")
+	}
+}
+
+// VerifyConflictSoundness must catch an unsound declaration: a relation
+// claiming Write/Write commute is wrong (second write's effect differs).
+func TestVerifySoundnessCatchesBadRelation(t *testing.T) {
+	sc := testRegisterSchema()
+	sc.Conflicts = &TableConflict{Pairs: map[[2]string]bool{}} // nothing conflicts: unsound
+	s := State{"x": int64(0)}
+	w1 := OpInvocation{Op: "Write", Args: []Value{"x", int64(1)}}
+	w2 := OpInvocation{Op: "Write", Args: []Value{"x", int64(2)}}
+	if err := VerifyConflictSoundness(sc, s, w1, w2); err == nil {
+		t.Fatalf("expected soundness violation for commuting-writes declaration")
+	}
+	// Read/Write also unsound: the read's return value changes.
+	rx := OpInvocation{Op: "Read", Args: []Value{"x"}}
+	if err := VerifyConflictSoundness(sc, s, rx, w1); err == nil {
+		t.Fatalf("expected soundness violation for commuting read/write declaration")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{int64(1), int64(1), true},
+		{int64(1), int64(2), false},
+		{"a", "a", true},
+		{nil, nil, true},
+		{nil, int64(0), false},
+		{[]Value{int64(1), "x"}, []Value{int64(1), "x"}, true},
+		{[]Value{int64(1)}, []Value{int64(1), int64(2)}, false},
+		{[]Value{[]Value{int64(1)}}, []Value{[]Value{int64(1)}}, true},
+		{[]Value{int64(1)}, int64(1), false},
+	}
+	for _, c := range cases {
+		if got := ValueEqual(c.a, c.b); got != c.want {
+			t.Errorf("ValueEqual(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStateCloneEqual(t *testing.T) {
+	s := State{"x": int64(1), "lst": []Value{int64(1), int64(2)}}
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatalf("clone not equal: %s vs %s", s, c)
+	}
+	c["x"] = int64(9)
+	if s.Equal(c) {
+		t.Fatalf("clone aliases original scalar")
+	}
+	c2 := s.Clone()
+	c2["lst"].([]Value)[0] = int64(99)
+	if s["lst"].([]Value)[0] != int64(1) {
+		t.Fatalf("clone aliases nested slice")
+	}
+	if s.Equal(State{"x": int64(1)}) {
+		t.Fatalf("states with different domains must differ")
+	}
+}

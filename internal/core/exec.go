@@ -1,0 +1,172 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+)
+
+// EnvironmentObject is the name of the distinguished "environment" object
+// (Definition 1). Top-level method executions — the users' transactions —
+// are methods of this fictitious object; they are the executions with no
+// parent (Definition 6, condition 1).
+const EnvironmentObject = "environment"
+
+// ExecID identifies a method execution by its path in the invocation forest:
+// the i-th top-level transaction has ID [i], and the k-th message sent by an
+// execution with ID p creates the child execution append(p, k).
+//
+// This single mechanism serves three of the paper's constructs at once:
+//
+//   - the forest structure induced by B (Definition 5): parenthood is "drop
+//     the last component" and ancestry is the prefix relation;
+//   - rule 2 of N2PL (Section 5.1), which must decide whether a lock holder
+//     is an ancestor of the requester;
+//   - Reed's hierarchical timestamps (Section 5.2): hts(e) is exactly the
+//     path, ordered lexicographically (see internal/hts), because children
+//     receive consecutive counter values in message order.
+type ExecID []int32
+
+// RootID returns the ID of the n-th top-level transaction.
+func RootID(n int32) ExecID { return ExecID{n} }
+
+// Child returns the ID of this execution's k-th child.
+func (id ExecID) Child(k int32) ExecID {
+	out := make(ExecID, len(id)+1)
+	copy(out, id)
+	out[len(id)] = k
+	return out
+}
+
+// Parent returns the ID of the parent execution, or nil for a top-level
+// execution.
+func (id ExecID) Parent() ExecID {
+	if len(id) <= 1 {
+		return nil
+	}
+	return id[:len(id)-1]
+}
+
+// Level is the number of proper ancestors: 0 for top-level executions,
+// matching the level notion used in the proof of Theorem 2.
+func (id ExecID) Level() int { return len(id) - 1 }
+
+// Top returns the ID of the top-level ancestor.
+func (id ExecID) Top() ExecID {
+	if len(id) == 0 {
+		return nil
+	}
+	return id[:1]
+}
+
+// IsAncestorOf reports whether id is an ancestor of other. Following the
+// paper, every execution is an ancestor of itself.
+func (id ExecID) IsAncestorOf(other ExecID) bool {
+	if len(id) > len(other) {
+		return false
+	}
+	for i, c := range id {
+		if other[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// IsProperAncestorOf reports whether id is an ancestor of other and not
+// other itself.
+func (id ExecID) IsProperAncestorOf(other ExecID) bool {
+	return len(id) < len(other) && id.IsAncestorOf(other)
+}
+
+// Comparable reports whether one of the two executions is an ancestor of
+// the other ("comparable" in the paper's terminology; Definition 5 comment).
+func (id ExecID) Comparable(other ExecID) bool {
+	return id.IsAncestorOf(other) || other.IsAncestorOf(id)
+}
+
+// Equal reports whether the two IDs denote the same execution.
+func (id ExecID) Equal(other ExecID) bool {
+	return len(id) == len(other) && id.IsAncestorOf(other)
+}
+
+// LCA returns the least common ancestor of the two executions and true, or
+// nil and false when none exists (the executions belong to different
+// top-level transactions; in the paper's terms, their only common "ancestor"
+// is the environment, which is not a method execution in E).
+func LCA(a, b ExecID) (ExecID, bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	if i == 0 {
+		return nil, false
+	}
+	return a[:i], true
+}
+
+// String renders the ID as a dotted path, e.g. "3.1.2".
+func (id ExecID) String() string {
+	if len(id) == 0 {
+		return "ε"
+	}
+	parts := make([]string, len(id))
+	for i, c := range id {
+		parts[i] = strconv.FormatInt(int64(c), 10)
+	}
+	return strings.Join(parts, ".")
+}
+
+// Key returns a map-key form of the ID.
+func (id ExecID) Key() string { return id.String() }
+
+// Compare orders two IDs lexicographically with prefix-precedes-extension,
+// which is exactly the total order on hierarchical timestamps in Section
+// 5.2. It returns -1, 0 or +1.
+func (id ExecID) Compare(other ExecID) int {
+	n := len(id)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		if id[i] != other[i] {
+			if id[i] < other[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(id) < len(other):
+		return -1
+	case len(id) > len(other):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// MethodExec is the record of one method execution (Definition 4) within a
+// history: the object and method it belongs to, its position in the
+// invocation forest, and its termination status. The execution's steps are
+// stored in the History, keyed by this record's ID.
+type MethodExec struct {
+	ID     ExecID
+	Object string // object the method belongs to; EnvironmentObject for top-level
+	Method string
+	// Aborted records that the execution terminated with the Abort
+	// operation (Section 3, "Transaction Failures"). Abort semantics (b)
+	// requires descendants of an aborted execution to be aborted as well;
+	// History.CheckAbortClosure verifies it.
+	Aborted bool
+	// Children lists child executions in message order. Children[k] was
+	// created by the execution's k-th message step, so B is recoverable
+	// from the tree structure.
+	Children []ExecID
+}
+
+// IsTopLevel reports whether the execution has no parent.
+func (m *MethodExec) IsTopLevel() bool { return len(m.ID) == 1 }

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExecIDFamily(t *testing.T) {
+	root := RootID(3)
+	if got := root.String(); got != "3" {
+		t.Errorf("root.String() = %q, want 3", got)
+	}
+	c := root.Child(1)
+	gc := c.Child(2)
+	if gc.String() != "3.1.2" {
+		t.Errorf("gc = %s, want 3.1.2", gc)
+	}
+	if !root.IsAncestorOf(gc) || !root.IsProperAncestorOf(gc) {
+		t.Errorf("root should be proper ancestor of %s", gc)
+	}
+	if !gc.IsAncestorOf(gc) {
+		t.Errorf("every exec is an ancestor of itself")
+	}
+	if gc.IsProperAncestorOf(gc) {
+		t.Errorf("no exec is a proper ancestor of itself")
+	}
+	if gc.IsAncestorOf(root) {
+		t.Errorf("descendant is not an ancestor")
+	}
+	if p := gc.Parent(); !p.Equal(c) {
+		t.Errorf("Parent(%s) = %s, want %s", gc, p, c)
+	}
+	if p := root.Parent(); p != nil {
+		t.Errorf("Parent(root) = %v, want nil", p)
+	}
+	if root.Level() != 0 || gc.Level() != 2 {
+		t.Errorf("levels: root=%d gc=%d", root.Level(), gc.Level())
+	}
+	if top := gc.Top(); !top.Equal(root) {
+		t.Errorf("Top(%s) = %s", gc, top)
+	}
+}
+
+func TestExecIDComparable(t *testing.T) {
+	a := RootID(0).Child(1)
+	b := RootID(0).Child(2)
+	if a.Comparable(b) {
+		t.Errorf("siblings %s,%s must be incomparable", a, b)
+	}
+	if !a.Comparable(a.Child(0)) {
+		t.Errorf("parent/child must be comparable")
+	}
+	if RootID(0).Comparable(RootID(1)) {
+		t.Errorf("distinct roots incomparable")
+	}
+}
+
+func TestLCA(t *testing.T) {
+	r := RootID(5)
+	a := r.Child(0).Child(1)
+	b := r.Child(0).Child(2)
+	c := r.Child(3)
+	if l, ok := LCA(a, b); !ok || !l.Equal(r.Child(0)) {
+		t.Errorf("LCA(%s,%s) = %v,%v", a, b, l, ok)
+	}
+	if l, ok := LCA(a, c); !ok || !l.Equal(r) {
+		t.Errorf("LCA(%s,%s) = %v,%v", a, c, l, ok)
+	}
+	if _, ok := LCA(RootID(0), RootID(1)); ok {
+		t.Errorf("LCA across roots must not exist")
+	}
+	// lca of an execution and its descendant is the execution itself.
+	if l, ok := LCA(r, a); !ok || !l.Equal(r) {
+		t.Errorf("LCA(anc,desc) = %v,%v", l, ok)
+	}
+}
+
+func TestExecIDCompareLexicographic(t *testing.T) {
+	cases := []struct {
+		a, b ExecID
+		want int
+	}{
+		{ExecID{1}, ExecID{2}, -1},
+		{ExecID{2}, ExecID{1}, 1},
+		{ExecID{1}, ExecID{1}, 0},
+		{ExecID{1}, ExecID{1, 0}, -1}, // prefix precedes extension
+		{ExecID{1, 5}, ExecID{1, 0, 9}, 1},
+		{ExecID{1, 0, 9}, ExecID{1, 5}, -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%s,%s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func randomExecID(r *rand.Rand) ExecID {
+	depth := 1 + r.Intn(4)
+	id := make(ExecID, depth)
+	for i := range id {
+		id[i] = int32(r.Intn(4))
+	}
+	return id
+}
+
+// Property: Compare is a strict total order consistent with ancestry (an
+// ancestor precedes its proper descendants) — the property rule 2 of NTO
+// relies on.
+func TestExecIDCompareProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func() bool {
+		a, b, c := randomExecID(r), randomExecID(r), randomExecID(r)
+		// Antisymmetry.
+		if a.Compare(b) != -b.Compare(a) {
+			return false
+		}
+		// Transitivity.
+		if a.Compare(b) < 0 && b.Compare(c) < 0 && a.Compare(c) >= 0 {
+			return false
+		}
+		// Reflexivity of equality.
+		if a.Compare(a) != 0 {
+			return false
+		}
+		// Ancestor precedes descendant.
+		if a.IsProperAncestorOf(b) && a.Compare(b) >= 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LCA really is the least common ancestor.
+func TestLCAProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		a, b := randomExecID(r), randomExecID(r)
+		l, ok := LCA(a, b)
+		if !ok {
+			return a[0] != b[0]
+		}
+		if !l.IsAncestorOf(a) || !l.IsAncestorOf(b) {
+			return false
+		}
+		// No proper descendant of l is a common ancestor: the child of l
+		// toward a differs from the child toward b unless one path ended.
+		if len(l) < len(a) && len(l) < len(b) {
+			return a[len(l)] != b[len(l)]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

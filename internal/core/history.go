@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// History is the executable form of Definition 5: h = (E, <, B, S).
+//
+//   - E is Execs;
+//   - < is recorded by ticks (see Tick) together with the per-object
+//     linearisations in Steps;
+//   - B is recorded structurally: MessageStep.Child, consistent with the
+//     ExecID path scheme;
+//   - S is InitialStates.
+//
+// Histories are produced two ways: recorded by the runtime engine during a
+// concurrent run, or hand-built through Builder in tests. Both flow through
+// the same legality checks and the same serialisability oracle.
+type History struct {
+	// Execs maps ExecID.Key() to the execution record. It contains every
+	// method execution of the history, including aborted ones.
+	Execs map[string]*MethodExec
+	// Roots lists top-level executions in start order.
+	Roots []ExecID
+	// Schemas maps object name to its schema. The environment object has
+	// no schema and no local steps.
+	Schemas map[string]*Schema
+	// InitialStates is S: one initial state per (non-environment) object.
+	InitialStates map[string]State
+	// FinalStates records the states observed after the run; for
+	// hand-built histories it may be nil, in which case legality replay
+	// derives it.
+	FinalStates map[string]State
+	// Steps holds each object's local steps in the recorded linearisation
+	// (ObjSeq order).
+	Steps map[string][]*Step
+	// Messages holds each execution's message steps in message order
+	// (index k created child Child(k)).
+	Messages map[string][]*MessageStep
+	// LocalSteps holds each execution's local steps in issue order.
+	LocalSteps map[string][]*Step
+}
+
+// NewHistory returns an empty history over the given objects.
+func NewHistory() *History {
+	return &History{
+		Execs:         make(map[string]*MethodExec),
+		Schemas:       make(map[string]*Schema),
+		InitialStates: make(map[string]State),
+		Steps:         make(map[string][]*Step),
+		Messages:      make(map[string][]*MessageStep),
+		LocalSteps:    make(map[string][]*Step),
+	}
+}
+
+// AddObject registers an object instance with its schema and initial state.
+func (h *History) AddObject(name string, sc *Schema, initial State) {
+	h.Schemas[name] = sc
+	h.InitialStates[name] = initial
+}
+
+// Exec returns the execution record for id, or nil.
+func (h *History) Exec(id ExecID) *MethodExec { return h.Execs[id.Key()] }
+
+// AllExecs returns every execution sorted by ID (deterministic iteration).
+func (h *History) AllExecs() []*MethodExec {
+	out := make([]*MethodExec, 0, len(h.Execs))
+	for _, e := range h.Execs {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Compare(out[j].ID) < 0 })
+	return out
+}
+
+// ObjectNames returns the object names in sorted order.
+func (h *History) ObjectNames() []string {
+	out := make([]string, 0, len(h.Schemas))
+	for n := range h.Schemas {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MessageTo returns the message step of parent that created child, i.e. the
+// t with B(t) = child, along with its index in the parent's message order.
+func (h *History) MessageTo(child ExecID) (*MessageStep, int, error) {
+	parent := child.Parent()
+	if parent == nil {
+		return nil, -1, fmt.Errorf("core: %s is top-level, no creating message", child)
+	}
+	k := int(child[len(child)-1])
+	msgs := h.Messages[parent.Key()]
+	if k < 0 || k >= len(msgs) {
+		return nil, -1, fmt.Errorf("core: no message %d recorded for %s", k, parent)
+	}
+	m := msgs[k]
+	if !m.Child.Equal(child) {
+		return nil, -1, fmt.Errorf("core: message %d of %s created %s, not %s", k, parent, m.Child, child)
+	}
+	return m, k, nil
+}
+
+// AncestorMessage returns the message step of ancestor anc on the path to
+// descendant exec id — "the ancestor of (the steps of) e in f" used by
+// Definition 9(b). anc must be a proper ancestor of id.
+func (h *History) AncestorMessage(anc, id ExecID) (*MessageStep, error) {
+	if !anc.IsProperAncestorOf(id) {
+		return nil, fmt.Errorf("core: %s is not a proper ancestor of %s", anc, id)
+	}
+	childOnPath := id[:len(anc)+1]
+	m, _, err := h.MessageTo(childOnPath)
+	return m, err
+}
+
+// ProgramOrdered reports whether, within one execution, event interval
+// (s1,e1) precedes (s2,e2) in the method's partial order as witnessed by
+// the record: same lane implies programme order by tick; across lanes, only
+// completed-before-started counts (a lane is ordered after the event that
+// spawned it because the engine stamps the spawn before the lane's first
+// step).
+func ProgramOrdered(end1, start2 Tick) bool { return end1 < start2 }
+
+// Aborted reports whether the execution with the given ID is recorded as
+// aborted.
+func (h *History) Aborted(id ExecID) bool {
+	e := h.Exec(id)
+	return e != nil && e.Aborted
+}
+
+// EffectiveSteps returns the object's recorded steps with those belonging to
+// aborted executions filtered out — the subsequence u of abort semantics (a)
+// in Section 3.
+func (h *History) EffectiveSteps(object string) []*Step {
+	steps := h.Steps[object]
+	out := make([]*Step, 0, len(steps))
+	for _, s := range steps {
+		if !h.Aborted(s.Exec) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// CommittedTopLevel returns the IDs of non-aborted top-level executions in
+// start order.
+func (h *History) CommittedTopLevel() []ExecID {
+	out := make([]ExecID, 0, len(h.Roots))
+	for _, r := range h.Roots {
+		if !h.Aborted(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// StepCount returns the total number of local steps recorded.
+func (h *History) StepCount() int {
+	n := 0
+	for _, ss := range h.Steps {
+		n += len(ss)
+	}
+	return n
+}
+
+// Conflicts reports whether step a conflicts with step b under the schema of
+// their (shared) object, at step granularity. The caller guarantees a and b
+// are steps of the same object.
+func (h *History) Conflicts(a, b *Step) bool {
+	sc := h.Schemas[a.Object]
+	if sc == nil {
+		return true
+	}
+	return sc.Conflicts.StepConflicts(a.Info, b.Info)
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+)
+
+// CheckLegal verifies the legality conditions of Definition 6 on the
+// recorded history and additionally the abort-semantics conditions of
+// Section 3. It returns the first violation found, or nil.
+//
+// Condition mapping:
+//
+//  1. B is 1-1, no execution is its own proper ancestor, top-level
+//     executions belong to the environment. The ExecID path scheme makes B
+//     1-1 and ancestry acyclic by construction; checkForest verifies the
+//     record is internally consistent (every child has its creating
+//     message, parents exist, top-level executions are environment
+//     methods).
+//
+//  2. (a) programme order is respected — guaranteed by construction since
+//     ticks are drawn from a monotone clock as the method runs;
+//     (b) conflicting local steps are ordered — holds because each object
+//     records a total linearisation of its steps;
+//     (c) descendants of ordered steps are ordered — checkNesting verifies
+//     every execution's events fall inside its creating message's interval.
+//
+//  3. The recorded linearisation of each object's local steps is legal on
+//     the object's initial state — checkReplay re-executes every operation
+//     and compares return values (this is Theorem 1's well-definedness made
+//     operational).
+//
+// Abort semantics:
+//
+//	(a) the non-aborted subsequence is legal and yields the recorded final
+//	    state — checkAbortEffects;
+//	(b) descendants of aborted executions are aborted — CheckAbortClosure.
+func (h *History) CheckLegal() error {
+	if err := h.checkForest(); err != nil {
+		return err
+	}
+	if err := h.checkNesting(); err != nil {
+		return err
+	}
+	if err := h.checkReplay(); err != nil {
+		return err
+	}
+	if err := h.CheckAbortClosure(); err != nil {
+		return err
+	}
+	return h.checkAbortEffects()
+}
+
+func (h *History) checkForest() error {
+	for key, e := range h.Execs {
+		if e.ID.Key() != key {
+			return fmt.Errorf("core: exec %s stored under key %q", e.ID, key)
+		}
+		if e.IsTopLevel() {
+			if e.Object != EnvironmentObject {
+				return fmt.Errorf("core: top-level exec %s belongs to object %q, not the environment (Def 6 cond 1)", e.ID, e.Object)
+			}
+			continue
+		}
+		parent := h.Exec(e.ID.Parent())
+		if parent == nil {
+			return fmt.Errorf("core: exec %s has no recorded parent", e.ID)
+		}
+		if _, _, err := h.MessageTo(e.ID); err != nil {
+			return fmt.Errorf("core: B is not total onto %s: %v", e.ID, err)
+		}
+	}
+	// B is a function into E: every message's child must be recorded, and
+	// distinct messages create distinct children (1-1) — structural with
+	// path IDs, but verify the record.
+	seen := make(map[string]string)
+	for pk, msgs := range h.Messages {
+		for k, m := range msgs {
+			if h.Exec(m.Child) == nil {
+				return fmt.Errorf("core: message %d of %s names unknown child %s", k, pk, m.Child)
+			}
+			if prev, dup := seen[m.Child.Key()]; dup {
+				return fmt.Errorf("core: B not 1-1: child %s created by both %s and %s.#%d", m.Child, prev, pk, k)
+			}
+			seen[m.Child.Key()] = fmt.Sprintf("%s.#%d", pk, k)
+			if !m.Exec.IsProperAncestorOf(m.Child) {
+				return fmt.Errorf("core: message of %s creates non-descendant %s", m.Exec, m.Child)
+			}
+		}
+	}
+	return nil
+}
+
+// eventInterval returns the tick span covering all of the execution's own
+// events (not descendants').
+func (h *History) eventInterval(id ExecID) (Tick, Tick, bool) {
+	var lo, hi Tick
+	found := false
+	upd := func(s, e Tick) {
+		if !found || s < lo {
+			lo = s
+		}
+		if !found || e > hi {
+			hi = e
+		}
+		found = true
+	}
+	for _, s := range h.LocalSteps[id.Key()] {
+		upd(s.At, s.At)
+	}
+	for _, m := range h.Messages[id.Key()] {
+		upd(m.Start, m.End)
+	}
+	return lo, hi, found
+}
+
+func (h *History) checkNesting() error {
+	for _, e := range h.AllExecs() {
+		if e.IsTopLevel() {
+			continue
+		}
+		m, _, err := h.MessageTo(e.ID)
+		if err != nil {
+			return err
+		}
+		lo, hi, found := h.eventInterval(e.ID)
+		if !found {
+			continue
+		}
+		if lo < m.Start || hi > m.End {
+			return fmt.Errorf("core: events of %s at ticks [%d,%d] escape creating message interval [%d,%d] (Def 6 cond 2c)",
+				e.ID, lo, hi, m.Start, m.End)
+		}
+	}
+	return nil
+}
+
+// ReplayObject re-executes steps (in the given order) against a copy of
+// initial, verifying each recorded return value (condition 3: the sort is
+// legal on s), and returns the resulting final state.
+func ReplayObject(sc *Schema, initial State, steps []*Step) (State, error) {
+	s := sc.Clone(initial)
+	for i, st := range steps {
+		op, err := sc.Op(st.Info.Op)
+		if err != nil {
+			return nil, err
+		}
+		ret, _, err := op.Apply(s, st.Info.Args)
+		if err != nil {
+			return nil, fmt.Errorf("core: replay step %d %v of %s: %v", i, st.Info, st.Exec, err)
+		}
+		if !ValueEqual(ret, st.Info.Ret) {
+			return nil, fmt.Errorf("core: replay step %d of object: %s issued %s(%s), recorded ru=%s but replay returns %s",
+				i, st.Exec, st.Info.Op, FormatValue(st.Info.Args), FormatValue(st.Info.Ret), FormatValue(ret))
+		}
+	}
+	return s, nil
+}
+
+// checkReplay verifies condition 3 on the effective (non-aborted) steps of
+// each object: abort semantics (a) stipulates that aborted steps have no
+// effect, so the computation the history represents is the non-aborted
+// subsequence; a committed step whose recorded return value depended on a
+// later-aborted step's effect (a dirty read the engine failed to cascade) is
+// reported here as a violation. For abort-free histories this is exactly
+// Definition 6 condition 3.
+func (h *History) checkReplay() error {
+	for _, obj := range h.ObjectNames() {
+		if _, err := ReplayObject(h.Schemas[obj], h.InitialStates[obj], h.EffectiveSteps(obj)); err != nil {
+			return fmt.Errorf("object %s: %w", obj, err)
+		}
+	}
+	return nil
+}
+
+// CheckAbortClosure verifies abort semantics (b): every descendant of an
+// aborted execution is aborted.
+func (h *History) CheckAbortClosure() error {
+	for _, e := range h.AllExecs() {
+		if !e.Aborted {
+			continue
+		}
+		for _, c := range e.Children {
+			ce := h.Exec(c)
+			if ce == nil {
+				return fmt.Errorf("core: aborted exec %s has unrecorded child %s", e.ID, c)
+			}
+			if !ce.Aborted {
+				return fmt.Errorf("core: abort semantics (b) violated: %s aborted but child %s committed", e.ID, c)
+			}
+		}
+	}
+	return nil
+}
+
+// checkAbortEffects verifies abort semantics (a): replaying only the steps
+// of non-aborted executions yields the recorded final state of each object —
+// i.e. aborted executions had no effect.
+func (h *History) checkAbortEffects() error {
+	if h.FinalStates == nil {
+		return nil
+	}
+	for _, obj := range h.ObjectNames() {
+		want, ok := h.FinalStates[obj]
+		if !ok {
+			continue
+		}
+		// Note: effective (non-aborted) steps replay with their recorded
+		// return values only when aborted executions' effects were
+		// invisible to survivors — which is exactly what the engine's
+		// undo + cascading-abort machinery must guarantee.
+		got, err := ReplayObject(h.Schemas[obj], h.InitialStates[obj], h.EffectiveSteps(obj))
+		if err != nil {
+			return fmt.Errorf("core: abort semantics (a) violated at object %s: %v", obj, err)
+		}
+		if !h.Schemas[obj].EqualStates(got, want) {
+			return fmt.Errorf("core: abort semantics (a) violated at object %s: committed-step replay gives %s, recorded final state %s",
+				obj, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildSimpleHistory: two top-level transactions, each calling a method on
+// object A that reads and writes a register, serially interleaved.
+func buildSimpleHistory(t *testing.T) *History {
+	b := NewBuilder()
+	b.Object("A", testRegisterSchema(), State{"x": int64(0)})
+
+	t1 := b.Top("T1")
+	m1 := b.Call(t1, "A", "bump")
+	v := b.Local(m1, "A", "Read", "x")
+	b.Local(m1, "A", "Write", "x", v.(int64)+1)
+	b.Return(m1, nil)
+
+	t2 := b.Top("T2")
+	m2 := b.Call(t2, "A", "bump")
+	v2 := b.Local(m2, "A", "Read", "x")
+	b.Local(m2, "A", "Write", "x", v2.(int64)+1)
+	b.Return(m2, nil)
+
+	h, err := b.Finish()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return h
+}
+
+func TestLegalHistoryPasses(t *testing.T) {
+	h := buildSimpleHistory(t)
+	if err := h.CheckLegal(); err != nil {
+		t.Fatalf("legal history rejected: %v", err)
+	}
+	if got := h.FinalStates["A"]["x"]; got != int64(2) {
+		t.Fatalf("final x = %v, want 2", got)
+	}
+	if h.StepCount() != 4 {
+		t.Fatalf("step count = %d, want 4", h.StepCount())
+	}
+}
+
+func TestIllegalReturnValueCaught(t *testing.T) {
+	b := NewBuilder()
+	b.Object("A", testRegisterSchema(), State{"x": int64(0)})
+	t1 := b.Top("T1")
+	m1 := b.Call(t1, "A", "m")
+	// Record a Read returning 42 although x is 0: condition 3 violated.
+	b.ForceLocal(m1, "A", "Read", int64(42), "x")
+	h, err := b.Finish()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	err = h.CheckLegal()
+	if err == nil || !strings.Contains(err.Error(), "replay") {
+		t.Fatalf("want replay violation, got %v", err)
+	}
+}
+
+func TestTopLevelMustBelongToEnvironment(t *testing.T) {
+	h := buildSimpleHistory(t)
+	// Corrupt: make a top-level execution claim to belong to object A.
+	h.Execs[RootID(0).Key()].Object = "A"
+	if err := h.CheckLegal(); err == nil || !strings.Contains(err.Error(), "environment") {
+		t.Fatalf("want environment violation, got %v", err)
+	}
+}
+
+func TestAbortClosureViolationCaught(t *testing.T) {
+	b := NewBuilder()
+	b.Object("A", testRegisterSchema(), State{"x": int64(0)})
+	t1 := b.Top("T1")
+	m1 := b.Call(t1, "A", "m")
+	b.Local(m1, "A", "Read", "x")
+	b.Return(m1, nil)
+	h, err := b.Finish()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	// Abort the parent but not the child: semantics (b) violated.
+	h.Execs[t1.Key()].Aborted = true
+	if err := h.CheckLegal(); err == nil || !strings.Contains(err.Error(), "abort semantics (b)") {
+		t.Fatalf("want abort closure violation, got %v", err)
+	}
+}
+
+func TestAbortedExecutionHasNoEffect(t *testing.T) {
+	b := NewBuilder()
+	b.Object("A", testRegisterSchema(), State{"x": int64(0)})
+
+	t1 := b.Top("T1")
+	m1 := b.Call(t1, "A", "write")
+	b.Local(m1, "A", "Write", "x", int64(7))
+	// Abort it: builder undoes the write, so x returns to 0.
+	b.AbortExec(m1)
+
+	t2 := b.Top("T2")
+	m2 := b.Call(t2, "A", "read")
+	v := b.Local(m2, "A", "Read", "x")
+	b.Return(m2, v)
+
+	h, err := b.Finish()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if v != int64(0) {
+		t.Fatalf("read after aborted write = %v, want 0", v)
+	}
+	if err := h.CheckLegal(); err != nil {
+		t.Fatalf("history with clean abort rejected: %v", err)
+	}
+	if got := h.FinalStates["A"]["x"]; got != int64(0) {
+		t.Fatalf("final x = %v, want 0 (abort semantics (a))", got)
+	}
+	// The aborted exec's step is excluded from effective steps.
+	if n := len(h.EffectiveSteps("A")); n != 1 {
+		t.Fatalf("effective steps = %d, want 1", n)
+	}
+	// t1 itself committed (only m1 aborted): parent of an aborted child
+	// survives.
+	if h.Aborted(t1) {
+		t.Fatalf("parent must survive child abort")
+	}
+}
+
+func TestDirtyReadCaughtByOracle(t *testing.T) {
+	b := NewBuilder()
+	b.Object("A", testRegisterSchema(), State{"x": int64(0)})
+
+	t1 := b.Top("T1")
+	m1 := b.Call(t1, "A", "write")
+	b.Local(m1, "A", "Write", "x", int64(7))
+	b.Return(m1, nil)
+
+	// T2 reads the dirty 7 and commits.
+	t2 := b.Top("T2")
+	m2 := b.Call(t2, "A", "read")
+	b.Local(m2, "A", "Read", "x") // returns 7
+	b.Return(m2, nil)
+
+	// Now T1 aborts: T2's committed read of 7 is inconsistent.
+	b.AbortExec(t1)
+
+	h, err := b.Finish()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := h.CheckLegal(); err == nil {
+		t.Fatalf("dirty read must be flagged by the oracle")
+	}
+}
+
+func TestMessageToAndAncestorMessage(t *testing.T) {
+	b := NewBuilder()
+	b.Object("A", testRegisterSchema(), State{"x": int64(0)})
+	t1 := b.Top("T1")
+	m1 := b.Call(t1, "A", "outer")
+	inner := b.Call(m1, "A", "inner")
+	b.Local(inner, "A", "Read", "x")
+	b.Return(inner, nil)
+	b.Return(m1, nil)
+	h, err := b.Finish()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+
+	msg, k, err := h.MessageTo(inner)
+	if err != nil || k != 0 || !msg.Child.Equal(inner) {
+		t.Fatalf("MessageTo(inner) = %v,%d,%v", msg, k, err)
+	}
+	am, err := h.AncestorMessage(t1, inner)
+	if err != nil || !am.Child.Equal(m1) {
+		t.Fatalf("AncestorMessage(t1,inner) = %v,%v", am, err)
+	}
+	if _, _, err := h.MessageTo(t1); err == nil {
+		t.Fatalf("top-level exec has no creating message")
+	}
+	if _, err := h.AncestorMessage(inner, t1); err == nil {
+		t.Fatalf("AncestorMessage with non-ancestor must fail")
+	}
+}
+
+func TestNestingIntervals(t *testing.T) {
+	h := buildSimpleHistory(t)
+	if err := h.CheckLegal(); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	// Corrupt: move a child's step outside its creating message interval.
+	m1 := RootID(0).Child(0)
+	h.LocalSteps[m1.Key()][0].At = 10_000
+	if err := h.CheckLegal(); err == nil || !strings.Contains(err.Error(), "escape") {
+		t.Fatalf("want nesting violation, got %v", err)
+	}
+}
+
+func TestReplayObjectDetectsBadSequence(t *testing.T) {
+	sc := testRegisterSchema()
+	steps := []*Step{
+		{Object: "A", Info: StepInfo{Op: "Write", Args: []Value{"x", int64(5)}, Ret: nil}},
+		{Object: "A", Info: StepInfo{Op: "Read", Args: []Value{"x"}, Ret: int64(6)}}, // wrong
+	}
+	if _, err := ReplayObject(sc, State{}, steps); err == nil {
+		t.Fatalf("want return-value mismatch")
+	}
+	steps[1].Info.Ret = int64(5)
+	final, err := ReplayObject(sc, State{}, steps)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if final["x"] != int64(5) {
+		t.Fatalf("final = %v", final)
+	}
+}
+
+func TestHistoryAccessors(t *testing.T) {
+	h := buildSimpleHistory(t)
+	execs := h.AllExecs()
+	if len(execs) != 4 {
+		t.Fatalf("AllExecs = %d, want 4 (2 tops + 2 methods)", len(execs))
+	}
+	for i := 1; i < len(execs); i++ {
+		if execs[i-1].ID.Compare(execs[i].ID) >= 0 {
+			t.Fatalf("AllExecs not sorted")
+		}
+	}
+	if names := h.ObjectNames(); len(names) != 1 || names[0] != "A" {
+		t.Fatalf("ObjectNames = %v", names)
+	}
+	roots := h.CommittedTopLevel()
+	if len(roots) != 2 {
+		t.Fatalf("CommittedTopLevel = %v", roots)
+	}
+}
+
+func TestBuilderErrorPaths(t *testing.T) {
+	b := NewBuilder()
+	b.Object("A", testRegisterSchema(), State{})
+	b.Local(ExecID{9}, "A", "Read", "x") // unknown exec
+	if _, err := b.Finish(); err == nil {
+		t.Fatalf("want builder error for unknown exec")
+	}
+
+	b2 := NewBuilder()
+	t1 := b2.Top("T1")
+	b2.Local(t1, "nosuch", "Read", "x")
+	if _, err := b2.Finish(); err == nil {
+		t.Fatalf("want builder error for unknown object")
+	}
+
+	b3 := NewBuilder()
+	b3.Object("A", testRegisterSchema(), State{})
+	t3 := b3.Top("T1")
+	b3.Return(t3, nil) // no open message
+	if _, err := b3.Finish(); err == nil {
+		t.Fatalf("want builder error for Return without Call")
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{nil, "nil"},
+		{int64(5), "5"},
+		{"abc", `"abc"`},
+		{true, "true"},
+		{[]Value{int64(1), "x", nil}, `[1 "x" nil]`},
+	}
+	for _, c := range cases {
+		if got := FormatValue(c.v); got != c.want {
+			t.Errorf("FormatValue(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	inv := OpInvocation{Op: "Write", Args: []Value{"x", int64(3)}}
+	if got := inv.String(); !strings.Contains(got, "Write") || !strings.Contains(got, "3") {
+		t.Errorf("inv.String() = %q", got)
+	}
+	st := StepInfo{Op: "Read", Args: []Value{"x"}, Ret: int64(7)}
+	if got := st.String(); !strings.Contains(got, "Read") || !strings.Contains(got, "=7") {
+		t.Errorf("step.String() = %q", got)
+	}
+	step := &Step{Exec: RootID(1), Object: "A", Info: st, ObjSeq: 4}
+	if got := step.String(); !strings.Contains(got, "A") || !strings.Contains(got, "#4") {
+		t.Errorf("Step.String() = %q", got)
+	}
+	m := &MessageStep{Exec: RootID(0), Child: RootID(0).Child(1), Object: "B", Method: "m", ChildAborted: true}
+	if got := m.String(); !strings.Contains(got, "abort") || !strings.Contains(got, "B.m") {
+		t.Errorf("MessageStep.String() = %q", got)
+	}
+	if got := (ExecID{}).String(); got != "ε" {
+		t.Errorf("empty ExecID = %q", got)
+	}
+	s := State{"b": int64(2), "a": int64(1)}
+	if got := s.String(); got != "{a=1, b=2}" {
+		t.Errorf("State.String() = %q (must be sorted)", got)
+	}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	sc := testRegisterSchema()
+	names := sc.OpNames()
+	if len(names) != 2 || names[0] != "Read" || names[1] != "Write" {
+		t.Fatalf("OpNames = %v", names)
+	}
+	if _, err := sc.Op("nope"); err == nil {
+		t.Fatalf("unknown op must error")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("MustOp on unknown op must panic")
+			}
+		}()
+		sc.MustOp("nope")
+	}()
+	// NewSchema rejects duplicate operation names.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("duplicate op must panic")
+			}
+		}()
+		op := &Operation{Name: "X", Apply: func(s State, a []Value) (Value, UndoFunc, error) { return nil, nil, nil }}
+		NewSchema("dup", func() State { return State{} }, nil, op, op)
+	}()
+	// Nil relation defaults to TotalConflict.
+	op := &Operation{Name: "X", Apply: func(s State, a []Value) (Value, UndoFunc, error) { return nil, nil, nil }}
+	sc2 := NewSchema("d", func() State { return State{} }, nil, op)
+	if _, ok := sc2.Conflicts.(TotalConflict); !ok {
+		t.Fatalf("default relation must be TotalConflict")
+	}
+}
+
+func TestScopeOf(t *testing.T) {
+	rel := RWTable([]string{"Read"}, []string{"Write"}, nil)
+	a := ScopeOf("obj", rel, OpInvocation{Op: "Read", Args: []Value{"x"}})
+	b := ScopeOf("obj", rel, OpInvocation{Op: "Write", Args: []Value{"x", int64(1)}})
+	c := ScopeOf("obj", rel, OpInvocation{Op: "Read", Args: []Value{"y"}})
+	if a != b {
+		t.Errorf("same variable must share a scope: %q vs %q", a, b)
+	}
+	if a == c {
+		t.Errorf("different variables must differ: %q", a)
+	}
+	// Non-sharding relations scope per object.
+	d := ScopeOf("obj", TotalConflict{}, OpInvocation{Op: "Read"})
+	e := ScopeOf("obj", TotalConflict{}, OpInvocation{Op: "Write"})
+	if d != e || d != "obj" {
+		t.Errorf("non-sharder scope: %q, %q", d, e)
+	}
+}
+
+func TestBuilderMustFinishPanics(t *testing.T) {
+	b := NewBuilder()
+	b.Local(ExecID{5}, "nope", "Read") // construction error
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustFinish must panic on builder error")
+		}
+	}()
+	b.MustFinish()
+}
+
+func TestEffectiveStepsAndCommitted(t *testing.T) {
+	b := NewBuilder()
+	b.Object("A", testRegisterSchema(), State{"x": int64(0)})
+	t1 := b.Top("T1")
+	m1 := b.Call(t1, "A", "w")
+	b.Local(m1, "A", "Write", "x", int64(1))
+	b.AbortExec(t1)
+	t2 := b.Top("T2")
+	m2 := b.Call(t2, "A", "r")
+	b.Local(m2, "A", "Read", "x")
+	b.Return(m2, nil)
+	h := b.MustFinish()
+
+	if got := len(h.EffectiveSteps("A")); got != 1 {
+		t.Fatalf("effective = %d", got)
+	}
+	roots := h.CommittedTopLevel()
+	if len(roots) != 1 || roots[0][0] != 1 {
+		t.Fatalf("committed roots = %v", roots)
+	}
+}

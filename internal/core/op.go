@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// UndoFunc reverses the state change of one applied operation. Operations
+// return an undo closure capturing whatever before-image they need (e.g. the
+// overwritten value of a register). The engine pushes undo closures on a
+// per-execution log and runs them in reverse order when the execution
+// aborts, implementing abort semantics (a) of Section 3: an aborted method
+// execution has no effect on the state of its object.
+//
+// Undo closures of commuting operations must themselves commute; this holds
+// for every schema in this repository because each undo touches exactly the
+// variables its operation touched, with inverse effect.
+type UndoFunc func(s State)
+
+// ApplyFunc executes a local operation a = (rho_a, sigma_a) on a state
+// (Definition 2): it mutates s in place (sigma) and returns the operation's
+// return value (rho). The returned undo closure must restore s to its prior
+// value; it is nil for read-only operations. An error means the operation is
+// not defined on the state (a programming error in the workload, not an
+// abort); the engine converts it into an abort of the issuing execution.
+type ApplyFunc func(s State, args []Value) (ret Value, undo UndoFunc, err error)
+
+// Operation describes one local operation of an object schema.
+type Operation struct {
+	// Name identifies the operation within its schema ("Read", "Enqueue"...).
+	Name string
+	// ReadOnly marks operations whose sigma is the identity. Read-only
+	// operations need no undo and let lock-based schedulers use shared
+	// modes.
+	ReadOnly bool
+	// Apply is the executable (rho, sigma) pair.
+	Apply ApplyFunc
+	// Peek, when non-nil, computes rho alone — the return value the
+	// operation would produce on the state, without the state change.
+	// Provisional-execution schedulers use it to avoid cloning the state
+	// (read-only operations never need it: their Apply is already pure).
+	Peek func(s State, args []Value) (Value, error)
+}
+
+// OpInvocation identifies an operation about to be issued: its name and
+// arguments, but not yet its return value. This is what an
+// operation-granularity scheduler sees before the step executes (the paper's
+// first resolution of the "apparent circularity" in Section 5.1: lock
+// operations, not steps).
+type OpInvocation struct {
+	Op   string
+	Args []Value
+}
+
+func (i OpInvocation) String() string {
+	return fmt.Sprintf("%s(%s)", i.Op, FormatValue(i.Args))
+}
+
+// StepInfo is a completed local step (a, v): the invocation together with
+// the return value v = ru(t). Step-granularity schedulers (the paper's
+// second resolution: provisionally execute, observe the return value, then
+// lock the step) and the offline conflict analysis see StepInfo.
+type StepInfo struct {
+	Op   string
+	Args []Value
+	Ret  Value
+}
+
+// Invocation projects the step back to its invocation.
+func (s StepInfo) Invocation() OpInvocation { return OpInvocation{Op: s.Op, Args: s.Args} }
+
+func (s StepInfo) String() string {
+	return fmt.Sprintf("%s(%s)=%s", s.Op, FormatValue(s.Args), FormatValue(s.Ret))
+}
+
+// Schema is the static description of an object type: its operations, its
+// conflict relation, and its initial state factory. An object (V, M) of
+// Definition 1 is an instance name plus a Schema; methods M are programmes
+// registered with the runtime engine, while the Schema governs the local
+// steps those methods may issue.
+type Schema struct {
+	// Name identifies the schema ("register", "queue", "btree"...).
+	Name string
+	// Ops maps operation names to their definitions.
+	Ops map[string]*Operation
+	// Conflicts is the schema's conflict relation (Definition 3). It must
+	// be sound: if StepConflicts reports false for an ordered pair of
+	// steps, swapping adjacent occurrences of them must preserve legality
+	// and the final state. Soundness is what Lemma 2 and hence every
+	// result of the paper rests on; internal/core's property tests check
+	// it against the executable operations for every schema in
+	// internal/objects.
+	Conflicts ConflictRelation
+	// NewState builds the initial state for a fresh object instance.
+	NewState func() State
+	// CloneState, when non-nil, overrides State.Clone for schemas whose
+	// variables hold pointers to mutable structures.
+	CloneState func(State) State
+	// StateEqual, when non-nil, overrides State.Equal for schemas whose
+	// variables hold pointers to mutable structures.
+	StateEqual func(a, b State) bool
+}
+
+// EqualStates compares two states honouring StateEqual.
+func (sc *Schema) EqualStates(a, b State) bool {
+	if sc.StateEqual != nil {
+		return sc.StateEqual(a, b)
+	}
+	return a.Equal(b)
+}
+
+// Op returns the named operation or an error naming the schema.
+func (sc *Schema) Op(name string) (*Operation, error) {
+	op, ok := sc.Ops[name]
+	if !ok {
+		return nil, fmt.Errorf("core: schema %s has no operation %q", sc.Name, name)
+	}
+	return op, nil
+}
+
+// MustOp is Op for statically known names.
+func (sc *Schema) MustOp(name string) *Operation {
+	op, err := sc.Op(name)
+	if err != nil {
+		panic(err)
+	}
+	return op
+}
+
+// OpNames returns the schema's operation names in sorted order, for
+// deterministic iteration in tests and workload generators.
+func (sc *Schema) OpNames() []string {
+	names := make([]string, 0, len(sc.Ops))
+	for n := range sc.Ops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Clone clones a state honouring CloneState.
+func (sc *Schema) Clone(s State) State {
+	if sc.CloneState != nil {
+		return sc.CloneState(s)
+	}
+	return s.Clone()
+}
+
+// NewSchema assembles a schema from operations, defaulting the conflict
+// relation to "everything conflicts with everything" (always sound, never
+// concurrent) when rel is nil.
+func NewSchema(name string, newState func() State, rel ConflictRelation, ops ...*Operation) *Schema {
+	m := make(map[string]*Operation, len(ops))
+	for _, op := range ops {
+		if _, dup := m[op.Name]; dup {
+			panic(fmt.Sprintf("core: schema %s: duplicate operation %q", name, op.Name))
+		}
+		m[op.Name] = op
+	}
+	if rel == nil {
+		rel = TotalConflict{}
+	}
+	return &Schema{Name: name, Ops: m, Conflicts: rel, NewState: newState}
+}

@@ -1,0 +1,69 @@
+package core
+
+import "fmt"
+
+// Tick is a point on the global clock used to record the temporal order <
+// of Definition 5. The runtime engine draws ticks from one atomic counter;
+// hand-built histories assign them through the Builder.
+//
+// A local step occupies a single instant (Start == End) because local
+// operations are atomic (Definition 2 comment). A message step spans the
+// interval from its send to the return of the invoked method, so that
+// condition 2(c) of legality — a message is "a surrogate for everything
+// that happens under it" — is visible in the record: every descendant
+// step's interval nests inside its ancestor message step's interval.
+//
+// t < t' (t completed before t' was initiated) is then End(t) < Start(t').
+type Tick int64
+
+// Step records one local step (a, v) of a history: which execution issued
+// it, on which object, the completed StepInfo, and its position both on the
+// global clock and in the object's chosen linearisation.
+type Step struct {
+	Exec   ExecID
+	Object string
+	Info   StepInfo
+	// At is the instant the step was applied (Start == End for local
+	// steps).
+	At Tick
+	// ObjSeq is the step's position in the linearisation of the object's
+	// local steps that the history records (condition 3 of Definition 6
+	// requires some legal topological sort; the engine records the order
+	// in which steps were applied under the object's latch, which is one).
+	ObjSeq int
+	// Lane identifies the intra-execution thread that issued the step;
+	// steps of the same execution are programme-ordered (related by the
+	// method's partial order from Definition 4) only as witnessed by
+	// lanes and ticks; see History.ProgramOrdered.
+	Lane int
+}
+
+func (s *Step) String() string {
+	return fmt.Sprintf("[%s@%s %s #%d]", s.Exec, s.Object, s.Info, s.ObjSeq)
+}
+
+// MessageStep records one message step (m, v): the sending execution, the
+// created child execution (B(t)), the target object and method, arguments,
+// and the return value observed by the sender.
+type MessageStep struct {
+	Exec   ExecID // sender
+	Child  ExecID // B(t): the method execution this message created
+	Object string // recipient object
+	Method string
+	Args   []Value
+	Ret    Value
+	// ChildAborted mirrors the paper's treatment of failures: "the fact
+	// that a method execution, invoked by message m, was aborted will be
+	// reflected in the return value of m".
+	ChildAborted bool
+	Start, End   Tick
+	Lane         int
+}
+
+func (m *MessageStep) String() string {
+	status := ""
+	if m.ChildAborted {
+		status = "!abort"
+	}
+	return fmt.Sprintf("[%s→%s.%s child=%s%s]", m.Exec, m.Object, m.Method, m.Child, status)
+}

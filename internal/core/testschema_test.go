@@ -1,0 +1,70 @@
+package core
+
+import "fmt"
+
+// testRegisterSchema returns a schema with per-variable Read/Write
+// operations and the classical RW conflict table, used throughout the core
+// tests.
+func testRegisterSchema() *Schema {
+	read := &Operation{
+		Name:     "Read",
+		ReadOnly: true,
+		Apply: func(s State, args []Value) (Value, UndoFunc, error) {
+			name, ok := args[0].(string)
+			if !ok {
+				return nil, nil, fmt.Errorf("Read: want string variable name, got %T", args[0])
+			}
+			return s[name], nil, nil
+		},
+	}
+	write := &Operation{
+		Name: "Write",
+		Apply: func(s State, args []Value) (Value, UndoFunc, error) {
+			name, ok := args[0].(string)
+			if !ok {
+				return nil, nil, fmt.Errorf("Write: want string variable name, got %T", args[0])
+			}
+			old, had := s[name]
+			s[name] = args[1]
+			return nil, func(st State) {
+				if had {
+					st[name] = old
+				} else {
+					delete(st, name)
+				}
+			}, nil
+		},
+	}
+	rel := RWTable([]string{"Read"}, []string{"Write"}, nil)
+	return NewSchema("register", func() State { return State{} }, rel, read, write)
+}
+
+// testCounterSchema returns a schema demonstrating semantic (non-RW)
+// conflicts: Inc returns nothing, so two Incs commute (unlike two writes),
+// while Inc and Get conflict in both orders.
+func testCounterSchema() *Schema {
+	inc := &Operation{
+		Name: "Inc",
+		Apply: func(s State, args []Value) (Value, UndoFunc, error) {
+			n, _ := s["n"].(int64)
+			s["n"] = n + 1
+			return nil, func(st State) {
+				cur, _ := st["n"].(int64)
+				st["n"] = cur - 1
+			}, nil
+		},
+	}
+	get := &Operation{
+		Name:     "Get",
+		ReadOnly: true,
+		Apply: func(s State, args []Value) (Value, UndoFunc, error) {
+			n, _ := s["n"].(int64)
+			return n, nil, nil
+		},
+	}
+	rel := &TableConflict{
+		Pairs: SymmetricPairs([2]string{"Inc", "Get"}),
+		Key:   SingleKey,
+	}
+	return NewSchema("counter", func() State { return State{"n": int64(0)} }, rel, inc, get)
+}

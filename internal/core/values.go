@@ -1,0 +1,133 @@
+// Package core implements the formal model of Hadzilacos & Hadzilacos,
+// "Transaction Synchronisation in Object Bases" (PODS 1988 / JCSS 1991):
+// objects with encapsulated variables, local operations defined as pairs of
+// return-value and state-transform functions, local and message steps,
+// method executions that form partial orders of steps, and histories
+// h = (E, <, B, S) together with their legality conditions (Definitions 1-8
+// of the paper).
+//
+// The package is deliberately free of any scheduling policy: it is the
+// vocabulary shared by the runtime engine (internal/engine), the concurrency
+// control algorithms (internal/cc) and the offline correctness oracle
+// (internal/graph, internal/history). Both the schedulers and the oracle
+// consume the same conflict relations, so tests verify exactly the property
+// the schedulers enforce.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is the domain of object variables, operation arguments and return
+// values. Implementations in this repository use comparable scalars
+// (int64, string, bool, nil) plus []Value for structured results; Equal
+// handles those cases. Schemas that store richer state (e.g. the B-tree
+// object) keep it behind opaque variables and define their own conflict
+// relations, so Value equality is only required where tests compare states.
+type Value interface{}
+
+// ValueEqual reports whether two values are equal, descending into []Value.
+func ValueEqual(a, b Value) bool {
+	as, aok := a.([]Value)
+	bs, bok := b.([]Value)
+	if aok || bok {
+		if !aok || !bok || len(as) != len(bs) {
+			return false
+		}
+		for i := range as {
+			if !ValueEqual(as[i], bs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return a == b
+}
+
+// FormatValue renders a value deterministically for debugging and history
+// dumps.
+func FormatValue(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "nil"
+	case []Value:
+		parts := make([]string, len(x))
+		for i, e := range x {
+			parts[i] = FormatValue(e)
+		}
+		return "[" + strings.Join(parts, " ") + "]"
+	case string:
+		return fmt.Sprintf("%q", x)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// State is the mapping from an object's variable names to values
+// (Definition 1: "a mapping associating values to the variables of an
+// object is called a state of the object").
+//
+// State values must be treated as immutable once shared: operations receive
+// the State and mutate it in place only under the object's latch inside the
+// runtime, or on private copies during replay.
+type State map[string]Value
+
+// Clone returns a deep-enough copy of the state: the top-level map is
+// copied, and []Value variables are copied recursively. Schemas whose
+// variables hold pointers to mutable structures (the B-tree object) register
+// a custom cloner via Schema.CloneState.
+func (s State) Clone() State {
+	out := make(State, len(s))
+	for k, v := range s {
+		out[k] = cloneValue(v)
+	}
+	return out
+}
+
+func cloneValue(v Value) Value {
+	if vs, ok := v.([]Value); ok {
+		out := make([]Value, len(vs))
+		for i, e := range vs {
+			out[i] = cloneValue(e)
+		}
+		return out
+	}
+	return v
+}
+
+// Equal reports whether two states assign equal values to the same
+// variables.
+func (s State) Equal(t State) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for k, v := range s {
+		tv, ok := t[k]
+		if !ok || !ValueEqual(v, tv) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the state with sorted variable names so that dumps are
+// deterministic.
+func (s State) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%s", k, FormatValue(s[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}

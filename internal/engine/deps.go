@@ -1,0 +1,383 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"objectbase/internal/core"
+)
+
+// depTracker provides recoverability for schedulers that allow access to
+// uncommitted effects (nested timestamp ordering, optimistic
+// certification). Lock-based schedulers never create such access (rule 2
+// blocks conflicting non-ancestors), so they run with tracking disabled.
+//
+// The mechanism: every effectful local step registers a "touch" of its
+// conflict scope. A step that conflicts with an earlier touch by a live,
+// incomparable top-level transaction records a commit dependency: the
+// toucher must commit before the dependent may. If the toucher aborts, the
+// dependent is cascade-aborted. Undo ordering is honoured by aborting
+// dependents *before* the transaction they depend on undoes its own
+// effects; because under timestamp ordering dependencies always point from
+// a younger to an older top-level transaction, the dependency graph is
+// acyclic and cascades terminate.
+//
+// The committed history that remains after cascades contains no dirty
+// reads, which is exactly what core.History.CheckLegal's effective-steps
+// replay verifies.
+type depTracker struct {
+	enabled bool
+
+	mu      sync.Mutex
+	touches map[string][]touchRec // scope -> touches by live transactions
+	tops    map[int32]*topState
+}
+
+type touchRec struct {
+	top      int32
+	step     core.StepInfo
+	readOnly bool
+}
+
+type topStatus int
+
+const (
+	topRunning topStatus = iota
+	topCommitted
+	topAborting
+	topAborted
+)
+
+type topState struct {
+	status topStatus
+	deps   map[int32]bool // transactions this one observed uncommitted
+	exec   *Exec
+	done   chan struct{} // closed at commit or full abort
+	// committing marks a transaction blocked in the commit barrier; used
+	// to detect barrier deadlocks (mutual observation of uncommitted
+	// effects, possible under certification where no timestamp order
+	// constrains dependency direction).
+	committing bool
+}
+
+func newDepTracker(enabled bool) *depTracker {
+	return &depTracker{
+		enabled: enabled,
+		touches: make(map[string][]touchRec),
+		tops:    make(map[int32]*topState),
+	}
+}
+
+func (d *depTracker) beginTop(e *Exec) {
+	if !d.enabled {
+		return
+	}
+	d.mu.Lock()
+	d.tops[e.id[0]] = &topState{
+		status: topRunning,
+		deps:   make(map[int32]bool),
+		exec:   e,
+		done:   make(chan struct{}),
+	}
+	d.mu.Unlock()
+}
+
+// touch registers a prospective step of execution e (top-level root n). It
+// must be called before the step is applied, under the object's latch. It
+// fails when the step conflicts with the uncommitted effects of a
+// transaction that is currently aborting — the step's execution must abort
+// (retriably) rather than observe state mid-undo.
+func (d *depTracker) touch(e *Exec, obj *Object, step core.StepInfo, readOnly bool) error {
+	if !d.enabled {
+		return nil
+	}
+	n := e.id[0]
+	rel := obj.schema.Conflicts
+	scope := core.ScopeOf(obj.name, rel, step.Invocation())
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	self := d.tops[n]
+	if self == nil || self.status != topRunning {
+		return &AbortError{Exec: e.id, Reason: "cascade (self not running)", Retriable: true, Err: ErrKilled}
+	}
+	for _, t := range d.touches[scope] {
+		if t.top == n {
+			continue
+		}
+		other := d.tops[t.top]
+		if other == nil || other.status == topCommitted {
+			continue
+		}
+		// Conflict in either order matters for recoverability: observing
+		// (read-after-write) or overwriting (write-after-write) dirty
+		// effects both require the toucher to commit first. The test is
+		// deliberately conservative (operation granularity): touches may
+		// lack return values — conservative NTO registers them before
+		// execution — and a missed dependency breaks recoverability,
+		// while a surplus one merely costs a wait or a retry.
+		if t.readOnly && readOnly {
+			continue
+		}
+		if !rel.OpConflicts(t.step.Invocation(), step.Invocation()) &&
+			!rel.OpConflicts(step.Invocation(), t.step.Invocation()) {
+			continue
+		}
+		if t.readOnly && !readOnly {
+			// Write after an uncommitted read: the reader's abort would
+			// not disturb this step's effects; no dependency needed.
+			continue
+		}
+		if other.status == topAborting || other.status == topAborted {
+			return &AbortError{Exec: e.id, Reason: fmt.Sprintf("cascade: scope %q mid-undo of T%d", scope, t.top), Retriable: true, Err: ErrKilled}
+		}
+		if self.deps[t.top] {
+			continue
+		}
+		// Keep the dependency graph acyclic: mutual observation of
+		// uncommitted effects would deadlock the commit barrier, entangle
+		// abort ordering (undo closures of conflicting steps must run in
+		// reverse step order, which only a consistent dependency
+		// direction guarantees), and could never certify anyway. The
+		// toucher that would close a cycle aborts and retries. Under
+		// timestamp ordering dependencies always point young->old, so
+		// this never fires for NTO.
+		if d.reachableLocked(t.top, n) {
+			return &AbortError{Exec: e.id, Reason: fmt.Sprintf("mutual observation with T%d at scope %q", t.top, scope), Retriable: true, Err: ErrKilled}
+		}
+		self.deps[t.top] = true
+	}
+	d.touches[scope] = append(d.touches[scope], touchRec{top: n, step: step, readOnly: readOnly})
+	return nil
+}
+
+// reachableLocked reports whether `to` is reachable from `from` along
+// unresolved dependency edges. Caller holds d.mu.
+func (d *depTracker) reachableLocked(from, to int32) bool {
+	if from == to {
+		return true
+	}
+	seen := map[int32]bool{from: true}
+	stack := []int32{from}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		st := d.tops[x]
+		if st == nil || st.status == topCommitted {
+			continue
+		}
+		for m := range st.deps {
+			if m == to {
+				return true
+			}
+			if other := d.tops[m]; other != nil && other.status == topCommitted {
+				continue
+			}
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return false
+}
+
+// commitBarrier blocks a finishing top-level transaction until every
+// transaction whose uncommitted effects it observed has resolved; if any of
+// them aborted (or this transaction was killed meanwhile), it returns a
+// retriable abort.
+func (d *depTracker) commitBarrier(e *Exec) error {
+	if !d.enabled {
+		return nil
+	}
+	n := e.id[0]
+	defer func() {
+		d.mu.Lock()
+		if self := d.tops[n]; self != nil {
+			self.committing = false
+		}
+		d.mu.Unlock()
+	}()
+	for {
+		d.mu.Lock()
+		self := d.tops[n]
+		if self == nil {
+			d.mu.Unlock()
+			return nil
+		}
+		self.committing = true
+		var wait *topState
+		var waitN int32
+		for m := range self.deps {
+			other := d.tops[m]
+			if other == nil || other.status == topCommitted {
+				delete(self.deps, m)
+				continue
+			}
+			if other.status == topAborting || other.status == topAborted {
+				d.mu.Unlock()
+				return &AbortError{Exec: e.id, Reason: fmt.Sprintf("cascade: dependency T%d aborted", m), Retriable: true, Err: ErrKilled}
+			}
+			wait, waitN = other, m
+			break
+		}
+		if wait == nil {
+			d.mu.Unlock()
+			return nil // all dependencies committed
+		}
+		// Barrier deadlock: if our unresolved dependencies lead, through
+		// transactions that are themselves blocked in the barrier, back to
+		// us, nobody will progress. Detected by the transaction that
+		// closes the cycle; it aborts (retriably), releasing the others.
+		if d.barrierCycleLocked(n) {
+			d.mu.Unlock()
+			return &AbortError{Exec: e.id, Reason: "commit-barrier deadlock (mutual observation)", Retriable: true, Err: ErrKilled}
+		}
+		ch := wait.done
+		d.mu.Unlock()
+		select {
+		case <-ch:
+			// resolved; loop to re-examine
+		case <-e.KillCh():
+			return &AbortError{Exec: e.id, Reason: fmt.Sprintf("cascade: killed while awaiting T%d", waitN), Retriable: true, Err: ErrKilled}
+		}
+	}
+}
+
+// barrierCycleLocked reports whether n's unresolved dependencies reach back
+// to n through transactions blocked in the commit barrier. Caller holds
+// d.mu.
+func (d *depTracker) barrierCycleLocked(n int32) bool {
+	seen := map[int32]bool{}
+	var visit func(m int32) bool
+	visit = func(m int32) bool {
+		if m == n {
+			return true
+		}
+		if seen[m] {
+			return false
+		}
+		seen[m] = true
+		st := d.tops[m]
+		if st == nil || !st.committing {
+			// Not blocked in the barrier: it can still make progress on
+			// its own, so it does not propagate the wait.
+			return false
+		}
+		for k := range st.deps {
+			if other := d.tops[k]; other != nil && other.status == topCommitted {
+				continue
+			}
+			if visit(k) {
+				return true
+			}
+		}
+		return false
+	}
+	self := d.tops[n]
+	for m := range self.deps {
+		if other := d.tops[m]; other != nil && other.status == topCommitted {
+			continue
+		}
+		if visit(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// commitTop finalises a top-level commit: removes its touches and wakes
+// dependents.
+func (d *depTracker) commitTop(e *Exec) {
+	if !d.enabled {
+		return
+	}
+	n := e.id[0]
+	d.mu.Lock()
+	self := d.tops[n]
+	if self != nil {
+		self.status = topCommitted
+		close(self.done)
+	}
+	d.dropTouches(n)
+	d.mu.Unlock()
+}
+
+// beginAbort transitions the transaction to aborting and returns the live
+// dependents that must be cascade-aborted first, youngest first.
+func (d *depTracker) beginAbort(e *Exec) []*topState {
+	if !d.enabled {
+		return nil
+	}
+	n := e.id[0]
+	d.mu.Lock()
+	self := d.tops[n]
+	if self == nil || self.status == topAborting || self.status == topAborted {
+		d.mu.Unlock()
+		return nil
+	}
+	self.status = topAborting
+	var ids []int32
+	for m, st := range d.tops {
+		if m == n || !st.deps[n] {
+			continue
+		}
+		// Running dependents must be killed; ones already aborting must
+		// still be awaited so their undo completes before ours starts.
+		if st.status == topRunning || st.status == topAborting {
+			ids = append(ids, m)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] > ids[j] }) // youngest first
+	dependents := make([]*topState, 0, len(ids))
+	for _, m := range ids {
+		dependents = append(dependents, d.tops[m])
+	}
+	d.mu.Unlock()
+	return dependents
+}
+
+// finishAbort marks the abort complete (effects undone) and wakes waiters.
+func (d *depTracker) finishAbort(e *Exec) {
+	if !d.enabled {
+		return
+	}
+	n := e.id[0]
+	d.mu.Lock()
+	self := d.tops[n]
+	if self != nil && self.status != topAborted {
+		self.status = topAborted
+		close(self.done)
+	}
+	d.dropTouches(n)
+	d.mu.Unlock()
+}
+
+// dropTouches removes all touches of transaction n; caller holds d.mu.
+func (d *depTracker) dropTouches(n int32) {
+	for scope, list := range d.touches {
+		out := list[:0]
+		for _, t := range list {
+			if t.top != n {
+				out = append(out, t)
+			}
+		}
+		if len(out) == 0 {
+			delete(d.touches, scope)
+		} else {
+			d.touches[scope] = out
+		}
+	}
+}
+
+// forget drops the transaction's registration entirely (after its Run
+// attempt fully ended) to keep the tracker bounded.
+func (d *depTracker) forget(e *Exec) {
+	if !d.enabled {
+		return
+	}
+	d.mu.Lock()
+	delete(d.tops, e.id[0])
+	d.mu.Unlock()
+}

@@ -1,0 +1,373 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"objectbase/internal/core"
+)
+
+// MethodFunc is the body of a method: a programme that issues local steps
+// (Ctx.Do) and messages (Ctx.Call). Returning an error aborts the method
+// execution; the error reaches the parent as the Call's error.
+type MethodFunc func(*Ctx) (core.Value, error)
+
+// NoRetry disables automatic retries when set as Options.MaxRetries.
+const NoRetry = -1
+
+// Options configures the engine.
+type Options struct {
+	// MaxRetries bounds automatic retries of top-level transactions
+	// aborted for synchronisation reasons (deadlock victims, timestamp
+	// rejections, cascades, failed certification). 0 means the default of
+	// 100; NoRetry disables retries.
+	MaxRetries int
+	// RetryBackoff is the base backoff between retries (jittered; doubles
+	// up to 64x). Default 100µs.
+	RetryBackoff time.Duration
+	// TrackDependencies enables the recoverability machinery (touch
+	// registration, commit barrier, cascading aborts) needed by
+	// schedulers that let transactions observe uncommitted effects.
+	// Lock-based schedulers leave it off.
+	TrackDependencies bool
+}
+
+// Engine executes nested transactions over an object base under a
+// Scheduler, recording the full history.
+type Engine struct {
+	opts  Options
+	sched Scheduler
+
+	mu      sync.RWMutex
+	objects map[string]*Object
+	methods map[string]map[string]MethodFunc
+
+	rec  *recorder
+	deps *depTracker
+
+	liveMu   sync.Mutex
+	topN     int32
+	liveTops map[int32]bool
+
+	// stats
+	commits atomic.Int64
+	aborts  atomic.Int64
+	retries atomic.Int64
+}
+
+// New creates an engine running the given scheduler.
+func New(sched Scheduler, opts Options) *Engine {
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 100
+	} else if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 100 * time.Microsecond
+	}
+	return &Engine{
+		opts:     opts,
+		sched:    sched,
+		objects:  make(map[string]*Object),
+		methods:  make(map[string]map[string]MethodFunc),
+		rec:      newRecorder(),
+		deps:     newDepTracker(opts.TrackDependencies),
+		liveTops: make(map[int32]bool),
+	}
+}
+
+// allocTop atomically assigns the next top-level transaction identity and
+// registers it live; timestamp-based schedulers rely on the atomicity for
+// their garbage-collection low-water mark.
+func (en *Engine) allocTop() core.ExecID {
+	en.liveMu.Lock()
+	id := core.RootID(en.topN)
+	en.topN++
+	en.liveTops[id[0]] = true
+	en.liveMu.Unlock()
+	return id
+}
+
+func (en *Engine) releaseTop(id core.ExecID) {
+	en.liveMu.Lock()
+	delete(en.liveTops, id[0])
+	en.liveMu.Unlock()
+}
+
+// TopCount returns the number of top-level transaction identities assigned
+// so far.
+func (en *Engine) TopCount() int32 {
+	en.liveMu.Lock()
+	defer en.liveMu.Unlock()
+	return en.topN
+}
+
+// MinLiveTop returns the smallest top-level transaction number still in
+// flight, or the next number to be assigned when none is. Every
+// transaction with a smaller number has finished — the paper's low-water
+// condition for discarding timestamp information (Section 5.2).
+func (en *Engine) MinLiveTop() int32 {
+	en.liveMu.Lock()
+	defer en.liveMu.Unlock()
+	low := en.topN
+	for n := range en.liveTops {
+		if n < low {
+			low = n
+		}
+	}
+	return low
+}
+
+// Scheduler returns the engine's scheduler.
+func (en *Engine) Scheduler() Scheduler { return en.sched }
+
+// AddObject creates an object instance. The initial state defaults to the
+// schema's NewState when nil.
+func (en *Engine) AddObject(name string, sc *core.Schema, initial core.State) *Object {
+	if initial == nil {
+		initial = sc.NewState()
+	}
+	o := &Object{name: name, schema: sc, eng: en, state: sc.Clone(initial)}
+	en.mu.Lock()
+	en.objects[name] = o
+	en.mu.Unlock()
+	en.rec.addObject(name, sc, initial)
+	return o
+}
+
+// Object returns the named object, or nil.
+func (en *Engine) Object(name string) *Object {
+	en.mu.RLock()
+	defer en.mu.RUnlock()
+	return en.objects[name]
+}
+
+// Register installs a method implementation on an object.
+func (en *Engine) Register(object, method string, fn MethodFunc) {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	if en.methods[object] == nil {
+		en.methods[object] = make(map[string]MethodFunc)
+	}
+	en.methods[object][method] = fn
+}
+
+func (en *Engine) method(object, name string) (MethodFunc, error) {
+	en.mu.RLock()
+	defer en.mu.RUnlock()
+	fn := en.methods[object][name]
+	if fn == nil {
+		return nil, fmt.Errorf("engine: object %q has no method %q", object, name)
+	}
+	return fn, nil
+}
+
+// Commits returns the number of committed top-level transactions.
+func (en *Engine) Commits() int64 { return en.commits.Load() }
+
+// Aborts returns the number of aborted top-level attempts.
+func (en *Engine) Aborts() int64 { return en.aborts.Load() }
+
+// Retries returns the number of retried top-level attempts.
+func (en *Engine) Retries() int64 { return en.retries.Load() }
+
+// Run executes a top-level transaction (a method of the environment). It
+// retries synchronisation aborts with fresh transaction identities up to
+// MaxRetries; user aborts and programming errors are returned as-is.
+func (en *Engine) Run(name string, fn MethodFunc, args ...core.Value) (core.Value, error) {
+	backoff := en.opts.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		ret, err := en.runOnce(name, fn, args)
+		if err == nil {
+			return ret, nil
+		}
+		if !Retriable(err) || attempt >= en.opts.MaxRetries {
+			return nil, err
+		}
+		en.retries.Add(1)
+		time.Sleep(time.Duration(rand.Int63n(int64(backoff) + 1)))
+		if backoff < 64*en.opts.RetryBackoff {
+			backoff *= 2
+		}
+	}
+}
+
+func (en *Engine) runOnce(name string, fn MethodFunc, args []core.Value) (core.Value, error) {
+	id := en.allocTop()
+	defer en.releaseTop(id)
+	e := &Exec{
+		id:     id,
+		object: core.EnvironmentObject,
+		method: name,
+		args:   args,
+		eng:    en,
+		killCh: make(chan struct{}),
+	}
+	e.top = e
+	en.rec.addExec(e)
+	en.deps.beginTop(e)
+	defer en.deps.forget(e)
+
+	if err := en.sched.Begin(e); err != nil {
+		en.abortExec(e, err)
+		return nil, err
+	}
+	ret, err := fn(&Ctx{e: e})
+	if err == nil && e.Killed() {
+		err = &AbortError{Exec: id, Reason: "cascade", Retriable: true, Err: ErrKilled}
+	}
+	if err == nil {
+		// Recoverability barrier: all observed transactions must commit
+		// first.
+		err = en.deps.commitBarrier(e)
+	}
+	if err == nil {
+		// Scheduler commit (certifiers validate here).
+		err = en.sched.Commit(e)
+		if err != nil && !Retriable(err) {
+			err = &AbortError{Exec: id, Reason: "certification", Retriable: true, Err: err}
+		}
+	}
+	if err != nil {
+		en.abortExec(e, err)
+		return nil, err
+	}
+	en.deps.commitTop(e)
+	en.commits.Add(1)
+	return ret, nil
+}
+
+// call implements Ctx.Call: create the child execution, run the method
+// body, commit or abort it.
+func (en *Engine) call(parent *Exec, lane int, object, method string, args []core.Value) (core.Value, error) {
+	fn, err := en.method(object, method)
+	if err != nil {
+		return nil, err
+	}
+	if en.Object(object) == nil {
+		return nil, fmt.Errorf("engine: unknown object %q", object)
+	}
+
+	msg, childID := en.rec.startMessage(parent, lane, object, method, args)
+	child := &Exec{
+		id:     childID,
+		object: object,
+		method: method,
+		args:   args,
+		eng:    en,
+		parent: parent,
+		top:    parent.top,
+	}
+	en.rec.addExec(child)
+
+	if err := en.sched.Begin(child); err != nil {
+		en.abortExec(child, err)
+		en.rec.endMessage(msg, nil, true)
+		return nil, err
+	}
+	ret, err := fn(&Ctx{e: child, lane: 0})
+	if err == nil {
+		err = en.sched.Commit(child)
+	}
+	if err != nil {
+		en.abortExec(child, err)
+		en.rec.endMessage(msg, nil, true)
+		return nil, err
+	}
+	// Relative commit: effects become the parent's provisional effects.
+	parent.adoptUndo(child)
+	en.rec.endMessage(msg, ret, false)
+	return ret, nil
+}
+
+// abortExec aborts an execution: cascade dependents first (top-level with
+// tracking only), then undo own effects newest-first, notify the
+// scheduler, and mark the record (semantics (a) and (b)).
+func (en *Engine) abortExec(e *Exec, cause error) {
+	if e.parent == nil {
+		// Top-level: cascade dependents before undoing (see depTracker).
+		for _, dep := range en.deps.beginAbort(e) {
+			dep.exec.kill()
+			<-dep.done
+		}
+		en.aborts.Add(1)
+	}
+	e.runUndo()
+	en.sched.Abort(e)
+	en.rec.markAborted(e.id)
+	if e.parent == nil {
+		en.deps.finishAbort(e)
+	}
+	_ = cause
+}
+
+// TrackTouch registers a prospective step with the recoverability tracker
+// (see depTracker). Schedulers that admit access to uncommitted effects
+// must call it under the object's latch, before applying the step; a
+// returned error (always retriable) means the step must not be applied and
+// the execution must abort. No-op when dependency tracking is disabled.
+func (en *Engine) TrackTouch(e *Exec, obj *Object, step core.StepInfo) error {
+	readOnly := false
+	if op, err := obj.schema.Op(step.Op); err == nil {
+		readOnly = op.ReadOnly
+	}
+	return en.deps.touch(e, obj, step, readOnly)
+}
+
+// History finalises and returns the run's recorded history. The engine
+// must be quiescent (no transaction in flight).
+func (en *Engine) History() *core.History {
+	en.mu.RLock()
+	objs := make(map[string]*Object, len(en.objects))
+	for k, v := range en.objects {
+		objs[k] = v
+	}
+	en.mu.RUnlock()
+	return en.rec.history(objs)
+}
+
+// RunMany executes n transactions across p goroutines (round-robin over
+// the given bodies) and waits for completion; the convenience loop of
+// tests and experiments. It returns the first non-retriable error.
+func (en *Engine) RunMany(p, n int, bodies ...func(i int) (string, MethodFunc, []core.Value)) error {
+	if p <= 0 {
+		p = 1
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, p)
+	next := atomic.Int64{}
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				name, fn, args := bodies[i%len(bodies)](i)
+				if _, err := en.Run(name, fn, args...); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// ErrUnknown reports an unknown object or method.
+var ErrUnknown = errors.New("engine: unknown object or method")

@@ -1,0 +1,252 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"objectbase/internal/core"
+	"objectbase/internal/objects"
+)
+
+func TestParallelErrorPropagates(t *testing.T) {
+	en := newTestEngine(None{}, Options{})
+	en.Register("A", "boom", func(ctx *Ctx) (core.Value, error) {
+		return nil, ctx.Abort("boom")
+	})
+	en.Register("A", "fine", func(ctx *Ctx) (core.Value, error) {
+		return ctx.Do("A", "Read", "x")
+	})
+	_, err := en.Run("T", func(ctx *Ctx) (core.Value, error) {
+		return nil, ctx.Parallel(
+			func(c *Ctx) error { _, e := c.Call("A", "fine"); return e },
+			func(c *Ctx) error { _, e := c.Call("A", "boom"); return e },
+			func(c *Ctx) error { _, e := c.Call("A", "fine"); return e },
+		)
+	})
+	var ae *AbortError
+	if !errors.As(err, &ae) {
+		t.Fatalf("parallel must surface the abort, got %v", err)
+	}
+	// The top-level transaction aborted; the fine legs' effects vanished.
+	h := en.History()
+	if err := h.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Aborted(core.RootID(0)) {
+		t.Fatalf("top-level should have aborted")
+	}
+}
+
+func TestNestedParallel(t *testing.T) {
+	en := newTestEngine(None{}, Options{})
+	en.Register("C", "add", func(ctx *Ctx) (core.Value, error) {
+		return ctx.Do("C", "Add", int64(1))
+	})
+	fanout := func(c *Ctx, n int) error {
+		legs := make([]func(*Ctx) error, n)
+		for i := range legs {
+			legs[i] = func(cc *Ctx) error { _, e := cc.Call("C", "add"); return e }
+		}
+		return c.Parallel(legs...)
+	}
+	_, err := en.Run("T", func(ctx *Ctx) (core.Value, error) {
+		return nil, ctx.Parallel(
+			func(c *Ctx) error { return fanout(c, 3) },
+			func(c *Ctx) error { return fanout(c, 3) },
+		)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := en.History()
+	if got := h.FinalStates["C"]["n"]; got != int64(6) {
+		t.Fatalf("n = %v, want 6", got)
+	}
+	if err := h.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKillChannel(t *testing.T) {
+	en := newTestEngine(None{}, Options{MaxRetries: NoRetry})
+	started := make(chan *Exec, 1)
+	finished := make(chan error, 1)
+	go func() {
+		_, err := en.Run("victim", func(ctx *Ctx) (core.Value, error) {
+			started <- ctx.Exec()
+			<-ctx.Exec().KillCh()
+			_, derr := ctx.Do("A", "Read", "x")
+			return nil, derr
+		})
+		finished <- err
+	}()
+	e := <-started
+	if e.Killed() {
+		t.Fatalf("not yet killed")
+	}
+	// Simulate a cascade kill.
+	e.kill()
+	err := <-finished
+	if err == nil || !Retriable(err) {
+		t.Fatalf("killed transaction must abort retriably, got %v", err)
+	}
+	if !e.Killed() {
+		t.Fatalf("killed flag must be set")
+	}
+	e.kill() // idempotent
+}
+
+func TestMinLiveTopAndTopCount(t *testing.T) {
+	en := newTestEngine(None{}, Options{})
+	if en.TopCount() != 0 || en.MinLiveTop() != 0 {
+		t.Fatalf("fresh engine: count=%d min=%d", en.TopCount(), en.MinLiveTop())
+	}
+	hold := make(chan struct{})
+	inTxn := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = en.Run("T", func(ctx *Ctx) (core.Value, error) {
+			close(inTxn)
+			<-hold
+			return nil, nil
+		})
+	}()
+	<-inTxn
+	if en.MinLiveTop() != 0 {
+		t.Fatalf("live txn 0 should pin the low water, got %d", en.MinLiveTop())
+	}
+	if _, err := en.Run("T2", func(ctx *Ctx) (core.Value, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if en.MinLiveTop() != 0 {
+		t.Fatalf("low water still pinned by txn 0, got %d", en.MinLiveTop())
+	}
+	close(hold)
+	<-done
+	if got := en.MinLiveTop(); got != en.TopCount() {
+		t.Fatalf("all finished: min=%d want topCount=%d", got, en.TopCount())
+	}
+}
+
+func TestRunManyPropagatesError(t *testing.T) {
+	en := newTestEngine(None{}, Options{})
+	err := en.RunMany(2, 10, func(i int) (string, MethodFunc, []core.Value) {
+		return "T", func(ctx *Ctx) (core.Value, error) {
+			if i == 5 {
+				return nil, ctx.Abort("fail once")
+			}
+			return nil, nil
+		}, nil
+	})
+	if err == nil {
+		t.Fatalf("RunMany must propagate the failure")
+	}
+}
+
+func TestStepOnUnknownOperation(t *testing.T) {
+	en := newTestEngine(None{}, Options{})
+	if _, err := en.Run("T", func(ctx *Ctx) (core.Value, error) {
+		return ctx.Do("A", "NoSuchOp")
+	}); err == nil {
+		t.Fatalf("unknown operation must fail")
+	}
+}
+
+func TestOperationErrorAbortsCleanly(t *testing.T) {
+	en := newTestEngine(None{}, Options{})
+	_, err := en.Run("T", func(ctx *Ctx) (core.Value, error) {
+		if _, err := ctx.Do("A", "Write", "x", int64(1)); err != nil {
+			return nil, err
+		}
+		// Bad argument type: the operation itself errors.
+		return ctx.Do("A", "Write", int64(5), int64(2))
+	})
+	if err == nil {
+		t.Fatalf("operation error must fail the transaction")
+	}
+	h := en.History()
+	if err := h.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.FinalStates["A"]["x"]; got != int64(0) {
+		t.Fatalf("failed transaction's write leaked: %v", got)
+	}
+}
+
+func TestObjectSnapshotIsolated(t *testing.T) {
+	en := newTestEngine(None{}, Options{})
+	obj := en.Object("A")
+	snap := obj.StateSnapshot()
+	snap["x"] = int64(99)
+	if _, err := en.Run("T", func(ctx *Ctx) (core.Value, error) {
+		v, err := ctx.Do("A", "Read", "x")
+		if err != nil {
+			return nil, err
+		}
+		if v != int64(0) {
+			return nil, fmt.Errorf("snapshot mutation leaked: %v", v)
+		}
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeekLockedVariants(t *testing.T) {
+	en := New(None{}, Options{})
+	en.AddObject("Q", objects.Queue(), core.State{"items": []core.Value{int64(7)}})
+	obj := en.Object("Q")
+	obj.Latch()
+	st, err := obj.PeekLocked(core.OpInvocation{Op: "Dequeue"})
+	obj.Unlatch()
+	if err != nil || st.Ret != int64(7) {
+		t.Fatalf("peek dequeue = %v, %v", st, err)
+	}
+	// Peek must not mutate.
+	obj.Latch()
+	st2, err := obj.PeekLocked(core.OpInvocation{Op: "Dequeue"})
+	obj.Unlatch()
+	if err != nil || st2.Ret != int64(7) {
+		t.Fatalf("second peek = %v, %v (state mutated?)", st2, err)
+	}
+	// Read-only fast path.
+	obj.Latch()
+	st3, err := obj.PeekLocked(core.OpInvocation{Op: "Len"})
+	obj.Unlatch()
+	if err != nil || st3.Ret != int64(1) {
+		t.Fatalf("peek len = %v, %v", st3, err)
+	}
+}
+
+func TestConcurrentMixedStress(t *testing.T) {
+	// A None-scheduler stress over commuting operations only: final state
+	// must be exact and the history legal even under heavy interleaving.
+	en := newTestEngine(None{}, Options{})
+	en.Register("C", "add", func(ctx *Ctx) (core.Value, error) {
+		return ctx.Do("C", "Add", int64(1))
+	})
+	const clients, per = 8, 200
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := en.Run("T", func(ctx *Ctx) (core.Value, error) {
+					return ctx.Call("C", "add")
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	h := en.History()
+	if got := h.FinalStates["C"]["n"]; got != int64(clients*per) {
+		t.Fatalf("n = %v, want %d", got, clients*per)
+	}
+}

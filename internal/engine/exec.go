@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"objectbase/internal/core"
+)
+
+// Exec is the runtime state of one method execution.
+type Exec struct {
+	id     core.ExecID
+	object string
+	method string
+	args   []core.Value
+	eng    *Engine
+	parent *Exec
+	top    *Exec // top-level ancestor (self for top-level executions)
+
+	mu   sync.Mutex
+	undo []undoEntry
+
+	// SchedData is scheduler-private per-execution state (e.g. the
+	// certifier's access sets). Only the owning scheduler touches it.
+	SchedData interface{}
+
+	// kill* exist only on top-level executions.
+	killed   atomic.Bool
+	killOnce sync.Once
+	killCh   chan struct{}
+}
+
+type undoEntry struct {
+	obj *Object
+	fn  core.UndoFunc
+}
+
+// ID returns the execution's identity — its path in the invocation forest,
+// which doubles as its hierarchical timestamp (Section 5.2).
+func (e *Exec) ID() core.ExecID { return e.id }
+
+// ObjectName returns the object whose method this is (the environment for
+// top-level executions).
+func (e *Exec) ObjectName() string { return e.object }
+
+// Method returns the method name.
+func (e *Exec) Method() string { return e.method }
+
+// Engine returns the owning engine.
+func (e *Exec) Engine() *Engine { return e.eng }
+
+// Parent returns the parent execution, nil for top-level.
+func (e *Exec) Parent() *Exec { return e.parent }
+
+// Top returns the top-level ancestor.
+func (e *Exec) Top() *Exec { return e.top }
+
+func (e *Exec) pushUndo(o *Object, fn core.UndoFunc) {
+	e.mu.Lock()
+	e.undo = append(e.undo, undoEntry{obj: o, fn: fn})
+	e.mu.Unlock()
+}
+
+// adoptUndo transfers a committing child's undo log to the parent: the
+// child's effects become the parent's provisional effects (they must be
+// undone if the parent later aborts — the nested-transaction commit is
+// relative to the parent, not durable).
+func (e *Exec) adoptUndo(child *Exec) {
+	child.mu.Lock()
+	entries := child.undo
+	child.undo = nil
+	child.mu.Unlock()
+	if len(entries) == 0 {
+		return
+	}
+	e.mu.Lock()
+	e.undo = append(e.undo, entries...)
+	e.mu.Unlock()
+}
+
+// runUndo reverses the execution's applied effects, most recent first
+// (abort semantics (a)).
+func (e *Exec) runUndo() {
+	e.mu.Lock()
+	entries := e.undo
+	e.undo = nil
+	e.mu.Unlock()
+	for i := len(entries) - 1; i >= 0; i-- {
+		entries[i].obj.applyUndo(entries[i].fn)
+	}
+}
+
+// kill marks the top-level execution for cascade abort. Safe to call on
+// any exec; it targets the top.
+func (e *Exec) kill() {
+	t := e.top
+	t.killed.Store(true)
+	t.killOnce.Do(func() {
+		if t.killCh != nil {
+			close(t.killCh)
+		}
+	})
+}
+
+// Killed reports whether the transaction tree was marked for cascade
+// abort.
+func (e *Exec) Killed() bool { return e.top.killed.Load() }
+
+// KillCh returns the channel closed when the tree is killed.
+func (e *Exec) KillCh() <-chan struct{} { return e.top.killCh }
+
+// Ctx is what method bodies receive: the handle through which a method
+// execution issues local steps and messages.
+type Ctx struct {
+	e    *Exec
+	lane int
+}
+
+// Exec exposes the underlying execution (tests, schedulers).
+func (c *Ctx) Exec() *Exec { return c.e }
+
+// Args returns the invocation arguments of this method execution.
+func (c *Ctx) Args() []core.Value { return c.e.args }
+
+// Arg returns argument i, or nil.
+func (c *Ctx) Arg(i int) core.Value {
+	if i < 0 || i >= len(c.e.args) {
+		return nil
+	}
+	return c.e.args[i]
+}
+
+// checkAlive converts a pending cascade kill into an abort error.
+func (c *Ctx) checkAlive() error {
+	if c.e.Killed() {
+		return &AbortError{Exec: c.e.id, Reason: "cascade", Retriable: true, Err: ErrKilled}
+	}
+	return nil
+}
+
+// Do issues a local operation on an object of this execution's object base
+// (a local step, Definition 2). The scheduler decides when it runs.
+//
+// The model restricts local steps of a method to the method's own object
+// (Definition 4(a)); the engine enforces the restriction only when the
+// execution belongs to a real object — environment methods (top-level
+// transactions) have no variables of their own, so idiomatic use is for
+// transactions to Call methods, and for methods to Do local steps on their
+// own object. Method bodies in examples follow that discipline; tests may
+// relax it for brevity on single-object scenarios.
+func (c *Ctx) Do(object, op string, args ...core.Value) (core.Value, error) {
+	if err := c.checkAlive(); err != nil {
+		return nil, err
+	}
+	obj := c.e.eng.Object(object)
+	if obj == nil {
+		return nil, fmt.Errorf("engine: unknown object %q", object)
+	}
+	inv := core.OpInvocation{Op: op, Args: args}
+	ret, err := c.e.eng.sched.Step(c.e, obj, inv)
+	if err != nil {
+		return nil, err
+	}
+	return ret, nil
+}
+
+// Call sends a message: it invokes a registered method of an object,
+// creating a child method execution, and returns the child's return value.
+// A child abort is reported as an error; the parent survives and may retry
+// or take an alternative path (Section 3's motivation for semantics (b)).
+func (c *Ctx) Call(object, method string, args ...core.Value) (core.Value, error) {
+	if err := c.checkAlive(); err != nil {
+		return nil, err
+	}
+	return c.e.eng.call(c.e, c.lane, object, method, args)
+}
+
+// Parallel runs the given bodies concurrently *within* this method
+// execution (internal parallelism: "a method should be allowed to send
+// messages, invoking other methods, simultaneously"). Each body gets its
+// own lane. Parallel returns the first error, after all bodies finished.
+func (c *Ctx) Parallel(bodies ...func(*Ctx) error) error {
+	if err := c.checkAlive(); err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(bodies))
+	for i, body := range bodies {
+		wg.Add(1)
+		lane := c.e.eng.rec.nextLane(c.e)
+		go func(i int, body func(*Ctx) error, lane int) {
+			defer wg.Done()
+			errs[i] = body(&Ctx{e: c.e, lane: lane})
+		}(i, body, lane)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Abort aborts this method execution voluntarily (the Abort local
+// operation of Section 3). The returned error must be propagated out of
+// the method body.
+func (c *Ctx) Abort(reason string) error {
+	return &AbortError{Exec: c.e.id, Reason: "user: " + reason, Retriable: false}
+}

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"objectbase/internal/core"
+)
+
+// Object is a runtime object instance: a schema, a state, and a latch that
+// makes local steps atomic (Definition 2's local operations are atomic on
+// the object's variables). Schedulers compose the latch with their own
+// admission logic; the paper's step-granularity protocols require peeking
+// (provisional execution), conflict checking and applying to happen
+// atomically under this latch.
+type Object struct {
+	name   string
+	schema *core.Schema
+	eng    *Engine
+
+	mu    sync.Mutex
+	state core.State
+	seq   int // per-object linearisation counter (ObjSeq)
+}
+
+// Name returns the object's instance name.
+func (o *Object) Name() string { return o.name }
+
+// Schema returns the object's schema.
+func (o *Object) Schema() *core.Schema { return o.schema }
+
+// Latch acquires the object latch. Schedulers may hold it across a
+// peek/admit/apply sequence; they must never block on other engine
+// resources while holding it except the lock manager's TryAcquire (which
+// never takes latches).
+func (o *Object) Latch() { o.mu.Lock() }
+
+// Unlatch releases the object latch.
+func (o *Object) Unlatch() { o.mu.Unlock() }
+
+// PeekLocked provisionally executes inv on a copy of the state and returns
+// the completed step without mutating anything. Caller holds the latch.
+// This is the paper's "provisionally issue an operation, observe the
+// resulting return value" device.
+func (o *Object) PeekLocked(inv core.OpInvocation) (core.StepInfo, error) {
+	op, err := o.schema.Op(inv.Op)
+	if err != nil {
+		return core.StepInfo{}, err
+	}
+	var ret core.Value
+	switch {
+	case op.ReadOnly:
+		// A read-only Apply is pure: run it directly.
+		ret, _, err = op.Apply(o.state, inv.Args)
+	case op.Peek != nil:
+		ret, err = op.Peek(o.state, inv.Args)
+	default:
+		scratch := o.schema.Clone(o.state)
+		ret, _, err = op.Apply(scratch, inv.Args)
+	}
+	if err != nil {
+		return core.StepInfo{}, err
+	}
+	return core.StepInfo{Op: inv.Op, Args: inv.Args, Ret: ret}, nil
+}
+
+// ApplyForLocked applies inv for real on behalf of execution e: it mutates
+// the state, records the local step in the history, and pushes the undo
+// closure onto e's undo log. Caller holds the latch.
+func (o *Object) ApplyForLocked(e *Exec, inv core.OpInvocation) (core.StepInfo, error) {
+	op, err := o.schema.Op(inv.Op)
+	if err != nil {
+		return core.StepInfo{}, err
+	}
+	ret, undo, err := op.Apply(o.state, inv.Args)
+	if err != nil {
+		return core.StepInfo{}, fmt.Errorf("engine: %s on %s: %w", inv, o.name, err)
+	}
+	st := core.StepInfo{Op: inv.Op, Args: inv.Args, Ret: ret}
+	seq := o.seq
+	o.seq++
+	o.eng.rec.addStep(e, o.name, st, seq)
+	if undo != nil {
+		e.pushUndo(o, undo)
+	}
+	return st, nil
+}
+
+// ApplyFor is ApplyForLocked wrapped in the latch — the whole-step shortcut
+// for schedulers that admit before touching the object (operation-
+// granularity locking, conservative timestamp ordering, no control at all).
+func (o *Object) ApplyFor(e *Exec, inv core.OpInvocation) (core.StepInfo, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.ApplyForLocked(e, inv)
+}
+
+// StateSnapshot returns a copy of the current state (tests, final-state
+// recording). It takes the latch.
+func (o *Object) StateSnapshot() core.State {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.schema.Clone(o.state)
+}
+
+// applyUndoLocked runs an undo closure under the latch (abort path).
+func (o *Object) applyUndo(fn core.UndoFunc) {
+	o.mu.Lock()
+	fn(o.state)
+	o.mu.Unlock()
+}

@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"objectbase/internal/core"
+)
+
+// recorder accumulates the history h = (E, <, B, S) of a run. Ticks come
+// from one atomic clock; per-object step sequences are appended in apply
+// order (the caller holds the object latch, so ObjSeq order is the order
+// effects hit the state — a topological sort of < as Definition 6
+// condition 3 requires).
+type recorder struct {
+	clock atomic.Int64
+
+	mu sync.Mutex
+	h  *core.History
+	// lanes numbers intra-execution parallel branches.
+	lanes map[string]int
+}
+
+func newRecorder() *recorder {
+	return &recorder{h: core.NewHistory(), lanes: make(map[string]int)}
+}
+
+func (r *recorder) tick() core.Tick { return core.Tick(r.clock.Add(1)) }
+
+func (r *recorder) addObject(name string, sc *core.Schema, initial core.State) {
+	r.mu.Lock()
+	r.h.AddObject(name, sc, initial)
+	r.mu.Unlock()
+}
+
+func (r *recorder) addExec(e *Exec) {
+	r.mu.Lock()
+	r.h.Execs[e.id.Key()] = &core.MethodExec{
+		ID:     e.id,
+		Object: e.object,
+		Method: e.method,
+	}
+	if len(e.id) == 1 {
+		r.h.Roots = append(r.h.Roots, e.id)
+	} else {
+		pe := r.h.Execs[e.id.Parent().Key()]
+		if pe != nil {
+			pe.Children = append(pe.Children, e.id)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// nextMsg allocates the next message index of parent and records the open
+// message step; the child ID is parent.Child(k).
+func (r *recorder) startMessage(parent *Exec, lane int, object, method string, args []core.Value) (*core.MessageStep, core.ExecID) {
+	start := r.tick()
+	r.mu.Lock()
+	k := int32(len(r.h.Messages[parent.id.Key()]))
+	child := parent.id.Child(k)
+	m := &core.MessageStep{
+		Exec:   parent.id,
+		Child:  child,
+		Object: object,
+		Method: method,
+		Args:   args,
+		Start:  start,
+		Lane:   lane,
+	}
+	r.h.Messages[parent.id.Key()] = append(r.h.Messages[parent.id.Key()], m)
+	r.mu.Unlock()
+	return m, child
+}
+
+func (r *recorder) endMessage(m *core.MessageStep, ret core.Value, aborted bool) {
+	end := r.tick()
+	r.mu.Lock()
+	m.Ret = ret
+	m.ChildAborted = aborted
+	m.End = end
+	r.mu.Unlock()
+}
+
+// addStep records a local step; the caller holds the object's latch, so
+// consecutive calls for one object arrive in apply order.
+func (r *recorder) addStep(e *Exec, object string, info core.StepInfo, objSeq int) {
+	at := r.tick()
+	r.mu.Lock()
+	st := &core.Step{
+		Exec:   e.id,
+		Object: object,
+		Info:   info,
+		At:     at,
+		ObjSeq: objSeq,
+	}
+	r.h.Steps[object] = append(r.h.Steps[object], st)
+	r.h.LocalSteps[e.id.Key()] = append(r.h.LocalSteps[e.id.Key()], st)
+	r.mu.Unlock()
+}
+
+// markAborted marks the execution and all recorded descendants aborted
+// (abort semantics (b)).
+func (r *recorder) markAborted(id core.ExecID) {
+	r.mu.Lock()
+	var mark func(core.ExecID)
+	mark = func(x core.ExecID) {
+		e := r.h.Execs[x.Key()]
+		if e == nil || e.Aborted {
+			return
+		}
+		e.Aborted = true
+		for _, c := range e.Children {
+			mark(c)
+		}
+	}
+	mark(id)
+	r.mu.Unlock()
+}
+
+func (r *recorder) nextLane(e *Exec) int {
+	r.mu.Lock()
+	r.lanes[e.id.Key()]++
+	lane := r.lanes[e.id.Key()]
+	r.mu.Unlock()
+	return lane
+}
+
+// history finalises and returns the recorded history; the engine must be
+// quiescent. Final states are snapshotted from the live objects before the
+// recorder lock is taken (object latches are always acquired before the
+// recorder lock elsewhere).
+func (r *recorder) history(objects map[string]*Object) *core.History {
+	finals := make(map[string]core.State, len(objects))
+	for name, o := range objects {
+		finals[name] = o.StateSnapshot()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.h.FinalStates = finals
+	return r.h
+}

@@ -1,0 +1,267 @@
+// Package graph implements the serialisation-graph machinery of the paper:
+// SG(h) from Definition 9 with the Serialisability Theorem (Theorem 2) test,
+// the per-object graphs SG_local and SG_mesg with the sibling-message
+// relation ->e from Definition 10, and the Theorem 5 decomposition check
+// that separates intra-object from inter-object synchronisation.
+//
+// The package also provides the serial-replay oracle: an independent,
+// state-level verification that a history is equivalent to a serial
+// execution of its committed top-level transactions. Tests use both — the
+// graph test is the paper's sufficient condition, the replay is the ground
+// truth it promises.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"objectbase/internal/core"
+)
+
+// EdgeKind distinguishes the two clauses of Definition 9.
+type EdgeKind uint8
+
+const (
+	// EdgeConflict is a type (a) edge: descendants of the two executions
+	// issued conflicting local steps in this order.
+	EdgeConflict EdgeKind = 1 << iota
+	// EdgeProgram is a type (b) edge: the executions' ancestor messages are
+	// programme-ordered (related by the lca's partial order).
+	EdgeProgram
+)
+
+func (k EdgeKind) String() string {
+	var parts []string
+	if k&EdgeConflict != 0 {
+		parts = append(parts, "conflict")
+	}
+	if k&EdgeProgram != 0 {
+		parts = append(parts, "program")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "+")
+}
+
+// SG is a directed graph over method executions.
+type SG struct {
+	nodes map[string]core.ExecID
+	edges map[string]map[string]EdgeKind
+}
+
+// NewSG returns an empty graph.
+func NewSG() *SG {
+	return &SG{
+		nodes: make(map[string]core.ExecID),
+		edges: make(map[string]map[string]EdgeKind),
+	}
+}
+
+// AddNode inserts an execution as a node.
+func (g *SG) AddNode(id core.ExecID) {
+	if _, ok := g.nodes[id.Key()]; !ok {
+		g.nodes[id.Key()] = id
+	}
+}
+
+// AddEdge inserts (or widens) an edge from -> to.
+func (g *SG) AddEdge(from, to core.ExecID, kind EdgeKind) {
+	g.AddNode(from)
+	g.AddNode(to)
+	m := g.edges[from.Key()]
+	if m == nil {
+		m = make(map[string]EdgeKind)
+		g.edges[from.Key()] = m
+	}
+	m[to.Key()] |= kind
+}
+
+// HasEdge reports whether an edge from -> to exists and its kind.
+func (g *SG) HasEdge(from, to core.ExecID) (EdgeKind, bool) {
+	k, ok := g.edges[from.Key()][to.Key()]
+	return k, ok
+}
+
+// NodeCount returns the number of nodes.
+func (g *SG) NodeCount() int { return len(g.nodes) }
+
+// EdgeCount returns the number of directed edges.
+func (g *SG) EdgeCount() int {
+	n := 0
+	for _, m := range g.edges {
+		n += len(m)
+	}
+	return n
+}
+
+// Nodes returns all node IDs sorted (deterministic).
+func (g *SG) Nodes() []core.ExecID {
+	out := make([]core.ExecID, 0, len(g.nodes))
+	for _, id := range g.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Successors returns the sorted successor IDs of a node.
+func (g *SG) Successors(id core.ExecID) []core.ExecID {
+	m := g.edges[id.Key()]
+	out := make([]core.ExecID, 0, len(m))
+	for k := range m {
+		out = append(out, g.nodes[k])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Acyclic reports whether the graph has no directed cycle.
+func (g *SG) Acyclic() bool { return len(g.FindCycle()) == 0 }
+
+// FindCycle returns some directed cycle as a node sequence (first == last
+// conceptually; the returned slice lists the cycle's nodes once each), or
+// nil if the graph is acyclic. Traversal order is deterministic.
+func (g *SG) FindCycle() []core.ExecID {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(g.nodes))
+	parent := make(map[string]string)
+	var cycle []core.ExecID
+
+	var visit func(k string) bool
+	visit = func(k string) bool {
+		color[k] = grey
+		succs := make([]string, 0, len(g.edges[k]))
+		for s := range g.edges[k] {
+			succs = append(succs, s)
+		}
+		sort.Strings(succs)
+		for _, s := range succs {
+			switch color[s] {
+			case white:
+				parent[s] = k
+				if visit(s) {
+					return true
+				}
+			case grey:
+				// Found a back edge k -> s: reconstruct the cycle.
+				cyc := []core.ExecID{g.nodes[k]}
+				for cur := k; cur != s; cur = parent[cur] {
+					cyc = append(cyc, g.nodes[parent[cur]])
+				}
+				// Reverse to s..k order.
+				for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+					cyc[i], cyc[j] = cyc[j], cyc[i]
+				}
+				cycle = cyc
+				return true
+			}
+		}
+		color[k] = black
+		return false
+	}
+
+	keys := make([]string, 0, len(g.nodes))
+	for k := range g.nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if color[k] == white && visit(k) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// TopoOrder returns a topological order of the nodes, or an error carrying a
+// cycle. Ties are broken by ID order, so the result is deterministic.
+func (g *SG) TopoOrder() ([]core.ExecID, error) {
+	if cyc := g.FindCycle(); cyc != nil {
+		return nil, fmt.Errorf("graph: cycle %s", FormatCycle(cyc))
+	}
+	indeg := make(map[string]int, len(g.nodes))
+	for k := range g.nodes {
+		indeg[k] = 0
+	}
+	for _, m := range g.edges {
+		for to := range m {
+			indeg[to]++
+		}
+	}
+	var ready []core.ExecID
+	for k, d := range indeg {
+		if d == 0 {
+			ready = append(ready, g.nodes[k])
+		}
+	}
+	sortIDs(ready)
+	var out []core.ExecID
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		out = append(out, n)
+		var newly []core.ExecID
+		for to := range g.edges[n.Key()] {
+			indeg[to]--
+			if indeg[to] == 0 {
+				newly = append(newly, g.nodes[to])
+			}
+		}
+		sortIDs(newly)
+		ready = mergeSorted(ready, newly)
+	}
+	return out, nil
+}
+
+func sortIDs(ids []core.ExecID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Compare(ids[j]) < 0 })
+}
+
+func mergeSorted(a, b []core.ExecID) []core.ExecID {
+	out := make([]core.ExecID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Compare(b[j]) <= 0 {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// FormatCycle renders a cycle for error messages.
+func FormatCycle(cyc []core.ExecID) string {
+	parts := make([]string, 0, len(cyc)+1)
+	for _, id := range cyc {
+		parts = append(parts, id.String())
+	}
+	if len(cyc) > 0 {
+		parts = append(parts, cyc[0].String())
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// String renders the graph deterministically.
+func (g *SG) String() string {
+	var b strings.Builder
+	for _, n := range g.Nodes() {
+		fmt.Fprintf(&b, "%s:", n)
+		for _, s := range g.Successors(n) {
+			k, _ := g.HasEdge(n, s)
+			fmt.Fprintf(&b, " %s(%s)", s, k)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

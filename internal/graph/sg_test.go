@@ -1,0 +1,414 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"objectbase/internal/core"
+	"objectbase/internal/objects"
+)
+
+// serialTwoTxns: T1 then T2, each read-modify-write on register A.x.
+func serialTwoTxns(t *testing.T) *core.History {
+	t.Helper()
+	b := core.NewBuilder()
+	b.Object("A", objects.Register(), core.State{"x": int64(0)})
+	for i := 0; i < 2; i++ {
+		ti := b.Top("T")
+		m := b.Call(ti, "A", "bump")
+		v := b.Local(m, "A", "Read", "x")
+		b.Local(m, "A", "Write", "x", v.(int64)+1)
+		b.Return(m, nil)
+	}
+	h, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// lostUpdate: the classical non-serialisable interleaving
+// R1(x) R2(x) W1(x) W2(x).
+func lostUpdate(t *testing.T) *core.History {
+	t.Helper()
+	b := core.NewBuilder()
+	b.Object("A", objects.Register(), core.State{"x": int64(0)})
+	t1 := b.Top("T1")
+	m1 := b.Call(t1, "A", "bump")
+	t2 := b.Top("T2")
+	m2 := b.Call(t2, "A", "bump")
+	v1 := b.Local(m1, "A", "Read", "x")
+	v2 := b.Local(m2, "A", "Read", "x")
+	b.Local(m1, "A", "Write", "x", v1.(int64)+1)
+	b.Local(m2, "A", "Write", "x", v2.(int64)+1)
+	b.Return(m1, nil)
+	b.Return(m2, nil)
+	h, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestSerialHistoryCertified(t *testing.T) {
+	h := serialTwoTxns(t)
+	if err := h.CheckLegal(); err != nil {
+		t.Fatalf("legal: %v", err)
+	}
+	v := Check(h)
+	if !v.Serialisable || !v.SGAcyclic {
+		t.Fatalf("serial history not certified: %v", v)
+	}
+	if len(v.SerialOrder) != 2 {
+		t.Fatalf("order = %v", v.SerialOrder)
+	}
+	// T1 before T2 (the only consistent order).
+	if !v.SerialOrder[0].Equal(core.RootID(0)) {
+		t.Fatalf("order = %v, want T0 first", v.SerialOrder)
+	}
+}
+
+func TestLostUpdateRejected(t *testing.T) {
+	h := lostUpdate(t)
+	if err := h.CheckLegal(); err != nil {
+		t.Fatalf("legal (it is a legal, merely non-serialisable, history): %v", err)
+	}
+	v := Check(h)
+	if v.Serialisable {
+		t.Fatalf("lost update certified serialisable: %v", v)
+	}
+	if v.SGAcyclic {
+		t.Fatalf("lost update must produce an SG cycle")
+	}
+	if len(v.Cycle) < 2 {
+		t.Fatalf("cycle witness = %v", v.Cycle)
+	}
+	if got := v.String(); !strings.Contains(got, "cycle") {
+		t.Fatalf("verdict string = %q", got)
+	}
+}
+
+// TestSection2Counterexample reproduces the paper's Section 2 example: T1
+// and T2 each access objects A and B; A serialises T1 before T2 while B
+// serialises T2 before T1. Each object's computation is serialisable, the
+// overall one is not — and CheckTheorem5 must localise the failure at the
+// environment object (condition (a)).
+func TestSection2Counterexample(t *testing.T) {
+	b := core.NewBuilder()
+	b.Object("A", objects.Register(), core.State{"x": int64(0)})
+	b.Object("B", objects.Register(), core.State{"y": int64(0)})
+
+	t1 := b.Top("T1")
+	t2 := b.Top("T2")
+
+	// At A: T1's method writes then T2's method writes (T1 -> T2).
+	a1 := b.Call(t1, "A", "setX")
+	b.Local(a1, "A", "Write", "x", int64(1))
+	b.Return(a1, nil)
+	a2 := b.Call(t2, "A", "setX")
+	b.Local(a2, "A", "Write", "x", int64(2))
+	b.Return(a2, nil)
+
+	// At B: T2's method writes then T1's method writes (T2 -> T1).
+	b2 := b.Call(t2, "B", "setY")
+	b.Local(b2, "B", "Write", "y", int64(2))
+	b.Return(b2, nil)
+	b1 := b.Call(t1, "B", "setY")
+	b.Local(b1, "B", "Write", "y", int64(1))
+	b.Return(b1, nil)
+
+	h, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CheckLegal(); err != nil {
+		t.Fatalf("legal: %v", err)
+	}
+
+	// Each object alone is serialisable: SG_local acyclic at A and B.
+	for _, obj := range []string{"A", "B"} {
+		if cyc := LocalGraph(h, obj, false).FindCycle(); cyc != nil {
+			t.Fatalf("SG_local(%s) has cycle %v; per-object computation should be serialisable", obj, cyc)
+		}
+	}
+
+	// Globally it is not.
+	v := Check(h)
+	if v.Serialisable || v.SGAcyclic {
+		t.Fatalf("counterexample certified serialisable: %v", v)
+	}
+
+	// Theorem 5 localises the failure at the environment object.
+	err = CheckTheorem5(h)
+	if err == nil {
+		t.Fatalf("Theorem 5 conditions must fail on the counterexample")
+	}
+	if !strings.Contains(err.Error(), core.EnvironmentObject) {
+		t.Fatalf("failure should be at the environment object, got: %v", err)
+	}
+}
+
+// TestCommutingOpsInterleaved: interleaved counter Adds of two transactions
+// produce no conflict edges and are certified serialisable even though their
+// steps interleave — the concurrency the paper's arbitrary-operation model
+// buys.
+func TestCommutingOpsInterleaved(t *testing.T) {
+	b := core.NewBuilder()
+	b.Object("C", objects.Counter(), core.State{"n": int64(0)})
+	t1 := b.Top("T1")
+	m1 := b.Call(t1, "C", "add")
+	t2 := b.Top("T2")
+	m2 := b.Call(t2, "C", "add")
+	b.Local(m1, "C", "Add", int64(1))
+	b.Local(m2, "C", "Add", int64(10))
+	b.Local(m1, "C", "Add", int64(2))
+	b.Local(m2, "C", "Add", int64(20))
+	b.Return(m1, nil)
+	b.Return(m2, nil)
+	h, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(h, BuildOptions{})
+	for _, n := range g.Nodes() {
+		for _, s := range g.Successors(n) {
+			if k, _ := g.HasEdge(n, s); k&EdgeConflict != 0 {
+				t.Fatalf("unexpected conflict edge %s -> %s", n, s)
+			}
+		}
+	}
+	v := Check(h)
+	if !v.Serialisable {
+		t.Fatalf("commuting interleaving rejected: %v", v)
+	}
+	if err := CheckTheorem5(h); err != nil {
+		t.Fatalf("Theorem 5: %v", err)
+	}
+}
+
+// TestGetMakesCounterConflict: with a Get between the Adds the interleaving
+// direction matters.
+func TestGetMakesCounterConflict(t *testing.T) {
+	b := core.NewBuilder()
+	b.Object("C", objects.Counter(), core.State{"n": int64(0)})
+	t1 := b.Top("T1")
+	m1 := b.Call(t1, "C", "addTwice")
+	t2 := b.Top("T2")
+	m2 := b.Call(t2, "C", "get")
+	b.Local(m1, "C", "Add", int64(1))
+	b.Local(m2, "C", "Get") // sees 1: T1 -> T2
+	b.Local(m1, "C", "Add", int64(1))
+	// T1's second Add conflicts with T2's earlier Get: T2 -> T1. Cycle.
+	b.Return(m1, nil)
+	b.Return(m2, nil)
+	h, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Check(h)
+	if v.SGAcyclic {
+		t.Fatalf("expected SG cycle from Get between Adds")
+	}
+}
+
+func TestTypeBEdgesProgramOrder(t *testing.T) {
+	// One transaction sends two sequential messages; their executions'
+	// programme order must appear as a type (b) edge.
+	b := core.NewBuilder()
+	b.Object("A", objects.Register(), core.State{"x": int64(0)})
+	t1 := b.Top("T1")
+	m1 := b.Call(t1, "A", "first")
+	b.Local(m1, "A", "Write", "x", int64(1))
+	b.Return(m1, nil)
+	m2 := b.Call(t1, "A", "second")
+	b.Local(m2, "A", "Read", "x")
+	b.Return(m2, nil)
+	h, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(h, BuildOptions{})
+	kind, ok := g.HasEdge(m1, m2)
+	if !ok || kind&EdgeProgram == 0 {
+		t.Fatalf("expected program edge %s -> %s, graph:\n%s", m1, m2, g)
+	}
+	if _, back := g.HasEdge(m2, m1); back {
+		t.Fatalf("unexpected back edge")
+	}
+	v := Check(h)
+	if !v.Serialisable {
+		t.Fatalf("sequential siblings rejected: %v", v)
+	}
+}
+
+func TestTopoOrderDeterministic(t *testing.T) {
+	g := NewSG()
+	a, b2, c := core.RootID(0), core.RootID(1), core.RootID(2)
+	g.AddEdge(a, c, EdgeConflict)
+	g.AddEdge(b2, c, EdgeConflict)
+	order1, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order2, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order1) != 3 || !order1[2].Equal(c) {
+		t.Fatalf("order = %v", order1)
+	}
+	for i := range order1 {
+		if !order1[i].Equal(order2[i]) {
+			t.Fatalf("nondeterministic topo order: %v vs %v", order1, order2)
+		}
+	}
+}
+
+func TestFindCycleSelfConsistent(t *testing.T) {
+	g := NewSG()
+	a, b2, c := core.RootID(0), core.RootID(1), core.RootID(2)
+	g.AddEdge(a, b2, EdgeConflict)
+	g.AddEdge(b2, c, EdgeConflict)
+	g.AddEdge(c, a, EdgeConflict)
+	cyc := g.FindCycle()
+	if len(cyc) != 3 {
+		t.Fatalf("cycle = %v", cyc)
+	}
+	// Every consecutive pair must be an edge.
+	for i := range cyc {
+		from, to := cyc[i], cyc[(i+1)%len(cyc)]
+		if _, ok := g.HasEdge(from, to); !ok {
+			t.Fatalf("cycle %v claims edge %s->%s that doesn't exist", cyc, from, to)
+		}
+	}
+	if _, err := g.TopoOrder(); err == nil {
+		t.Fatalf("TopoOrder must fail on a cyclic graph")
+	}
+}
+
+func TestRootProjection(t *testing.T) {
+	h := lostUpdate(t)
+	g := Build(h, BuildOptions{})
+	roots := g.RootProjection()
+	if roots.NodeCount() != 2 {
+		t.Fatalf("root nodes = %d", roots.NodeCount())
+	}
+	// The lost-update cycle must survive projection (the ancestor edges
+	// were materialised).
+	if roots.Acyclic() {
+		t.Fatalf("root projection lost the cycle")
+	}
+}
+
+func TestAbortedExecsExcluded(t *testing.T) {
+	// T1 and T2 conflict in both directions, but T2 aborts: committed
+	// projection is serialisable.
+	b := core.NewBuilder()
+	b.Object("A", objects.Register(), core.State{"x": int64(0), "y": int64(0)})
+	t1 := b.Top("T1")
+	m1 := b.Call(t1, "A", "m")
+	t2 := b.Top("T2")
+	m2 := b.Call(t2, "A", "m")
+	b.Local(m1, "A", "Write", "x", int64(1))
+	b.Local(m2, "A", "Read", "y") // T2 -> T1 once T1 writes y below
+	b.Local(m2, "A", "Write", "x", int64(2))
+	b.Local(m1, "A", "Write", "y", int64(1))
+	// Cycle in the full graph: m1 ->x m2 and m2 ->y m1. T2 aborts; its
+	// only mutation (x=2) is undone cleanly because it was the latest
+	// write of x.
+	b.AbortExec(t2)
+	b.Return(m1, nil)
+	h, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Build(h, BuildOptions{IncludeAborted: true})
+	if full.Acyclic() {
+		t.Fatalf("full graph should have the cycle")
+	}
+	v := Check(h)
+	if !v.Serialisable {
+		t.Fatalf("committed projection should be serialisable: %v", v)
+	}
+}
+
+func TestSerialReplayCatchesWrongOrder(t *testing.T) {
+	h := serialTwoTxns(t)
+	// Replaying T2 before T1 must fail: T2's Read recorded 1, but in the
+	// swapped order it reads 0.
+	err := SerialReplay(h, []core.ExecID{core.RootID(1), core.RootID(0)})
+	if err == nil {
+		t.Fatalf("wrong serial order must fail replay")
+	}
+	if err := SerialReplay(h, []core.ExecID{core.RootID(0), core.RootID(1)}); err != nil {
+		t.Fatalf("correct order: %v", err)
+	}
+}
+
+func TestSiblingOrderConflictEdges(t *testing.T) {
+	// One parent sends two messages whose executions conflict at an
+	// object: ->e must have a conflict edge between them.
+	b := core.NewBuilder()
+	b.Object("A", objects.Register(), core.State{"x": int64(0)})
+	t1 := b.Top("T1")
+	m := b.Call(t1, "A", "outer")
+	c1 := b.Call(m, "A", "w1")
+	b.Local(c1, "A", "Write", "x", int64(1))
+	b.Return(c1, nil)
+	c2 := b.Call(m, "A", "w2")
+	b.Local(c2, "A", "Write", "x", int64(2))
+	b.Return(c2, nil)
+	b.Return(m, nil)
+	h, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := SiblingOrder(h, m, false)
+	kind, ok := so.HasEdge(c1, c2)
+	if !ok {
+		t.Fatalf("expected ->e edge %s -> %s", c1, c2)
+	}
+	// Sequential messages: the programme edge applies (conflict edge is
+	// only added when not programme-ordered).
+	if kind&EdgeProgram == 0 {
+		t.Fatalf("sequential messages should be programme-ordered, got %v", kind)
+	}
+	if err := CheckTheorem5(h); err != nil {
+		t.Fatalf("Theorem 5: %v", err)
+	}
+}
+
+func TestMesgGraphImportsRemoteConflicts(t *testing.T) {
+	// Executions at object O delegate conflicting work to object A: the
+	// conflict at A must appear in SG_mesg(h, O).
+	b := core.NewBuilder()
+	b.Object("O", objects.Register(), core.State{})
+	b.Object("A", objects.Register(), core.State{"x": int64(0)})
+
+	t1 := b.Top("T1")
+	o1 := b.Call(t1, "O", "viaA")
+	t2 := b.Top("T2")
+	o2 := b.Call(t2, "O", "viaA")
+
+	a1 := b.Call(o1, "A", "w")
+	b.Local(a1, "A", "Write", "x", int64(1))
+	b.Return(a1, nil)
+	a2 := b.Call(o2, "A", "w")
+	b.Local(a2, "A", "Write", "x", int64(2))
+	b.Return(a2, nil)
+	b.Return(o1, nil)
+	b.Return(o2, nil)
+
+	h, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg := MesgGraph(h, "O", false)
+	if _, ok := mg.HasEdge(o1, o2); !ok {
+		t.Fatalf("SG_mesg(O) must import the A-conflict:\n%s", mg)
+	}
+	lg := LocalGraph(h, "O", false)
+	if lg.EdgeCount() != 0 {
+		t.Fatalf("SG_local(O) should be empty (no local steps at O)")
+	}
+}

@@ -1,0 +1,210 @@
+// Package history analyses recorded histories: structural statistics
+// (nesting, fan-out, step counts), conflict density per object, and a
+// concurrency profile derived from the recorded ticks. The obsim CLI
+// prints its report after workload runs; experiments use it to
+// characterise the workloads they measure.
+package history
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"objectbase/internal/core"
+)
+
+// ObjectStats describes one object's recorded activity.
+type ObjectStats struct {
+	Name  string
+	Steps int
+	// ConflictPairs counts ordered step pairs (i before j) that conflict
+	// at step granularity; Pairs is the total number of ordered pairs.
+	// Their ratio is the object's conflict density — the knob the paper's
+	// algorithms differ on.
+	ConflictPairs int
+	Pairs         int
+	// CrossExecConflicts counts the conflicting pairs whose issuers belong
+	// to different top-level transactions (the ones synchronisation must
+	// order).
+	CrossExecConflicts int
+}
+
+// Density returns ConflictPairs / Pairs (0 when empty).
+func (o ObjectStats) Density() float64 {
+	if o.Pairs == 0 {
+		return 0
+	}
+	return float64(o.ConflictPairs) / float64(o.Pairs)
+}
+
+// Stats is the full analysis of a history.
+type Stats struct {
+	Objects    int
+	Executions int
+	TopLevel   int
+	Committed  int
+	Aborted    int
+	LocalSteps int
+	Messages   int
+	// MaxDepth is the deepest nesting level observed (0 = top-level only).
+	MaxDepth int
+	// MeanFanout is the average number of messages per non-leaf execution.
+	MeanFanout float64
+	// MaxConcurrency is the maximum number of top-level transactions whose
+	// recorded activity intervals overlap at some instant; MeanConcurrency
+	// integrates overlap over the run.
+	MaxConcurrency  int
+	MeanConcurrency float64
+	PerObject       []ObjectStats
+}
+
+// Analyze computes statistics for a recorded history.
+func Analyze(h *core.History) *Stats {
+	s := &Stats{Objects: len(h.Schemas)}
+
+	fanTotal, fanCount := 0, 0
+	for _, e := range h.AllExecs() {
+		s.Executions++
+		if e.IsTopLevel() {
+			s.TopLevel++
+		}
+		if e.Aborted {
+			s.Aborted++
+		} else {
+			s.Committed++
+		}
+		if lvl := e.ID.Level(); lvl > s.MaxDepth {
+			s.MaxDepth = lvl
+		}
+		if n := len(e.Children); n > 0 {
+			fanTotal += n
+			fanCount++
+		}
+	}
+	if fanCount > 0 {
+		s.MeanFanout = float64(fanTotal) / float64(fanCount)
+	}
+	for _, msgs := range h.Messages {
+		s.Messages += len(msgs)
+	}
+
+	// Per-object conflict density.
+	for _, obj := range h.ObjectNames() {
+		steps := h.Steps[obj]
+		os := ObjectStats{Name: obj, Steps: len(steps)}
+		s.LocalSteps += len(steps)
+		for i := 0; i < len(steps); i++ {
+			for j := i + 1; j < len(steps); j++ {
+				os.Pairs++
+				if h.Conflicts(steps[i], steps[j]) {
+					os.ConflictPairs++
+					if steps[i].Exec[0] != steps[j].Exec[0] {
+						os.CrossExecConflicts++
+					}
+				}
+			}
+		}
+		s.PerObject = append(s.PerObject, os)
+	}
+	sort.Slice(s.PerObject, func(i, j int) bool { return s.PerObject[i].Name < s.PerObject[j].Name })
+
+	s.MaxConcurrency, s.MeanConcurrency = concurrencyProfile(h)
+	return s
+}
+
+// concurrencyProfile sweeps the top-level transactions' activity intervals.
+func concurrencyProfile(h *core.History) (int, float64) {
+	type event struct {
+		at    core.Tick
+		delta int
+	}
+	var events []event
+	for _, root := range h.Roots {
+		lo, hi, ok := treeInterval(h, root)
+		if !ok {
+			continue
+		}
+		events = append(events, event{lo, +1}, event{hi + 1, -1})
+	}
+	if len(events) == 0 {
+		return 0, 0
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].delta < events[j].delta
+	})
+	cur, max := 0, 0
+	var weighted, span float64
+	prev := events[0].at
+	for _, ev := range events {
+		dt := float64(ev.at - prev)
+		weighted += float64(cur) * dt
+		span += dt
+		prev = ev.at
+		cur += ev.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	mean := 0.0
+	if span > 0 {
+		mean = weighted / span
+	}
+	return max, mean
+}
+
+// treeInterval returns the tick span covering all events of the execution
+// tree rooted at id.
+func treeInterval(h *core.History, id core.ExecID) (core.Tick, core.Tick, bool) {
+	var lo, hi core.Tick
+	found := false
+	upd := func(s, e core.Tick) {
+		if !found || s < lo {
+			lo = s
+		}
+		if !found || e > hi {
+			hi = e
+		}
+		found = true
+	}
+	var walk func(core.ExecID)
+	walk = func(x core.ExecID) {
+		for _, st := range h.LocalSteps[x.Key()] {
+			upd(st.At, st.At)
+		}
+		for _, m := range h.Messages[x.Key()] {
+			upd(m.Start, m.End)
+		}
+		if e := h.Exec(x); e != nil {
+			for _, c := range e.Children {
+				walk(c)
+			}
+		}
+	}
+	walk(id)
+	return lo, hi, found
+}
+
+// Report writes a human-readable summary.
+func (s *Stats) Report(w io.Writer) {
+	fmt.Fprintf(w, "executions   %d (%d top-level: %d committed, %d aborted)\n",
+		s.Executions, s.TopLevel, s.Committed, s.Aborted)
+	fmt.Fprintf(w, "structure    max depth %d, mean fan-out %.2f, %d messages, %d local steps\n",
+		s.MaxDepth, s.MeanFanout, s.Messages, s.LocalSteps)
+	fmt.Fprintf(w, "concurrency  max %d, mean %.2f overlapping top-level transactions\n",
+		s.MaxConcurrency, s.MeanConcurrency)
+	for _, o := range s.PerObject {
+		fmt.Fprintf(w, "object %-12s %5d steps, conflict density %.3f (%d/%d pairs, %d cross-transaction)\n",
+			o.Name, o.Steps, o.Density(), o.ConflictPairs, o.Pairs, o.CrossExecConflicts)
+	}
+}
+
+// String renders the report.
+func (s *Stats) String() string {
+	var b strings.Builder
+	s.Report(&b)
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"objectbase/internal/core"
+	"objectbase/internal/engine"
+	"objectbase/internal/objects"
+	"objectbase/internal/workload"
+)
+
+func TestAnalyzeHandBuilt(t *testing.T) {
+	b := core.NewBuilder()
+	b.Object("A", objects.Register(), core.State{"x": int64(0)})
+
+	// T1: nested write; T2: read after, conflicting.
+	t1 := b.Top("T1")
+	m1 := b.Call(t1, "A", "w")
+	inner := b.Call(m1, "A", "deep")
+	b.Local(inner, "A", "Write", "x", int64(1))
+	b.Return(inner, nil)
+	b.Return(m1, nil)
+
+	t2 := b.Top("T2")
+	m2 := b.Call(t2, "A", "r")
+	b.Local(m2, "A", "Read", "x")
+	b.Return(m2, nil)
+
+	h, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Analyze(h)
+	if s.Executions != 5 || s.TopLevel != 2 || s.Committed != 5 || s.Aborted != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.MaxDepth != 2 {
+		t.Fatalf("depth = %d", s.MaxDepth)
+	}
+	if s.LocalSteps != 2 || s.Messages != 3 {
+		t.Fatalf("steps=%d messages=%d", s.LocalSteps, s.Messages)
+	}
+	if len(s.PerObject) != 1 {
+		t.Fatalf("objects: %v", s.PerObject)
+	}
+	obj := s.PerObject[0]
+	// One pair (write, read) and it conflicts, cross-transaction.
+	if obj.Pairs != 1 || obj.ConflictPairs != 1 || obj.CrossExecConflicts != 1 {
+		t.Fatalf("object stats: %+v", obj)
+	}
+	if obj.Density() != 1.0 {
+		t.Fatalf("density = %f", obj.Density())
+	}
+	// Sequential transactions: no overlap.
+	if s.MaxConcurrency != 1 {
+		t.Fatalf("max concurrency = %d, want 1", s.MaxConcurrency)
+	}
+	out := s.String()
+	for _, want := range []string{"executions", "max depth 2", "object A"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeConcurrentRun(t *testing.T) {
+	en := engine.New(engine.None{}, engine.Options{})
+	spec := workload.Bank(3, 100)
+	spec.Setup(en)
+	if err := workload.Drive(en, spec, 4, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	s := Analyze(en.History())
+	if s.TopLevel != 40 {
+		t.Fatalf("top level = %d", s.TopLevel)
+	}
+	if s.MaxConcurrency < 2 {
+		t.Fatalf("expected overlapping transactions, max concurrency = %d", s.MaxConcurrency)
+	}
+	if s.MeanConcurrency <= 0 || s.MeanConcurrency > float64(s.MaxConcurrency) {
+		t.Fatalf("mean concurrency = %f", s.MeanConcurrency)
+	}
+	if s.MaxDepth < 1 {
+		t.Fatalf("bank workload nests at least one level")
+	}
+	if s.MeanFanout <= 0 {
+		t.Fatalf("fanout = %f", s.MeanFanout)
+	}
+}
+
+func TestDensityEmptyObject(t *testing.T) {
+	b := core.NewBuilder()
+	b.Object("A", objects.Register(), core.State{})
+	h, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Analyze(h)
+	if len(s.PerObject) != 1 || s.PerObject[0].Density() != 0 {
+		t.Fatalf("empty object density: %+v", s.PerObject)
+	}
+	if s.MaxConcurrency != 0 {
+		t.Fatalf("no transactions: concurrency %d", s.MaxConcurrency)
+	}
+}
+
+func TestAbortsCounted(t *testing.T) {
+	en := engine.New(engine.None{}, engine.Options{})
+	en.AddObject("A", objects.Register(), core.State{})
+	_, _ = en.Run("T", func(ctx *engine.Ctx) (core.Value, error) {
+		if _, err := ctx.Do("A", "Write", "x", int64(1)); err != nil {
+			return nil, err
+		}
+		return nil, ctx.Abort("no")
+	})
+	s := Analyze(en.History())
+	if s.Aborted != 1 || s.Committed != 0 {
+		t.Fatalf("aborted=%d committed=%d", s.Aborted, s.Committed)
+	}
+}

@@ -1,0 +1,193 @@
+// Package hts implements Reed's hierarchical timestamps as used by nested
+// timestamp ordering (Section 5.2 of the paper).
+//
+// A hierarchical timestamp hts(e) has the form (a1, a2, ..., ak) where
+// (a1, ..., a(k-1)) is the parent's timestamp; timestamps are totally
+// ordered lexicographically (with a proper prefix preceding its
+// extensions). The paper's implementation sketch — a per-execution counter
+// whose atomic Increment numbers the children, plus an environment counter
+// that numbers top-level transactions in start order — is exactly what
+// Assigner provides.
+//
+// In this repository an execution's ExecID is its path of child indices, so
+// the ID is the timestamp; this package supplies the ordering, the
+// generation discipline, and the bookkeeping NTO needs (per-operation
+// maximum timestamps with the paper's garbage-collection rule).
+package hts
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"objectbase/internal/core"
+)
+
+// HTS is a hierarchical timestamp.
+type HTS = core.ExecID
+
+// Less reports a < b in the lexicographic order of Section 5.2 (a proper
+// prefix precedes its extensions).
+func Less(a, b HTS) bool { return a.Compare(b) < 0 }
+
+// Assigner hands out hierarchical timestamps satisfying both NTO
+// disciplines:
+//
+//   - rule 2's implementation: each execution carries a counter; a child
+//     created by the i-th Increment gets timestamp (hts(parent), i), so
+//     serially issued messages get ordered timestamps while parallel
+//     messages get unique ones;
+//   - the environment counter assigns top-level timestamps so that if e
+//     terminates before e' begins then hts(e) < hts(e') (needed for the
+//     step-based variant's garbage collection).
+type Assigner struct {
+	top      atomic.Int32
+	mu       sync.Mutex
+	counters map[string]*int32
+}
+
+// NewAssigner returns a fresh assigner.
+func NewAssigner() *Assigner {
+	return &Assigner{counters: make(map[string]*int32)}
+}
+
+// NextTop returns the timestamp for the next top-level transaction.
+func (a *Assigner) NextTop() HTS {
+	n := a.top.Add(1) - 1
+	return core.RootID(n)
+}
+
+// NextChild returns the timestamp for the next child of parent
+// (Increment(ctr_e) in the paper's sketch).
+func (a *Assigner) NextChild(parent HTS) HTS {
+	a.mu.Lock()
+	ctr := a.counters[parent.Key()]
+	if ctr == nil {
+		ctr = new(int32)
+		a.counters[parent.Key()] = ctr
+	}
+	k := *ctr
+	*ctr++
+	a.mu.Unlock()
+	return parent.Child(k)
+}
+
+// Forget drops the counter of a finished execution (housekeeping only; IDs
+// remain unique because a parent never reuses an index).
+func (a *Assigner) Forget(e HTS) {
+	a.mu.Lock()
+	delete(a.counters, e.Key())
+	a.mu.Unlock()
+}
+
+// IssueTable is the bookkeeping behind NTO rule 1 ("if t conflicts with t'
+// and t < t' then hts(e) < hts(e')"), covering both of the paper's
+// implementation strategies:
+//
+//   - conservative (exact=false): conflicts are tested at operation
+//     granularity before execution — the moral equivalent of keeping "the
+//     maximum timestamp of any method execution that has issued operation
+//     a" per operation (the paper's hts(a));
+//   - exact (exact=true): the step's provisionally computed return value
+//     participates, so only genuinely conflicting steps are ordered — at
+//     the price of remembering past steps, which the paper's low-water
+//     garbage collection (Prune) keeps bounded.
+//
+// Rule 1 applies only to *incomparable* executions, so recorded issues by
+// ancestors or descendants of the requester never reject it.
+type IssueTable struct {
+	mu      sync.Mutex
+	entries map[string][]issue // scope -> issued steps
+}
+
+type issue struct {
+	step core.StepInfo
+	ts   HTS
+}
+
+// NewIssueTable returns an empty table.
+func NewIssueTable() *IssueTable {
+	return &IssueTable{entries: make(map[string][]issue)}
+}
+
+// TryIssue checks rule 1 for a step req with timestamp ts in the given
+// scope and, if admissible, records it and returns true. A false return
+// means some incomparable execution with a *larger* timestamp already
+// issued a step that conflicts with req (in recorded-then-req order): req's
+// execution must be aborted (and typically retried with a fresh, larger
+// timestamp).
+//
+// req.Ret is ignored unless exact is true.
+func (t *IssueTable) TryIssue(scope string, rel core.ConflictRelation, exact bool, req core.StepInfo, ts HTS) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.entries[scope] {
+		if e.ts.Comparable(ts) {
+			continue
+		}
+		if ts.Compare(e.ts) > 0 {
+			continue // recorded issuer is older: order already agrees
+		}
+		var conflicting bool
+		if exact {
+			conflicting = rel.StepConflicts(e.step, req)
+		} else {
+			conflicting = rel.OpConflicts(e.step.Invocation(), req.Invocation())
+		}
+		if conflicting {
+			return false
+		}
+	}
+	t.record(scope, req, ts, exact)
+	return true
+}
+
+// record appends the issue; in conservative mode it compacts entries of the
+// same operation class whose issuer is an ancestor of (or equal to) ts,
+// which keeps the table near "one max per operation" on flat workloads.
+func (t *IssueTable) record(scope string, req core.StepInfo, ts HTS, exact bool) {
+	list := t.entries[scope]
+	if !exact {
+		out := list[:0]
+		for _, e := range list {
+			if e.step.Op == req.Op && e.ts.IsAncestorOf(ts) {
+				continue
+			}
+			out = append(out, e)
+		}
+		list = out
+	}
+	t.entries[scope] = append(list, issue{step: req, ts: ts})
+}
+
+// Prune removes entries strictly below the low-water timestamp — the
+// paper's garbage collection: "information about the steps of an inactive
+// method execution e can be discarded as soon as for all active method
+// executions e', hts(e) < hts(e')". Scopes left empty are deleted.
+func (t *IssueTable) Prune(lowWater HTS) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for scope, list := range t.entries {
+		out := list[:0]
+		for _, e := range list {
+			if e.ts.Compare(lowWater) >= 0 {
+				out = append(out, e)
+			}
+		}
+		if len(out) == 0 {
+			delete(t.entries, scope)
+		} else {
+			t.entries[scope] = out
+		}
+	}
+}
+
+// Size returns the number of live entries (used by the GC experiment).
+func (t *IssueTable) Size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, list := range t.entries {
+		n += len(list)
+	}
+	return n
+}

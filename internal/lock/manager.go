@@ -1,0 +1,499 @@
+// Package lock implements the lock manager behind nested two-phase locking
+// (N2PL, Section 5.1 of the paper — Moss's algorithm generalised to
+// arbitrary operations).
+//
+// Locks name operations or steps, at the caller's choice of granularity:
+//
+//   - OpGranularity locks operations before execution (the paper's first
+//     resolution of the lock/return-value circularity): L(a) is
+//     incompatible with a held L(a') iff a' conflicts with a;
+//   - StepGranularity locks completed steps after a provisional execution
+//     (the second resolution, after Weihl): L(t) is incompatible with a
+//     held L(t') iff t' conflicts with t — return values participate, so
+//     e.g. an Enqueue blocks only the Dequeue that would return its item.
+//
+// Note the direction: rule 2 reads "e can acquire a lock L only if every
+// method execution which owns a lock that conflicts with L is an ancestor
+// of e" — the held lock's step conflicting with the requested one. The
+// relation need not be symmetric (Definition 3); granting a request whose
+// step conflicts with a held step only in the *reverse* order is sound
+// because a Definition 9 edge requires the conflict in execution order.
+//
+// The manager enforces the five rules of Section 5.1:
+//
+//  1. a step is issued only while its lock is owned — the engine acquires
+//     before every local step;
+//  2. grant only if every owner of a conflicting lock is an ancestor of
+//     the requester;
+//  3. no acquisition after release (two-phase) — releases happen only at
+//     commit/abort (strict), and acquisitions by finished executions are
+//     rejected;
+//  4. an execution releases only after its children released theirs — the
+//     engine commits bottom-up;
+//  5. on commit, released locks are immediately acquired by the parent
+//     (lock inheritance); a top-level commit or any abort discards them.
+//
+// Deadlocks are detected on a waits-for structure interpreted with nested
+// semantics: a waiter needs the commits of the owner and of the owner's
+// proper ancestors below their least common ancestor (rule 5 moves locks
+// upward one level per commit), and an execution's commit needs its whole
+// subtree to finish. A request that closes a cycle fails with ErrDeadlock.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"objectbase/internal/core"
+)
+
+// ErrDeadlock is returned when granting the request could never happen
+// because the requester transitively waits for its own subtree, or when the
+// wait budget expires.
+var ErrDeadlock = errors.New("lock: deadlock detected")
+
+// ErrFinished is returned when a finished execution requests a lock
+// (rule 3 violation by the caller).
+var ErrFinished = errors.New("lock: acquisition after release (rule 3)")
+
+// Granularity selects which conflict test guards lock compatibility.
+type Granularity int
+
+const (
+	// OpGranularity: conservative, locks operations (return values
+	// unknown).
+	OpGranularity Granularity = iota
+	// StepGranularity: exact, locks steps (return values known; requests
+	// carry the provisionally computed return value).
+	StepGranularity
+)
+
+func (g Granularity) String() string {
+	if g == StepGranularity {
+		return "step"
+	}
+	return "op"
+}
+
+// Sharder is implemented by conflict relations that can scope invocations:
+// invocations with different shard keys never conflict, so the manager may
+// keep them in separate tables. core.TableConflict implements it.
+type Sharder = core.Sharder
+
+// Stats carries the manager's counters for the experiment harness.
+type Stats struct {
+	Acquires  atomic.Int64 // granted requests
+	Waits     atomic.Int64 // requests that blocked at least once
+	Deadlocks atomic.Int64 // requests denied by deadlock detection/timeout
+	Inherits  atomic.Int64 // locks transferred to a parent on commit
+}
+
+// Options configures a Manager.
+type Options struct {
+	// Granularity selects the conflict test (default OpGranularity).
+	Granularity Granularity
+	// WaitTimeout bounds one request's total blocking time; expiry reports
+	// ErrDeadlock (liveness backstop). Zero means 10s.
+	WaitTimeout time.Duration
+}
+
+// Manager is the lock manager; one Manager serves one object base.
+type Manager struct {
+	opts       Options
+	mu         sync.Mutex
+	shard      map[string]*shard
+	waitingFor map[string]waitInfo
+	finished   map[string]bool
+	// byOwner indexes the shard names where each execution holds locks, so
+	// commit/abort touch only those shards instead of scanning the table.
+	byOwner map[string]map[string]bool
+	stats   *Stats
+}
+
+type waitInfo struct {
+	exec   core.ExecID
+	owners []core.ExecID
+}
+
+type shard struct {
+	held    []heldLock
+	waiters []*Waiter
+}
+
+type heldLock struct {
+	owner core.ExecID
+	step  core.StepInfo // Ret meaningful only at StepGranularity
+	rel   core.ConflictRelation
+	count int
+}
+
+// Waiter represents one registered blocked request. The engine waits on it
+// and retries.
+type Waiter struct {
+	m     *Manager
+	key   string
+	exec  core.ExecID
+	ch    chan struct{}
+	start time.Time
+}
+
+// New returns a Manager.
+func New(opts Options) *Manager {
+	if opts.WaitTimeout <= 0 {
+		opts.WaitTimeout = 10 * time.Second
+	}
+	return &Manager{
+		opts:       opts,
+		shard:      make(map[string]*shard),
+		waitingFor: make(map[string]waitInfo),
+		finished:   make(map[string]bool),
+		byOwner:    make(map[string]map[string]bool),
+		stats:      &Stats{},
+	}
+}
+
+func (m *Manager) indexOwner(owner core.ExecID, shardName string) {
+	set := m.byOwner[owner.Key()]
+	if set == nil {
+		set = make(map[string]bool)
+		m.byOwner[owner.Key()] = set
+	}
+	set[shardName] = true
+}
+
+// Stats returns the manager's counters.
+func (m *Manager) Stats() *Stats { return m.stats }
+
+// Granularity returns the manager's configured granularity.
+func (m *Manager) Granularity() Granularity { return m.opts.Granularity }
+
+func shardName(object string, rel core.ConflictRelation, step core.StepInfo) string {
+	return core.ScopeOf(object, rel, step.Invocation())
+}
+
+// incompatible reports whether a held lock blocks the request: the held
+// entry's operation/step conflicts with the requested one (rule 2's
+// direction).
+func (m *Manager) incompatible(h *heldLock, rel core.ConflictRelation, req core.StepInfo) bool {
+	if m.opts.Granularity == StepGranularity {
+		return rel.StepConflicts(h.step, req)
+	}
+	return rel.OpConflicts(h.step.Invocation(), req.Invocation())
+}
+
+// TryAcquire attempts to obtain the lock for req on object for execution e
+// without blocking. On success it returns (true, nil, nil). If the request
+// must wait, a Waiter is registered and returned — the caller must either
+// Wait on it or Cancel it. If waiting can never succeed, ErrDeadlock is
+// returned (and nothing is registered).
+//
+// TryAcquire may be called while holding the target object's latch: the
+// manager never takes object latches, so the latch->manager lock order is
+// safe. This is what makes the step-granularity protocol of Section 5.1
+// atomic: provisional execution, conflict check and lock acquisition all
+// happen under the latch.
+func (m *Manager) TryAcquire(e core.ExecID, object string, rel core.ConflictRelation, req core.StepInfo) (bool, *Waiter, error) {
+	key := shardName(object, rel, req)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.finished[e.Key()] {
+		return false, nil, ErrFinished
+	}
+	sh := m.shard[key]
+	if sh == nil {
+		sh = &shard{}
+		m.shard[key] = sh
+	}
+	blockers := m.blockers(sh, e, rel, req)
+	if len(blockers) == 0 {
+		m.grant(sh, e, rel, req)
+		m.indexOwner(e, key)
+		delete(m.waitingFor, e.Key())
+		m.stats.Acquires.Add(1)
+		return true, nil, nil
+	}
+	m.waitingFor[e.Key()] = waitInfo{exec: e, owners: blockers}
+	if m.wouldDeadlock(e) {
+		delete(m.waitingFor, e.Key())
+		m.stats.Deadlocks.Add(1)
+		return false, nil, fmt.Errorf("%w: %s requesting %s on %s", ErrDeadlock, e, req.Invocation(), object)
+	}
+	w := &Waiter{m: m, key: key, exec: e, ch: make(chan struct{}, 1), start: time.Now()}
+	sh.waiters = append(sh.waiters, w)
+	m.stats.Waits.Add(1)
+	return false, w, nil
+}
+
+// Wait blocks until the lock situation may have changed or the manager's
+// wait budget expires (ErrDeadlock). The caller then retries TryAcquire.
+// The waiter stays registered across retries; Cancel it when giving up or
+// after a successful TryAcquire (TryAcquire success auto-cancels the
+// registered wait entry but not the shard registration — call Cancel).
+func (w *Waiter) Wait() error {
+	remaining := w.m.opts.WaitTimeout - time.Since(w.start)
+	if remaining <= 0 {
+		w.Cancel()
+		w.m.stats.Deadlocks.Add(1)
+		return fmt.Errorf("%w: %s timed out", ErrDeadlock, w.exec)
+	}
+	t := time.NewTimer(remaining)
+	defer t.Stop()
+	select {
+	case <-w.ch:
+		return nil
+	case <-t.C:
+		w.Cancel()
+		w.m.stats.Deadlocks.Add(1)
+		return fmt.Errorf("%w: %s timed out", ErrDeadlock, w.exec)
+	}
+}
+
+// Cancel deregisters the waiter.
+func (w *Waiter) Cancel() {
+	w.m.mu.Lock()
+	if sh := w.m.shard[w.key]; sh != nil {
+		for i, x := range sh.waiters {
+			if x == w {
+				sh.waiters = append(sh.waiters[:i], sh.waiters[i+1:]...)
+				break
+			}
+		}
+	}
+	delete(w.m.waitingFor, w.exec.Key())
+	w.m.mu.Unlock()
+}
+
+// Acquire is the blocking convenience used at OpGranularity (no provisional
+// state to revalidate): it loops TryAcquire/Wait until granted or dead.
+func (m *Manager) Acquire(e core.ExecID, object string, rel core.ConflictRelation, inv core.OpInvocation) error {
+	req := core.StepInfo{Op: inv.Op, Args: inv.Args}
+	for {
+		ok, w, err := m.TryAcquire(e, object, rel, req)
+		if ok {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		err = w.Wait()
+		w.Cancel()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// blockers returns the owners of incompatible locks that are not ancestors
+// of e, deduplicated.
+func (m *Manager) blockers(sh *shard, e core.ExecID, rel core.ConflictRelation, req core.StepInfo) []core.ExecID {
+	var out []core.ExecID
+	seen := make(map[string]bool)
+	for i := range sh.held {
+		h := &sh.held[i]
+		if h.owner.IsAncestorOf(e) {
+			continue // rule 2: ancestors (and e itself) never block
+		}
+		if !m.incompatible(h, rel, req) {
+			continue
+		}
+		if !seen[h.owner.Key()] {
+			seen[h.owner.Key()] = true
+			out = append(out, h.owner)
+		}
+	}
+	return out
+}
+
+func (m *Manager) grant(sh *shard, e core.ExecID, rel core.ConflictRelation, req core.StepInfo) {
+	for i := range sh.held {
+		h := &sh.held[i]
+		if h.owner.Equal(e) && h.step.Op == req.Op && sameArgs(h.step.Args, req.Args) && core.ValueEqual(h.step.Ret, req.Ret) {
+			h.count++
+			return
+		}
+	}
+	sh.held = append(sh.held, heldLock{owner: e, step: req, rel: rel, count: 1})
+}
+
+func sameArgs(a, b []core.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !core.ValueEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// wouldDeadlock reports whether e transitively waits for the completion of
+// its own subtree — see the package comment for the wait-graph semantics.
+// Called with m.mu held.
+func (m *Manager) wouldDeadlock(e core.ExecID) bool {
+	neededCommits := func(w core.ExecID, owner core.ExecID) []core.ExecID {
+		var out []core.ExecID
+		lca, ok := core.LCA(w, owner)
+		stop := 0
+		if ok {
+			stop = len(lca)
+		}
+		for l := len(owner); l > stop; l-- {
+			out = append(out, owner[:l])
+		}
+		return out
+	}
+
+	visited := make(map[string]bool)
+	var stack []core.ExecID
+	push := func(x core.ExecID) bool {
+		if x.IsAncestorOf(e) {
+			return true // x's completion requires e's completion: cycle
+		}
+		if !visited[x.Key()] {
+			visited[x.Key()] = true
+			stack = append(stack, x)
+		}
+		return false
+	}
+
+	info, ok := m.waitingFor[e.Key()]
+	if !ok {
+		return false
+	}
+	for _, owner := range info.owners {
+		for _, x := range neededCommits(e, owner) {
+			if push(x) {
+				return true
+			}
+		}
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, wi := range m.waitingFor {
+			if !x.IsAncestorOf(wi.exec) {
+				continue
+			}
+			for _, owner := range wi.owners {
+				for _, y := range neededCommits(wi.exec, owner) {
+					if push(y) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// CommitTransfer implements rule 5 for a committing execution: its locks
+// are inherited by its parent; a committing top-level execution discards
+// them. The execution is marked finished (rule 3).
+func (m *Manager) CommitTransfer(e core.ExecID) {
+	parent := e.Parent()
+	m.mu.Lock()
+	m.finished[e.Key()] = true
+	delete(m.waitingFor, e.Key())
+	for name := range m.byOwner[e.Key()] {
+		sh := m.shard[name]
+		if sh == nil {
+			continue
+		}
+		changed := false
+		out := sh.held[:0]
+		for _, h := range sh.held {
+			if !h.owner.Equal(e) {
+				out = append(out, h)
+				continue
+			}
+			changed = true
+			if parent != nil {
+				h.owner = parent
+				out = append(out, h)
+				m.indexOwner(parent, name)
+				m.stats.Inherits.Add(1)
+			}
+		}
+		sh.held = out
+		if changed {
+			wakeAll(sh)
+		}
+	}
+	delete(m.byOwner, e.Key())
+	m.mu.Unlock()
+}
+
+// ReleaseAll discards every lock owned by e (abort path) and marks it
+// finished.
+func (m *Manager) ReleaseAll(e core.ExecID) {
+	m.mu.Lock()
+	m.finished[e.Key()] = true
+	delete(m.waitingFor, e.Key())
+	for name := range m.byOwner[e.Key()] {
+		sh := m.shard[name]
+		if sh == nil {
+			continue
+		}
+		changed := false
+		out := sh.held[:0]
+		for _, h := range sh.held {
+			if h.owner.Equal(e) {
+				changed = true
+				continue
+			}
+			out = append(out, h)
+		}
+		sh.held = out
+		if changed {
+			wakeAll(sh)
+		}
+	}
+	delete(m.byOwner, e.Key())
+	m.mu.Unlock()
+}
+
+// Forget clears the finished marker (tests).
+func (m *Manager) Forget(e core.ExecID) {
+	m.mu.Lock()
+	delete(m.finished, e.Key())
+	m.mu.Unlock()
+}
+
+func wakeAll(sh *shard) {
+	for _, w := range sh.waiters {
+		select {
+		case w.ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// HeldBy returns the number of locks currently owned by e.
+func (m *Manager) HeldBy(e core.ExecID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, sh := range m.shard {
+		for _, h := range sh.held {
+			if h.owner.Equal(e) {
+				n += h.count
+			}
+		}
+	}
+	return n
+}
+
+// TotalHeld returns the number of held lock entries across all shards.
+func (m *Manager) TotalHeld() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, sh := range m.shard {
+		n += len(sh.held)
+	}
+	return n
+}

@@ -1,0 +1,317 @@
+package lock
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"objectbase/internal/core"
+	"objectbase/internal/objects"
+)
+
+func read(v string) core.OpInvocation {
+	return core.OpInvocation{Op: "Read", Args: []core.Value{v}}
+}
+func write(v string, x int64) core.OpInvocation {
+	return core.OpInvocation{Op: "Write", Args: []core.Value{v, x}}
+}
+
+// acquireAsync runs Acquire in a goroutine and returns a channel carrying
+// its result.
+func acquireAsync(m *Manager, e core.ExecID, obj string, rel core.ConflictRelation, inv core.OpInvocation) chan error {
+	ch := make(chan error, 1)
+	go func() { ch <- m.Acquire(e, obj, rel, inv) }()
+	return ch
+}
+
+func mustBlocked(t *testing.T, ch chan error) {
+	t.Helper()
+	select {
+	case err := <-ch:
+		t.Fatalf("request should block, returned %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+}
+
+func mustGranted(t *testing.T, ch chan error) {
+	t.Helper()
+	select {
+	case err := <-ch:
+		if err != nil {
+			t.Fatalf("request should be granted, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("request did not complete")
+	}
+}
+
+func TestSharedReadsGranted(t *testing.T) {
+	m := New(Options{})
+	rel := objects.Register().Conflicts
+	t0, t1 := core.RootID(0), core.RootID(1)
+	if err := m.Acquire(t0, "A", rel, read("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(t1, "A", rel, read("x")); err != nil {
+		t.Fatalf("concurrent reads must not block: %v", err)
+	}
+}
+
+func TestWriteBlocksConflicting(t *testing.T) {
+	m := New(Options{})
+	rel := objects.Register().Conflicts
+	t0, t1 := core.RootID(0), core.RootID(1)
+	if err := m.Acquire(t0, "A", rel, write("x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	ch := acquireAsync(m, t1, "A", rel, read("x"))
+	mustBlocked(t, ch)
+	// Different variable proceeds (per-variable sharding through the RW
+	// table's key function).
+	if err := m.Acquire(t1, "A", rel, write("y", 1)); err != nil {
+		t.Fatalf("different variable must not block: %v", err)
+	}
+	// Different object proceeds.
+	if err := m.Acquire(t1, "B", rel, write("x", 1)); err != nil {
+		t.Fatalf("different object must not block: %v", err)
+	}
+	m.CommitTransfer(t0) // top-level commit discards
+	mustGranted(t, ch)
+}
+
+func TestRule2AncestorsDoNotBlock(t *testing.T) {
+	m := New(Options{})
+	rel := objects.Register().Conflicts
+	top := core.RootID(0)
+	child := top.Child(0)
+	if err := m.Acquire(top, "A", rel, write("x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// The child may acquire a conflicting lock: the only conflicting owner
+	// is its ancestor.
+	if err := m.Acquire(child, "A", rel, write("x", 2)); err != nil {
+		t.Fatalf("rule 2: ancestor's lock must not block descendant: %v", err)
+	}
+	// Re-entrant acquisition by the same execution.
+	if err := m.Acquire(child, "A", rel, write("x", 2)); err != nil {
+		t.Fatalf("re-entrant acquire: %v", err)
+	}
+	if n := m.HeldBy(child); n != 2 {
+		t.Fatalf("HeldBy(child) = %d, want 2 (counted re-entrant)", n)
+	}
+}
+
+func TestRule5Inheritance(t *testing.T) {
+	m := New(Options{})
+	rel := objects.Register().Conflicts
+	t0 := core.RootID(0)
+	c := t0.Child(0)
+	t1 := core.RootID(1)
+
+	if err := m.Acquire(c, "A", rel, write("x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Sibling transaction blocked by the child's lock.
+	ch := acquireAsync(m, t1, "A", rel, write("x", 9))
+	mustBlocked(t, ch)
+
+	// Child commits: the lock passes to t0 — t1 must STILL be blocked.
+	m.CommitTransfer(c)
+	if n := m.HeldBy(t0); n != 1 {
+		t.Fatalf("parent should have inherited 1 lock, has %d", n)
+	}
+	mustBlocked(t, ch)
+
+	// Top-level commit releases for good.
+	m.CommitTransfer(t0)
+	mustGranted(t, ch)
+	if got := m.Stats().Inherits.Load(); got != 1 {
+		t.Fatalf("Inherits = %d, want 1", got)
+	}
+}
+
+func TestAbortReleases(t *testing.T) {
+	m := New(Options{})
+	rel := objects.Register().Conflicts
+	t0, t1 := core.RootID(0), core.RootID(1)
+	if err := m.Acquire(t0, "A", rel, write("x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	ch := acquireAsync(m, t1, "A", rel, write("x", 2))
+	mustBlocked(t, ch)
+	m.ReleaseAll(t0)
+	mustGranted(t, ch)
+	if n := m.HeldBy(t0); n != 0 {
+		t.Fatalf("aborted owner still holds %d locks", n)
+	}
+}
+
+func TestRule3NoAcquireAfterRelease(t *testing.T) {
+	m := New(Options{})
+	rel := objects.Register().Conflicts
+	t0 := core.RootID(0)
+	if err := m.Acquire(t0, "A", rel, read("x")); err != nil {
+		t.Fatal(err)
+	}
+	m.CommitTransfer(t0)
+	if err := m.Acquire(t0, "A", rel, read("x")); !errors.Is(err, ErrFinished) {
+		t.Fatalf("want ErrFinished, got %v", err)
+	}
+	m.Forget(t0)
+	if err := m.Acquire(t0, "A", rel, read("x")); err != nil {
+		t.Fatalf("after Forget: %v", err)
+	}
+}
+
+func TestCommutingOperationLocksCompatible(t *testing.T) {
+	// Counter Adds commute: two transactions may hold Add locks
+	// simultaneously — the concurrency gain of semantic locks over RW.
+	m := New(Options{})
+	rel := objects.Counter().Conflicts
+	add := core.OpInvocation{Op: "Add", Args: []core.Value{int64(1)}}
+	get := core.OpInvocation{Op: "Get"}
+	if err := m.Acquire(core.RootID(0), "C", rel, add); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(core.RootID(1), "C", rel, add); err != nil {
+		t.Fatalf("commuting Adds must not block: %v", err)
+	}
+	ch := acquireAsync(m, core.RootID(2), "C", rel, get)
+	mustBlocked(t, ch) // Get conflicts with both Adds
+	m.CommitTransfer(core.RootID(0))
+	mustBlocked(t, ch)
+	m.CommitTransfer(core.RootID(1))
+	mustGranted(t, ch)
+}
+
+func TestDeadlockDetectedFlat(t *testing.T) {
+	m := New(Options{WaitTimeout: 5 * time.Second})
+	rel := objects.Register().Conflicts
+	t0, t1 := core.RootID(0), core.RootID(1)
+	if err := m.Acquire(t0, "A", rel, write("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(t1, "A", rel, write("b", 1)); err != nil {
+		t.Fatal(err)
+	}
+	ch0 := acquireAsync(m, t0, "A", rel, write("b", 2))
+	mustBlocked(t, ch0)
+	// t1 -> a while t0 -> b: cycle, detected immediately.
+	err := m.Acquire(t1, "A", rel, write("a", 2))
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	// Victim aborts, releasing its locks; the other proceeds.
+	m.ReleaseAll(t1)
+	mustGranted(t, ch0)
+	if m.Stats().Deadlocks.Load() == 0 {
+		t.Fatalf("deadlock counter not incremented")
+	}
+}
+
+func TestDeadlockDetectedViaRetainedLocks(t *testing.T) {
+	// The nested case: T0 (top) holds x; T1's child d waits for x; T0's
+	// child c requests y held by d's... — build the cross:
+	//   c (child of T0) holds y? No: d (child of T1) holds y; c requests y
+	//   -> waits for d and T1 (retained chain). d requests x held by T0 ->
+	//   waits for T0. T0's commit needs c. Cycle: c -> {d, T1} ; d -> T0;
+	//   T0 -> c.
+	m := New(Options{WaitTimeout: 5 * time.Second})
+	rel := objects.Register().Conflicts
+	t0, t1 := core.RootID(0), core.RootID(1)
+	c := t0.Child(0)
+	d := t1.Child(0)
+
+	if err := m.Acquire(t0, "A", rel, write("x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(d, "A", rel, write("y", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// d waits for x (owner t0): no cycle yet.
+	chD := acquireAsync(m, d, "A", rel, write("x", 2))
+	mustBlocked(t, chD)
+	// c requests y (owner d): c needs commits of d and t1; t1 needs d;
+	// d waits for t0's x; t0's commit needs c. Deadlock.
+	err := m.Acquire(c, "A", rel, write("y", 2))
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	m.ReleaseAll(c)
+	m.ReleaseAll(t0) // abort the whole tree
+	mustGranted(t, chD)
+}
+
+func TestDeadlockSiblingsSameTree(t *testing.T) {
+	m := New(Options{WaitTimeout: 5 * time.Second})
+	rel := objects.Register().Conflicts
+	top := core.RootID(0)
+	c1, c2 := top.Child(0), top.Child(1)
+	if err := m.Acquire(c1, "A", rel, write("x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(c2, "A", rel, write("y", 1)); err != nil {
+		t.Fatal(err)
+	}
+	ch1 := acquireAsync(m, c1, "A", rel, write("y", 2))
+	mustBlocked(t, ch1)
+	err := m.Acquire(c2, "A", rel, write("x", 2))
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("sibling deadlock within one tree must be detected, got %v", err)
+	}
+	m.ReleaseAll(c2)
+	mustGranted(t, ch1)
+}
+
+func TestNoFalseDeadlockSiblingWait(t *testing.T) {
+	// c1 waits for a lock held by sibling c2; c2 commits; lock moves to
+	// the common parent, which IS c1's ancestor: c1 proceeds. No deadlock
+	// may be reported.
+	m := New(Options{WaitTimeout: 5 * time.Second})
+	rel := objects.Register().Conflicts
+	top := core.RootID(0)
+	c1, c2 := top.Child(0), top.Child(1)
+	if err := m.Acquire(c2, "A", rel, write("x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	ch := acquireAsync(m, c1, "A", rel, write("x", 2))
+	mustBlocked(t, ch)
+	m.CommitTransfer(c2) // lock moves to top, ancestor of c1
+	mustGranted(t, ch)
+	if m.Stats().Deadlocks.Load() != 0 {
+		t.Fatalf("false deadlock reported")
+	}
+}
+
+func TestWaitTimeoutBackstop(t *testing.T) {
+	m := New(Options{WaitTimeout: 50 * time.Millisecond})
+	rel := objects.Register().Conflicts
+	t0, t1 := core.RootID(0), core.RootID(1)
+	if err := m.Acquire(t0, "A", rel, write("x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Acquire(t1, "A", rel, write("x", 2))
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want timeout->ErrDeadlock, got %v", err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	m := New(Options{})
+	rel := objects.Register().Conflicts
+	t0, t1 := core.RootID(0), core.RootID(1)
+	if err := m.Acquire(t0, "A", rel, write("x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	ch := acquireAsync(m, t1, "A", rel, read("x"))
+	mustBlocked(t, ch)
+	m.CommitTransfer(t0)
+	mustGranted(t, ch)
+	st := m.Stats()
+	if st.Acquires.Load() != 2 || st.Waits.Load() != 1 {
+		t.Fatalf("stats: acquires=%d waits=%d", st.Acquires.Load(), st.Waits.Load())
+	}
+	if m.TotalHeld() != 1 {
+		t.Fatalf("TotalHeld = %d", m.TotalHeld())
+	}
+}

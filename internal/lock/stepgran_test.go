@@ -1,0 +1,110 @@
+package lock
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"objectbase/internal/core"
+	"objectbase/internal/objects"
+)
+
+func TestStepGranularityQueue(t *testing.T) {
+	// The paper's Section 5.1 queue example at the lock level: an Enqueue
+	// step blocks only the Dequeue step that returns its item.
+	m := New(Options{Granularity: StepGranularity})
+	rel := objects.Queue().Conflicts
+	t0, t1 := core.RootID(0), core.RootID(1)
+
+	enq := core.StepInfo{Op: "Enqueue", Args: []core.Value{int64(42)}, Ret: nil}
+	ok, _, err := m.TryAcquire(t0, "Q", rel, enq)
+	if !ok || err != nil {
+		t.Fatalf("enqueue lock: %v %v", ok, err)
+	}
+
+	// A Dequeue that (provisionally) returned another item is compatible.
+	deqMiss := core.StepInfo{Op: "Dequeue", Ret: int64(7)}
+	ok, _, err = m.TryAcquire(t1, "Q", rel, deqMiss)
+	if !ok || err != nil {
+		t.Fatalf("unrelated dequeue must be granted: %v %v", ok, err)
+	}
+
+	// A Dequeue that returned the enqueued item is blocked.
+	deqHit := core.StepInfo{Op: "Dequeue", Ret: int64(42)}
+	ok, w, err := m.TryAcquire(core.RootID(2), "Q", rel, deqHit)
+	if ok || err != nil {
+		t.Fatalf("dequeue of uncommitted item must block: %v %v", ok, err)
+	}
+	w.Cancel()
+}
+
+func TestStepGranularityAsymmetricAccount(t *testing.T) {
+	m := New(Options{Granularity: StepGranularity})
+	rel := objects.Account().Conflicts
+	t0, t1 := core.RootID(0), core.RootID(1)
+
+	// A succeeded Withdraw is held; a Deposit request is compatible
+	// (Withdraw=true then Deposit commutes).
+	wOK := core.StepInfo{Op: "Withdraw", Args: []core.Value{int64(5)}, Ret: true}
+	if ok, _, err := m.TryAcquire(t0, "A", rel, wOK); !ok || err != nil {
+		t.Fatalf("withdraw lock: %v %v", ok, err)
+	}
+	dep := core.StepInfo{Op: "Deposit", Args: []core.Value{int64(3)}, Ret: nil}
+	if ok, _, err := m.TryAcquire(t1, "A", rel, dep); !ok || err != nil {
+		t.Fatalf("deposit after held withdraw must be granted (asymmetry): %v %v", ok, err)
+	}
+
+	// Reverse: Deposit held (by t1 now), a Withdraw=true request conflicts
+	// with it (Deposit then Withdraw=true does not commute).
+	w2 := core.StepInfo{Op: "Withdraw", Args: []core.Value{int64(4)}, Ret: true}
+	ok, w, err := m.TryAcquire(core.RootID(2), "A", rel, w2)
+	if ok || err != nil {
+		t.Fatalf("withdraw after held deposit must block: %v %v", ok, err)
+	}
+	w.Cancel()
+}
+
+func TestTryAcquireWaiterProtocol(t *testing.T) {
+	m := New(Options{WaitTimeout: time.Second})
+	rel := objects.Register().Conflicts
+	t0, t1 := core.RootID(0), core.RootID(1)
+	if err := m.Acquire(t0, "A", rel, write("x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	req := core.StepInfo{Op: "Write", Args: []core.Value{"x", int64(2)}}
+	ok, w, err := m.TryAcquire(t1, "A", rel, req)
+	if ok || err != nil {
+		t.Fatalf("TryAcquire = %v,%v", ok, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Wait() }()
+	m.CommitTransfer(t0)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("wait: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("waiter not woken by release")
+	}
+	w.Cancel()
+	if ok, _, _ := m.TryAcquire(t1, "A", rel, req); !ok {
+		t.Fatalf("retry after release must be granted")
+	}
+}
+
+func TestWaiterTimeout(t *testing.T) {
+	m := New(Options{WaitTimeout: 30 * time.Millisecond})
+	rel := objects.Register().Conflicts
+	if err := m.Acquire(core.RootID(0), "A", rel, write("x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	req := core.StepInfo{Op: "Write", Args: []core.Value{"x", int64(2)}}
+	ok, w, err := m.TryAcquire(core.RootID(1), "A", rel, req)
+	if ok || err != nil {
+		t.Fatalf("TryAcquire = %v,%v", ok, err)
+	}
+	if err := w.Wait(); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want timeout ErrDeadlock, got %v", err)
+	}
+}

@@ -1,0 +1,47 @@
+package objects
+
+import (
+	"objectbase/internal/core"
+)
+
+// Counter returns a commutative counter schema: Add(delta) returns nothing,
+// so any two Adds commute (Definition 3: their transposition is legal and
+// state-equivalent) — unlike writes in the RW model. Get conflicts with Add
+// in both orders. This is the simplest object on which the paper's
+// arbitrary-operation generality buys real concurrency over a read/write
+// encoding: under N2PL two Adds of incomparable transactions may hold their
+// locks simultaneously.
+func Counter() *core.Schema {
+	add := &core.Operation{
+		Name: "Add",
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			d, err := argInt(args, 0, "Add")
+			if err != nil {
+				return nil, nil, err
+			}
+			n, _ := s["n"].(int64)
+			s["n"] = n + d
+			return nil, func(st core.State) {
+				cur, _ := st["n"].(int64)
+				st["n"] = cur - d
+			}, nil
+		},
+		Peek: func(s core.State, args []core.Value) (core.Value, error) {
+			_, err := argInt(args, 0, "Add")
+			return nil, err
+		},
+	}
+	get := &core.Operation{
+		Name:     "Get",
+		ReadOnly: true,
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			n, _ := s["n"].(int64)
+			return n, nil, nil
+		},
+	}
+	rel := &core.TableConflict{
+		Pairs: core.SymmetricPairs([2]string{"Add", "Get"}),
+		Key:   core.SingleKey,
+	}
+	return core.NewSchema("counter", func() core.State { return core.State{"n": int64(0)} }, rel, add, get)
+}

@@ -1,0 +1,283 @@
+package objects
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"objectbase/internal/core"
+)
+
+// soundnessCheck drives core.VerifyConflictSoundness with random states and
+// invocation pairs: whenever the schema declares a pair of steps
+// non-conflicting, executing them in either order must be indistinguishable
+// (Definition 3).
+func soundnessCheck(t *testing.T, sc *core.Schema, seed int64,
+	randState func(r *rand.Rand) core.State,
+	randInv func(r *rand.Rand) core.OpInvocation,
+	rounds int) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	f := func() bool {
+		s := randState(r)
+		a, b := randInv(r), randInv(r)
+		if err := core.VerifyConflictSoundness(sc, s, a, b); err != nil {
+			t.Logf("soundness: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: rounds}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegisterSoundness(t *testing.T) {
+	vars := []string{"x", "y"}
+	soundnessCheck(t, Register(), 1,
+		func(r *rand.Rand) core.State {
+			s := core.State{}
+			for _, v := range vars {
+				if r.Intn(2) == 0 {
+					s[v] = int64(r.Intn(10))
+				}
+			}
+			return s
+		},
+		func(r *rand.Rand) core.OpInvocation {
+			v := vars[r.Intn(len(vars))]
+			if r.Intn(2) == 0 {
+				return core.OpInvocation{Op: "Read", Args: []core.Value{v}}
+			}
+			return core.OpInvocation{Op: "Write", Args: []core.Value{v, int64(r.Intn(10))}}
+		}, 3000)
+}
+
+func TestCounterSoundness(t *testing.T) {
+	soundnessCheck(t, Counter(), 2,
+		func(r *rand.Rand) core.State {
+			return core.State{"n": int64(r.Intn(100))}
+		},
+		func(r *rand.Rand) core.OpInvocation {
+			if r.Intn(2) == 0 {
+				return core.OpInvocation{Op: "Add", Args: []core.Value{int64(r.Intn(5) - 2)}}
+			}
+			return core.OpInvocation{Op: "Get"}
+		}, 2000)
+}
+
+func TestAccountSoundness(t *testing.T) {
+	soundnessCheck(t, Account(), 3,
+		func(r *rand.Rand) core.State {
+			return core.State{"balance": int64(r.Intn(20))}
+		},
+		func(r *rand.Rand) core.OpInvocation {
+			switch r.Intn(3) {
+			case 0:
+				return core.OpInvocation{Op: "Deposit", Args: []core.Value{int64(1 + r.Intn(10))}}
+			case 1:
+				return core.OpInvocation{Op: "Withdraw", Args: []core.Value{int64(1 + r.Intn(15))}}
+			default:
+				return core.OpInvocation{Op: "Balance"}
+			}
+		}, 6000)
+}
+
+func TestQueueSoundness(t *testing.T) {
+	soundnessCheck(t, Queue(), 4,
+		func(r *rand.Rand) core.State {
+			n := r.Intn(4)
+			items := make([]core.Value, n)
+			for i := range items {
+				items[i] = int64(r.Intn(5)) // small domain: duplicates likely
+			}
+			return core.State{"items": items}
+		},
+		func(r *rand.Rand) core.OpInvocation {
+			switch r.Intn(3) {
+			case 0:
+				return core.OpInvocation{Op: "Enqueue", Args: []core.Value{int64(r.Intn(5))}}
+			case 1:
+				return core.OpInvocation{Op: "Dequeue"}
+			default:
+				return core.OpInvocation{Op: "Len"}
+			}
+		}, 6000)
+}
+
+func TestSetSoundness(t *testing.T) {
+	soundnessCheck(t, Set(), 5,
+		func(r *rand.Rand) core.State {
+			s := core.State{}
+			for x := int64(0); x < 3; x++ {
+				if r.Intn(2) == 0 {
+					s[kelem(x)] = true
+				}
+			}
+			return s
+		},
+		func(r *rand.Rand) core.OpInvocation {
+			x := int64(r.Intn(3))
+			switch r.Intn(3) {
+			case 0:
+				return core.OpInvocation{Op: "Add", Args: []core.Value{x}}
+			case 1:
+				return core.OpInvocation{Op: "Remove", Args: []core.Value{x}}
+			default:
+				return core.OpInvocation{Op: "Contains", Args: []core.Value{x}}
+			}
+		}, 6000)
+}
+
+func kelem(x int64) string {
+	return map[int64]string{0: "e0", 1: "e1", 2: "e2"}[x]
+}
+
+func TestQueueFIFO(t *testing.T) {
+	sc := Queue()
+	s := sc.NewState()
+	apply := func(op string, args ...core.Value) core.Value {
+		ret, _, err := sc.MustOp(op).Apply(s, args)
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		return ret
+	}
+	if got := apply("Dequeue"); got != nil {
+		t.Fatalf("dequeue empty = %v", got)
+	}
+	apply("Enqueue", int64(1))
+	apply("Enqueue", int64(2))
+	apply("Enqueue", int64(3))
+	if got := apply("Len"); got != int64(3) {
+		t.Fatalf("len = %v", got)
+	}
+	for want := int64(1); want <= 3; want++ {
+		if got := apply("Dequeue"); got != want {
+			t.Fatalf("dequeue = %v, want %d", got, want)
+		}
+	}
+}
+
+func TestQueueUndo(t *testing.T) {
+	sc := Queue()
+	s := sc.NewState()
+	_, undoE, _ := sc.MustOp("Enqueue").Apply(s, []core.Value{int64(7)})
+	ret, undoD, _ := sc.MustOp("Dequeue").Apply(s, nil)
+	if ret != int64(7) {
+		t.Fatalf("dequeue = %v", ret)
+	}
+	undoD(s) // restore the 7 at the head
+	undoE(s) // remove the appended 7
+	if items := s["items"].([]core.Value); len(items) != 0 {
+		t.Fatalf("after undo: %v", items)
+	}
+}
+
+func TestAccountWithdrawSemantics(t *testing.T) {
+	sc := Account()
+	s := sc.NewState()
+	dep := sc.MustOp("Deposit")
+	wd := sc.MustOp("Withdraw")
+	bal := sc.MustOp("Balance")
+
+	if ok, _, _ := wd.Apply(s, []core.Value{int64(5)}); ok != false {
+		t.Fatalf("withdraw from empty = %v", ok)
+	}
+	if _, _, err := dep.Apply(s, []core.Value{int64(10)}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _, _ := wd.Apply(s, []core.Value{int64(7)}); ok != true {
+		t.Fatalf("withdraw 7 of 10 = %v", ok)
+	}
+	if b, _, _ := bal.Apply(s, nil); b != int64(3) {
+		t.Fatalf("balance = %v", b)
+	}
+}
+
+func TestAccountAsymmetricConflicts(t *testing.T) {
+	rel := Account().Conflicts
+	depStep := core.StepInfo{Op: "Deposit", Args: []core.Value{int64(5)}}
+	wOK := core.StepInfo{Op: "Withdraw", Args: []core.Value{int64(5)}, Ret: true}
+	wFail := core.StepInfo{Op: "Withdraw", Args: []core.Value{int64(5)}, Ret: false}
+
+	if rel.StepConflicts(wOK, depStep) {
+		t.Errorf("successful withdrawal then deposit must commute")
+	}
+	if !rel.StepConflicts(depStep, wOK) {
+		t.Errorf("deposit then successful withdrawal must conflict (asymmetry)")
+	}
+	if !rel.StepConflicts(wFail, depStep) {
+		t.Errorf("failed withdrawal then deposit must conflict")
+	}
+	if rel.StepConflicts(depStep, wFail) {
+		t.Errorf("deposit then failed withdrawal must commute")
+	}
+	// Operation granularity is conservative.
+	if !rel.OpConflicts(core.OpInvocation{Op: "Withdraw"}, core.OpInvocation{Op: "Deposit"}) {
+		t.Errorf("operation granularity must be conservative for Withdraw/Deposit")
+	}
+	if rel.OpConflicts(core.OpInvocation{Op: "Deposit"}, core.OpInvocation{Op: "Deposit"}) {
+		t.Errorf("Deposit/Deposit commute at operation granularity")
+	}
+}
+
+func TestQueueStepGranularityExample(t *testing.T) {
+	// The paper's Section 5.1 example, verbatim: an Enqueue conflicts with
+	// a Dequeue only if the latter returns the item placed by the former.
+	rel := Queue().Conflicts
+	enq := core.StepInfo{Op: "Enqueue", Args: []core.Value{int64(42)}}
+	deqHit := core.StepInfo{Op: "Dequeue", Ret: int64(42)}
+	deqMiss := core.StepInfo{Op: "Dequeue", Ret: int64(7)}
+	deqNil := core.StepInfo{Op: "Dequeue", Ret: nil}
+
+	if !rel.StepConflicts(enq, deqHit) {
+		t.Errorf("Dequeue returning the enqueued item must conflict")
+	}
+	if rel.StepConflicts(enq, deqMiss) {
+		t.Errorf("Dequeue returning another item must not conflict")
+	}
+	if !rel.StepConflicts(deqNil, enq) {
+		t.Errorf("empty Dequeue then Enqueue must conflict")
+	}
+	if rel.StepConflicts(deqMiss, enq) {
+		t.Errorf("non-empty Dequeue then Enqueue must commute")
+	}
+	if !rel.OpConflicts(enq.Invocation(), deqHit.Invocation()) {
+		t.Errorf("operation granularity must be conservative")
+	}
+}
+
+func TestSetPerElementScoping(t *testing.T) {
+	rel := Set().Conflicts
+	addX := core.OpInvocation{Op: "Add", Args: []core.Value{int64(1)}}
+	addY := core.OpInvocation{Op: "Add", Args: []core.Value{int64(2)}}
+	if rel.OpConflicts(addX, addY) {
+		t.Errorf("operations on distinct elements must not conflict")
+	}
+	if !rel.OpConflicts(addX, addX) {
+		t.Errorf("Add/Add on the same element conflict at operation granularity")
+	}
+	// Step granularity: two failed Adds commute.
+	aFalse := core.StepInfo{Op: "Add", Args: []core.Value{int64(1)}, Ret: false}
+	aTrue := core.StepInfo{Op: "Add", Args: []core.Value{int64(1)}, Ret: true}
+	if rel.StepConflicts(aFalse, aFalse) {
+		t.Errorf("two no-op Adds commute")
+	}
+	if !rel.StepConflicts(aTrue, aFalse) {
+		t.Errorf("a membership-changing Add conflicts")
+	}
+}
+
+func TestRegisterBadArgs(t *testing.T) {
+	sc := Register()
+	if _, _, err := sc.MustOp("Read").Apply(core.State{}, []core.Value{int64(3)}); err == nil {
+		t.Errorf("Read with non-string name must error")
+	}
+	if _, _, err := sc.MustOp("Write").Apply(core.State{}, []core.Value{"x"}); err == nil {
+		t.Errorf("Write without value must error")
+	}
+	if _, _, err := sc.MustOp("Write").Apply(core.State{}, nil); err == nil {
+		t.Errorf("Write without args must error")
+	}
+}

@@ -1,0 +1,92 @@
+// Package objects is the object library: schemas (operations plus conflict
+// relations) for the object types used by the examples, tests and
+// experiments. Each schema declares its conflict relation at both
+// granularities of the paper's Section 5 implementation discussion:
+// operation granularity (conservative, decidable before execution) and step
+// granularity (exact, exploiting return values as proposed by Weihl and
+// adopted by the paper).
+//
+// Every schema's declared relation is checked against Definition 3 by
+// property tests driving core.VerifyConflictSoundness with random states and
+// invocations: if a pair is declared non-conflicting, executing it in either
+// order must give identical return values and final states.
+package objects
+
+import (
+	"fmt"
+
+	"objectbase/internal/core"
+)
+
+// Register returns the classical read/write register schema: a bag of named
+// variables with Read(name) and Write(name, value) operations and the
+// textbook RW conflict table scoped per variable. This is the schema under
+// which the model degenerates to classical database concurrency control —
+// the baseline vocabulary of Section 1.
+func Register() *core.Schema {
+	read := &core.Operation{
+		Name:     "Read",
+		ReadOnly: true,
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			name, err := argString(args, 0, "Read")
+			if err != nil {
+				return nil, nil, err
+			}
+			return s[name], nil, nil
+		},
+	}
+	write := &core.Operation{
+		Name: "Write",
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			name, err := argString(args, 0, "Write")
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(args) < 2 {
+				return nil, nil, fmt.Errorf("objects: Write needs (name, value)")
+			}
+			old, had := s[name]
+			s[name] = args[1]
+			return nil, func(st core.State) {
+				if had {
+					st[name] = old
+				} else {
+					delete(st, name)
+				}
+			}, nil
+		},
+		Peek: func(s core.State, args []core.Value) (core.Value, error) {
+			if _, err := argString(args, 0, "Write"); err != nil {
+				return nil, err
+			}
+			if len(args) < 2 {
+				return nil, fmt.Errorf("objects: Write needs (name, value)")
+			}
+			return nil, nil
+		},
+	}
+	rel := core.RWTable([]string{"Read"}, []string{"Write"}, nil)
+	return core.NewSchema("register", func() core.State { return core.State{} }, rel, read, write)
+}
+
+func argString(args []core.Value, i int, op string) (string, error) {
+	if i >= len(args) {
+		return "", fmt.Errorf("objects: %s missing argument %d", op, i)
+	}
+	s, ok := args[i].(string)
+	if !ok {
+		return "", fmt.Errorf("objects: %s argument %d must be string, got %T", op, i, args[i])
+	}
+	return s, nil
+}
+
+func argInt(args []core.Value, i int, op string) (int64, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("objects: %s missing argument %d", op, i)
+	}
+	n, ok := args[i].(int64)
+	if !ok {
+		return 0, fmt.Errorf("objects: %s argument %d must be int64, got %T", op, i, args[i])
+	}
+	return n, nil
+}

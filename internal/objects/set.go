@@ -1,0 +1,102 @@
+package objects
+
+import (
+	"fmt"
+
+	"objectbase/internal/core"
+)
+
+// Set returns a set-of-integers schema with per-element conflict scoping and
+// a step-granularity refinement: operations on distinct elements never
+// conflict, and on the same element they conflict only when at least one of
+// them actually changed or observed a change of membership.
+//
+// Operations:
+//
+//	Add(x)      -> bool (true iff x was absent)
+//	Remove(x)   -> bool (true iff x was present)
+//	Contains(x) -> bool
+//
+// Step granularity on the same element, from Definition 3:
+//
+//	Add=false / Add=false        commute (both found x present)
+//	Remove=false / Remove=false  commute (both found x absent)
+//	Add=false / Contains=true    commute; likewise Remove=false / Contains=false
+//	Contains / Contains          commute
+//	anything involving a step that changed membership conflicts
+//
+// Set elements live in variables named "e<x>"; membership is presence.
+func Set() *core.Schema {
+	key := func(args []core.Value) (string, error) {
+		if len(args) < 1 {
+			return "", fmt.Errorf("objects: set operation needs an element")
+		}
+		x, ok := args[0].(int64)
+		if !ok {
+			return "", fmt.Errorf("objects: set element must be int64, got %T", args[0])
+		}
+		return fmt.Sprintf("e%d", x), nil
+	}
+	add := &core.Operation{
+		Name: "Add",
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			k, err := key(args)
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, present := s[k]; present {
+				return false, nil, nil
+			}
+			s[k] = true
+			return true, func(st core.State) { delete(st, k) }, nil
+		},
+	}
+	remove := &core.Operation{
+		Name: "Remove",
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			k, err := key(args)
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, present := s[k]; !present {
+				return false, nil, nil
+			}
+			delete(s, k)
+			return true, func(st core.State) { st[k] = true }, nil
+		},
+	}
+	contains := &core.Operation{
+		Name:     "Contains",
+		ReadOnly: true,
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			k, err := key(args)
+			if err != nil {
+				return nil, nil, err
+			}
+			_, present := s[k]
+			return present, nil, nil
+		},
+	}
+
+	rel := &core.TableConflict{
+		Pairs: core.SymmetricPairs(
+			[2]string{"Add", "Add"},
+			[2]string{"Add", "Remove"},
+			[2]string{"Add", "Contains"},
+			[2]string{"Remove", "Remove"},
+			[2]string{"Remove", "Contains"},
+		),
+		Key: core.FirstArgKey,
+		Refine: func(a, b core.StepInfo) bool {
+			changed := func(s core.StepInfo) bool {
+				if s.Op == "Contains" {
+					return false
+				}
+				ok, _ := s.Ret.(bool)
+				return ok
+			}
+			return changed(a) || changed(b)
+		},
+	}
+	return core.NewSchema("set", func() core.State { return core.State{} }, rel, add, remove, contains)
+}

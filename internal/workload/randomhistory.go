@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"objectbase/internal/core"
+	"objectbase/internal/objects"
+)
+
+// HistoryConfig parameterises the offline random-history generator used by
+// experiments E1 and E2.
+type HistoryConfig struct {
+	Seed          int64
+	Objects       int // register objects
+	VarsPerObject int
+	Txns          int
+	StepsPerTxn   int
+	// WritePct is the probability (percent) that a step is a Write.
+	WritePct int
+	// NestPct is the probability (percent) that a transaction's next
+	// action opens a nested call instead of a direct step.
+	NestPct int
+}
+
+// RandomHistory builds a random legal history by interleaving the
+// programmes of Txns transactions in a random global order. Return values
+// are computed against live object states (core.Builder), so the result is
+// always a legal history; whether it is serialisable is for the oracle to
+// decide — E2 compares the Theorem 2 test with the replay ground truth on
+// exactly these.
+func RandomHistory(cfg HistoryConfig) (*core.History, error) {
+	if cfg.Objects <= 0 {
+		cfg.Objects = 2
+	}
+	if cfg.VarsPerObject <= 0 {
+		cfg.VarsPerObject = 2
+	}
+	if cfg.Txns <= 0 {
+		cfg.Txns = 3
+	}
+	if cfg.StepsPerTxn <= 0 {
+		cfg.StepsPerTxn = 4
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	b := core.NewBuilder()
+
+	objNames := make([]string, cfg.Objects)
+	for i := range objNames {
+		objNames[i] = fmt.Sprintf("O%d", i)
+		init := core.State{}
+		for v := 0; v < cfg.VarsPerObject; v++ {
+			init[fmt.Sprintf("x%d", v)] = int64(0)
+		}
+		b.Object(objNames[i], objects.Register(), init)
+	}
+
+	// Each transaction is a stack of open method executions; its programme
+	// unfolds lazily as the interleaver picks it.
+	type txn struct {
+		stack []core.ExecID // open call chain; stack[0] is the top-level exec
+		steps int
+	}
+	txns := make([]*txn, cfg.Txns)
+	for i := range txns {
+		top := b.Top(fmt.Sprintf("T%d", i))
+		m := b.Call(top, objNames[r.Intn(len(objNames))], "body")
+		txns[i] = &txn{stack: []core.ExecID{top, m}}
+	}
+
+	live := len(txns)
+	for live > 0 {
+		i := r.Intn(len(txns))
+		t := txns[i]
+		if t == nil {
+			continue
+		}
+		if t.steps >= cfg.StepsPerTxn {
+			// Close remaining open calls.
+			for len(t.stack) > 1 {
+				b.Return(t.stack[len(t.stack)-1], nil)
+				t.stack = t.stack[:len(t.stack)-1]
+			}
+			txns[i] = nil
+			live--
+			continue
+		}
+		cur := t.stack[len(t.stack)-1]
+		switch {
+		case len(t.stack) > 2 && r.Intn(100) < 30:
+			// Return from the nested call.
+			b.Return(cur, nil)
+			t.stack = t.stack[:len(t.stack)-1]
+		case r.Intn(100) < cfg.NestPct && len(t.stack) < 4:
+			obj := objNames[r.Intn(len(objNames))]
+			child := b.Call(cur, obj, "sub")
+			t.stack = append(t.stack, child)
+		default:
+			// One local step on the current execution's object... steps
+			// may target any object the builder knows; use the object the
+			// current execution belongs to when possible.
+			obj := objNames[r.Intn(len(objNames))]
+			v := fmt.Sprintf("x%d", r.Intn(cfg.VarsPerObject))
+			if r.Intn(100) < cfg.WritePct {
+				b.Local(cur, obj, "Write", v, int64(r.Intn(100)))
+			} else {
+				b.Local(cur, obj, "Read", v)
+			}
+			t.steps++
+		}
+	}
+	return b.Finish()
+}
+
+// ConflictConsistentPermutation returns a random permutation of steps that
+// preserves the relative order of every conflicting pair (the hypothesis
+// of Lemma 2): repeatedly pick a random eligible step whose unpicked
+// predecessors do not conflict with it.
+func ConflictConsistentPermutation(r *rand.Rand, h *core.History, object string) []*core.Step {
+	steps := h.Steps[object]
+	n := len(steps)
+	picked := make([]bool, n)
+	out := make([]*core.Step, 0, n)
+	for len(out) < n {
+		// Collect eligible indices.
+		var eligible []int
+		for i := 0; i < n; i++ {
+			if picked[i] {
+				continue
+			}
+			ok := true
+			for j := 0; j < i; j++ {
+				if !picked[j] && h.Conflicts(steps[j], steps[i]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				eligible = append(eligible, i)
+			}
+		}
+		idx := eligible[r.Intn(len(eligible))]
+		picked[idx] = true
+		out = append(out, steps[idx])
+	}
+	return out
+}

@@ -1,0 +1,508 @@
+// Package workload provides the deterministic workload generators behind
+// the experiments (DESIGN.md §4): online transaction mixes driven through
+// the engine, and offline random histories built directly with
+// core.Builder for the theorem-checking experiments E1/E2.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"objectbase/internal/core"
+	"objectbase/internal/engine"
+	"objectbase/internal/objects"
+)
+
+// Spec describes an online workload: how to populate an engine and how to
+// produce the i-th transaction.
+type Spec struct {
+	Name  string
+	Setup func(en *engine.Engine)
+	// Txn returns the transaction body for sequence number i; r is a
+	// client-local deterministic source.
+	Txn func(r *rand.Rand, i int) (string, engine.MethodFunc)
+	// ClientTxn, when non-nil, overrides Txn and additionally receives the
+	// client index — for workloads with fixed per-client roles (e.g. one
+	// producer and one consumer).
+	ClientTxn func(r *rand.Rand, client, i int) (string, engine.MethodFunc)
+}
+
+// Drive executes the workload: clients goroutines, each running
+// txnsPerClient transactions from its own seeded source. It returns the
+// first hard error (retriable aborts are handled inside engine.Run).
+func Drive(en *engine.Engine, spec Spec, clients, txnsPerClient int, seed int64) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed*1_000_003 + int64(c)))
+			for i := 0; i < txnsPerClient; i++ {
+				var name string
+				var fn engine.MethodFunc
+				if spec.ClientTxn != nil {
+					name, fn = spec.ClientTxn(r, c, i)
+				} else {
+					name, fn = spec.Txn(r, c*txnsPerClient+i)
+				}
+				if _, err := en.Run(name, fn); err != nil {
+					select {
+					case errCh <- fmt.Errorf("workload %s client %d txn %d: %w", spec.Name, c, i, err):
+					default:
+					}
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Bank returns the mixed contended workload used by the serialisability
+// experiments (E3/E4): transfers between accounts, parallel audits, and
+// queue traffic, with nesting and internal parallelism.
+func Bank(accounts int, initialBalance int64) Spec {
+	names := make([]string, accounts)
+	for i := range names {
+		names[i] = fmt.Sprintf("acct%d", i)
+	}
+	return Spec{
+		Name: "bank",
+		Setup: func(en *engine.Engine) {
+			for _, a := range names {
+				a := a
+				en.AddObject(a, objects.Account(), core.State{"balance": initialBalance})
+				en.Register(a, "deposit", func(ctx *engine.Ctx) (core.Value, error) {
+					return ctx.Do(a, "Deposit", ctx.Arg(0))
+				})
+				en.Register(a, "withdraw", func(ctx *engine.Ctx) (core.Value, error) {
+					return ctx.Do(a, "Withdraw", ctx.Arg(0))
+				})
+				en.Register(a, "balance", func(ctx *engine.Ctx) (core.Value, error) {
+					return ctx.Do(a, "Balance")
+				})
+			}
+			en.AddObject("log", objects.Counter(), nil)
+			en.Register("log", "note", func(ctx *engine.Ctx) (core.Value, error) {
+				return ctx.Do("log", "Add", int64(1))
+			})
+			en.AddObject("inbox", objects.Queue(), nil)
+			en.Register("inbox", "push", func(ctx *engine.Ctx) (core.Value, error) {
+				return ctx.Do("inbox", "Enqueue", ctx.Arg(0))
+			})
+			en.Register("inbox", "pop", func(ctx *engine.Ctx) (core.Value, error) {
+				return ctx.Do("inbox", "Dequeue")
+			})
+		},
+		Txn: func(r *rand.Rand, i int) (string, engine.MethodFunc) {
+			switch r.Intn(4) {
+			case 0, 1:
+				from := names[r.Intn(len(names))]
+				to := names[r.Intn(len(names))]
+				if from == to {
+					to = names[(r.Intn(len(names))+1)%len(names)]
+				}
+				amount := int64(1 + r.Intn(20))
+				return "transfer", TransferTxn(from, to, amount)
+			case 2:
+				return "audit", AuditTxn(names)
+			default:
+				return "pop", func(ctx *engine.Ctx) (core.Value, error) {
+					return ctx.Call("inbox", "pop")
+				}
+			}
+		},
+	}
+}
+
+// TransferTxn moves amount from one account to another, logging the
+// attempt; with insufficient funds it commits having moved nothing.
+func TransferTxn(from, to string, amount int64) engine.MethodFunc {
+	return func(ctx *engine.Ctx) (core.Value, error) {
+		if _, err := ctx.Call("log", "note"); err != nil {
+			return nil, err
+		}
+		ok, err := ctx.Call(from, "withdraw", amount)
+		if err != nil {
+			return nil, err
+		}
+		if ok != true {
+			return false, nil
+		}
+		if _, err := ctx.Call(to, "deposit", amount); err != nil {
+			return nil, err
+		}
+		return true, nil
+	}
+}
+
+// AuditTxn reads all balances with internal parallelism and enqueues the
+// total into the inbox.
+func AuditTxn(accounts []string) engine.MethodFunc {
+	return func(ctx *engine.Ctx) (core.Value, error) {
+		var mu sync.Mutex
+		total := int64(0)
+		legs := make([]func(*engine.Ctx) error, len(accounts))
+		for i, a := range accounts {
+			a := a
+			legs[i] = func(c *engine.Ctx) error {
+				v, err := c.Call(a, "balance")
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				total += v.(int64)
+				mu.Unlock()
+				return nil
+			}
+		}
+		if err := ctx.Parallel(legs...); err != nil {
+			return nil, err
+		}
+		if _, err := ctx.Call("inbox", "push", total); err != nil {
+			return nil, err
+		}
+		return total, nil
+	}
+}
+
+// ProducerConsumer returns the E5 workload: producers enqueue, consumers
+// dequeue, against one queue object pre-populated with backlog items (a
+// non-empty queue is where step granularity wins: Enqueue and Dequeue of
+// different items commute). spin adds simulated per-method work *after*
+// the queue step — under two-phase locking the lock stays held until the
+// transaction commits, so longer methods mean longer blocking exactly when
+// the lock was needlessly conservative.
+func ProducerConsumer(backlog, spin int) Spec {
+	work := func(x int64) int64 {
+		acc := x
+		for s := 0; s < spin; s++ {
+			acc = acc*1103515245 + 12345
+		}
+		return acc
+	}
+	return Spec{
+		Name: "producer-consumer",
+		Setup: func(en *engine.Engine) {
+			items := make([]core.Value, backlog)
+			for i := range items {
+				items[i] = int64(-1 - i)
+			}
+			en.AddObject("Q", objects.Queue(), core.State{"items": items})
+			en.Register("Q", "produce", func(ctx *engine.Ctx) (core.Value, error) {
+				v, err := ctx.Do("Q", "Enqueue", ctx.Arg(0))
+				_ = work(1)
+				return v, err
+			})
+			en.Register("Q", "consume", func(ctx *engine.Ctx) (core.Value, error) {
+				v, err := ctx.Do("Q", "Dequeue")
+				_ = work(2)
+				return v, err
+			})
+		},
+		Txn: func(r *rand.Rand, i int) (string, engine.MethodFunc) {
+			if i%2 == 0 {
+				v := int64(i)
+				return "produce", func(ctx *engine.Ctx) (core.Value, error) {
+					return ctx.Call("Q", "produce", v)
+				}
+			}
+			return "consume", func(ctx *engine.Ctx) (core.Value, error) {
+				return ctx.Call("Q", "consume")
+			}
+		},
+		// With fixed roles (even clients produce, odd consume) the only
+		// cross-client conflicts are Enqueue/Dequeue pairs — precisely the
+		// pairs the step-granularity refinement dissolves while the queue
+		// is non-empty.
+		ClientTxn: func(r *rand.Rand, client, i int) (string, engine.MethodFunc) {
+			if client%2 == 0 {
+				v := int64(client*1_000_000 + i)
+				return "produce", func(ctx *engine.Ctx) (core.Value, error) {
+					return ctx.Call("Q", "produce", v)
+				}
+			}
+			return "consume", func(ctx *engine.Ctx) (core.Value, error) {
+				return ctx.Call("Q", "consume")
+			}
+		},
+	}
+}
+
+// HotObject returns the E6 workload: every transaction runs a "long"
+// method on the single hot object; the method does some private spinning
+// (simulated work) and touches one variable out of many. Method-level
+// locking admits concurrent methods on distinct variables; the
+// object-as-data-item baseline serialises them all.
+func HotObject(vars int, spinWork int) Spec {
+	return Spec{
+		Name: "hot-object",
+		Setup: func(en *engine.Engine) {
+			init := core.State{}
+			for i := 0; i < vars; i++ {
+				init[fmt.Sprintf("v%d", i)] = int64(0)
+			}
+			en.AddObject("hot", objects.Register(), init)
+			en.Register("hot", "work", func(ctx *engine.Ctx) (core.Value, error) {
+				name := ctx.Arg(0).(string)
+				v, err := ctx.Do("hot", "Read", name)
+				if err != nil {
+					return nil, err
+				}
+				x := v.(int64)
+				// Simulated computation: the "quite long programme" of the
+				// paper's Section 1(b).
+				acc := x
+				for s := 0; s < spinWork; s++ {
+					acc = acc*1103515245 + 12345
+				}
+				_ = acc
+				return ctx.Do("hot", "Write", name, x+1)
+			})
+		},
+		Txn: func(r *rand.Rand, i int) (string, engine.MethodFunc) {
+			name := fmt.Sprintf("v%d", r.Intn(vars))
+			return "work", func(ctx *engine.Ctx) (core.Value, error) {
+				return ctx.Call("hot", "work", name)
+			}
+		},
+	}
+}
+
+// Dictionary returns the E8 workload: a mix of lookups, inserts and
+// deletes over a key range against the B-tree dictionary object. spin adds
+// per-method work, the regime where whole-object exclusion hurts.
+func Dictionary(keyRange, preload, lookupPct, spin int) Spec {
+	return Spec{
+		Name: "dictionary",
+		Setup: func(en *engine.Engine) {
+			sc := objects.Dictionary()
+			st := sc.NewState()
+			for k := 0; k < preload; k++ {
+				if _, _, err := sc.MustOp("Insert").Apply(st, []core.Value{int64(k * keyRange / (preload + 1)), int64(k)}); err != nil {
+					panic(err)
+				}
+			}
+			en.AddObject("dict", sc, st)
+			work := func() {
+				acc := int64(1)
+				for s := 0; s < spin; s++ {
+					acc = acc*1103515245 + 12345
+				}
+				_ = acc
+			}
+			en.Register("dict", "lookup", func(ctx *engine.Ctx) (core.Value, error) {
+				work()
+				return ctx.Do("dict", "Lookup", ctx.Arg(0))
+			})
+			en.Register("dict", "insert", func(ctx *engine.Ctx) (core.Value, error) {
+				work()
+				return ctx.Do("dict", "Insert", ctx.Arg(0), ctx.Arg(1))
+			})
+			en.Register("dict", "delete", func(ctx *engine.Ctx) (core.Value, error) {
+				work()
+				return ctx.Do("dict", "Delete", ctx.Arg(0))
+			})
+			// A two-step method: transactions with multiple temporally
+			// separated accesses are the ones that can close certification
+			// cycles.
+			en.Register("dict", "rename", func(ctx *engine.Ctx) (core.Value, error) {
+				old, err := ctx.Do("dict", "Delete", ctx.Arg(0))
+				if err != nil {
+					return nil, err
+				}
+				work()
+				if old == nil {
+					return false, nil
+				}
+				if _, err := ctx.Do("dict", "Insert", ctx.Arg(1), old); err != nil {
+					return nil, err
+				}
+				return true, nil
+			})
+		},
+		Txn: func(r *rand.Rand, i int) (string, engine.MethodFunc) {
+			k := int64(r.Intn(keyRange))
+			roll := r.Intn(100)
+			rest := 100 - lookupPct
+			switch {
+			case roll < lookupPct:
+				return "lookup", func(ctx *engine.Ctx) (core.Value, error) {
+					return ctx.Call("dict", "lookup", k)
+				}
+			case roll < lookupPct+rest*2/5:
+				v := int64(i)
+				return "insert", func(ctx *engine.Ctx) (core.Value, error) {
+					return ctx.Call("dict", "insert", k, v)
+				}
+			case roll < lookupPct+rest*7/10:
+				return "delete", func(ctx *engine.Ctx) (core.Value, error) {
+					return ctx.Call("dict", "delete", k)
+				}
+			default:
+				k2 := int64(r.Intn(keyRange))
+				return "rename", func(ctx *engine.Ctx) (core.Value, error) {
+					return ctx.Call("dict", "rename", k, k2)
+				}
+			}
+		},
+	}
+}
+
+// Skewed returns the E7 workload: read-modify-write transactions over
+// registers where variable 0 absorbs hotPct percent of the traffic —
+// contention the NTO abort-rate experiment sweeps. spin widens the window
+// between the read and the write, during which a conflicting younger
+// transaction can slip in and doom the writer under timestamp ordering.
+func Skewed(vars, hotPct, spin int) Spec {
+	return Spec{
+		Name: "skewed",
+		Setup: func(en *engine.Engine) {
+			init := core.State{}
+			for i := 0; i < vars; i++ {
+				init[fmt.Sprintf("v%d", i)] = int64(0)
+			}
+			en.AddObject("R", objects.Register(), init)
+			en.Register("R", "rmw", func(ctx *engine.Ctx) (core.Value, error) {
+				name := ctx.Arg(0).(string)
+				v, err := ctx.Do("R", "Read", name)
+				if err != nil {
+					return nil, err
+				}
+				acc := v.(int64)
+				for s := 0; s < spin; s++ {
+					acc = acc*1103515245 + 12345
+				}
+				_ = acc
+				return ctx.Do("R", "Write", name, v.(int64)+1)
+			})
+		},
+		Txn: func(r *rand.Rand, i int) (string, engine.MethodFunc) {
+			idx := 0
+			if r.Intn(100) >= hotPct {
+				idx = 1 + r.Intn(vars-1)
+			}
+			name := fmt.Sprintf("v%d", idx)
+			return "rmw", func(ctx *engine.Ctx) (core.Value, error) {
+				return ctx.Call("R", "rmw", name)
+			}
+		},
+	}
+}
+
+// AccountMix returns the E7 workload: deposits, withdrawals and balance
+// reads over accounts with account 0 absorbing hotPct percent of the
+// traffic. The account schema's step-granularity conflicts are genuinely
+// finer than its operation-granularity ones (a succeeded withdrawal
+// commutes with a later deposit; a deposit commutes with a later failed
+// withdrawal), so exact NTO rejects measurably less than conservative NTO
+// here — unlike on read/write registers, where the two granularities
+// coincide.
+func AccountMix(accounts, hotPct, spin int) Spec {
+	names := make([]string, accounts)
+	for i := range names {
+		names[i] = fmt.Sprintf("acct%d", i)
+	}
+	return Spec{
+		Name: "account-mix",
+		Setup: func(en *engine.Engine) {
+			for _, a := range names {
+				a := a
+				en.AddObject(a, objects.Account(), core.State{"balance": int64(1000)})
+				en.Register(a, "op", func(ctx *engine.Ctx) (core.Value, error) {
+					acc := int64(1)
+					for s := 0; s < spin; s++ {
+						acc = acc*1103515245 + 12345
+					}
+					_ = acc
+					kind := ctx.Arg(0).(string)
+					switch kind {
+					case "deposit":
+						return ctx.Do(a, "Deposit", ctx.Arg(1))
+					case "withdraw":
+						return ctx.Do(a, "Withdraw", ctx.Arg(1))
+					default:
+						return ctx.Do(a, "Balance")
+					}
+				})
+			}
+		},
+		Txn: func(r *rand.Rand, i int) (string, engine.MethodFunc) {
+			idx := 0
+			if r.Intn(100) >= hotPct && accounts > 1 {
+				idx = 1 + r.Intn(accounts-1)
+			}
+			name := names[idx]
+			var kind string
+			switch roll := r.Intn(100); {
+			case roll < 40:
+				kind = "deposit"
+			case roll < 80:
+				kind = "withdraw"
+			default:
+				kind = "balance"
+			}
+			amount := int64(1 + r.Intn(30))
+			return kind, func(ctx *engine.Ctx) (core.Value, error) {
+				return ctx.Call(name, "op", kind, amount)
+			}
+		},
+	}
+}
+
+// FailureInjection returns the E9 workload: transactions whose nested leg
+// aborts with the given probability (percent); the parent catches the
+// abort and takes a fallback path, exercising abort semantics end to end.
+func FailureInjection(abortPct int) Spec {
+	return Spec{
+		Name: "failure-injection",
+		Setup: func(en *engine.Engine) {
+			en.AddObject("store", objects.Register(), core.State{})
+			en.AddObject("good", objects.Counter(), nil)
+			en.AddObject("bad", objects.Counter(), nil)
+			en.Register("store", "risky", func(ctx *engine.Ctx) (core.Value, error) {
+				name := ctx.Arg(0).(string)
+				if _, err := ctx.Do("store", "Write", name, ctx.Arg(1)); err != nil {
+					return nil, err
+				}
+				if ctx.Arg(2) == true {
+					return nil, ctx.Abort("injected failure")
+				}
+				return nil, nil
+			})
+			en.Register("good", "note", func(ctx *engine.Ctx) (core.Value, error) {
+				return ctx.Do("good", "Add", int64(1))
+			})
+			en.Register("bad", "note", func(ctx *engine.Ctx) (core.Value, error) {
+				return ctx.Do("bad", "Add", int64(1))
+			})
+		},
+		Txn: func(r *rand.Rand, i int) (string, engine.MethodFunc) {
+			name := fmt.Sprintf("k%d", r.Intn(64))
+			fail := r.Intn(100) < abortPct
+			val := int64(i)
+			return "riskyWrite", func(ctx *engine.Ctx) (core.Value, error) {
+				if _, err := ctx.Call("store", "risky", name, val, fail); err != nil {
+					// The paper's Section 3: the parent survives and takes
+					// an alternative.
+					if _, err2 := ctx.Call("bad", "note"); err2 != nil {
+						return nil, err2
+					}
+					return "fallback", nil
+				}
+				if _, err := ctx.Call("good", "note"); err != nil {
+					return nil, err
+				}
+				return "ok", nil
+			}
+		},
+	}
+}

@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"objectbase/internal/core"
+	"objectbase/internal/engine"
+	"objectbase/internal/graph"
+)
+
+func TestRandomHistoryLegal(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		h, err := RandomHistory(HistoryConfig{Seed: seed, Objects: 2, VarsPerObject: 2, Txns: 4, StepsPerTxn: 5, WritePct: 50, NestPct: 25})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := h.CheckLegal(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if h.StepCount() == 0 {
+			t.Fatalf("seed %d: empty history", seed)
+		}
+	}
+}
+
+// TestTheorem1OnRandomHistories is experiment E1 in unit-test form: any
+// conflict-consistent permutation of an object's steps replays with the
+// same return values and final state (Lemma 2 / Theorem 1).
+func TestTheorem1OnRandomHistories(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for seed := int64(0); seed < 10; seed++ {
+		h, err := RandomHistory(HistoryConfig{Seed: seed, Objects: 2, VarsPerObject: 3, Txns: 4, StepsPerTxn: 6, WritePct: 40, NestPct: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, obj := range h.ObjectNames() {
+			want, err := core.ReplayObject(h.Schemas[obj], h.InitialStates[obj], h.Steps[obj])
+			if err != nil {
+				t.Fatalf("baseline replay: %v", err)
+			}
+			for trial := 0; trial < 5; trial++ {
+				perm := ConflictConsistentPermutation(r, h, obj)
+				got, err := core.ReplayObject(h.Schemas[obj], h.InitialStates[obj], perm)
+				if err != nil {
+					t.Fatalf("seed %d obj %s trial %d: permutation not legal: %v", seed, obj, trial, err)
+				}
+				if !h.Schemas[obj].EqualStates(got, want) {
+					t.Fatalf("seed %d obj %s trial %d: final states differ: %s vs %s", seed, obj, trial, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem2AgreesWithReplay is experiment E2 in unit-test form: whenever
+// the SG test certifies a random history, the serial replay must succeed.
+func TestTheorem2AgreesWithReplay(t *testing.T) {
+	acyclic, cyclic := 0, 0
+	configs := []HistoryConfig{
+		// Sparse: conflicts rare, mostly acyclic.
+		{Objects: 4, VarsPerObject: 6, Txns: 3, StepsPerTxn: 2, WritePct: 15, NestPct: 10},
+		// Dense: conflicts everywhere, mostly cyclic.
+		{Objects: 2, VarsPerObject: 2, Txns: 4, StepsPerTxn: 4, WritePct: 60, NestPct: 20},
+	}
+	for _, cfg := range configs {
+		for seed := int64(0); seed < 30; seed++ {
+			cfg.Seed = seed
+			h, err := RandomHistory(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := graph.Check(h)
+			if v.SGAcyclic {
+				acyclic++
+				if !v.Serialisable {
+					t.Fatalf("seed %d: Theorem 2 violated: SG acyclic but replay failed: %v", seed, v)
+				}
+			} else {
+				cyclic++
+			}
+		}
+	}
+	if acyclic == 0 || cyclic == 0 {
+		t.Fatalf("generator not exercising both branches: acyclic=%d cyclic=%d", acyclic, cyclic)
+	}
+}
+
+func TestDriveBankUnderNone(t *testing.T) {
+	spec := Bank(3, 100)
+	en := engine.New(engine.None{}, engine.Options{})
+	spec.Setup(en)
+	if err := Drive(en, spec, 2, 5, 7); err != nil {
+		t.Fatal(err)
+	}
+	h := en.History()
+	if err := h.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for _, a := range []string{"acct0", "acct1", "acct2"} {
+		total += h.FinalStates[a]["balance"].(int64)
+	}
+	if total != 300 {
+		t.Fatalf("money not conserved under single-client-per-txn drive: %d", total)
+	}
+}
+
+func TestProducerConsumerSpec(t *testing.T) {
+	spec := ProducerConsumer(4, 0)
+	en := engine.New(engine.None{}, engine.Options{})
+	spec.Setup(en)
+	// Two clients with fixed roles: 5 produced, 5 consumed.
+	if err := Drive(en, spec, 2, 5, 3); err != nil {
+		t.Fatal(err)
+	}
+	h := en.History()
+	if err := h.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+	// 5 produced; up to 5 consumed (a racing consumer may hit an empty
+	// queue and remove nothing): length between 4 and 9.
+	items := h.FinalStates["Q"]["items"].([]core.Value)
+	if len(items) < 4 || len(items) > 9 {
+		t.Fatalf("queue length = %d, want between 4 and 9", len(items))
+	}
+}
+
+func TestFailureInjectionSpec(t *testing.T) {
+	spec := FailureInjection(50)
+	en := engine.New(engine.None{}, engine.Options{})
+	spec.Setup(en)
+	if err := Drive(en, spec, 1, 40, 11); err != nil {
+		t.Fatal(err)
+	}
+	h := en.History()
+	if err := h.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+	good := h.FinalStates["good"]["n"].(int64)
+	bad := h.FinalStates["bad"]["n"].(int64)
+	if good+bad != 40 {
+		t.Fatalf("good=%d bad=%d, want sum 40", good, bad)
+	}
+	if good == 0 || bad == 0 {
+		t.Fatalf("both paths should fire at 50%%: good=%d bad=%d", good, bad)
+	}
+}
+
+func TestOtherSpecsSmoke(t *testing.T) {
+	for _, spec := range []Spec{HotObject(8, 100), Dictionary(64, 16, 50, 100), Skewed(8, 80, 100)} {
+		en := engine.New(engine.None{}, engine.Options{})
+		spec.Setup(en)
+		if err := Drive(en, spec, 1, 10, 5); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if err := en.History().CheckLegal(); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+	}
+}
