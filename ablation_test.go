@@ -1,17 +1,17 @@
 package objectbase_test
 
-// Ablation benchmarks for the design choices DESIGN.md calls out: each
-// removes one mechanism and measures what it was buying.
+// Ablation benchmarks for the reproduction's own design choices: each
+// removes one mechanism and measures what it was buying. The workloads run
+// through the public façade; the ablations themselves reach into the
+// schema internals (conflict-relation sharding, Operation.Peek) that have
+// no public surface.
 
 import (
 	"testing"
 	"time"
 
-	"objectbase/internal/cc"
+	"objectbase"
 	"objectbase/internal/core"
-	"objectbase/internal/engine"
-	"objectbase/internal/lock"
-	"objectbase/internal/objects"
 )
 
 // hideSharder wraps a conflict relation, suppressing its Sharder
@@ -23,8 +23,8 @@ type hideSharder struct {
 
 // hiddenRegister returns a register schema whose relation cannot be
 // sharded.
-func hiddenRegister() *core.Schema {
-	sc := objects.Register()
+func hiddenRegister() *objectbase.Schema {
+	sc := objectbase.Register()
 	sc.Conflicts = hideSharder{sc.Conflicts}
 	return sc
 }
@@ -33,14 +33,17 @@ func hiddenRegister() *core.Schema {
 // sharding (conflict-scope keyed lock tables vs one table per object): the
 // unsharded variant scans every held lock on the object per request.
 func BenchmarkAblationLockSharding(b *testing.B) {
-	run := func(b *testing.B, sc *core.Schema) {
+	run := func(b *testing.B, sc *objectbase.Schema) {
 		const clients, txns, vars = 4, 50, 256
 		for i := 0; i < b.N; i++ {
-			sched := cc.NewN2PL(lock.OpGranularity, 10*time.Second)
-			en := cc.NewEngine(sched, engine.Options{})
-			init := core.State{}
-			en.AddObject("R", sc, init)
-			en.Register("R", "rmw", func(ctx *engine.Ctx) (core.Value, error) {
+			db, err := objectbase.Open(objectbase.WithScheduler("n2pl-op"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := db.RegisterObject("R", sc, objectbase.State{}); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.RegisterMethod("R", "rmw", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
 				name := ctx.Arg(0).(string)
 				v, err := ctx.Do("R", "Read", name)
 				if err != nil {
@@ -48,10 +51,12 @@ func BenchmarkAblationLockSharding(b *testing.B) {
 				}
 				n, _ := v.(int64)
 				return ctx.Do("R", "Write", name, n+1)
-			})
-			if err := en.RunMany(clients, clients*txns, func(idx int) (string, engine.MethodFunc, []core.Value) {
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.Engine().RunMany(clients, clients*txns, func(idx int) (string, objectbase.MethodFunc, []objectbase.Value) {
 				name := varName(idx % vars)
-				return "rmw", func(ctx *engine.Ctx) (core.Value, error) {
+				return "rmw", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
 					return ctx.Call("R", "rmw", name)
 				}, nil
 			}); err != nil {
@@ -59,7 +64,7 @@ func BenchmarkAblationLockSharding(b *testing.B) {
 			}
 		}
 	}
-	b.Run("sharded", func(b *testing.B) { run(b, objects.Register()) })
+	b.Run("sharded", func(b *testing.B) { run(b, objectbase.Register()) })
 	b.Run("unsharded", func(b *testing.B) { run(b, hiddenRegister()) })
 }
 
@@ -73,27 +78,33 @@ func varName(i int) string {
 func BenchmarkAblationStepPeek(b *testing.B) {
 	run := func(b *testing.B, stripPeek bool) {
 		for i := 0; i < b.N; i++ {
-			sc := objects.Dictionary()
+			sc := objectbase.Dictionary()
 			if stripPeek {
 				for _, op := range sc.Ops {
 					op.Peek = nil
 				}
 			}
-			sched := cc.NewModular()
-			en := cc.NewEngine(sched, engine.Options{})
+			db, err := objectbase.Open(objectbase.WithScheduler("modular"))
+			if err != nil {
+				b.Fatal(err)
+			}
 			st := sc.NewState()
 			for k := int64(0); k < 2048; k++ {
-				if _, _, err := sc.MustOp("Insert").Apply(st, []core.Value{k, k}); err != nil {
+				if _, _, err := sc.MustOp("Insert").Apply(st, []objectbase.Value{k, k}); err != nil {
 					b.Fatal(err)
 				}
 			}
-			en.AddObject("dict", sc, st)
-			en.Register("dict", "insert", func(ctx *engine.Ctx) (core.Value, error) {
+			if err := db.RegisterObject("dict", sc, st); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.RegisterMethod("dict", "insert", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
 				return ctx.Do("dict", "Insert", ctx.Arg(0), ctx.Arg(1))
-			})
-			if err := en.RunMany(4, 200, func(idx int) (string, engine.MethodFunc, []core.Value) {
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.Engine().RunMany(4, 200, func(idx int) (string, objectbase.MethodFunc, []objectbase.Value) {
 				k := int64(idx % 2048)
-				return "insert", func(ctx *engine.Ctx) (core.Value, error) {
+				return "insert", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
 					return ctx.Call("dict", "insert", k, int64(idx))
 				}, nil
 			}); err != nil {
@@ -111,10 +122,18 @@ func BenchmarkAblationStepPeek(b *testing.B) {
 func BenchmarkAblationDeadlockDetector(b *testing.B) {
 	run := func(b *testing.B, timeout time.Duration) {
 		for i := 0; i < b.N; i++ {
-			sched := cc.NewN2PL(lock.OpGranularity, timeout)
-			en := cc.NewEngine(sched, engine.Options{})
-			en.AddObject("R", objects.Register(), core.State{"a": int64(0), "b": int64(0)})
-			en.Register("R", "swapAB", func(ctx *engine.Ctx) (core.Value, error) {
+			db, err := objectbase.Open(
+				objectbase.WithScheduler("n2pl-op"),
+				objectbase.WithLockTimeout(timeout),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := db.RegisterObject("R", objectbase.Register(),
+				objectbase.State{"a": int64(0), "b": int64(0)}); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.RegisterMethod("R", "swapAB", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
 				first, second := "a", "b"
 				if ctx.Arg(0) == true {
 					first, second = second, first
@@ -127,10 +146,12 @@ func BenchmarkAblationDeadlockDetector(b *testing.B) {
 					return nil, err
 				}
 				return nil, nil
-			})
-			if err := en.RunMany(4, 80, func(idx int) (string, engine.MethodFunc, []core.Value) {
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.Engine().RunMany(4, 80, func(idx int) (string, objectbase.MethodFunc, []objectbase.Value) {
 				flip := idx%2 == 1
-				return "swap", func(ctx *engine.Ctx) (core.Value, error) {
+				return "swap", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
 					return ctx.Call("R", "swapAB", flip)
 				}, nil
 			}); err != nil {

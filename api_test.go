@@ -1,0 +1,452 @@
+package objectbase_test
+
+// Tests for the public objectbase façade: Open/RegisterObject/
+// RegisterMethod, commit/abort/retry semantics through Exec and Txn,
+// context cancellation (mid-transaction and during retry backoff), and
+// one oracle-verified end-to-end run per registered scheduler. Everything
+// here goes through the public API only.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"objectbase"
+)
+
+// openCounter opens a DB under the named scheduler with a counter object
+// and a bump method.
+func openCounter(t *testing.T, opts ...objectbase.Option) *objectbase.DB {
+	t.Helper()
+	db, err := objectbase.Open(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterObject("c", objectbase.Counter(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterMethod("c", "bump", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+		return ctx.Do("c", "Add", int64(1))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterMethod("c", "get", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+		return ctx.Do("c", "Get")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func counterValue(t *testing.T, db *objectbase.DB) int64 {
+	t.Helper()
+	v, err := db.Exec(context.Background(), "read", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+		return ctx.Do("c", "Get")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.(int64)
+}
+
+func TestOpenDefaults(t *testing.T) {
+	db, err := objectbase.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Scheduler() != objectbase.DefaultScheduler {
+		t.Fatalf("default scheduler = %q, want %q", db.Scheduler(), objectbase.DefaultScheduler)
+	}
+}
+
+func TestOpenUnknownScheduler(t *testing.T) {
+	_, err := objectbase.Open(objectbase.WithScheduler("no-such-scheduler"))
+	if err == nil {
+		t.Fatal("Open accepted an unknown scheduler")
+	}
+	// The error must teach: it lists what is registered.
+	for _, name := range objectbase.Schedulers() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list registered scheduler %q", err, name)
+		}
+	}
+}
+
+func TestSchedulersRegistry(t *testing.T) {
+	got := objectbase.Schedulers()
+	want := []string{"gemstone", "modular", "n2pl-op", "n2pl-step", "none", "nto-op", "nto-step"}
+	if len(got) != len(want) {
+		t.Fatalf("Schedulers() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Schedulers() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	db, err := objectbase.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterObject("c", objectbase.Counter(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterObject("c", objectbase.Counter(), nil); err == nil {
+		t.Fatal("duplicate RegisterObject accepted")
+	}
+	if err := db.RegisterObject("", objectbase.Counter(), nil); err == nil {
+		t.Fatal("empty object name accepted")
+	}
+	if err := db.RegisterObject("x", nil, nil); err == nil {
+		t.Fatal("nil schema accepted")
+	}
+	if err := db.RegisterMethod("ghost", "m", func(*objectbase.Ctx) (objectbase.Value, error) { return nil, nil }); err == nil {
+		t.Fatal("RegisterMethod on unknown object accepted")
+	}
+	if err := db.RegisterMethod("c", "m", nil); err == nil {
+		t.Fatal("nil method body accepted")
+	}
+}
+
+func TestExecCommit(t *testing.T) {
+	db := openCounter(t)
+	for i := 0; i < 5; i++ {
+		if _, err := db.Exec(context.Background(), "T", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+			return ctx.Call("c", "bump")
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := counterValue(t, db); got != 5 {
+		t.Fatalf("counter = %d after 5 commits, want 5", got)
+	}
+	if st := db.Stats(); st.Commits != 6 { // 5 bumps + 1 read
+		t.Fatalf("Commits = %d, want 6", st.Commits)
+	}
+	if _, err := db.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecUserAbortUndoesEffects(t *testing.T) {
+	db := openCounter(t)
+	_, err := db.Exec(context.Background(), "T", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+		if _, err := ctx.Do("c", "Add", int64(10)); err != nil {
+			return nil, err
+		}
+		return nil, ctx.Abort("changed my mind")
+	})
+	if err == nil {
+		t.Fatal("aborted transaction returned nil error")
+	}
+	if got := counterValue(t, db); got != 0 {
+		t.Fatalf("counter = %d after abort, want 0 (effects must be undone)", got)
+	}
+	st := db.Stats()
+	if st.Aborts != 1 {
+		t.Fatalf("Aborts = %d, want 1", st.Aborts)
+	}
+	if st.Retries != 0 {
+		t.Fatalf("Retries = %d for a user abort, want 0 (user aborts are not retriable)", st.Retries)
+	}
+	if _, err := db.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecRetrySucceeds(t *testing.T) {
+	db := openCounter(t, objectbase.WithRetryBackoff(time.Microsecond))
+	var attempts atomic.Int64
+	_, err := db.Exec(context.Background(), "T", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+		if attempts.Add(1) < 3 {
+			return nil, objectbase.Retry("simulated conflict")
+		}
+		return ctx.Call("c", "bump")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts.Load() != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts.Load())
+	}
+	st := db.Stats()
+	if st.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", st.Retries)
+	}
+	if st.Commits != 1 {
+		t.Fatalf("Commits = %d, want 1", st.Commits)
+	}
+	// Each failed attempt aborted with its effects undone; only the
+	// committed attempt's Add survives.
+	if got := counterValue(t, db); got != 1 {
+		t.Fatalf("counter = %d, want 1", got)
+	}
+}
+
+func TestExecRetryExhaustion(t *testing.T) {
+	db := openCounter(t,
+		objectbase.WithMaxRetries(3),
+		objectbase.WithRetryBackoff(time.Microsecond))
+	var attempts atomic.Int64
+	_, err := db.Exec(context.Background(), "T", func(*objectbase.Ctx) (objectbase.Value, error) {
+		attempts.Add(1)
+		return nil, objectbase.Retry("always conflicting")
+	})
+	if err == nil {
+		t.Fatal("exhausted retries returned nil error")
+	}
+	if attempts.Load() != 4 { // initial attempt + 3 retries
+		t.Fatalf("attempts = %d, want 4", attempts.Load())
+	}
+}
+
+func TestWithMaxRetriesDisables(t *testing.T) {
+	db := openCounter(t, objectbase.WithMaxRetries(0))
+	var attempts atomic.Int64
+	_, err := db.Exec(context.Background(), "T", func(*objectbase.Ctx) (objectbase.Value, error) {
+		attempts.Add(1)
+		return nil, objectbase.Retry("conflict")
+	})
+	if err == nil {
+		t.Fatal("want error with retries disabled")
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("attempts = %d with retries disabled, want 1", attempts.Load())
+	}
+}
+
+func TestTxnSequence(t *testing.T) {
+	db := openCounter(t)
+	results, err := db.Txn(context.Background(), "T",
+		objectbase.Call{Object: "c", Method: "bump"},
+		objectbase.Call{Object: "c", Method: "bump"},
+		objectbase.Call{Object: "c", Method: "get"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("Txn returned %d results, want 3", len(results))
+	}
+	if results[2].(int64) != 2 {
+		t.Fatalf("get after two bumps returned %v, want 2", results[2])
+	}
+	if got := counterValue(t, db); got != 2 {
+		t.Fatalf("counter = %d, want 2", got)
+	}
+	if _, err := db.Txn(context.Background(), "empty"); err == nil {
+		t.Fatal("Txn with no calls accepted")
+	}
+}
+
+func TestContextCancelMidTransaction(t *testing.T) {
+	db := openCounter(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err := db.Exec(ctx, "T", func(c *objectbase.Ctx) (objectbase.Value, error) {
+		if _, err := c.Do("c", "Add", int64(7)); err != nil {
+			return nil, err
+		}
+		cancel()
+		// The next engine interaction must observe the cancellation.
+		if _, err := c.Do("c", "Add", int64(7)); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Exec error = %v, want context.Canceled", err)
+	}
+	if st := db.Stats(); st.Retries != 0 {
+		t.Fatalf("Retries = %d after cancellation, want 0 (context aborts are final)", st.Retries)
+	}
+	if got := counterValue(t, db); got != 0 {
+		t.Fatalf("counter = %d after cancelled transaction, want 0 (effects undone)", got)
+	}
+	if _, err := db.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestContextCancelBeforeCommit pins down the boundary case: the body
+// finishes successfully but the context expired while it ran — the
+// transaction must abort rather than commit.
+func TestContextCancelBeforeCommit(t *testing.T) {
+	db := openCounter(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err := db.Exec(ctx, "T", func(c *objectbase.Ctx) (objectbase.Value, error) {
+		v, err := c.Call("c", "bump")
+		cancel() // after the last step, before the commit
+		return v, err
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Exec error = %v, want context.Canceled", err)
+	}
+	if st := db.Stats(); st.Commits != 0 {
+		t.Fatalf("Commits = %d, want 0 (cancelled transaction must not commit)", st.Commits)
+	}
+	if got := counterValue(t, db); got != 0 {
+		t.Fatalf("counter = %d, want 0", got)
+	}
+}
+
+func TestContextDeadlineAbortsPromptly(t *testing.T) {
+	db := openCounter(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := db.Exec(ctx, "T", func(c *objectbase.Ctx) (objectbase.Value, error) {
+		for { // spin on steps until the deadline cuts us off
+			if _, err := c.Do("c", "Add", int64(1)); err != nil {
+				return nil, err
+			}
+		}
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Exec error = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("Exec took %v to honour a 30ms deadline", elapsed)
+	}
+	if got := counterValue(t, db); got != 0 {
+		t.Fatalf("counter = %d, want 0 (every provisional Add undone)", got)
+	}
+}
+
+func TestContextDeadlineDuringRetryBackoff(t *testing.T) {
+	// Every attempt asks for a retry; with a base backoff far beyond the
+	// deadline, the deadline must fire inside a backoff sleep and
+	// interrupt it.
+	db := openCounter(t, objectbase.WithRetryBackoff(10*time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := db.Exec(ctx, "T", func(*objectbase.Ctx) (objectbase.Value, error) {
+		return nil, objectbase.Retry("always conflicting")
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Exec error = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("Exec took %v to honour a 30ms deadline during backoff", elapsed)
+	}
+}
+
+// TestContextDeadlineDuringLockWait pins down cancellation inside the
+// lock manager: a transaction blocked on a conflicting lock must abandon
+// the wait when its deadline fires, long before the 10s lock timeout.
+func TestContextDeadlineDuringLockWait(t *testing.T) {
+	db, err := objectbase.Open(objectbase.WithScheduler("n2pl-op"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterObject("r", objectbase.Register(), objectbase.State{"x": int64(0)}); err != nil {
+		t.Fatal(err)
+	}
+	holding := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := db.Exec(context.Background(), "holder", func(c *objectbase.Ctx) (objectbase.Value, error) {
+			if _, err := c.Do("r", "Write", "x", int64(1)); err != nil {
+				return nil, err
+			}
+			close(holding) // lock held; strict 2PL keeps it until commit
+			<-release
+			return nil, nil
+		})
+		done <- err
+	}()
+	<-holding
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = db.Exec(ctx, "blocked", func(c *objectbase.Ctx) (objectbase.Value, error) {
+		return c.Do("r", "Write", "x", int64(2))
+	})
+	elapsed := time.Since(start)
+	close(release)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked Exec error = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("blocked Exec took %v to honour a 30ms deadline (lock timeout is 10s)", elapsed)
+	}
+	if herr := <-done; herr != nil {
+		t.Fatalf("holder failed: %v", herr)
+	}
+	if st := db.Stats(); st.Retries != 0 {
+		t.Fatalf("Retries = %d after cancelled lock wait, want 0", st.Retries)
+	}
+}
+
+// TestSchedulersEndToEnd runs a contended read-modify-write workload under
+// every registered scheduler through the public API and verifies each
+// recorded history with the oracle. The empty scheduler ("none") is the
+// control: its history must still be legal, but it is allowed — indeed
+// expected under contention — to be non-serialisable.
+func TestSchedulersEndToEnd(t *testing.T) {
+	const clients, txnsPerClient = 4, 8
+	for _, sched := range objectbase.Schedulers() {
+		sched := sched
+		t.Run(sched, func(t *testing.T) {
+			t.Parallel()
+			db, err := objectbase.Open(objectbase.WithScheduler(sched))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := db.RegisterObject("r", objectbase.Register(), objectbase.State{"x": int64(0)}); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.RegisterMethod("r", "incr", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+				v, err := ctx.Do("r", "Read", "x")
+				if err != nil {
+					return nil, err
+				}
+				n, _ := v.(int64)
+				return ctx.Do("r", "Write", "x", n+1)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < txnsPerClient; i++ {
+						if _, err := db.Exec(context.Background(), "incr", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+							return ctx.Call("r", "incr")
+						}); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			h := db.History()
+			if err := h.CheckLegal(); err != nil {
+				t.Fatalf("history not legal under %s: %v", sched, err)
+			}
+			if sched == "none" {
+				return // anomalies are the point of the control
+			}
+			if _, err := db.Verify(); err != nil {
+				t.Fatalf("oracle rejected %s: %v", sched, err)
+			}
+			if got := h.FinalStates["r"]["x"].(int64); got != clients*txnsPerClient {
+				t.Fatalf("x = %d under %s, want %d (lost update)", got, sched, clients*txnsPerClient)
+			}
+		})
+	}
+}

@@ -1,10 +1,16 @@
 package objectbase_test
 
-// One benchmark per experiment of DESIGN.md §4 (the paper has no tables or
-// figures — these regenerate the executable experiments standing in for
-// them; see EXPERIMENTS.md). Each benchmark measures the end-to-end cost of
+// One benchmark per experiment of the E1-E11 catalogue in internal/bench
+// (the paper has no tables or figures — these regenerate the executable
+// experiments standing in for them; 'obsim list' enumerates them). Each
+// benchmark measures the end-to-end cost of
 // the experiment's workload under its scheduler(s) and reports
 // domain-specific metrics alongside ns/op.
+//
+// The benchmarks consume the system through the public objectbase façade
+// (Open + named schedulers); internal packages appear only where a bench
+// pokes at an internal knob (E11's GC period) or micro-benchmarks an
+// internal component directly.
 //
 // Run: go test -bench=. -benchmem
 
@@ -12,8 +18,8 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
-	"time"
 
+	"objectbase"
 	"objectbase/internal/bench"
 	"objectbase/internal/btree"
 	"objectbase/internal/cc"
@@ -25,15 +31,20 @@ import (
 	"objectbase/internal/workload"
 )
 
-// driveOnce builds a fresh engine for the spec/scheduler and drives it.
-func driveOnce(b *testing.B, mk func() engine.Scheduler, spec workload.Spec, clients, txns int, seed int64) *engine.Engine {
+// driveOnce opens a fresh DB under the named scheduler and drives the
+// workload spec against it.
+func driveOnce(b *testing.B, sched string, spec workload.Spec, clients, txns int, seed int64) *objectbase.DB {
 	b.Helper()
-	en := cc.NewEngine(mk(), engine.Options{})
+	db, err := objectbase.Open(objectbase.WithScheduler(sched))
+	if err != nil {
+		b.Fatal(err)
+	}
+	en := db.Engine()
 	spec.Setup(en)
 	if err := workload.Drive(en, spec, clients, txns, seed); err != nil {
 		b.Fatal(err)
 	}
-	return en
+	return db
 }
 
 // BenchmarkE1_Theorem1Replay measures conflict-consistent permutation
@@ -78,14 +89,14 @@ func BenchmarkE2_SGChecker(b *testing.B) {
 
 // benchSerialisability drives the bank workload under a scheduler and
 // verifies the result once (E3/E4).
-func benchSerialisability(b *testing.B, mk func() engine.Scheduler) {
+func benchSerialisability(b *testing.B, sched string) {
 	const clients, txns = 4, 20
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		en := driveOnce(b, mk, workload.Bank(3, 100), clients, txns, int64(i))
+		db := driveOnce(b, sched, workload.Bank(3, 100), clients, txns, int64(i))
 		b.StopTimer()
 		if i == 0 { // oracle once per benchmark: the guarantee, not the cost
-			if v := graph.Check(en.History()); !v.Serialisable {
+			if v := db.Check(); !v.Serialisable {
 				b.Fatalf("not serialisable: %v", v)
 			}
 		}
@@ -95,30 +106,24 @@ func benchSerialisability(b *testing.B, mk func() engine.Scheduler) {
 }
 
 func BenchmarkE3_N2PLSerialisable(b *testing.B) {
-	benchSerialisability(b, func() engine.Scheduler { return cc.NewN2PL(lock.OpGranularity, 10*time.Second) })
+	benchSerialisability(b, "n2pl-op")
 }
 
 func BenchmarkE4_NTOSerialisable(b *testing.B) {
-	benchSerialisability(b, func() engine.Scheduler { return cc.NewNTO(false) })
+	benchSerialisability(b, "nto-op")
 }
 
 // BenchmarkE5_QueueGranularity compares lock granularities on the
 // producer/consumer queue (Section 5.1 example).
 func BenchmarkE5_QueueGranularity(b *testing.B) {
-	for _, g := range []lock.Granularity{lock.OpGranularity, lock.StepGranularity} {
-		g := g
-		b.Run("n2pl-"+g.String(), func(b *testing.B) {
+	for _, sched := range []string{"n2pl-op", "n2pl-step"} {
+		sched := sched
+		b.Run(sched, func(b *testing.B) {
 			waits := int64(0)
 			const clients, txns = 2, 100
 			for i := 0; i < b.N; i++ {
-				sched := cc.NewN2PL(g, 10*time.Second)
-				en := cc.NewEngine(sched, engine.Options{})
-				spec := workload.ProducerConsumer(256, 20000)
-				spec.Setup(en)
-				if err := workload.Drive(en, spec, clients, txns, int64(i)); err != nil {
-					b.Fatal(err)
-				}
-				waits += sched.Manager().Stats().Waits.Load()
+				db := driveOnce(b, sched, workload.ProducerConsumer(256, 20000), clients, txns, int64(i))
+				waits += db.Stats().LockWaits
 			}
 			b.ReportMetric(float64(waits)/float64(b.N), "lockwaits/op")
 			b.ReportMetric(float64(clients*txns), "txns/op")
@@ -129,16 +134,12 @@ func BenchmarkE5_QueueGranularity(b *testing.B) {
 // BenchmarkE6_VsGemstone compares method-level N2PL against the
 // object-as-data-item baseline on the hot-object workload (Section 1).
 func BenchmarkE6_VsGemstone(b *testing.B) {
-	mks := map[string]func() engine.Scheduler{
-		"n2pl-op":  func() engine.Scheduler { return cc.NewN2PL(lock.OpGranularity, 10*time.Second) },
-		"gemstone": func() engine.Scheduler { return cc.NewGemstone(10*time.Second, nil) },
-	}
-	for name, mk := range mks {
-		mk := mk
-		b.Run(name, func(b *testing.B) {
+	for _, sched := range []string{"n2pl-op", "gemstone"} {
+		sched := sched
+		b.Run(sched, func(b *testing.B) {
 			const clients, txns = 8, 25
 			for i := 0; i < b.N; i++ {
-				driveOnce(b, mk, workload.HotObject(64, 2_000_000), clients, txns, int64(i))
+				driveOnce(b, sched, workload.HotObject(64, 2_000_000), clients, txns, int64(i))
 			}
 			b.ReportMetric(float64(clients*txns), "txns/op")
 		})
@@ -148,19 +149,15 @@ func BenchmarkE6_VsGemstone(b *testing.B) {
 // BenchmarkE7_NTOAborts measures retry rates under contention for the two
 // NTO variants.
 func BenchmarkE7_NTOAborts(b *testing.B) {
-	for _, exact := range []bool{false, true} {
-		exact := exact
-		name := "nto-op"
-		if exact {
-			name = "nto-step"
-		}
-		b.Run(name, func(b *testing.B) {
+	for _, sched := range []string{"nto-op", "nto-step"} {
+		sched := sched
+		b.Run(sched, func(b *testing.B) {
 			retries, commits := int64(0), int64(0)
 			for i := 0; i < b.N; i++ {
-				en := driveOnce(b, func() engine.Scheduler { return cc.NewNTO(exact) },
-					workload.AccountMix(16, 70, 300_000), 4, 25, int64(i))
-				retries += en.Retries()
-				commits += en.Commits()
+				db := driveOnce(b, sched, workload.AccountMix(16, 70, 300_000), 4, 25, int64(i))
+				st := db.Stats()
+				retries += st.Retries
+				commits += st.Commits
 			}
 			b.ReportMetric(float64(retries)/float64(commits), "retries/commit")
 		})
@@ -170,16 +167,12 @@ func BenchmarkE7_NTOAborts(b *testing.B) {
 // BenchmarkE8_ModularBTree compares the modular certifier (per-key B-tree
 // dictionary) against the whole-object baseline.
 func BenchmarkE8_ModularBTree(b *testing.B) {
-	mks := map[string]func() engine.Scheduler{
-		"modular":  func() engine.Scheduler { return cc.NewModular() },
-		"gemstone": func() engine.Scheduler { return cc.NewGemstone(10*time.Second, nil) },
-	}
-	for name, mk := range mks {
-		mk := mk
-		b.Run(name, func(b *testing.B) {
+	for _, sched := range []string{"modular", "gemstone"} {
+		sched := sched
+		b.Run(sched, func(b *testing.B) {
 			const clients, txns = 4, 50
 			for i := 0; i < b.N; i++ {
-				driveOnce(b, mk, workload.Dictionary(1024, 512, 60, 500_000), clients, txns, int64(i))
+				driveOnce(b, sched, workload.Dictionary(1024, 512, 60, 500_000), clients, txns, int64(i))
 			}
 			b.ReportMetric(float64(clients*txns), "txns/op")
 		})
@@ -190,11 +183,9 @@ func BenchmarkE8_ModularBTree(b *testing.B) {
 // aborts with fallback paths.
 func BenchmarkE9_AbortRetry(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		en := driveOnce(b, func() engine.Scheduler { return cc.NewN2PL(lock.OpGranularity, 10*time.Second) },
-			workload.FailureInjection(25), 4, 50, int64(i))
+		db := driveOnce(b, "n2pl-op", workload.FailureInjection(25), 4, 50, int64(i))
 		if i == 0 {
-			h := en.History()
-			if err := h.CheckLegal(); err != nil {
+			if err := db.History().CheckLegal(); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -211,18 +202,26 @@ func BenchmarkE10_Theorem5Certifier(b *testing.B) {
 	_ = tbl
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sched := cc.NewModular()
-		en := cc.NewEngine(sched, engine.Options{})
-		en.AddObject("A", objects.Register(), core.State{"x": int64(0)})
-		en.AddObject("B", objects.Register(), core.State{"y": int64(0)})
-		if err := bench.CrossRound(en, int64(i)); err != nil {
+		db, err := objectbase.Open(objectbase.WithScheduler("modular"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.RegisterObject("A", objectbase.Register(), objectbase.State{"x": int64(0)}); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.RegisterObject("B", objectbase.Register(), objectbase.State{"y": int64(0)}); err != nil {
+			b.Fatal(err)
+		}
+		if err := bench.CrossRound(db.Engine(), int64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 // BenchmarkE11_TimestampGC measures exact NTO with and without low-water
-// pruning and reports the table footprint.
+// pruning and reports the table footprint. The GC period is an internal
+// knob with no façade surface, so this bench builds the scheduler
+// directly.
 func BenchmarkE11_TimestampGC(b *testing.B) {
 	for _, gc := range []int64{1, 1 << 60} {
 		gc := gc

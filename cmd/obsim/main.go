@@ -6,22 +6,24 @@
 //	obsim list                 # catalogue of experiments
 //	obsim exp E5 [-full] [-seed N]
 //	obsim all  [-full] [-seed N]
-//	obsim bank [-sched n2pl-op|n2pl-step|nto-op|nto-step|gemstone|modular|none]
+//	obsim bank [-sched NAME]   # NAME from the registered scheduler list
 //	           [-clients N] [-txns N] [-seed N]   # run the bank workload and verify it
+//
+// The -sched flag accepts any scheduler registered with the objectbase
+// package (see 'obsim bank -h' or the usage line for the current list).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"objectbase"
 	"objectbase/internal/bench"
-	"objectbase/internal/cc"
-	"objectbase/internal/engine"
 	"objectbase/internal/graph"
 	"objectbase/internal/history"
-	"objectbase/internal/lock"
 	"objectbase/internal/workload"
 )
 
@@ -49,11 +51,12 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: obsim {list | exp <ID> | all | bank} [flags]")
+	fmt.Fprintf(os.Stderr, "schedulers: %s\n", strings.Join(objectbase.Schedulers(), ", "))
 }
 
 func expFlags(args []string) (bench.Config, *flag.FlagSet, error) {
 	fs := flag.NewFlagSet("exp", flag.ContinueOnError)
-	full := fs.Bool("full", false, "run at full scale (EXPERIMENTS.md numbers)")
+	full := fs.Bool("full", false, "run at full scale")
 	seed := fs.Int64("seed", 42, "deterministic seed")
 	err := fs.Parse(args)
 	return bench.Config{Quick: !*full, Seed: *seed}, fs, err
@@ -99,42 +102,22 @@ func runAll(args []string) {
 	}
 }
 
-func newScheduler(name string) (engine.Scheduler, error) {
-	switch name {
-	case "n2pl-op":
-		return cc.NewN2PL(lock.OpGranularity, 10*time.Second), nil
-	case "n2pl-step":
-		return cc.NewN2PL(lock.StepGranularity, 10*time.Second), nil
-	case "nto-op":
-		return cc.NewNTO(false), nil
-	case "nto-step":
-		return cc.NewNTO(true), nil
-	case "gemstone":
-		return cc.NewGemstone(10*time.Second, nil), nil
-	case "modular":
-		return cc.NewModular(), nil
-	case "none":
-		return engine.None{}, nil
-	default:
-		return nil, fmt.Errorf("unknown scheduler %q", name)
-	}
-}
-
 func runBank(args []string) {
 	fs := flag.NewFlagSet("bank", flag.ContinueOnError)
-	schedName := fs.String("sched", "n2pl-op", "scheduler")
+	schedName := fs.String("sched", objectbase.DefaultScheduler,
+		"scheduler, one of: "+strings.Join(objectbase.Schedulers(), ", "))
 	clients := fs.Int("clients", 4, "concurrent clients")
 	txns := fs.Int("txns", 50, "transactions per client")
 	seed := fs.Int64("seed", 1, "seed")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
-	sched, err := newScheduler(*schedName)
+	db, err := objectbase.Open(objectbase.WithScheduler(*schedName))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "obsim:", err)
 		os.Exit(2)
 	}
-	en := cc.NewEngine(sched, engine.Options{})
+	en := db.Engine()
 	spec := workload.Bank(3, 100)
 	spec.Setup(en)
 	start := time.Now()
@@ -143,27 +126,36 @@ func runBank(args []string) {
 		os.Exit(1)
 	}
 	el := time.Since(start)
-	h := en.History()
-	fmt.Printf("scheduler    %s\n", sched.Name())
+	st := db.Stats()
+	h := db.History()
+	fmt.Printf("scheduler    %s\n", db.Scheduler())
 	fmt.Printf("transactions %d committed, %d retries, %v elapsed (%.0f txn/s)\n",
-		en.Commits(), en.Retries(), el.Round(time.Millisecond),
-		float64(en.Commits())/el.Seconds())
+		st.Commits, st.Retries, el.Round(time.Millisecond),
+		float64(st.Commits)/el.Seconds())
+	// Legality is an engine invariant, not a scheduler guarantee: it must
+	// hold even under the empty scheduler, so its violation is always fatal.
 	if err := h.CheckLegal(); err != nil {
 		fmt.Printf("legality     VIOLATED: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("legality     ok (%d local steps, %d executions)\n", h.StepCount(), len(h.Execs))
+	violated := false
 	fmt.Println("--- history analysis ---")
 	history.Analyze(h).Report(os.Stdout)
 	fmt.Println("------------------------")
 	v := graph.Check(h)
 	fmt.Printf("verdict      %v\n", v)
+	violated = violated || !v.Serialisable
 	if err := graph.CheckTheorem5(h); err != nil {
 		fmt.Printf("theorem5     VIOLATED: %v\n", err)
-		os.Exit(1)
+		violated = true
+	} else {
+		fmt.Printf("theorem5     ok\n")
 	}
-	fmt.Printf("theorem5     ok\n")
-	if !v.Serialisable && sched.Name() != "none" {
+	// The empty scheduler is the demonstration control: it is expected to
+	// produce the anomalies the others prevent, so violations are reported
+	// but are not a failure.
+	if violated && db.Scheduler() != "none" {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,320 @@
+package objectbase
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"objectbase/internal/cc"
+	"objectbase/internal/core"
+	"objectbase/internal/engine"
+	"objectbase/internal/graph"
+	"objectbase/internal/lock"
+)
+
+// The façade re-exports the model's vocabulary so client code needs no
+// internal imports: values and states are the object-base data, a Schema
+// is an object type (operations plus conflict relation), a MethodFunc is a
+// method body programming against Ctx, and History/Verdict are what the
+// oracle consumes and produces.
+type (
+	// Value is any value stored in or returned from an object base.
+	Value = core.Value
+	// State is one object's state: a bag of named variables.
+	State = core.State
+	// Schema is an object type: its operations and their conflict
+	// relation. Build one with core's constructors via the bundled object
+	// library (Counter, Register, Account, Queue, Set, Dictionary) or
+	// supply your own.
+	Schema = core.Schema
+	// Ctx is the handle a method body receives: Do issues local steps,
+	// Call sends messages (invoking child method executions), Parallel
+	// runs bodies concurrently within the execution, Abort aborts
+	// voluntarily.
+	Ctx = engine.Ctx
+	// MethodFunc is the body of a method or transaction.
+	MethodFunc = engine.MethodFunc
+	// History is the full recorded history h = (E, <, B, S) of a run.
+	History = core.History
+	// Verdict is the oracle's judgement of a history.
+	Verdict = graph.Verdict
+)
+
+// DefaultScheduler is the scheduler Open uses when none is requested:
+// Moss's nested two-phase locking at operation granularity — the paper's
+// workhorse, deadlock-detected and strict.
+const DefaultScheduler = "n2pl-op"
+
+// Schedulers returns the names of all registered concurrency-control
+// schedulers, sorted. Any of them can be passed to WithScheduler.
+func Schedulers() []string { return cc.SchedulerNames() }
+
+type config struct {
+	scheduler    string
+	maxRetries   int
+	retryBackoff time.Duration
+	lockTimeout  time.Duration
+}
+
+// Option configures Open.
+type Option func(*config) error
+
+// WithScheduler selects the concurrency-control scheduler by registered
+// name (see Schedulers). Open fails on an unknown name.
+func WithScheduler(name string) Option {
+	return func(c *config) error {
+		if name == "" {
+			return errors.New("objectbase: WithScheduler: empty name")
+		}
+		c.scheduler = name
+		return nil
+	}
+}
+
+// WithMaxRetries bounds automatic retries of transactions aborted for
+// synchronisation reasons (deadlock victim, timestamp rejection, failed
+// certification, cascade). n <= 0 disables retries; the default is 100.
+func WithMaxRetries(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			c.maxRetries = engine.NoRetry
+		} else {
+			c.maxRetries = n
+		}
+		return nil
+	}
+}
+
+// WithRetryBackoff sets the base backoff between retries (jittered,
+// doubling up to 64x). The default is 100µs.
+func WithRetryBackoff(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("objectbase: WithRetryBackoff: non-positive duration %v", d)
+		}
+		c.retryBackoff = d
+		return nil
+	}
+}
+
+// WithLockTimeout bounds lock waits for lock-based schedulers (the n2pl-*
+// pair and the gemstone baseline); the nested-aware deadlock detector
+// usually resolves cycles long before it expires. The default is 10s.
+// Schedulers that do not lock ignore it.
+func WithLockTimeout(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("objectbase: WithLockTimeout: non-positive duration %v", d)
+		}
+		c.lockTimeout = d
+		return nil
+	}
+}
+
+// DB is an open object base: a set of objects (schema + state + methods)
+// executing nested transactions under one concurrency-control scheduler,
+// with the full history recorded for verification.
+//
+// A DB is safe for concurrent use. Populate it first (RegisterObject,
+// RegisterMethod), then run transactions (Exec, Txn) from any number of
+// goroutines; History and Verify want a quiescent DB (no transaction in
+// flight).
+type DB struct {
+	scheduler string
+	sched     engine.Scheduler
+	eng       *engine.Engine
+
+	// regMu serialises registration: the duplicate-object check and the
+	// engine insertion must be atomic against concurrent registrations.
+	regMu sync.Mutex
+}
+
+// Open creates an object base. With no options it runs the default
+// scheduler (DefaultScheduler) with default retry policy.
+func Open(opts ...Option) (*DB, error) {
+	cfg := config{scheduler: DefaultScheduler}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	sched, err := cc.NewByName(cfg.scheduler, cc.Config{LockTimeout: cfg.lockTimeout})
+	if err != nil {
+		return nil, fmt.Errorf("objectbase: %w", err)
+	}
+	eng := cc.NewEngine(sched, engine.Options{
+		MaxRetries:   cfg.maxRetries,
+		RetryBackoff: cfg.retryBackoff,
+	})
+	return &DB{scheduler: cfg.scheduler, sched: sched, eng: eng}, nil
+}
+
+// Scheduler returns the registered name of the DB's scheduler.
+func (db *DB) Scheduler() string { return db.scheduler }
+
+// RegisterObject creates an object: an instance of the schema with the
+// given initial state (the schema's NewState when nil). Object names are
+// unique per DB.
+func (db *DB) RegisterObject(name string, schema *Schema, initial State) error {
+	if name == "" {
+		return errors.New("objectbase: RegisterObject: empty object name")
+	}
+	if schema == nil {
+		return fmt.Errorf("objectbase: RegisterObject %q: nil schema", name)
+	}
+	db.regMu.Lock()
+	defer db.regMu.Unlock()
+	if db.eng.Object(name) != nil {
+		return fmt.Errorf("objectbase: object %q already registered", name)
+	}
+	db.eng.AddObject(name, schema, initial)
+	return nil
+}
+
+// RegisterMethod installs a method on a registered object. Methods are
+// what transactions invoke; their bodies issue local steps on the object
+// (Ctx.Do) and messages to other objects (Ctx.Call).
+func (db *DB) RegisterMethod(object, method string, fn MethodFunc) error {
+	db.regMu.Lock()
+	defer db.regMu.Unlock()
+	if db.eng.Object(object) == nil {
+		return fmt.Errorf("objectbase: RegisterMethod %s.%s: unknown object %q", object, method, object)
+	}
+	if method == "" {
+		return fmt.Errorf("objectbase: RegisterMethod on %q: empty method name", object)
+	}
+	if fn == nil {
+		return fmt.Errorf("objectbase: RegisterMethod %s.%s: nil body", object, method)
+	}
+	db.eng.Register(object, method, fn)
+	return nil
+}
+
+// Exec runs fn as one top-level transaction named name (the name labels
+// the history; it need not be unique). Synchronisation aborts are retried
+// automatically with fresh transaction identities, up to the configured
+// maximum, with jittered exponential backoff.
+//
+// The context is honoured throughout: once ctx is done the transaction
+// aborts (its effects undone) at the next step, message, or commit
+// boundary, retry backoff sleeps are interrupted, and the returned error
+// unwraps to ctx.Err().
+func (db *DB) Exec(ctx context.Context, name string, fn MethodFunc, args ...Value) (Value, error) {
+	return db.eng.RunCtx(ctx, name, fn, args...)
+}
+
+// Call names one method invocation for Txn.
+type Call struct {
+	Object string
+	Method string
+	Args   []Value
+}
+
+// Txn runs the calls sequentially as one top-level transaction and
+// returns their results. It is the declarative convenience over Exec for
+// transactions that are a straight-line sequence of method invocations;
+// if any call's method execution aborts, the whole transaction aborts.
+func (db *DB) Txn(ctx context.Context, name string, calls ...Call) ([]Value, error) {
+	if len(calls) == 0 {
+		return nil, errors.New("objectbase: Txn: no calls")
+	}
+	ret, err := db.Exec(ctx, name, func(c *Ctx) (Value, error) {
+		results := make([]Value, len(calls))
+		for i, call := range calls {
+			v, err := c.Call(call.Object, call.Method, call.Args...)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = v
+		}
+		return results, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ret.([]Value), nil
+}
+
+// Retry returns an error a method body can use to abort the enclosing
+// transaction and have the engine retry it with a fresh identity (subject
+// to the configured maximum) — for application-level conflict detection
+// the scheduler cannot see.
+func Retry(reason string) error {
+	return &engine.AbortError{Reason: "retry: " + reason, Retriable: true}
+}
+
+// Stats is a snapshot of a DB's execution counters. The scheduler-specific
+// fields are zero for schedulers they do not apply to.
+type Stats struct {
+	// Commits, Aborts, Retries count top-level transaction outcomes:
+	// committed transactions, aborted attempts, and retried attempts.
+	Commits int64
+	Aborts  int64
+	Retries int64
+	// LockWaits and Deadlocks count blocking lock acquisitions and
+	// detected deadlocks (lock-based schedulers: n2pl-*, gemstone).
+	LockWaits int64
+	Deadlocks int64
+	// CertValidated and CertRejected count certification outcomes
+	// (certifying schedulers: modular).
+	CertValidated int64
+	CertRejected  int64
+}
+
+// Stats returns a snapshot of the DB's execution counters.
+func (db *DB) Stats() Stats {
+	st := Stats{
+		Commits: db.eng.Commits(),
+		Aborts:  db.eng.Aborts(),
+		Retries: db.eng.Retries(),
+	}
+	if lm, ok := db.sched.(interface{ Manager() *lock.Manager }); ok {
+		ls := lm.Manager().Stats()
+		st.LockWaits = ls.Waits.Load()
+		st.Deadlocks = ls.Deadlocks.Load()
+	}
+	if m, ok := db.sched.(*cc.Modular); ok {
+		cs := m.Stats()
+		st.CertValidated, st.CertRejected = cs.Validated, cs.Rejected
+	}
+	return st
+}
+
+// History finalises and returns the run's recorded history h = (E, <, B,
+// S). The DB must be quiescent (no transaction in flight).
+func (db *DB) History() *History { return db.eng.History() }
+
+// Check runs the serialisability oracle on the recorded history and
+// returns its verdict (serialisation-graph acyclicity plus serial
+// replay). The DB must be quiescent.
+func (db *DB) Check() Verdict { return graph.Check(db.eng.History()) }
+
+// Verify checks the recorded history against the paper's full theory:
+// legality (every step's return value matches a serial replay of what
+// committed before it), serialisability (Theorem 2's oracle), and the
+// Theorem 5 intra/inter-object decomposition. It returns the oracle's
+// verdict alongside a nil error when all hold, so callers need not run
+// Check (a second full serial replay) just to report the verdict. The DB
+// must be quiescent.
+func (db *DB) Verify() (Verdict, error) {
+	h := db.eng.History()
+	if err := h.CheckLegal(); err != nil {
+		return Verdict{}, fmt.Errorf("objectbase: history not legal: %w", err)
+	}
+	v := graph.Check(h)
+	if !v.Serialisable {
+		return v, fmt.Errorf("objectbase: history not serialisable: %v", v)
+	}
+	if err := graph.CheckTheorem5(h); err != nil {
+		return v, fmt.Errorf("objectbase: theorem 5 decomposition violated: %w", err)
+	}
+	return v, nil
+}
+
+// Engine exposes the underlying runtime engine. It is an escape hatch for
+// this module's own tooling (cmd/obsim, the experiment drivers in
+// internal/bench and internal/workload); the returned type lives under
+// internal/ and cannot be named outside the module.
+func (db *DB) Engine() *engine.Engine { return db.eng }

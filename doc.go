@@ -1,13 +1,41 @@
-// Package objectbase is a reproduction of Hadzilacos & Hadzilacos,
-// "Transaction Synchronisation in Object Bases" (PODS 1988; JCSS 43,
-// 2-24, 1991): a formal model of concurrency control for object bases —
-// nested transactions issuing arbitrary operations with internal
+// Package objectbase is an embeddable transactional object base: nested
+// transactions over user-defined object types, synchronised by pluggable
+// concurrency-control schedulers, with every run recorded as a history
+// that the built-in oracle can verify serialisable.
+//
+// It is a reproduction — grown into a usable system — of Hadzilacos &
+// Hadzilacos, "Transaction Synchronisation in Object Bases" (PODS 1988;
+// JCSS 43, 2-24, 1991): a formal model of concurrency control for object
+// bases — nested transactions issuing arbitrary operations with internal
 // parallelism — made executable, together with the paper's algorithms
 // (nested two-phase locking, nested timestamp ordering), the Section 1
 // baseline (object-as-data-item), the Theorem 5 intra/inter-object
 // decomposition with an optimistic certifier, and an oracle that verifies
 // every recorded history against the paper's own serialisability theory.
 //
-// See README.md for the layout, DESIGN.md for the system inventory and
-// experiment index, and EXPERIMENTS.md for the regenerated results.
+// # Usage
+//
+// Open a DB, register objects (a Schema plus an initial State) and
+// methods, then run transactions:
+//
+//	db, err := objectbase.Open(objectbase.WithScheduler("n2pl-op"))
+//	if err != nil { ... }
+//	db.RegisterObject("visits", objectbase.Counter(), nil)
+//	db.RegisterMethod("visits", "bump", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+//		return ctx.Do("visits", "Add", int64(1))
+//	})
+//	_, err = db.Exec(ctx, "T", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+//		return ctx.Call("visits", "bump")
+//	})
+//	...
+//	if _, err := db.Verify(); err != nil { ... } // the oracle checks the recorded history
+//
+// Exec honours context cancellation and deadlines down through the
+// engine: a done context aborts the transaction at its next step, message
+// or commit boundary and interrupts retry backoff. Schedulers() lists the
+// registered concurrency controls; WithScheduler selects one by name.
+//
+// See README.md for the repository layout, the scheduler catalogue, and a
+// complete quickstart; the runnable programs under examples/ exercise the
+// public API end to end.
 package objectbase

@@ -11,22 +11,19 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
 
-	"objectbase/internal/cc"
-	"objectbase/internal/core"
-	"objectbase/internal/engine"
-	"objectbase/internal/graph"
-	"objectbase/internal/objects"
+	"objectbase"
 )
 
-func setup(en *engine.Engine) {
+func setup(db *objectbase.DB) {
 	for _, acct := range []string{"checking", "savings", "merchant"} {
 		acct := acct
-		en.AddObject(acct, objects.Account(), core.State{"balance": int64(500)})
-		en.Register(acct, "pay", func(ctx *engine.Ctx) (core.Value, error) {
+		must(db.RegisterObject(acct, objectbase.Account(), objectbase.State{"balance": int64(500)}))
+		must(db.RegisterMethod(acct, "pay", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
 			amount := ctx.Arg(0).(int64)
 			ok, err := ctx.Do(acct, "Withdraw", amount)
 			if err != nil {
@@ -38,16 +35,16 @@ func setup(en *engine.Engine) {
 				return nil, ctx.Abort("insufficient funds")
 			}
 			return nil, nil
-		})
-		en.Register(acct, "receive", func(ctx *engine.Ctx) (core.Value, error) {
+		}))
+		must(db.RegisterMethod(acct, "receive", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
 			return ctx.Do(acct, "Deposit", ctx.Arg(0))
-		})
+		}))
 	}
 }
 
 // payment tries checking, falls back to savings.
-func payment(amount int64) engine.MethodFunc {
-	return func(ctx *engine.Ctx) (core.Value, error) {
+func payment(amount int64) objectbase.MethodFunc {
+	return func(ctx *objectbase.Ctx) (objectbase.Value, error) {
 		source := "checking"
 		if _, err := ctx.Call("checking", "pay", amount); err != nil {
 			// The sub-transaction aborted; this transaction survives and
@@ -65,9 +62,11 @@ func payment(amount int64) engine.MethodFunc {
 }
 
 func main() {
-	sched := cc.NewNTO(true) // exact nested timestamp ordering
-	en := cc.NewEngine(sched, engine.Options{})
-	setup(en)
+	db, err := objectbase.Open(objectbase.WithScheduler("nto-step")) // exact nested timestamp ordering
+	if err != nil {
+		log.Fatal(err)
+	}
+	setup(db)
 
 	var mu sync.Mutex
 	paid := map[string]int{}
@@ -79,7 +78,7 @@ func main() {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < 30; i++ {
-				src, err := en.Run("payment", payment(int64(40)))
+				src, err := db.Exec(context.Background(), "payment", payment(int64(40)))
 				mu.Lock()
 				if err != nil {
 					failed++
@@ -92,15 +91,10 @@ func main() {
 	}
 	wg.Wait()
 
-	h := en.History()
-	if err := h.CheckLegal(); err != nil {
-		log.Fatalf("history not legal: %v", err)
+	if _, err := db.Verify(); err != nil {
+		log.Fatal(err)
 	}
-	v := graph.Check(h)
-	if !v.Serialisable {
-		log.Fatalf("not serialisable: %v", v)
-	}
-
+	h := db.History()
 	checking := h.FinalStates["checking"]["balance"].(int64)
 	savings := h.FinalStates["savings"]["balance"].(int64)
 	merchant := h.FinalStates["merchant"]["balance"].(int64)
@@ -113,4 +107,10 @@ func main() {
 		log.Fatalf("money not conserved")
 	}
 	fmt.Println("history verified serialisable; money conserved")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
 }

@@ -8,35 +8,34 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"sync"
 
-	"objectbase/internal/cc"
-	"objectbase/internal/core"
-	"objectbase/internal/engine"
-	"objectbase/internal/graph"
-	"objectbase/internal/objects"
+	"objectbase"
 )
 
 func main() {
-	sched := cc.NewModular()
-	en := cc.NewEngine(sched, engine.Options{})
+	db, err := objectbase.Open(objectbase.WithScheduler("modular"))
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	en.AddObject("index", objects.Dictionary(), nil)
-	en.Register("index", "put", func(ctx *engine.Ctx) (core.Value, error) {
+	must(db.RegisterObject("index", objectbase.Dictionary(), nil))
+	must(db.RegisterMethod("index", "put", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
 		return ctx.Do("index", "Insert", ctx.Arg(0), ctx.Arg(1))
-	})
-	en.Register("index", "get", func(ctx *engine.Ctx) (core.Value, error) {
+	}))
+	must(db.RegisterMethod("index", "get", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
 		return ctx.Do("index", "Lookup", ctx.Arg(0))
-	})
-	en.Register("index", "del", func(ctx *engine.Ctx) (core.Value, error) {
+	}))
+	must(db.RegisterMethod("index", "del", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
 		return ctx.Do("index", "Delete", ctx.Arg(0))
-	})
+	}))
 	// A compound method: move a value from one key to another — two local
 	// steps inside one method execution.
-	en.Register("index", "rename", func(ctx *engine.Ctx) (core.Value, error) {
+	must(db.RegisterMethod("index", "rename", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
 		old, err := ctx.Do("index", "Delete", ctx.Arg(0))
 		if err != nil {
 			return nil, err
@@ -48,8 +47,9 @@ func main() {
 			return nil, err
 		}
 		return true, nil
-	})
+	}))
 
+	ctx := context.Background()
 	var wg sync.WaitGroup
 	for c := 0; c < 6; c++ {
 		wg.Add(1)
@@ -61,22 +61,18 @@ func main() {
 				var err error
 				switch r.Intn(4) {
 				case 0:
-					_, err = en.Run("put", func(ctx *engine.Ctx) (core.Value, error) {
-						return ctx.Call("index", "put", k, int64(c*1000+i))
-					})
+					_, err = db.Txn(ctx, "put", objectbase.Call{
+						Object: "index", Method: "put", Args: []objectbase.Value{k, int64(c*1000 + i)}})
 				case 1:
-					_, err = en.Run("get", func(ctx *engine.Ctx) (core.Value, error) {
-						return ctx.Call("index", "get", k)
-					})
+					_, err = db.Txn(ctx, "get", objectbase.Call{
+						Object: "index", Method: "get", Args: []objectbase.Value{k}})
 				case 2:
-					_, err = en.Run("del", func(ctx *engine.Ctx) (core.Value, error) {
-						return ctx.Call("index", "del", k)
-					})
+					_, err = db.Txn(ctx, "del", objectbase.Call{
+						Object: "index", Method: "del", Args: []objectbase.Value{k}})
 				default:
 					k2 := int64(r.Intn(128))
-					_, err = en.Run("rename", func(ctx *engine.Ctx) (core.Value, error) {
-						return ctx.Call("index", "rename", k, k2)
-					})
+					_, err = db.Txn(ctx, "rename", objectbase.Call{
+						Object: "index", Method: "rename", Args: []objectbase.Value{k, k2}})
 				}
 				if err != nil {
 					log.Fatalf("client %d: %v", c, err)
@@ -86,30 +82,28 @@ func main() {
 	}
 	wg.Wait()
 
-	h := en.History()
-	if err := h.CheckLegal(); err != nil {
-		log.Fatalf("history not legal: %v", err)
+	if _, err := db.Verify(); err != nil {
+		log.Fatal(err)
 	}
-	v := graph.Check(h)
-	if !v.Serialisable {
-		log.Fatalf("not serialisable: %v", v)
-	}
-	if err := graph.CheckTheorem5(h); err != nil {
-		log.Fatalf("theorem 5: %v", err)
-	}
-	st := sched.Stats()
-	fmt.Printf("committed: %d  retries: %d\n", en.Commits(), en.Retries())
-	fmt.Printf("certifier: %d validated, %d rejected\n", st.Validated, st.Rejected)
-	fmt.Printf("dictionary size after run: %v\n", mustLen(en))
+	st := db.Stats()
+	fmt.Printf("committed: %d  retries: %d\n", st.Commits, st.Retries)
+	fmt.Printf("certifier: %d validated, %d rejected\n", st.CertValidated, st.CertRejected)
+	fmt.Printf("dictionary size after run: %v\n", mustLen(db))
 	fmt.Println("serialisable; Theorem 5 intra/inter decomposition holds")
 }
 
-func mustLen(en *engine.Engine) core.Value {
-	v, err := en.Run("len", func(ctx *engine.Ctx) (core.Value, error) {
+func mustLen(db *objectbase.DB) objectbase.Value {
+	v, err := db.Exec(context.Background(), "len", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
 		return ctx.Do("index", "Len")
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	return v
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
 }

@@ -7,40 +7,86 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
-	"objectbase/internal/cc"
-	"objectbase/internal/engine"
-	"objectbase/internal/graph"
-	"objectbase/internal/lock"
-	"objectbase/internal/workload"
+	"objectbase"
 )
 
-func run(g lock.Granularity) {
-	sched := cc.NewN2PL(g, 10*time.Second)
-	en := cc.NewEngine(sched, engine.Options{})
-	spec := workload.ProducerConsumer(256, 20000) // a healthy backlog: heads and tails never meet
-	spec.Setup(en)
+const (
+	backlog = 256 // preloaded items: heads and tails never meet
+	spin    = 20000
+	txns    = 400 // per role (one producer, one consumer)
+)
 
-	start := time.Now()
-	if err := workload.Drive(en, spec, 2, 400, 7); err != nil {
+// work simulates per-method computation after the queue step — under
+// two-phase locking the lock stays held until the transaction commits, so
+// longer methods mean longer blocking exactly when the lock was
+// needlessly conservative.
+func work(x int64) int64 {
+	acc := x
+	for s := 0; s < spin; s++ {
+		acc = acc*1103515245 + 12345
+	}
+	return acc
+}
+
+func run(sched string) {
+	db, err := objectbase.Open(objectbase.WithScheduler(sched))
+	if err != nil {
 		log.Fatal(err)
 	}
+	items := make([]objectbase.Value, backlog)
+	for i := range items {
+		items[i] = int64(-1 - i)
+	}
+	must(db.RegisterObject("Q", objectbase.Queue(), objectbase.State{"items": items}))
+	must(db.RegisterMethod("Q", "produce", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+		v, err := ctx.Do("Q", "Enqueue", ctx.Arg(0))
+		_ = work(1)
+		return v, err
+	}))
+	must(db.RegisterMethod("Q", "consume", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+		v, err := ctx.Do("Q", "Dequeue")
+		_ = work(2)
+		return v, err
+	}))
+
+	ctx := context.Background()
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // producer
+		defer wg.Done()
+		for i := 0; i < txns; i++ {
+			if _, err := db.Txn(ctx, "produce", objectbase.Call{
+				Object: "Q", Method: "produce", Args: []objectbase.Value{int64(i)}}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}()
+	go func() { // consumer
+		defer wg.Done()
+		for i := 0; i < txns; i++ {
+			if _, err := db.Txn(ctx, "consume", objectbase.Call{
+				Object: "Q", Method: "consume"}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}()
+	wg.Wait()
 	elapsed := time.Since(start)
 
-	h := en.History()
-	if err := h.CheckLegal(); err != nil {
-		log.Fatalf("%s: history not legal: %v", sched.Name(), err)
+	if _, err := db.Verify(); err != nil {
+		log.Fatalf("%s: %v", db.Scheduler(), err)
 	}
-	if v := graph.Check(h); !v.Serialisable {
-		log.Fatalf("%s: not serialisable: %v", sched.Name(), v)
-	}
-	st := sched.Manager().Stats()
+	st := db.Stats()
 	fmt.Printf("%-10s  %4d txns in %7s  (%6.0f txn/s)  lock-waits=%-4d deadlock-aborts=%d\n",
-		sched.Name(), en.Commits(), elapsed.Round(time.Millisecond),
-		float64(en.Commits())/elapsed.Seconds(), st.Waits.Load(), st.Deadlocks.Load())
+		db.Scheduler(), st.Commits, elapsed.Round(time.Millisecond),
+		float64(st.Commits)/elapsed.Seconds(), st.LockWaits, st.Deadlocks)
 }
 
 func main() {
@@ -48,6 +94,12 @@ func main() {
 	fmt.Println("(the paper: \"an Enqueue conflicts with a Dequeue only if the latter")
 	fmt.Println(" returns the item placed into the queue by the former\")")
 	fmt.Println()
-	run(lock.OpGranularity)
-	run(lock.StepGranularity)
+	run("n2pl-op")
+	run("n2pl-step")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,51 +1,50 @@
-// Quickstart: build an object base, run concurrent nested transactions
-// under nested two-phase locking, and verify the recorded history with the
-// paper's own machinery (serialisation-graph acyclicity plus serial
-// replay).
+// Quickstart: open an object base through the public API, run concurrent
+// nested transactions under nested two-phase locking, and verify the
+// recorded history with the paper's own machinery (legality,
+// serialisation-graph acyclicity plus serial replay, and the Theorem 5
+// decomposition).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
-	"time"
 
-	"objectbase/internal/cc"
-	"objectbase/internal/core"
-	"objectbase/internal/engine"
-	"objectbase/internal/graph"
-	"objectbase/internal/lock"
-	"objectbase/internal/objects"
+	"objectbase"
 )
 
 func main() {
-	// 1. A scheduler: Moss's nested 2PL at operation granularity
-	//    (Section 5.1 of the paper), and an engine around it.
-	sched := cc.NewN2PL(lock.OpGranularity, 10*time.Second)
-	en := cc.NewEngine(sched, engine.Options{})
+	// 1. Open a DB under a named scheduler: Moss's nested 2PL at
+	//    operation granularity (Section 5.1 of the paper). Schedulers()
+	//    lists every registered alternative.
+	db, err := objectbase.Open(objectbase.WithScheduler("n2pl-op"))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// 2. Objects: a commutative counter and a register. Each object is a
 	//    schema (operations + conflict relation) plus an initial state.
-	en.AddObject("visits", objects.Counter(), nil)
-	en.AddObject("config", objects.Register(), core.State{"greeting": "hello"})
+	must(db.RegisterObject("visits", objectbase.Counter(), nil))
+	must(db.RegisterObject("config", objectbase.Register(), objectbase.State{"greeting": "hello"}))
 
 	// 3. Methods: programmes that issue local steps (Do) and messages
 	//    (Call). Methods of objects are what transactions invoke.
-	en.Register("visits", "visit", func(ctx *engine.Ctx) (core.Value, error) {
+	must(db.RegisterMethod("visits", "visit", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
 		if _, err := ctx.Do("visits", "Add", int64(1)); err != nil {
 			return nil, err
 		}
 		return ctx.Do("config", "Read", "greeting")
-	})
+	}))
 
-	// 4. Transactions: methods of the environment. Run them concurrently —
-	//    counter Adds commute, so N2PL admits full parallelism here.
+	// 4. Transactions: run them concurrently with Exec — counter Adds
+	//    commute, so N2PL admits full parallelism here.
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := en.Run("T", func(ctx *engine.Ctx) (core.Value, error) {
+			if _, err := db.Exec(context.Background(), "T", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
 				return ctx.Call("visits", "visit")
 			}); err != nil {
 				log.Fatal(err)
@@ -54,17 +53,21 @@ func main() {
 	}
 	wg.Wait()
 
-	// 5. The engine recorded the full history h = (E, <, B, S); check it.
-	h := en.History()
-	if err := h.CheckLegal(); err != nil {
-		log.Fatalf("history not legal: %v", err)
+	// 5. The DB recorded the full history h = (E, <, B, S); verify it.
+	verdict, err := db.Verify()
+	if err != nil {
+		log.Fatal(err)
 	}
-	verdict := graph.Check(h)
-	fmt.Printf("committed transactions: %d\n", en.Commits())
+	h := db.History()
+	fmt.Printf("scheduler:              %s\n", db.Scheduler())
+	fmt.Printf("committed transactions: %d\n", db.Stats().Commits)
 	fmt.Printf("final visit count:      %v\n", h.FinalStates["visits"]["n"])
 	fmt.Printf("oracle verdict:         %v\n", verdict)
-	if err := graph.CheckTheorem5(h); err != nil {
-		log.Fatalf("theorem 5: %v", err)
+	fmt.Println("history verified: legal, serialisable, theorem 5 decomposition ok")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println("theorem 5 decomposition: ok")
 }

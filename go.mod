@@ -1,0 +1,3 @@
+module objectbase
+
+go 1.24

@@ -58,8 +58,8 @@ func (s *Gemstone) lockObject(e *engine.Exec, object string, wr bool) error {
 		mode = "W"
 	}
 	top := e.ID().Top()
-	if err := s.mgr.Acquire(top, object, objectRW, core.OpInvocation{Op: mode}); err != nil {
-		return &engine.AbortError{Exec: e.ID(), Reason: "deadlock victim (object lock)", Retriable: true, Err: err}
+	if err := s.mgr.AcquireDone(top, object, objectRW, core.OpInvocation{Op: mode}, e.Context().Done()); err != nil {
+		return lockAbort(e, "deadlock victim (object lock)", err)
 	}
 	return nil
 }

@@ -17,12 +17,23 @@
 package cc
 
 import (
+	"errors"
 	"time"
 
 	"objectbase/internal/core"
 	"objectbase/internal/engine"
 	"objectbase/internal/lock"
 )
+
+// lockAbort maps a lock-manager failure to the engine's abort vocabulary:
+// deadlock victims and timeouts are retriable synchronisation aborts;
+// an abandoned wait (the transaction's context expired) is final.
+func lockAbort(e *engine.Exec, reason string, err error) error {
+	if errors.Is(err, lock.ErrCancelled) {
+		return &engine.AbortError{Exec: e.ID(), Reason: "context", Retriable: false, Err: e.Context().Err()}
+	}
+	return &engine.AbortError{Exec: e.ID(), Reason: reason, Retriable: true, Err: err}
+}
 
 // N2PL is nested two-phase locking. Rules 1-5 of Section 5.1 are enforced
 // by the lock manager; the scheduler wires them to the engine's execution
@@ -57,8 +68,8 @@ func (s *N2PL) Step(e *engine.Exec, obj *engine.Object, inv core.OpInvocation) (
 	rel := obj.Schema().Conflicts
 	if s.mgr.Granularity() == lock.OpGranularity {
 		// Rule 1 at operation granularity: own L(a) before issuing a.
-		if err := s.mgr.Acquire(e.ID(), obj.Name(), rel, inv); err != nil {
-			return nil, &engine.AbortError{Exec: e.ID(), Reason: "deadlock victim", Retriable: true, Err: err}
+		if err := s.mgr.AcquireDone(e.ID(), obj.Name(), rel, inv, e.Context().Done()); err != nil {
+			return nil, lockAbort(e, "deadlock victim", err)
 		}
 		st, err := obj.ApplyFor(e, inv)
 		if err != nil {
@@ -87,16 +98,16 @@ func (s *N2PL) Step(e *engine.Exec, obj *engine.Object, inv core.OpInvocation) (
 		}
 		obj.Unlatch()
 		if err != nil {
-			return nil, &engine.AbortError{Exec: e.ID(), Reason: "deadlock victim", Retriable: true, Err: err}
+			return nil, lockAbort(e, "deadlock victim", err)
 		}
 		// Wait for the lock situation to change, then retry: the paper's
 		// "the actual processing of the operation must be delayed until a
 		// later provisional execution results in a step for which a lock
 		// can be acquired".
-		werr := w.Wait()
+		werr := w.WaitDone(e.Context().Done())
 		w.Cancel()
 		if werr != nil {
-			return nil, &engine.AbortError{Exec: e.ID(), Reason: "deadlock victim", Retriable: true, Err: werr}
+			return nil, lockAbort(e, "deadlock victim", werr)
 		}
 	}
 }

@@ -1,0 +1,100 @@
+package cc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"objectbase/internal/engine"
+	"objectbase/internal/lock"
+)
+
+// Config carries the tunables a scheduler factory may honour. Factories
+// ignore the fields that do not apply to them.
+type Config struct {
+	// LockTimeout bounds lock waits for lock-based schedulers (nested 2PL
+	// and the GemStone baseline); the nested-aware deadlock detector
+	// usually resolves cycles long before it expires. Zero means the
+	// default of 10s.
+	LockTimeout time.Duration
+}
+
+func (c Config) lockTimeout() time.Duration {
+	if c.LockTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return c.LockTimeout
+}
+
+// Factory builds a fresh scheduler instance. Schedulers hold per-run state
+// (lock tables, timestamp tables, certifier access sets), so every engine
+// needs its own instance.
+type Factory func(Config) engine.Scheduler
+
+var registry = struct {
+	mu sync.RWMutex
+	m  map[string]Factory
+}{m: make(map[string]Factory)}
+
+// RegisterScheduler adds a named scheduler factory to the registry.
+// Registering a name twice panics — names are a public namespace and a
+// silent overwrite would reroute every consumer of the first registration.
+func RegisterScheduler(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("cc: RegisterScheduler with empty name or nil factory")
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.m[name]; dup {
+		panic(fmt.Sprintf("cc: scheduler %q registered twice", name))
+	}
+	registry.m[name] = f
+}
+
+// SchedulerNames returns the registered scheduler names, sorted.
+func SchedulerNames() []string {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewByName builds a fresh scheduler instance for a registered name. The
+// error for an unknown name lists what is registered.
+func NewByName(name string, cfg Config) (engine.Scheduler, error) {
+	registry.mu.RLock()
+	f := registry.m[name]
+	registry.mu.RUnlock()
+	if f == nil {
+		return nil, fmt.Errorf("cc: unknown scheduler %q (registered: %s)",
+			name, strings.Join(SchedulerNames(), ", "))
+	}
+	return f(cfg), nil
+}
+
+// The paper's schedulers self-register: nested 2PL at both granularities
+// (Section 5.1), nested timestamp ordering conservative and exact
+// (Section 5.2), the GemStone object-as-data-item baseline (Section 1),
+// the modular intra/inter-object certifier (Theorem 5), and the empty
+// scheduler used to demonstrate the anomalies the others prevent.
+func init() {
+	RegisterScheduler("n2pl-op", func(c Config) engine.Scheduler {
+		return NewN2PL(lock.OpGranularity, c.lockTimeout())
+	})
+	RegisterScheduler("n2pl-step", func(c Config) engine.Scheduler {
+		return NewN2PL(lock.StepGranularity, c.lockTimeout())
+	})
+	RegisterScheduler("nto-op", func(Config) engine.Scheduler { return NewNTO(false) })
+	RegisterScheduler("nto-step", func(Config) engine.Scheduler { return NewNTO(true) })
+	RegisterScheduler("gemstone", func(c Config) engine.Scheduler {
+		return NewGemstone(c.lockTimeout(), nil)
+	})
+	RegisterScheduler("modular", func(Config) engine.Scheduler { return NewModular() })
+	RegisterScheduler("none", func(Config) engine.Scheduler { return engine.None{} })
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -179,24 +180,44 @@ func (en *Engine) Retries() int64 { return en.retries.Load() }
 // retries synchronisation aborts with fresh transaction identities up to
 // MaxRetries; user aborts and programming errors are returned as-is.
 func (en *Engine) Run(name string, fn MethodFunc, args ...core.Value) (core.Value, error) {
+	return en.RunCtx(context.Background(), name, fn, args...)
+}
+
+// RunCtx is Run with cancellation and deadline support: the transaction is
+// aborted (non-retriably) at the next step, message, or commit boundary
+// once ctx is done, and retry backoff sleeps are interrupted. The returned
+// error unwraps to ctx.Err() so callers can errors.Is against
+// context.Canceled / context.DeadlineExceeded.
+func (en *Engine) RunCtx(ctx context.Context, name string, fn MethodFunc, args ...core.Value) (core.Value, error) {
 	backoff := en.opts.RetryBackoff
 	for attempt := 0; ; attempt++ {
-		ret, err := en.runOnce(name, fn, args)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ret, err := en.runOnce(ctx, name, fn, args)
 		if err == nil {
 			return ret, nil
 		}
 		if !Retriable(err) || attempt >= en.opts.MaxRetries {
 			return nil, err
 		}
+		t := time.NewTimer(time.Duration(rand.Int63n(int64(backoff) + 1)))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+		// Count the retry only once the backoff survived cancellation and
+		// another attempt is actually about to run.
 		en.retries.Add(1)
-		time.Sleep(time.Duration(rand.Int63n(int64(backoff) + 1)))
 		if backoff < 64*en.opts.RetryBackoff {
 			backoff *= 2
 		}
 	}
 }
 
-func (en *Engine) runOnce(name string, fn MethodFunc, args []core.Value) (core.Value, error) {
+func (en *Engine) runOnce(ctx context.Context, name string, fn MethodFunc, args []core.Value) (core.Value, error) {
 	id := en.allocTop()
 	defer en.releaseTop(id)
 	e := &Exec{
@@ -205,6 +226,7 @@ func (en *Engine) runOnce(name string, fn MethodFunc, args []core.Value) (core.V
 		method: name,
 		args:   args,
 		eng:    en,
+		goctx:  ctx,
 		killCh: make(chan struct{}),
 	}
 	e.top = e
@@ -219,6 +241,11 @@ func (en *Engine) runOnce(name string, fn MethodFunc, args []core.Value) (core.V
 	ret, err := fn(&Ctx{e: e})
 	if err == nil && e.Killed() {
 		err = &AbortError{Exec: id, Reason: "cascade", Retriable: true, Err: ErrKilled}
+	}
+	if err == nil {
+		// A transaction whose context expired must not commit even if its
+		// body happened to finish.
+		err = e.ctxAbortErr()
 	}
 	if err == nil {
 		// Recoverability barrier: all observed transactions must commit

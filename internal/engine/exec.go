@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -24,6 +25,10 @@ type Exec struct {
 	// SchedData is scheduler-private per-execution state (e.g. the
 	// certifier's access sets). Only the owning scheduler touches it.
 	SchedData interface{}
+
+	// goctx is the caller's context.Context; set on top-level executions
+	// only (descendants reach it through top).
+	goctx context.Context
 
 	// kill* exist only on top-level executions.
 	killed   atomic.Bool
@@ -107,6 +112,25 @@ func (e *Exec) kill() {
 // abort.
 func (e *Exec) Killed() bool { return e.top.killed.Load() }
 
+// Context returns the caller context the transaction tree runs under
+// (context.Background when the transaction was started without one).
+func (e *Exec) Context() context.Context {
+	if c := e.top.goctx; c != nil {
+		return c
+	}
+	return context.Background()
+}
+
+// ctxAbortErr converts an expired caller context into the abort error that
+// dooms the transaction tree. Context aborts are not retriable: the caller
+// asked for the work to stop.
+func (e *Exec) ctxAbortErr() error {
+	if c := e.top.goctx; c != nil && c.Err() != nil {
+		return &AbortError{Exec: e.id, Reason: "context", Retriable: false, Err: c.Err()}
+	}
+	return nil
+}
+
 // KillCh returns the channel closed when the tree is killed.
 func (e *Exec) KillCh() <-chan struct{} { return e.top.killCh }
 
@@ -131,8 +155,13 @@ func (c *Ctx) Arg(i int) core.Value {
 	return c.e.args[i]
 }
 
-// checkAlive converts a pending cascade kill into an abort error.
+// checkAlive converts a pending cascade kill or an expired caller context
+// into an abort error. It runs on every step and message boundary, so a
+// cancelled transaction aborts at its next interaction with the engine.
 func (c *Ctx) checkAlive() error {
+	if err := c.e.ctxAbortErr(); err != nil {
+		return err
+	}
 	if c.e.Killed() {
 		return &AbortError{Exec: c.e.id, Reason: "cascade", Retriable: true, Err: ErrKilled}
 	}

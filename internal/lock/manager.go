@@ -59,6 +59,11 @@ var ErrDeadlock = errors.New("lock: deadlock detected")
 // (rule 3 violation by the caller).
 var ErrFinished = errors.New("lock: acquisition after release (rule 3)")
 
+// ErrCancelled is returned when a wait is abandoned because the caller's
+// done channel fired (context cancellation) — the request was neither
+// granted nor deadlocked.
+var ErrCancelled = errors.New("lock: wait cancelled")
+
 // Granularity selects which conflict test guards lock compatibility.
 type Granularity int
 
@@ -232,7 +237,12 @@ func (m *Manager) TryAcquire(e core.ExecID, object string, rel core.ConflictRela
 // The waiter stays registered across retries; Cancel it when giving up or
 // after a successful TryAcquire (TryAcquire success auto-cancels the
 // registered wait entry but not the shard registration — call Cancel).
-func (w *Waiter) Wait() error {
+func (w *Waiter) Wait() error { return w.WaitDone(nil) }
+
+// WaitDone is Wait with an additional abandon signal: when done fires
+// before the lock situation changes, the waiter is deregistered and
+// ErrCancelled returned. A nil done never fires.
+func (w *Waiter) WaitDone(done <-chan struct{}) error {
 	remaining := w.m.opts.WaitTimeout - time.Since(w.start)
 	if remaining <= 0 {
 		w.Cancel()
@@ -244,6 +254,9 @@ func (w *Waiter) Wait() error {
 	select {
 	case <-w.ch:
 		return nil
+	case <-done:
+		w.Cancel()
+		return fmt.Errorf("%w: %s", ErrCancelled, w.exec)
 	case <-t.C:
 		w.Cancel()
 		w.m.stats.Deadlocks.Add(1)
@@ -269,6 +282,13 @@ func (w *Waiter) Cancel() {
 // Acquire is the blocking convenience used at OpGranularity (no provisional
 // state to revalidate): it loops TryAcquire/Wait until granted or dead.
 func (m *Manager) Acquire(e core.ExecID, object string, rel core.ConflictRelation, inv core.OpInvocation) error {
+	return m.AcquireDone(e, object, rel, inv, nil)
+}
+
+// AcquireDone is Acquire with an abandon signal: when done fires while the
+// request is blocked, the wait is abandoned with ErrCancelled. A nil done
+// never fires.
+func (m *Manager) AcquireDone(e core.ExecID, object string, rel core.ConflictRelation, inv core.OpInvocation, done <-chan struct{}) error {
 	req := core.StepInfo{Op: inv.Op, Args: inv.Args}
 	for {
 		ok, w, err := m.TryAcquire(e, object, rel, req)
@@ -278,7 +298,7 @@ func (m *Manager) Acquire(e core.ExecID, object string, rel core.ConflictRelatio
 		if err != nil {
 			return err
 		}
-		err = w.Wait()
+		err = w.WaitDone(done)
 		w.Cancel()
 		if err != nil {
 			return err

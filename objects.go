@@ -1,0 +1,41 @@
+package objectbase
+
+import "objectbase/internal/objects"
+
+// The bundled object library: ready-made schemas with conflict relations
+// declared at both granularities of the paper's Section 5 discussion
+// (conservative operation granularity and exact, return-value-aware step
+// granularity). Each is verified against Definition 3 by the library's
+// property tests. Pass them to DB.RegisterObject, or build your own
+// Schema.
+
+// Counter returns a commutative counter schema: Add(n) and Get, with
+// Adds commuting with each other. State variable: "n".
+func Counter() *Schema { return objects.Counter() }
+
+// Register returns the classical read/write register schema — Read(name)
+// and Write(name, value) over named variables with the textbook RW
+// conflict table, scoped per variable. Under it the model degenerates to
+// classical database concurrency control (the paper's Section 1 baseline
+// vocabulary).
+func Register() *Schema { return objects.Register() }
+
+// Account returns a bank-account schema: Deposit(n), Withdraw(n) (which
+// fails — returning false — rather than overdraw), and Balance. State
+// variable: "balance".
+func Account() *Schema { return objects.Account() }
+
+// Queue returns the FIFO queue schema of the paper's Section 5.1 example:
+// Enqueue(v) and Dequeue, where at step granularity an Enqueue conflicts
+// with a Dequeue only if the latter returns the item the former placed.
+// State variable: "items".
+func Queue() *Schema { return objects.Queue() }
+
+// Set returns a mathematical set schema: Add(v), Remove(v), Contains(v),
+// with per-element conflict scoping.
+func Set() *Schema { return objects.Set() }
+
+// Dictionary returns the ordered dictionary schema of the paper's
+// Section 2 modularity example — Insert(k, v), Delete(k), Lookup(k), Len —
+// backed by a lock-coupled B+ tree with per-key conflict declarations.
+func Dictionary() *Schema { return objects.Dictionary() }
