@@ -15,6 +15,7 @@ package objectbase_test
 // Run: go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -26,6 +27,7 @@ import (
 	"objectbase/internal/core"
 	"objectbase/internal/engine"
 	"objectbase/internal/graph"
+	"objectbase/internal/load"
 	"objectbase/internal/lock"
 	"objectbase/internal/objects"
 	"objectbase/internal/workload"
@@ -243,6 +245,32 @@ func BenchmarkE11_TimestampGC(b *testing.B) {
 				entries += int64(sched.TableSize())
 			}
 			b.ReportMetric(float64(entries)/float64(b.N), "entries/op")
+		})
+	}
+}
+
+// BenchmarkLoadScenarios drives every registered load scenario through
+// the internal/load harness under the default scheduler and reports the
+// harness's own throughput figure — the Go-bench view of what `obsim
+// load` measures.
+func BenchmarkLoadScenarios(b *testing.B) {
+	for _, name := range load.Names() {
+		sc, _ := load.Get(name)
+		b.Run(name, func(b *testing.B) {
+			ops, throughput := int64(0), 0.0
+			for i := 0; i < b.N; i++ {
+				res, err := load.Run(context.Background(), load.Options{
+					Scenario: sc,
+					Knobs:    load.Knobs{Clients: 4, Txns: 25, Seed: int64(i)},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ops += res.Ops
+				throughput += res.Throughput
+			}
+			b.ReportMetric(float64(ops)/float64(b.N), "txns/op")
+			b.ReportMetric(throughput/float64(b.N), "txn/s")
 		})
 	}
 }

@@ -8,12 +8,22 @@
 //	obsim all  [-full] [-seed N]
 //	obsim bank [-sched NAME]   # NAME from the registered scheduler list
 //	           [-clients N] [-txns N] [-seed N]   # run the bank workload and verify it
+//	obsim load [-scenario NAME|all] [-sched NAME|all] [-quick]
+//	           [-clients N] [-txns N] [-duration D] [-rate R]
+//	           [-keys N] [-theta F] [-readfrac F] [-seed N]
+//	           [-verify sample|all|none] [-out FILE]
+//	                           # drive the load matrix, print the table,
+//	                           # write the machine-readable BENCH_load.json
 //
-// The -sched flag accepts any scheduler registered with the objectbase
-// package (see 'obsim bank -h' or the usage line for the current list).
+// The -sched flags accept any scheduler registered with the objectbase
+// package; -scenario accepts any scenario in the internal/load registry
+// (both list their registries in their usage text). Comma-separated
+// lists and 'all' select multiple cells of the scenario × scheduler
+// matrix.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +34,7 @@ import (
 	"objectbase/internal/bench"
 	"objectbase/internal/graph"
 	"objectbase/internal/history"
+	"objectbase/internal/load"
 	"objectbase/internal/workload"
 )
 
@@ -43,6 +54,8 @@ func main() {
 		runAll(os.Args[2:])
 	case "bank":
 		runBank(os.Args[2:])
+	case "load":
+		runLoad(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -50,8 +63,9 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: obsim {list | exp <ID> | all | bank} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: obsim {list | exp <ID> | all | bank | load} [flags]")
 	fmt.Fprintf(os.Stderr, "schedulers: %s\n", strings.Join(objectbase.Schedulers(), ", "))
+	fmt.Fprintf(os.Stderr, "scenarios:  %s\n", strings.Join(load.Names(), ", "))
 }
 
 func expFlags(args []string) (bench.Config, *flag.FlagSet, error) {
@@ -156,6 +170,128 @@ func runBank(args []string) {
 	// produce the anomalies the others prevent, so violations are reported
 	// but are not a failure.
 	if violated && db.Scheduler() != "none" {
+		os.Exit(1)
+	}
+}
+
+// splitList resolves a -scenario/-sched flag value: "all" expands to the
+// registry, otherwise a comma-separated list is validated against it.
+func splitList(val string, all []string, kind string) []string {
+	if val == "all" {
+		return all
+	}
+	names := strings.Split(val, ",")
+	for _, n := range names {
+		found := false
+		for _, a := range all {
+			if n == a {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "obsim load: unknown %s %q (have: %s)\n", kind, n, strings.Join(all, ", "))
+			os.Exit(2)
+		}
+	}
+	return names
+}
+
+func runLoad(args []string) {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	scen := fs.String("scenario", "all", "scenario name, comma list, or 'all': "+strings.Join(load.Names(), ", "))
+	sched := fs.String("sched", objectbase.DefaultScheduler,
+		"scheduler name, comma list, or 'all': "+strings.Join(objectbase.Schedulers(), ", "))
+	clients := fs.Int("clients", 0, "concurrent clients (0 = scenario default)")
+	txns := fs.Int("txns", 0, "transactions per client (0 = default; ignored with -duration)")
+	duration := fs.Duration("duration", 0, "run by wall clock instead of transaction count")
+	rate := fs.Float64("rate", 0, "open-loop target rate, txn/s across all clients (0 = closed loop)")
+	keys := fs.Int("keys", 0, "key-space size (0 = scenario default)")
+	theta := fs.Float64("theta", 0, "zipfian skew, 0=scenario default, negative=uniform")
+	readfrac := fs.Float64("readfrac", 0, "read fraction, 0=scenario default, negative=all-write")
+	seed := fs.Int64("seed", 42, "deterministic seed")
+	quick := fs.Bool("quick", false, "CI-sized runs (small client/txn counts unless set explicitly)")
+	verify := fs.String("verify", "sample", "oracle policy: sample (one run per scheduler), all, none")
+	out := fs.String("out", "BENCH_load.json", "machine-readable report path ('' disables)")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	// A typo here must not silently disable the oracle backstop.
+	if *verify != "sample" && *verify != "all" && *verify != "none" {
+		fmt.Fprintf(os.Stderr, "obsim load: unknown -verify policy %q (want sample, all, or none)\n", *verify)
+		os.Exit(2)
+	}
+	if *quick {
+		if *clients == 0 {
+			*clients = 4
+		}
+		if *txns == 0 && *duration == 0 {
+			*txns = 25
+		}
+	}
+
+	scenarios := splitList(*scen, load.Names(), "scenario")
+	schedulers := splitList(*sched, objectbase.Schedulers(), "scheduler")
+
+	report := load.NewReport()
+	report.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	verifyFailed := false
+	sampled := make(map[string]bool) // scheduler -> a verified run exists
+	for _, sc := range scenarios {
+		scenario, _ := load.Get(sc)
+		for _, s := range schedulers {
+			doVerify := *verify == "all" || (*verify == "sample" && !sampled[s])
+			res, err := load.Run(context.Background(), load.Options{
+				Scenario:  scenario,
+				Scheduler: s,
+				Knobs: load.Knobs{
+					Clients: *clients, Txns: *txns, Duration: *duration,
+					Rate: *rate, Keys: *keys, Theta: *theta,
+					ReadFraction: *readfrac, Seed: *seed,
+				},
+				Verify: doVerify,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "obsim load: %s × %s: %v\n", sc, s, err)
+				os.Exit(1)
+			}
+			if doVerify {
+				sampled[s] = true
+				// Legality is an engine invariant: its violation is fatal
+				// under any scheduler. Beyond that the empty scheduler is
+				// the control: its anomalies are expected, so its verdict
+				// is reported but not fatal.
+				if res.Legal != nil && !*res.Legal {
+					fmt.Fprintf(os.Stderr, "obsim load: %s × %s: history not legal: %s\n", sc, s, res.Verdict)
+					verifyFailed = true
+				} else if res.Verified != nil && !*res.Verified && s != "none" {
+					verifyFailed = true
+				}
+			}
+			report.Add(res)
+		}
+	}
+
+	report.Table(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obsim load:", err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "obsim load:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "obsim load:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report: %s (%d cells, schema %s)\n", *out, len(report.Results), load.SchemaVersion)
+	}
+	if verifyFailed {
+		fmt.Fprintln(os.Stderr, "obsim load: a sampled run failed the serialisability oracle")
 		os.Exit(1)
 	}
 }

@@ -263,7 +263,25 @@ type Stats struct {
 	CertRejected  int64
 }
 
-// Stats returns a snapshot of the DB's execution counters.
+// Sub returns the counter deltas s - prev: the activity between two
+// snapshots. Drivers use it to carve a measurement window (excluding
+// setup, warmup, or earlier runs) out of the DB's cumulative counters.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Commits:       s.Commits - prev.Commits,
+		Aborts:        s.Aborts - prev.Aborts,
+		Retries:       s.Retries - prev.Retries,
+		LockWaits:     s.LockWaits - prev.LockWaits,
+		Deadlocks:     s.Deadlocks - prev.Deadlocks,
+		CertValidated: s.CertValidated - prev.CertValidated,
+		CertRejected:  s.CertRejected - prev.CertRejected,
+	}
+}
+
+// Stats returns a snapshot of the DB's execution counters. It is safe to
+// call while transactions are running; the counters are read atomically
+// (field by field, so a mid-run snapshot may straddle a transaction's
+// commit).
 func (db *DB) Stats() Stats {
 	st := Stats{
 		Commits: db.eng.Commits(),
@@ -282,8 +300,11 @@ func (db *DB) Stats() Stats {
 	return st
 }
 
-// History finalises and returns the run's recorded history h = (E, <, B,
-// S). The DB must be quiescent (no transaction in flight).
+// History returns a snapshot of the run's recorded history h = (E, <, B,
+// S). It is safe to call while transactions are running (the snapshot
+// shares no mutable records with the live run), but a mid-run snapshot
+// reflects in-flight transactions, so feed the oracle (Check, Verify)
+// only from a quiescent DB.
 func (db *DB) History() *History { return db.eng.History() }
 
 // Check runs the serialisability oracle on the recorded history and
@@ -291,24 +312,38 @@ func (db *DB) History() *History { return db.eng.History() }
 // replay). The DB must be quiescent.
 func (db *DB) Check() Verdict { return graph.Check(db.eng.History()) }
 
+// Verify's error wraps exactly one of these, so callers can distinguish
+// the failure classes with errors.Is. ErrNotLegal is an engine-invariant
+// violation: it must hold under any scheduler, including the empty one,
+// so harnesses that tolerate anomalies from the "none" control must
+// still treat it as fatal. ErrNotSerialisable and ErrTheorem5 are the
+// synchronisation guarantees a scheduler can legitimately fail to
+// provide.
+var (
+	ErrNotLegal        = errors.New("history not legal")
+	ErrNotSerialisable = errors.New("history not serialisable")
+	ErrTheorem5        = errors.New("theorem 5 decomposition violated")
+)
+
 // Verify checks the recorded history against the paper's full theory:
 // legality (every step's return value matches a serial replay of what
 // committed before it), serialisability (Theorem 2's oracle), and the
 // Theorem 5 intra/inter-object decomposition. It returns the oracle's
 // verdict alongside a nil error when all hold, so callers need not run
-// Check (a second full serial replay) just to report the verdict. The DB
-// must be quiescent.
+// Check (a second full serial replay) just to report the verdict; a
+// non-nil error wraps ErrNotLegal, ErrNotSerialisable, or ErrTheorem5.
+// The DB must be quiescent.
 func (db *DB) Verify() (Verdict, error) {
 	h := db.eng.History()
 	if err := h.CheckLegal(); err != nil {
-		return Verdict{}, fmt.Errorf("objectbase: history not legal: %w", err)
+		return Verdict{}, fmt.Errorf("objectbase: %w: %w", ErrNotLegal, err)
 	}
 	v := graph.Check(h)
 	if !v.Serialisable {
-		return v, fmt.Errorf("objectbase: history not serialisable: %v", v)
+		return v, fmt.Errorf("objectbase: %w: %v", ErrNotSerialisable, v)
 	}
 	if err := graph.CheckTheorem5(h); err != nil {
-		return v, fmt.Errorf("objectbase: theorem 5 decomposition violated: %w", err)
+		return v, fmt.Errorf("objectbase: %w: %w", ErrTheorem5, err)
 	}
 	return v, nil
 }

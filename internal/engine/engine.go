@@ -345,8 +345,11 @@ func (en *Engine) TrackTouch(e *Exec, obj *Object, step core.StepInfo) error {
 	return en.deps.touch(e, obj, step, readOnly)
 }
 
-// History finalises and returns the run's recorded history. The engine
-// must be quiescent (no transaction in flight).
+// History returns a snapshot of the run's recorded history. It is safe to
+// call concurrently with running transactions (the snapshot is taken under
+// the recorder lock and shares no mutable records with the live run), but
+// a mid-run snapshot reflects in-flight transactions, so oracle verdicts
+// are only meaningful on a quiescent engine.
 func (en *Engine) History() *core.History {
 	en.mu.RLock()
 	objs := make(map[string]*Object, len(en.objects))

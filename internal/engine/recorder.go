@@ -125,10 +125,16 @@ func (r *recorder) nextLane(e *Exec) int {
 	return lane
 }
 
-// history finalises and returns the recorded history; the engine must be
-// quiescent. Final states are snapshotted from the live objects before the
-// recorder lock is taken (object latches are always acquired before the
-// recorder lock elsewhere).
+// history returns a snapshot of the recorded history. The snapshot is
+// safe to read while transactions are still running: every record the
+// recorder keeps mutating after insertion (MethodExec, MessageStep) is
+// copied under the lock, and the container maps and slices are fresh.
+// Step records are immutable once inserted and are shared. Final states
+// are snapshotted from the live objects before the recorder lock is taken
+// (object latches are always acquired before the recorder lock
+// elsewhere). A snapshot taken mid-run is internally consistent but
+// reflects in-flight transactions; oracle verdicts are only meaningful on
+// a quiescent engine.
 func (r *recorder) history(objects map[string]*Object) *core.History {
 	finals := make(map[string]core.State, len(objects))
 	for name, o := range objects {
@@ -136,6 +142,33 @@ func (r *recorder) history(objects map[string]*Object) *core.History {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.h.FinalStates = finals
-	return r.h
+	h := core.NewHistory()
+	for k, e := range r.h.Execs {
+		ce := *e
+		ce.Children = append([]core.ExecID(nil), e.Children...)
+		h.Execs[k] = &ce
+	}
+	h.Roots = append([]core.ExecID(nil), r.h.Roots...)
+	for n, sc := range r.h.Schemas {
+		h.Schemas[n] = sc
+	}
+	for n, st := range r.h.InitialStates {
+		h.InitialStates[n] = st
+	}
+	for n, steps := range r.h.Steps {
+		h.Steps[n] = append([]*core.Step(nil), steps...)
+	}
+	for k, msgs := range r.h.Messages {
+		cp := make([]*core.MessageStep, len(msgs))
+		for i, m := range msgs {
+			cm := *m
+			cp[i] = &cm
+		}
+		h.Messages[k] = cp
+	}
+	for k, steps := range r.h.LocalSteps {
+		h.LocalSteps[k] = append([]*core.Step(nil), steps...)
+	}
+	h.FinalStates = finals
+	return h
 }

@@ -1,0 +1,190 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"objectbase"
+)
+
+// TestOpStreamsDeterministic: identical (knobs, seed, client) must yield
+// identical op sequences for every registered scenario — the
+// reproducibility contract of the harness.
+func TestOpStreamsDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		sc, _ := Get(name)
+		k := Knobs{Seed: 99}.withDefaults(sc.Defaults)
+		for client := 0; client < 2; client++ {
+			seq := func() []string {
+				r := rand.New(rand.NewSource(k.Seed*1_000_003 + int64(client)))
+				ops := sc.Ops(k, client, r)
+				names := make([]string, 200)
+				for i := range names {
+					names[i] = ops(i).Name
+				}
+				return names
+			}
+			a, b := seq(), seq()
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s client %d op %d: %q != %q", name, client, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRunClosedLoop drives the bank scenario end to end and checks the
+// result's accounting, including the oracle verdict.
+func TestRunClosedLoop(t *testing.T) {
+	sc, _ := Get("bank")
+	res, err := Run(context.Background(), Options{
+		Scenario: sc,
+		Knobs:    Knobs{Clients: 2, Txns: 15, Seed: 5},
+		Verify:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 30 || res.Errors != 0 {
+		t.Fatalf("ops=%d errors=%d, want 30/0", res.Ops, res.Errors)
+	}
+	if res.Counters.Commits != 30 {
+		t.Fatalf("commits=%d, want 30", res.Counters.Commits)
+	}
+	if res.Throughput <= 0 || res.Latency.P50 <= 0 || res.Latency.Max < res.Latency.P99 {
+		t.Fatalf("latency summary implausible: %+v (throughput %v)", res.Latency, res.Throughput)
+	}
+	if res.Mode != "closed" || res.Scheduler != objectbase.DefaultScheduler {
+		t.Fatalf("mode=%q scheduler=%q", res.Mode, res.Scheduler)
+	}
+	if res.Verified == nil || !*res.Verified || res.Verdict != "serialisable" {
+		t.Fatalf("verify: %+v %q", res.Verified, res.Verdict)
+	}
+	if res.Legal == nil || !*res.Legal {
+		t.Fatalf("legal: %+v", res.Legal)
+	}
+}
+
+// TestRunRejectsBadKnobs: impossible knobs are library errors, not
+// panics (the CLI validates its own flags; Run must too).
+func TestRunRejectsBadKnobs(t *testing.T) {
+	sc, _ := Get("bank")
+	for _, k := range []Knobs{
+		{Clients: -1},
+		{Clients: 2, Txns: -5},
+		{Clients: 2, Duration: -time.Second},
+		{Clients: 2, Keys: -3},
+		{Clients: 2, Rate: -100},
+		{Clients: 2, ReadFraction: 1.5},
+	} {
+		if _, err := Run(context.Background(), Options{Scenario: sc, Knobs: k}); err == nil {
+			t.Fatalf("knobs %+v: want validation error", k)
+		}
+	}
+}
+
+// TestRunEveryScenarioVerifies is the catalogue smoke test: each
+// registered scenario, driven quickly under the default scheduler, must
+// produce a serialisable history.
+func TestRunEveryScenarioVerifies(t *testing.T) {
+	for _, name := range Names() {
+		sc, _ := Get(name)
+		res, err := Run(context.Background(), Options{
+			Scenario: sc,
+			Knobs:    Knobs{Clients: 2, Txns: 10, Seed: 3},
+			Verify:   true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Ops != 20 {
+			t.Fatalf("%s: ops=%d, want 20", name, res.Ops)
+		}
+		if res.Verified == nil || !*res.Verified {
+			t.Fatalf("%s: not serialisable: %s", name, res.Verdict)
+		}
+	}
+}
+
+// TestRunOpenLoop: the token bucket must pace an open-loop run — the
+// duration bounds the run, the mode is reported, and the op count stays
+// in the neighbourhood the target rate allows.
+func TestRunOpenLoop(t *testing.T) {
+	sc, _ := Get("hotspot-counter")
+	start := time.Now()
+	res, err := Run(context.Background(), Options{
+		Scenario: sc,
+		Knobs:    Knobs{Clients: 2, Duration: 300 * time.Millisecond, Rate: 1000, Seed: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 250*time.Millisecond {
+		t.Fatalf("duration-bounded run returned after %v", el)
+	}
+	if res.Mode != "open" || res.TargetRate != 1000 {
+		t.Fatalf("mode=%q rate=%v", res.Mode, res.TargetRate)
+	}
+	if res.Ops < 10 {
+		t.Fatalf("ops=%d, open loop generated no load", res.Ops)
+	}
+	// 1000 txn/s over ~0.3s plus the burst allowance: generously bounded
+	// above; well under what an unpaced closed loop would do (~100k/s).
+	if res.Ops > 1500 {
+		t.Fatalf("ops=%d, token bucket did not pace the run", res.Ops)
+	}
+}
+
+// TestRunHonoursCancellation: a cancelled context stops the run and
+// surfaces the context error, not a result.
+func TestRunHonoursCancellation(t *testing.T) {
+	sc, _ := Get("bank")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, Options{Scenario: sc, Knobs: Knobs{Clients: 2, Txns: 1000}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunHardErrorAborts: a programming error in an op body (unknown
+// method) must fail the run rather than be swallowed as a soft error.
+func TestRunHardErrorAborts(t *testing.T) {
+	bad := &Scenario{
+		Name: "bad-inline",
+		Setup: func(db *objectbase.DB, k Knobs) error {
+			return db.RegisterObject("c", objectbase.Counter(), nil)
+		},
+		Ops: func(k Knobs, client int, r *rand.Rand) OpFunc {
+			return func(i int) Op {
+				return Op{Name: "nope", Fn: func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+					return ctx.Call("c", "no-such-method")
+				}}
+			}
+		},
+	}
+	if _, err := Run(context.Background(), Options{Scenario: bad, Knobs: Knobs{Clients: 2, Txns: 50}}); err == nil {
+		t.Fatal("want hard failure")
+	}
+}
+
+func TestKnobDefaults(t *testing.T) {
+	sc, _ := Get("hotspot-counter")
+	k := Knobs{}.withDefaults(sc.Defaults)
+	if k.Theta != 0.99 || k.Keys != 64 || k.Clients != defaultClients || k.Txns != defaultTxns {
+		t.Fatalf("defaults not applied: %+v", k)
+	}
+	// Negative knobs force "really zero" past the scenario default.
+	k = Knobs{Theta: -1, ReadFraction: -1}.withDefaults(sc.Defaults)
+	if k.Theta != 0 || k.ReadFraction != 0 {
+		t.Fatalf("negative override failed: %+v", k)
+	}
+	// Duration mode suppresses the txn-count default.
+	k = Knobs{Duration: time.Second}.withDefaults(sc.Defaults)
+	if k.Txns != 0 {
+		t.Fatalf("duration mode should leave Txns at 0: %+v", k)
+	}
+}

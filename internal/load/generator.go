@@ -1,0 +1,93 @@
+package load
+
+import (
+	"math"
+	"math/rand"
+)
+
+// A KeyChooser draws keys from [0, N). Implementations hold only
+// immutable precomputed state: all randomness comes from the caller's
+// source, so one chooser may be shared across clients while each client
+// keeps its own deterministic stream.
+type KeyChooser interface {
+	Next(r *rand.Rand) int
+	N() int
+}
+
+// NewKeyChooser returns a chooser over [0, n): uniform for theta <= 0,
+// zipfian-skewed otherwise (key 0 hottest).
+func NewKeyChooser(n int, theta float64) KeyChooser {
+	if n < 1 {
+		n = 1
+	}
+	if theta <= 0 {
+		return uniformChooser{n: n}
+	}
+	return newZipf(n, theta)
+}
+
+type uniformChooser struct{ n int }
+
+func (u uniformChooser) Next(r *rand.Rand) int { return r.Intn(u.n) }
+func (u uniformChooser) N() int                { return u.n }
+
+// zipf is the YCSB-style zipfian generator (Gray et al., "Quickly
+// Generating Billion-Record Synthetic Databases"): P(k) ∝ 1/(k+1)^theta
+// for theta in (0, 1). Unlike math/rand's Zipf (which wants s > 1), this
+// parameterisation matches the skew knob benchmark literature reports.
+type zipf struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // 0.5^theta
+}
+
+func newZipf(n int, theta float64) *zipf {
+	// theta = 1 makes alpha blow up; clamp just below (YCSB does the
+	// same — its "zipfian constant" is 0.99).
+	if theta >= 1 {
+		theta = 0.9999
+	}
+	zetan := 0.0
+	for i := 1; i <= n; i++ {
+		zetan += 1 / math.Pow(float64(i), theta)
+	}
+	zeta2 := 1 + 1/math.Pow(2, theta)
+	z := &zipf{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		half:  math.Pow(0.5, theta),
+	}
+	if n > 1 {
+		z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan)
+	}
+	return z
+}
+
+func (z *zipf) Next(r *rand.Rand) int {
+	if z.n == 1 {
+		return 0
+	}
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.half {
+		return 1
+	}
+	k := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k < 0 {
+		k = 0
+	}
+	if k >= z.n {
+		k = z.n - 1
+	}
+	return k
+}
+
+func (z *zipf) N() int { return z.n }

@@ -1,0 +1,78 @@
+package load
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKeyChooserBounds(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 1000} {
+		for _, theta := range []float64{0, 0.5, 0.99, 1.2} {
+			pick := NewKeyChooser(n, theta)
+			r := rand.New(rand.NewSource(1))
+			for i := 0; i < 5000; i++ {
+				k := pick.Next(r)
+				if k < 0 || k >= n {
+					t.Fatalf("n=%d theta=%v: key %d out of range", n, theta, k)
+				}
+			}
+		}
+	}
+}
+
+func TestKeyChooserDeterministic(t *testing.T) {
+	for _, theta := range []float64{0, 0.99} {
+		a := NewKeyChooser(128, theta)
+		b := NewKeyChooser(128, theta)
+		ra := rand.New(rand.NewSource(7))
+		rb := rand.New(rand.NewSource(7))
+		for i := 0; i < 1000; i++ {
+			if ka, kb := a.Next(ra), b.Next(rb); ka != kb {
+				t.Fatalf("theta=%v draw %d: %d != %d", theta, i, ka, kb)
+			}
+		}
+	}
+}
+
+// TestZipfDistribution sanity-checks the YCSB-style skew: key 0 absorbs
+// far more than its uniform share, frequency decays down the ranks, and
+// the head dominates.
+func TestZipfDistribution(t *testing.T) {
+	const n, draws = 100, 200_000
+	pick := NewKeyChooser(n, 0.99)
+	r := rand.New(rand.NewSource(3))
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[pick.Next(r)]++
+	}
+	f0 := float64(counts[0]) / draws
+	if f0 < 0.10 || f0 > 0.35 {
+		t.Fatalf("key 0 frequency %v, want the zipf head (~0.19)", f0)
+	}
+	if counts[0] < 10*counts[n/2] {
+		t.Fatalf("no head/tail separation: counts[0]=%d counts[%d]=%d", counts[0], n/2, counts[n/2])
+	}
+	head := 0
+	for k := 0; k < 10; k++ {
+		head += counts[k]
+	}
+	if frac := float64(head) / draws; frac < 0.45 {
+		t.Fatalf("top-10 keys absorb %v of traffic, want > 0.45", frac)
+	}
+}
+
+func TestUniformDistribution(t *testing.T) {
+	const n, draws = 100, 100_000
+	pick := NewKeyChooser(n, 0)
+	r := rand.New(rand.NewSource(4))
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[pick.Next(r)]++
+	}
+	mean := draws / n
+	for k, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Fatalf("key %d count %d, want near uniform mean %d", k, c, mean)
+		}
+	}
+}

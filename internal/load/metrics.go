@@ -1,0 +1,177 @@
+package load
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// Histogram is an HDR-style log-linear latency histogram: each power of
+// two is split into 32 linear sub-buckets, so quantile estimates carry at
+// most ~3% relative error at any magnitude, with a fixed footprint and
+// O(1) recording. Values are nanoseconds; the exact min, max, sum and
+// count are tracked alongside the buckets.
+//
+// A Histogram is not synchronised: the driver gives each client its own
+// recorder (single-writer, lock-free) and merges them after the clients
+// join.
+type Histogram struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+const (
+	histSubBits = 5
+	histSubBkts = 1 << histSubBits // 32 linear sub-buckets per power of two
+	// Groups cover exponents histSubBits..62 plus the linear group for
+	// values below histSubBkts.
+	histGroups  = 63 - histSubBits + 1
+	histBuckets = histGroups * histSubBkts
+)
+
+func bucketIndex(v int64) int {
+	if v < histSubBkts {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // 2^exp <= v < 2^(exp+1)
+	g := exp - (histSubBits - 1)     // group 1 is exponent histSubBits
+	sub := int(v>>(exp-histSubBits)) - histSubBkts
+	return g*histSubBkts + sub
+}
+
+// bucketUpper returns the largest value the bucket holds.
+func bucketUpper(idx int) int64 {
+	g, sub := idx/histSubBkts, idx%histSubBkts
+	if g == 0 {
+		return int64(sub)
+	}
+	return int64(histSubBkts+sub+1)<<(g-1) - 1
+}
+
+// Record adds one latency observation.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Merge folds o's observations into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Min and Max return the exact extremes; Mean the exact average.
+func (h *Histogram) Min() time.Duration { return time.Duration(h.min) }
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.count))
+}
+
+// Quantile returns the latency at quantile q in [0, 1], to within the
+// bucket resolution (the bucket's upper bound, clamped to the exact max).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := uint64(0)
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := bucketUpper(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return time.Duration(v)
+		}
+	}
+	return h.Max()
+}
+
+// Recorder accumulates one client's measurements. It is single-writer:
+// only the owning client goroutine touches it until the driver merges
+// recorders after all clients have joined, so no synchronisation is
+// needed on the hot path.
+type Recorder struct {
+	Hist   Histogram
+	Ops    int64
+	Errors int64
+	// ByName counts recorded transactions per op name (mix sanity).
+	ByName map[string]int64
+}
+
+func newRecorder() *Recorder {
+	return &Recorder{ByName: make(map[string]int64)}
+}
+
+// observe records one completed transaction.
+func (rec *Recorder) observe(name string, d time.Duration, err error) {
+	rec.Ops++
+	if err != nil {
+		rec.Errors++
+		return
+	}
+	rec.Hist.Record(d)
+	rec.ByName[name]++
+}
+
+// mergeRecorders folds per-client recorders into one.
+func mergeRecorders(recs []*Recorder) *Recorder {
+	out := newRecorder()
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		out.Hist.Merge(&r.Hist)
+		out.Ops += r.Ops
+		out.Errors += r.Errors
+		for n, c := range r.ByName {
+			out.ByName[n] += c
+		}
+	}
+	return out
+}

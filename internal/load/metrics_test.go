@@ -1,0 +1,115 @@
+package load
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestHistogramPercentiles checks quantile estimates against the exact
+// values on a known dataset: 1..10000 µs recorded once each. The
+// log-linear buckets guarantee ≤ 1/32 relative width, so 5% tolerance is
+// generous.
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	const n = 10_000
+	for i := 1; i <= n; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	if h.Min() != time.Microsecond || h.Max() != n*time.Microsecond {
+		t.Fatalf("min/max = %v/%v, want 1µs/%dµs", h.Min(), h.Max(), n)
+	}
+	for _, tc := range []struct {
+		q     float64
+		exact time.Duration
+	}{
+		{0.50, 5000 * time.Microsecond},
+		{0.90, 9000 * time.Microsecond},
+		{0.95, 9500 * time.Microsecond},
+		{0.99, 9900 * time.Microsecond},
+		{1.0, 10000 * time.Microsecond},
+	} {
+		got := h.Quantile(tc.q)
+		if relErr := math.Abs(float64(got-tc.exact)) / float64(tc.exact); relErr > 0.05 {
+			t.Errorf("q=%v: got %v, exact %v (rel err %.3f)", tc.q, got, tc.exact, relErr)
+		}
+	}
+	wantMean := time.Duration(n+1) * 1000 / 2
+	if h.Mean() != wantMean {
+		t.Errorf("mean = %v, want exact %v", h.Mean(), wantMean)
+	}
+}
+
+// TestHistogramMerge: merging two disjoint halves must equal recording
+// the whole dataset into one histogram, bucket for bucket.
+func TestHistogramMerge(t *testing.T) {
+	var whole, lo, hi Histogram
+	for i := 1; i <= 2000; i++ {
+		d := time.Duration(i*i) * time.Nanosecond // span several magnitudes
+		whole.Record(d)
+		if i%2 == 0 {
+			lo.Record(d)
+		} else {
+			hi.Record(d)
+		}
+	}
+	lo.Merge(&hi)
+	if lo.Count() != whole.Count() || lo.Min() != whole.Min() || lo.Max() != whole.Max() || lo.Mean() != whole.Mean() {
+		t.Fatalf("merged summary differs: %v/%v/%v/%v vs %v/%v/%v/%v",
+			lo.Count(), lo.Min(), lo.Max(), lo.Mean(), whole.Count(), whole.Min(), whole.Max(), whole.Mean())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if lo.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q=%v: merged %v != whole %v", q, lo.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramEmptyAndZero(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Record(0)
+	h.Record(-time.Second) // clamped
+	if h.Count() != 2 || h.Max() != 0 {
+		t.Fatalf("count=%d max=%v, want 2 and 0", h.Count(), h.Max())
+	}
+}
+
+// TestBucketIndexMonotone locks in the log-linear bucket layout: indices
+// are monotone in the value and every bucket's upper bound belongs to
+// that bucket.
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1 << 10, 1<<20 + 12345, 1 << 40, 1 << 62} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("index not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+		if up := bucketUpper(idx); bucketIndex(up) != idx {
+			t.Fatalf("upper bound %d of bucket %d maps to bucket %d", up, idx, bucketIndex(up))
+		}
+	}
+}
+
+func TestRecorderMerge(t *testing.T) {
+	a, b := newRecorder(), newRecorder()
+	a.observe("x", time.Millisecond, nil)
+	a.observe("x", 0, errTest)
+	b.observe("y", 2*time.Millisecond, nil)
+	m := mergeRecorders([]*Recorder{a, nil, b})
+	if m.Ops != 3 || m.Errors != 1 || m.ByName["x"] != 1 || m.ByName["y"] != 1 {
+		t.Fatalf("merge wrong: ops=%d errs=%d byName=%v", m.Ops, m.Errors, m.ByName)
+	}
+	if m.Hist.Count() != 2 {
+		t.Fatalf("errors must not be recorded as latencies: count=%d", m.Hist.Count())
+	}
+}
+
+var errTest = errors.New("test error")

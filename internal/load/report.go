@@ -1,0 +1,195 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"objectbase"
+)
+
+// SchemaVersion identifies the report format. Consumers (CI artifact
+// diffing, dashboards) should reject reports whose schema string they do
+// not know; additive fields do not bump the version, renames and
+// removals do.
+const SchemaVersion = "objectbase/load-report/v1"
+
+// Latency is the merged histogram's summary, in nanoseconds.
+type Latency struct {
+	P50  int64 `json:"p50"`
+	P90  int64 `json:"p90"`
+	P95  int64 `json:"p95"`
+	P99  int64 `json:"p99"`
+	Max  int64 `json:"max"`
+	Mean int64 `json:"mean"`
+}
+
+// Counters mirrors objectbase.Stats with stable JSON names.
+type Counters struct {
+	Commits       int64 `json:"commits"`
+	Aborts        int64 `json:"aborts"`
+	Retries       int64 `json:"retries"`
+	LockWaits     int64 `json:"lock_waits"`
+	Deadlocks     int64 `json:"deadlocks"`
+	CertValidated int64 `json:"cert_validated"`
+	CertRejected  int64 `json:"cert_rejected"`
+}
+
+// Result is one scenario × scheduler cell of the matrix.
+type Result struct {
+	Scenario  string `json:"scenario"`
+	Scheduler string `json:"scheduler"`
+
+	// Resolved knobs, echoed so a cell is self-describing.
+	Clients      int     `json:"clients"`
+	Txns         int     `json:"txns_per_client,omitempty"`
+	DurationNS   int64   `json:"duration_ns,omitempty"`
+	Keys         int     `json:"keys"`
+	Theta        float64 `json:"theta"`
+	ReadFraction float64 `json:"read_fraction"`
+	Seed         int64   `json:"seed"`
+	Mode         string  `json:"mode"` // "closed" or "open"
+	TargetRate   float64 `json:"target_rate,omitempty"`
+
+	// Measurements.
+	Ops        int64            `json:"ops"`
+	Errors     int64            `json:"errors"`
+	ElapsedNS  int64            `json:"elapsed_ns"`
+	Throughput float64          `json:"throughput_txn_per_sec"`
+	Latency    Latency          `json:"latency_ns"`
+	Counters   Counters         `json:"counters"`
+	ByName     map[string]int64 `json:"ops_by_name,omitempty"`
+
+	// Oracle outcome, present only when the run was sampled for
+	// verification. Legal is the engine-invariant subset of the check:
+	// false means the history itself is corrupt, which no scheduler
+	// (including the "none" control) is allowed to produce.
+	Verified *bool  `json:"verified,omitempty"`
+	Legal    *bool  `json:"legal,omitempty"`
+	Verdict  string `json:"verdict,omitempty"`
+}
+
+func newResult(sc *Scenario, scheduler string, k Knobs, rec *Recorder, elapsed time.Duration, st objectbase.Stats) *Result {
+	mode := "closed"
+	if k.Rate > 0 {
+		mode = "open"
+	}
+	res := &Result{
+		Scenario:     sc.Name,
+		Scheduler:    scheduler,
+		Clients:      k.Clients,
+		Txns:         k.Txns,
+		DurationNS:   int64(k.Duration),
+		Keys:         k.Keys,
+		Theta:        k.Theta,
+		ReadFraction: k.ReadFraction,
+		Seed:         k.Seed,
+		Mode:         mode,
+		TargetRate:   k.Rate,
+		Ops:          rec.Ops,
+		Errors:       rec.Errors,
+		ElapsedNS:    int64(elapsed),
+		Latency: Latency{
+			P50:  int64(rec.Hist.Quantile(0.50)),
+			P90:  int64(rec.Hist.Quantile(0.90)),
+			P95:  int64(rec.Hist.Quantile(0.95)),
+			P99:  int64(rec.Hist.Quantile(0.99)),
+			Max:  int64(rec.Hist.Max()),
+			Mean: int64(rec.Hist.Mean()),
+		},
+		Counters: Counters{
+			Commits:       st.Commits,
+			Aborts:        st.Aborts,
+			Retries:       st.Retries,
+			LockWaits:     st.LockWaits,
+			Deadlocks:     st.Deadlocks,
+			CertValidated: st.CertValidated,
+			CertRejected:  st.CertRejected,
+		},
+		ByName: rec.ByName,
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(rec.Ops-rec.Errors) / elapsed.Seconds()
+	}
+	return res
+}
+
+// Report is the machine-readable bench output written as BENCH_load.json.
+type Report struct {
+	Schema      string   `json:"schema"`
+	GeneratedAt string   `json:"generated_at,omitempty"` // RFC3339, filled by the CLI
+	Results     []Result `json:"results"`
+}
+
+// NewReport returns an empty report carrying the current schema version.
+func NewReport() *Report { return &Report{Schema: SchemaVersion} }
+
+// Add appends a cell, keeping the matrix sorted (scenario, then
+// scheduler) so reports diff cleanly across runs.
+func (rp *Report) Add(r *Result) {
+	rp.Results = append(rp.Results, *r)
+	sort.SliceStable(rp.Results, func(i, j int) bool {
+		if rp.Results[i].Scenario != rp.Results[j].Scenario {
+			return rp.Results[i].Scenario < rp.Results[j].Scenario
+		}
+		return rp.Results[i].Scheduler < rp.Results[j].Scheduler
+	})
+}
+
+// WriteJSON writes the report, indented, with a trailing newline.
+func (rp *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rp)
+}
+
+// ReadReport parses a report and rejects unknown schema versions.
+func ReadReport(r io.Reader) (*Report, error) {
+	var rp Report
+	if err := json.NewDecoder(r).Decode(&rp); err != nil {
+		return nil, fmt.Errorf("load: report: %w", err)
+	}
+	if rp.Schema != SchemaVersion {
+		return nil, fmt.Errorf("load: report: unknown schema %q (want %q)", rp.Schema, SchemaVersion)
+	}
+	return &rp, nil
+}
+
+// Table writes the human-readable matrix.
+func (rp *Report) Table(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SCENARIO\tSCHED\tMODE\tCLIENTS\tOPS\tERR\tTXN/S\tP50\tP95\tP99\tMAX\tRETRIES\tVERIFIED")
+	for i := range rp.Results {
+		r := &rp.Results[i]
+		verified := "-"
+		if r.Verified != nil {
+			if *r.Verified {
+				verified = "ok"
+			} else {
+				verified = "FAIL"
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%.0f\t%s\t%s\t%s\t%s\t%d\t%s\n",
+			r.Scenario, r.Scheduler, r.Mode, r.Clients, r.Ops, r.Errors, r.Throughput,
+			fdur(r.Latency.P50), fdur(r.Latency.P95), fdur(r.Latency.P99), fdur(r.Latency.Max),
+			r.Counters.Retries, verified)
+	}
+	tw.Flush()
+}
+
+func fdur(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

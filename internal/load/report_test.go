@@ -1,0 +1,119 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleResult() *Result {
+	ok := true
+	return &Result{
+		Scenario: "bank", Scheduler: "n2pl-op",
+		Clients: 4, Txns: 25, Keys: 16, Theta: 0.5, ReadFraction: 0.25, Seed: 42,
+		Mode: "closed",
+		Ops:  100, Errors: 2, ElapsedNS: 1_500_000, Throughput: 65333.3,
+		Latency:  Latency{P50: 8000, P90: 20000, P95: 30000, P99: 50000, Max: 60000, Mean: 11000},
+		Counters: Counters{Commits: 98, Aborts: 5, Retries: 3},
+		ByName:   map[string]int64{"transfer": 70, "balance": 28},
+		Verified: &ok, Legal: &ok, Verdict: "serialisable",
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rp := NewReport()
+	rp.GeneratedAt = "2026-07-29T00:00:00Z"
+	rp.Add(sampleResult())
+	r2 := sampleResult()
+	r2.Scenario, r2.Scheduler = "queue", "nto-op"
+	rp.Add(r2)
+
+	var buf bytes.Buffer
+	if err := rp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rp, got) {
+		t.Fatalf("round trip differs:\n  wrote %+v\n  read  %+v", rp, got)
+	}
+}
+
+func TestReportRejectsUnknownSchema(t *testing.T) {
+	if _, err := ReadReport(strings.NewReader(`{"schema":"something/else","results":[]}`)); err == nil {
+		t.Fatal("want schema rejection")
+	}
+}
+
+// TestReportStableKeys locks in the wire format: renaming a JSON key is a
+// schema break and must show up here.
+func TestReportStableKeys(t *testing.T) {
+	rp := NewReport()
+	rp.Add(sampleResult())
+	var buf bytes.Buffer
+	if err := rp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw["schema"] != SchemaVersion {
+		t.Fatalf("schema = %v", raw["schema"])
+	}
+	cell := raw["results"].([]any)[0].(map[string]any)
+	for _, key := range []string{
+		"scenario", "scheduler", "clients", "keys", "theta", "read_fraction",
+		"seed", "mode", "ops", "errors", "elapsed_ns", "throughput_txn_per_sec",
+		"latency_ns", "counters", "verified", "legal", "verdict",
+	} {
+		if _, present := cell[key]; !present {
+			t.Errorf("result cell missing key %q", key)
+		}
+	}
+	lat := cell["latency_ns"].(map[string]any)
+	for _, key := range []string{"p50", "p90", "p95", "p99", "max", "mean"} {
+		if _, present := lat[key]; !present {
+			t.Errorf("latency_ns missing key %q", key)
+		}
+	}
+	ctr := cell["counters"].(map[string]any)
+	for _, key := range []string{"commits", "aborts", "retries", "lock_waits", "deadlocks", "cert_validated", "cert_rejected"} {
+		if _, present := ctr[key]; !present {
+			t.Errorf("counters missing key %q", key)
+		}
+	}
+}
+
+// TestReportSorted: Add keeps the matrix ordered however cells arrive.
+func TestReportSorted(t *testing.T) {
+	rp := NewReport()
+	for _, cell := range [][2]string{{"queue", "nto-op"}, {"bank", "none"}, {"bank", "gemstone"}, {"queue", "modular"}} {
+		r := sampleResult()
+		r.Scenario, r.Scheduler = cell[0], cell[1]
+		rp.Add(r)
+	}
+	want := [][2]string{{"bank", "gemstone"}, {"bank", "none"}, {"queue", "modular"}, {"queue", "nto-op"}}
+	for i, w := range want {
+		if rp.Results[i].Scenario != w[0] || rp.Results[i].Scheduler != w[1] {
+			t.Fatalf("cell %d = %s×%s, want %s×%s", i, rp.Results[i].Scenario, rp.Results[i].Scheduler, w[0], w[1])
+		}
+	}
+}
+
+func TestTableRendersEveryCell(t *testing.T) {
+	rp := NewReport()
+	rp.Add(sampleResult())
+	var buf bytes.Buffer
+	rp.Table(&buf)
+	out := buf.String()
+	for _, want := range []string{"SCENARIO", "bank", "n2pl-op", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

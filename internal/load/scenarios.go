@@ -1,0 +1,253 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+
+	"objectbase"
+	"objectbase/internal/workload"
+)
+
+// The seeded catalogue: five contention shapes spanning the object
+// library. Each scenario honours the full knob set; Defaults pick the
+// regime the scenario is meant to exercise.
+func init() {
+	Register(bankScenario())
+	Register(dictReadHeavyScenario())
+	Register(queueScenario())
+	Register(hotspotCounterScenario())
+	Register(scanReadMostlyScenario())
+}
+
+func acctName(i int) string { return fmt.Sprintf("acct%d", i) }
+
+// bankScenario: transfers between Keys accounts with a ReadFraction of
+// balance reads; Theta skews which accounts are hot. The classic
+// write-write contention shape.
+func bankScenario() *Scenario {
+	return &Scenario{
+		Name:        "bank",
+		Description: "account transfers + balance reads over a skewable account set",
+		Defaults:    Knobs{Keys: 16, ReadFraction: 0.25},
+		Setup: func(db *objectbase.DB, k Knobs) error {
+			for i := 0; i < k.Keys; i++ {
+				a := acctName(i)
+				if err := db.RegisterObject(a, objectbase.Account(), objectbase.State{"balance": int64(1000)}); err != nil {
+					return err
+				}
+				for m, op := range map[string]string{"deposit": "Deposit", "withdraw": "Withdraw", "balance": "Balance"} {
+					var fn objectbase.MethodFunc
+					if op == "Balance" {
+						fn = func(ctx *objectbase.Ctx) (objectbase.Value, error) { return ctx.Do(a, op) }
+					} else {
+						fn = func(ctx *objectbase.Ctx) (objectbase.Value, error) { return ctx.Do(a, op, ctx.Arg(0)) }
+					}
+					if err := db.RegisterMethod(a, m, fn); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+		Ops: func(k Knobs, client int, r *rand.Rand) OpFunc {
+			pick := NewKeyChooser(k.Keys, k.Theta)
+			return func(i int) Op {
+				if r.Float64() < k.ReadFraction {
+					a := acctName(pick.Next(r))
+					return Op{Name: "balance", Fn: func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+						return ctx.Call(a, "balance")
+					}}
+				}
+				from := pick.Next(r)
+				to := pick.Next(r)
+				if to == from {
+					to = (from + 1) % k.Keys
+				}
+				fromA, toA := acctName(from), acctName(to)
+				amount := int64(1 + r.Intn(20))
+				return Op{Name: "transfer", Fn: func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+					ok, err := ctx.Call(fromA, "withdraw", amount)
+					if err != nil {
+						return nil, err
+					}
+					if ok != true {
+						return false, nil // insufficient funds: commit having moved nothing
+					}
+					if _, err := ctx.Call(toA, "deposit", amount); err != nil {
+						return nil, err
+					}
+					return true, nil
+				}}
+			}
+		},
+	}
+}
+
+// setupDict registers a "dict" B-tree dictionary preloaded with half the
+// key space (odd keys absent, so lookups miss too) and the four access
+// methods the dictionary scenarios share.
+func setupDict(db *objectbase.DB, keys int) error {
+	sc := objectbase.Dictionary()
+	st := sc.NewState()
+	for key := 0; key < keys; key += 2 {
+		if _, _, err := sc.MustOp("Insert").Apply(st, []objectbase.Value{int64(key), int64(key)}); err != nil {
+			return err
+		}
+	}
+	if err := db.RegisterObject("dict", sc, st); err != nil {
+		return err
+	}
+	for m, fn := range map[string]objectbase.MethodFunc{
+		"lookup": func(ctx *objectbase.Ctx) (objectbase.Value, error) { return ctx.Do("dict", "Lookup", ctx.Arg(0)) },
+		"insert": func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+			return ctx.Do("dict", "Insert", ctx.Arg(0), ctx.Arg(1))
+		},
+		"delete": func(ctx *objectbase.Ctx) (objectbase.Value, error) { return ctx.Do("dict", "Delete", ctx.Arg(0)) },
+		"len":    func(ctx *objectbase.Ctx) (objectbase.Value, error) { return ctx.Do("dict", "Len") },
+	} {
+		if err := db.RegisterMethod("dict", m, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dictReadHeavyScenario: the Section 2 modularity shape — a shared
+// B-tree dictionary under a read-heavy mix where per-key conflict
+// declarations should let readers stream past each other.
+func dictReadHeavyScenario() *Scenario {
+	return &Scenario{
+		Name:        "dict-read-heavy",
+		Description: "B-tree dictionary, read-heavy lookup/insert/delete mix over a skewable key space",
+		Defaults:    Knobs{Keys: 256, ReadFraction: 0.9},
+		Setup:       func(db *objectbase.DB, k Knobs) error { return setupDict(db, k.Keys) },
+		Ops: func(k Knobs, client int, r *rand.Rand) OpFunc {
+			pick := NewKeyChooser(k.Keys, k.Theta)
+			return func(i int) Op {
+				key := int64(pick.Next(r))
+				if r.Float64() < k.ReadFraction {
+					return Op{Name: "lookup", Fn: func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+						return ctx.Call("dict", "lookup", key)
+					}}
+				}
+				if r.Intn(2) == 0 {
+					val := int64(client*1_000_000 + i)
+					return Op{Name: "insert", Fn: func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+						return ctx.Call("dict", "insert", key, val)
+					}}
+				}
+				return Op{Name: "delete", Fn: func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+					return ctx.Call("dict", "delete", key)
+				}}
+			}
+		},
+	}
+}
+
+// queueScenario: the Section 5.1 producer/consumer shape, adapted from
+// the experiment substrate (workload.ProducerConsumer) — even clients
+// produce, odd clients consume, against a queue pre-populated with Keys
+// backlog items so Enqueue/Dequeue commute at step granularity.
+func queueScenario() *Scenario {
+	return FromSpec(
+		"queue",
+		"producer/consumer roles against one FIFO queue with a Keys-item backlog",
+		func(k Knobs) workload.Spec { return workload.ProducerConsumer(k.Keys, 200) },
+		Knobs{Keys: 256},
+	)
+}
+
+func ctrName(i int) string { return fmt.Sprintf("ctr%d", i) }
+
+// hotspotCounterScenario: Keys commutative counters under zipfian key
+// choice — the skew knob's home scenario. Adds commute, so the hotspot
+// stresses scheduler bookkeeping rather than genuine conflicts; the
+// ReadFraction of Gets does conflict with Adds.
+func hotspotCounterScenario() *Scenario {
+	return &Scenario{
+		Name:        "hotspot-counter",
+		Description: "zipfian bump/read traffic over Keys counters (key 0 hottest)",
+		Defaults:    Knobs{Keys: 64, Theta: 0.99, ReadFraction: 0.2},
+		Setup: func(db *objectbase.DB, k Knobs) error {
+			for i := 0; i < k.Keys; i++ {
+				c := ctrName(i)
+				if err := db.RegisterObject(c, objectbase.Counter(), nil); err != nil {
+					return err
+				}
+				if err := db.RegisterMethod(c, "bump", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+					return ctx.Do(c, "Add", int64(1))
+				}); err != nil {
+					return err
+				}
+				if err := db.RegisterMethod(c, "read", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+					return ctx.Do(c, "Get")
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Ops: func(k Knobs, client int, r *rand.Rand) OpFunc {
+			pick := NewKeyChooser(k.Keys, k.Theta)
+			return func(i int) Op {
+				c := ctrName(pick.Next(r))
+				if r.Float64() < k.ReadFraction {
+					return Op{Name: "read", Fn: func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+						return ctx.Call(c, "read")
+					}}
+				}
+				return Op{Name: "bump", Fn: func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+					return ctx.Call(c, "bump")
+				}}
+			}
+		},
+	}
+}
+
+// scanReadMostlyScenario: read-mostly range scans (a Len plus a run of
+// consecutive lookups) over the dictionary, with a trickle of
+// insert/delete churn — the mix where whole-object exclusion hurts
+// readers most.
+func scanReadMostlyScenario() *Scenario {
+	const scanWidth = 8
+	return &Scenario{
+		Name:        "scan-read-mostly",
+		Description: "read-mostly dictionary scans (Len + 8 consecutive lookups) with light churn",
+		Defaults:    Knobs{Keys: 256, ReadFraction: 0.95},
+		Setup:       func(db *objectbase.DB, k Knobs) error { return setupDict(db, k.Keys) },
+		Ops: func(k Knobs, client int, r *rand.Rand) OpFunc {
+			pick := NewKeyChooser(k.Keys, k.Theta)
+			return func(i int) Op {
+				start := pick.Next(r)
+				if r.Float64() < k.ReadFraction {
+					return Op{Name: "scan", Fn: func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+						if _, err := ctx.Call("dict", "len"); err != nil {
+							return nil, err
+						}
+						hits := int64(0)
+						for j := 0; j < scanWidth; j++ {
+							v, err := ctx.Call("dict", "lookup", int64((start+j)%k.Keys))
+							if err != nil {
+								return nil, err
+							}
+							if v != nil {
+								hits++
+							}
+						}
+						return hits, nil
+					}}
+				}
+				key := int64(start)
+				if r.Intn(2) == 0 {
+					val := int64(client*1_000_000 + i)
+					return Op{Name: "insert", Fn: func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+						return ctx.Call("dict", "insert", key, val)
+					}}
+				}
+				return Op{Name: "delete", Fn: func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+					return ctx.Call("dict", "delete", key)
+				}}
+			}
+		},
+	}
+}

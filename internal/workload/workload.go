@@ -5,6 +5,8 @@
 package workload
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -29,17 +31,34 @@ type Spec struct {
 }
 
 // Drive executes the workload: clients goroutines, each running
-// txnsPerClient transactions from its own seeded source. It returns the
-// first hard error (retriable aborts are handled inside engine.Run).
+// txnsPerClient transactions from its own seeded source (retriable aborts
+// are handled inside engine.RunCtx). It is DriveCtx under a background
+// context.
 func Drive(en *engine.Engine, spec Spec, clients, txnsPerClient int, seed int64) error {
+	return DriveCtx(context.Background(), en, spec, clients, txnsPerClient, seed)
+}
+
+// DriveCtx is Drive with cancellation. A client's hard error cancels the
+// remaining clients, which stop at their next transaction boundary; the
+// returned error joins every client's own error (none is dropped), so a
+// multi-client failure surfaces each cause. Cancellation arriving from
+// outside (the caller's ctx) stops all clients and returns ctx's error;
+// transactions aborted by that shutdown are not reported as client
+// errors.
+func DriveCtx(ctx context.Context, en *engine.Engine, spec Spec, clients, txnsPerClient int, seed int64) error {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var wg sync.WaitGroup
-	errCh := make(chan error, clients)
+	errs := make([]error, clients)
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			r := rand.New(rand.NewSource(seed*1_000_003 + int64(c)))
 			for i := 0; i < txnsPerClient; i++ {
+				if runCtx.Err() != nil {
+					return
+				}
 				var name string
 				var fn engine.MethodFunc
 				if spec.ClientTxn != nil {
@@ -47,23 +66,24 @@ func Drive(en *engine.Engine, spec Spec, clients, txnsPerClient int, seed int64)
 				} else {
 					name, fn = spec.Txn(r, c*txnsPerClient+i)
 				}
-				if _, err := en.Run(name, fn); err != nil {
-					select {
-					case errCh <- fmt.Errorf("workload %s client %d txn %d: %w", spec.Name, c, i, err):
-					default:
+				if _, err := en.RunCtx(runCtx, name, fn); err != nil {
+					if runCtx.Err() != nil && errors.Is(err, runCtx.Err()) {
+						// Shut down by a sibling's failure or the caller's
+						// cancellation; the cause is reported elsewhere.
+						return
 					}
+					errs[c] = fmt.Errorf("workload %s client %d txn %d: %w", spec.Name, c, i, err)
+					cancel()
 					return
 				}
 			}
 		}(c)
 	}
 	wg.Wait()
-	select {
-	case err := <-errCh:
+	if err := errors.Join(errs...); err != nil {
 		return err
-	default:
-		return nil
 	}
+	return ctx.Err()
 }
 
 // Bank returns the mixed contended workload used by the serialisability

@@ -1,8 +1,13 @@
 package workload
 
 import (
+	"context"
+	"errors"
 	"math/rand"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"objectbase/internal/core"
 	"objectbase/internal/engine"
@@ -144,6 +149,83 @@ func TestFailureInjectionSpec(t *testing.T) {
 	}
 	if good == 0 || bad == 0 {
 		t.Fatalf("both paths should fire at 50%%: good=%d bad=%d", good, bad)
+	}
+}
+
+// TestDriveAggregatesClientErrors: when several clients fail, Drive must
+// report every failure, not just whichever reached a channel first. The
+// gate holds both clients inside their first transaction until both are
+// there, so both fail before either can cancel the other.
+func TestDriveAggregatesClientErrors(t *testing.T) {
+	var gate sync.WaitGroup
+	gate.Add(2)
+	spec := Spec{
+		Name:  "failing",
+		Setup: func(en *engine.Engine) {},
+		Txn: func(r *rand.Rand, i int) (string, engine.MethodFunc) {
+			return "boom", func(ctx *engine.Ctx) (core.Value, error) {
+				gate.Done()
+				gate.Wait()
+				return nil, errors.New("boom")
+			}
+		},
+	}
+	en := engine.New(engine.None{}, engine.Options{})
+	err := Drive(en, spec, 2, 3, 1)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	for _, want := range []string{"client 0", "client 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("aggregated error should mention %s: %v", want, err)
+		}
+	}
+}
+
+// TestDriveCancelsSiblingsOnError: one client's hard failure must stop
+// the others at their next transaction boundary instead of letting them
+// run their full quota (10k × 1ms here).
+func TestDriveCancelsSiblingsOnError(t *testing.T) {
+	spec := Spec{
+		Name:  "mixed",
+		Setup: func(en *engine.Engine) {},
+		ClientTxn: func(r *rand.Rand, client, i int) (string, engine.MethodFunc) {
+			if client == 0 {
+				return "fail", func(ctx *engine.Ctx) (core.Value, error) {
+					return nil, errors.New("fail fast")
+				}
+			}
+			return "slow", func(ctx *engine.Ctx) (core.Value, error) {
+				time.Sleep(time.Millisecond)
+				return nil, nil
+			}
+		},
+	}
+	en := engine.New(engine.None{}, engine.Options{})
+	start := time.Now()
+	err := Drive(en, spec, 2, 10_000, 1)
+	if err == nil || !strings.Contains(err.Error(), "client 0") {
+		t.Fatalf("err = %v, want client 0's failure", err)
+	}
+	if strings.Contains(err.Error(), "client 1") {
+		t.Fatalf("cancelled client reported as a failure: %v", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("cancellation did not propagate: siblings ran for %v", el)
+	}
+}
+
+// TestDriveCtxCallerCancellation: external cancellation stops the drive
+// and is returned as the context's error, not as client failures.
+func TestDriveCtxCallerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := Bank(3, 100)
+	en := engine.New(engine.None{}, engine.Options{})
+	spec.Setup(en)
+	err := DriveCtx(ctx, en, spec, 2, 100, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

@@ -1,0 +1,75 @@
+package objectbase_test
+
+// Locks in snapshot safety: Stats and History may be read while Exec
+// traffic is in flight. Run under -race (CI does), this test fails if
+// either returns anything sharing mutable state with the live run.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"objectbase"
+)
+
+func TestStatsAndHistoryDuringTraffic(t *testing.T) {
+	db, err := objectbase.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterObject("c", objectbase.Counter(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterMethod("c", "bump", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+		return ctx.Do("c", "Add", int64(1))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				// Errors are expected once ctx is cancelled mid-loop.
+				_, _ = db.Exec(ctx, "T", func(c *objectbase.Ctx) (objectbase.Value, error) {
+					if _, err := c.Call("c", "bump"); err != nil {
+						return nil, err
+					}
+					return c.Call("c", "bump")
+				})
+			}
+		}()
+	}
+
+	// Read counters and history snapshots while the traffic runs; walking
+	// the snapshot is what catches sharing with the live recorder.
+	for i := 0; i < 50; i++ {
+		st := db.Stats()
+		if st.Commits < 0 {
+			t.Fatal("impossible counter")
+		}
+		h := db.History()
+		_ = h.StepCount()
+		for _, e := range h.AllExecs() {
+			_ = e.Aborted
+			_ = len(e.Children)
+		}
+		for _, msgs := range h.Messages {
+			for _, m := range msgs {
+				_ = m.Ret
+				_ = m.End
+			}
+		}
+		_ = len(h.Roots)
+	}
+	cancel()
+	wg.Wait()
+
+	// Quiescent again: the full oracle must still pass.
+	if _, err := db.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
