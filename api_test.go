@@ -434,7 +434,10 @@ func TestSchedulersEndToEnd(t *testing.T) {
 			if t.Failed() {
 				return
 			}
-			h := db.History()
+			h, err := db.History()
+			if err != nil {
+				t.Fatal(err)
+			}
 			if err := h.CheckLegal(); err != nil {
 				t.Fatalf("history not legal under %s: %v", sched, err)
 			}

@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"objectbase"
@@ -98,7 +99,11 @@ func benchSerialisability(b *testing.B, sched string) {
 		db := driveOnce(b, sched, workload.Bank(3, 100), clients, txns, int64(i))
 		b.StopTimer()
 		if i == 0 { // oracle once per benchmark: the guarantee, not the cost
-			if v := db.Check(); !v.Serialisable {
+			v, err := db.Check()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !v.Serialisable {
 				b.Fatalf("not serialisable: %v", v)
 			}
 		}
@@ -187,7 +192,11 @@ func BenchmarkE9_AbortRetry(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		db := driveOnce(b, "n2pl-op", workload.FailureInjection(25), 4, 50, int64(i))
 		if i == 0 {
-			if err := db.History().CheckLegal(); err != nil {
+			h, err := db.History()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := h.CheckLegal(); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -271,6 +280,77 @@ func BenchmarkLoadScenarios(b *testing.B) {
 			}
 			b.ReportMetric(float64(ops)/float64(b.N), "txns/op")
 			b.ReportMetric(throughput/float64(b.N), "txn/s")
+		})
+	}
+}
+
+// BenchmarkRecorderOverhead measures the history observer's cost on the
+// transaction hot path: the same counter-bump transaction stream under
+// full recording versus the stats-only observer (WithHistory(off)), with
+// all clients sharing one commuting hot object so the observer — not
+// lock contention — dominates.
+func BenchmarkRecorderOverhead(b *testing.B) {
+	for _, mode := range []objectbase.HistoryMode{objectbase.HistoryFull, objectbase.HistoryOff} {
+		mode := mode
+		b.Run(string(mode), func(b *testing.B) {
+			db, err := objectbase.Open(objectbase.WithHistory(mode))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := db.RegisterObject("c", objectbase.Counter(), nil); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.RegisterMethod("c", "bump", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+				return ctx.Do("c", "Add", int64(1))
+			}); err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := db.Exec(ctx, "T", func(c *objectbase.Ctx) (objectbase.Value, error) {
+						return c.Call("c", "bump")
+					}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkLockStriping measures the striped lock table under parallel
+// grant/commit traffic: with one hot object every request lands on one
+// stripe (the pre-striping world in miniature), with 16 the requests
+// spread across stripes. Commuting Adds keep the workload contention on
+// the table itself, never on lock semantics.
+func BenchmarkLockStriping(b *testing.B) {
+	for _, objs := range []int{1, 16} {
+		objs := objs
+		b.Run(fmt.Sprintf("hot-objects-%d", objs), func(b *testing.B) {
+			m := lock.New(lock.Options{})
+			rel := objects.Counter().Conflicts
+			add := core.OpInvocation{Op: "Add", Args: []core.Value{int64(1)}}
+			names := make([]string, objs)
+			for i := range names {
+				names[i] = fmt.Sprintf("C%d", i)
+			}
+			var seq atomic.Int32
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					e := core.RootID(seq.Add(1))
+					if err := m.Acquire(e, names[i%objs], rel, add); err != nil {
+						b.Error(err)
+						return
+					}
+					m.CommitTransfer(e)
+					i++
+				}
+			})
 		})
 	}
 }

@@ -11,7 +11,8 @@
 //	obsim load [-scenario NAME|all] [-sched NAME|all] [-quick]
 //	           [-clients N] [-txns N] [-duration D] [-rate R]
 //	           [-keys N] [-theta F] [-readfrac F] [-seed N]
-//	           [-verify sample|all|none] [-out FILE]
+//	           [-verify sample|all|none] [-history auto|full|off|full,off]
+//	           [-out FILE]
 //	                           # drive the load matrix, print the table,
 //	                           # write the machine-readable BENCH_load.json
 //
@@ -141,7 +142,11 @@ func runBank(args []string) {
 	}
 	el := time.Since(start)
 	st := db.Stats()
-	h := db.History()
+	h, err := db.History()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsim:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("scheduler    %s\n", db.Scheduler())
 	fmt.Printf("transactions %d committed, %d retries, %v elapsed (%.0f txn/s)\n",
 		st.Commits, st.Retries, el.Round(time.Millisecond),
@@ -212,6 +217,8 @@ func runLoad(args []string) {
 	seed := fs.Int64("seed", 42, "deterministic seed")
 	quick := fs.Bool("quick", false, "CI-sized runs (small client/txn counts unless set explicitly)")
 	verify := fs.String("verify", "sample", "oracle policy: sample (one run per scheduler), all, none")
+	hist := fs.String("history", "auto",
+		"history recording: auto (full on verified cells, off elsewhere), full, off, or a comma list (e.g. full,off runs every cell in both modes)")
 	out := fs.String("out", "BENCH_load.json", "machine-readable report path ('' disables)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -219,6 +226,35 @@ func runLoad(args []string) {
 	// A typo here must not silently disable the oracle backstop.
 	if *verify != "sample" && *verify != "all" && *verify != "none" {
 		fmt.Fprintf(os.Stderr, "obsim load: unknown -verify policy %q (want sample, all, or none)\n", *verify)
+		os.Exit(2)
+	}
+	var modes []string
+	canVerify := false // some mode records a history the oracle could check
+	for _, m := range strings.Split(*hist, ",") {
+		if m != "auto" && m != "full" && m != "off" {
+			fmt.Fprintf(os.Stderr, "obsim load: unknown -history mode %q (want auto, full, or off)\n", m)
+			os.Exit(2)
+		}
+		dup := false
+		for _, seen := range modes {
+			dup = dup || seen == m
+		}
+		if dup {
+			continue
+		}
+		modes = append(modes, m)
+		canVerify = canVerify || m != "off"
+	}
+	if len(modes) > 1 {
+		for _, m := range modes {
+			if m == "auto" {
+				fmt.Fprintln(os.Stderr, "obsim load: -history auto cannot be combined with other modes")
+				os.Exit(2)
+			}
+		}
+	}
+	if !canVerify && *verify != "none" {
+		fmt.Fprintln(os.Stderr, "obsim load: -history off records nothing the oracle could check; pass -verify none (or -history auto/full)")
 		os.Exit(2)
 	}
 	if *quick {
@@ -240,35 +276,50 @@ func runLoad(args []string) {
 	for _, sc := range scenarios {
 		scenario, _ := load.Get(sc)
 		for _, s := range schedulers {
-			doVerify := *verify == "all" || (*verify == "sample" && !sampled[s])
-			res, err := load.Run(context.Background(), load.Options{
-				Scenario:  scenario,
-				Scheduler: s,
-				Knobs: load.Knobs{
-					Clients: *clients, Txns: *txns, Duration: *duration,
-					Rate: *rate, Keys: *keys, Theta: *theta,
-					ReadFraction: *readfrac, Seed: *seed,
-				},
-				Verify: doVerify,
-			})
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "obsim load: %s × %s: %v\n", sc, s, err)
-				os.Exit(1)
-			}
-			if doVerify {
-				sampled[s] = true
-				// Legality is an engine invariant: its violation is fatal
-				// under any scheduler. Beyond that the empty scheduler is
-				// the control: its anomalies are expected, so its verdict
-				// is reported but not fatal.
-				if res.Legal != nil && !*res.Legal {
-					fmt.Fprintf(os.Stderr, "obsim load: %s × %s: history not legal: %s\n", sc, s, res.Verdict)
-					verifyFailed = true
-				} else if res.Verified != nil && !*res.Verified && s != "none" {
-					verifyFailed = true
+			for _, mode := range modes {
+				// The oracle wants a full history; -history off cells are
+				// measurement-only. "auto" maps to the driver's empty mode,
+				// whose resolution (full exactly where the verify policy
+				// samples, off elsewhere) lives in load.Options.
+				doVerify := *verify == "all" || (*verify == "sample" && !sampled[s])
+				var hmode objectbase.HistoryMode
+				switch mode {
+				case "full":
+					hmode = objectbase.HistoryFull
+				case "off":
+					hmode = objectbase.HistoryOff
+					doVerify = false
 				}
+				res, err := load.Run(context.Background(), load.Options{
+					Scenario:  scenario,
+					Scheduler: s,
+					Knobs: load.Knobs{
+						Clients: *clients, Txns: *txns, Duration: *duration,
+						Rate: *rate, Keys: *keys, Theta: *theta,
+						ReadFraction: *readfrac, Seed: *seed,
+					},
+					Verify:  doVerify,
+					History: hmode,
+				})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "obsim load: %s × %s: %v\n", sc, s, err)
+					os.Exit(1)
+				}
+				if doVerify {
+					sampled[s] = true
+					// Legality is an engine invariant: its violation is fatal
+					// under any scheduler. Beyond that the empty scheduler is
+					// the control: its anomalies are expected, so its verdict
+					// is reported but not fatal.
+					if res.Legal != nil && !*res.Legal {
+						fmt.Fprintf(os.Stderr, "obsim load: %s × %s: history not legal: %s\n", sc, s, res.Verdict)
+						verifyFailed = true
+					} else if res.Verified != nil && !*res.Verified && s != "none" {
+						verifyFailed = true
+					}
+				}
+				report.Add(res)
 			}
-			report.Add(res)
 		}
 	}
 

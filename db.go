@@ -51,11 +51,39 @@ const DefaultScheduler = "n2pl-op"
 // schedulers, sorted. Any of them can be passed to WithScheduler.
 func Schedulers() []string { return cc.SchedulerNames() }
 
+// HistoryMode selects how much of the history h = (E, <, B, S) a DB
+// retains — see WithHistory.
+type HistoryMode string
+
+const (
+	// HistoryFull records the complete history: History, Check and
+	// Verify work, at the cost of one recorder event per execution,
+	// step, and message, retained for the life of the DB (cap it with
+	// WithHistoryLimit for long runs).
+	HistoryFull HistoryMode = "full"
+	// HistoryOff keeps only atomic event counters: bounded memory and a
+	// near-zero-cost hot path, but History, Check and Verify return
+	// ErrHistoryDisabled. The load harness defaults to this mode for
+	// unverified runs.
+	HistoryOff HistoryMode = "off"
+)
+
+// ErrHistoryDisabled is wrapped by History/Check/Verify errors on a DB
+// opened with WithHistory(HistoryOff): there is no history to analyse.
+var ErrHistoryDisabled = engine.ErrHistoryDisabled
+
+// ErrHistoryLimit is wrapped by transaction and history-accessor errors
+// once a WithHistoryLimit cap is exceeded: recording fails fast instead
+// of growing without bound, and the (incomplete) history is withheld.
+var ErrHistoryLimit = engine.ErrHistoryLimit
+
 type config struct {
 	scheduler    string
 	maxRetries   int
 	retryBackoff time.Duration
 	lockTimeout  time.Duration
+	recording    engine.RecordingMode
+	historyLimit int
 }
 
 // Option configures Open.
@@ -113,6 +141,45 @@ func WithLockTimeout(d time.Duration) Option {
 	}
 }
 
+// WithHistory selects the history recording mode. HistoryFull (the
+// default) feeds every execution event through the full recorder so the
+// oracle can verify the run; HistoryOff swaps in a stats-only observer —
+// atomic counters, bounded memory — and History/Check/Verify return
+// ErrHistoryDisabled. Every scheduler runs correctly under either mode
+// (none of them reads the history; the modular certifier keeps its own
+// access sets), but verification is only possible under HistoryFull.
+func WithHistory(mode HistoryMode) Option {
+	return func(c *config) error {
+		switch mode {
+		case HistoryFull:
+			c.recording = engine.RecordFull
+		case HistoryOff:
+			c.recording = engine.RecordStats
+		default:
+			return fmt.Errorf("objectbase: WithHistory: unknown mode %q (want %q or %q)", mode, HistoryFull, HistoryOff)
+		}
+		return nil
+	}
+}
+
+// WithHistoryLimit caps a HistoryFull DB at n recorded events (method
+// executions + local steps + messages). History memory otherwise grows
+// for the life of the DB — every event is retained for the oracle — so
+// a long-running process that insists on full recording should bound
+// it. When the cap would be exceeded, the recording transaction aborts
+// with an error wrapping ErrHistoryLimit (fail fast, not OOM), and
+// History/Check/Verify report the same: a truncated history would
+// produce meaningless verdicts. Ignored under HistoryOff.
+func WithHistoryLimit(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("objectbase: WithHistoryLimit: non-positive limit %d", n)
+		}
+		c.historyLimit = n
+		return nil
+	}
+}
+
 // DB is an open object base: a set of objects (schema + state + methods)
 // executing nested transactions under one concurrency-control scheduler,
 // with the full history recorded for verification.
@@ -147,12 +214,22 @@ func Open(opts ...Option) (*DB, error) {
 	eng := cc.NewEngine(sched, engine.Options{
 		MaxRetries:   cfg.maxRetries,
 		RetryBackoff: cfg.retryBackoff,
+		Recording:    cfg.recording,
+		HistoryLimit: cfg.historyLimit,
 	})
 	return &DB{scheduler: cfg.scheduler, sched: sched, eng: eng}, nil
 }
 
 // Scheduler returns the registered name of the DB's scheduler.
 func (db *DB) Scheduler() string { return db.scheduler }
+
+// HistoryRecording returns the DB's history mode ("full" or "off").
+func (db *DB) HistoryRecording() HistoryMode {
+	if db.eng.Recording() == engine.RecordStats {
+		return HistoryOff
+	}
+	return HistoryFull
+}
 
 // RegisterObject creates an object: an instance of the schema with the
 // given initial state (the schema's NewState when nil). Object names are
@@ -304,13 +381,28 @@ func (db *DB) Stats() Stats {
 // S). It is safe to call while transactions are running (the snapshot
 // shares no mutable records with the live run), but a mid-run snapshot
 // reflects in-flight transactions, so feed the oracle (Check, Verify)
-// only from a quiescent DB.
-func (db *DB) History() *History { return db.eng.History() }
+// only from a quiescent DB. The error wraps ErrHistoryDisabled on a
+// HistoryOff DB and ErrHistoryLimit once a WithHistoryLimit cap was
+// exceeded.
+func (db *DB) History() (*History, error) {
+	h, err := db.eng.HistoryErr()
+	if err != nil {
+		return nil, fmt.Errorf("objectbase: %w", err)
+	}
+	return h, nil
+}
 
 // Check runs the serialisability oracle on the recorded history and
 // returns its verdict (serialisation-graph acyclicity plus serial
-// replay). The DB must be quiescent.
-func (db *DB) Check() Verdict { return graph.Check(db.eng.History()) }
+// replay). The DB must be quiescent and recording (HistoryFull); the
+// error wraps ErrHistoryDisabled or ErrHistoryLimit otherwise.
+func (db *DB) Check() (Verdict, error) {
+	h, err := db.eng.HistoryErr()
+	if err != nil {
+		return Verdict{}, fmt.Errorf("objectbase: %w", err)
+	}
+	return graph.Check(h), nil
+}
 
 // Verify's error wraps exactly one of these, so callers can distinguish
 // the failure classes with errors.Is. ErrNotLegal is an engine-invariant
@@ -331,10 +423,14 @@ var (
 // Theorem 5 intra/inter-object decomposition. It returns the oracle's
 // verdict alongside a nil error when all hold, so callers need not run
 // Check (a second full serial replay) just to report the verdict; a
-// non-nil error wraps ErrNotLegal, ErrNotSerialisable, or ErrTheorem5.
+// non-nil error wraps ErrNotLegal, ErrNotSerialisable, or ErrTheorem5 —
+// or ErrHistoryDisabled/ErrHistoryLimit when no complete history exists.
 // The DB must be quiescent.
 func (db *DB) Verify() (Verdict, error) {
-	h := db.eng.History()
+	h, err := db.eng.HistoryErr()
+	if err != nil {
+		return Verdict{}, fmt.Errorf("objectbase: %w", err)
+	}
 	if err := h.CheckLegal(); err != nil {
 		return Verdict{}, fmt.Errorf("objectbase: %w: %w", ErrNotLegal, err)
 	}

@@ -35,6 +35,18 @@
 // or commit boundary and interrupts retry backoff. Schedulers() lists the
 // registered concurrency controls; WithScheduler selects one by name.
 //
+// # History recording
+//
+// By default every execution event is retained so History/Check/Verify
+// can analyse the run (WithHistory(HistoryFull)); the recorder's memory
+// grows with the run, so long-lived processes should either cap it with
+// WithHistoryLimit(n) — which fails recording transactions fast with
+// ErrHistoryLimit instead of OOMing — or switch it off entirely with
+// WithHistory(HistoryOff), which keeps only atomic event counters and
+// makes the history accessors return ErrHistoryDisabled. Schedulers
+// behave identically under either mode; only the oracle needs the full
+// history.
+//
 // See README.md for the repository layout, the scheduler catalogue, and a
 // complete quickstart; the runnable programs under examples/ exercise the
 // public API end to end.

@@ -94,7 +94,10 @@ func main() {
 	if _, err := db.Verify(); err != nil {
 		log.Fatal(err)
 	}
-	h := db.History()
+	h, err := db.History()
+	if err != nil {
+		log.Fatal(err)
+	}
 	checking := h.FinalStates["checking"]["balance"].(int64)
 	savings := h.FinalStates["savings"]["balance"].(int64)
 	merchant := h.FinalStates["merchant"]["balance"].(int64)

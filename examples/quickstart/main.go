@@ -58,7 +58,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	h := db.History()
+	h, err := db.History()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("scheduler:              %s\n", db.Scheduler())
 	fmt.Printf("committed transactions: %d\n", db.Stats().Commits)
 	fmt.Printf("final visit count:      %v\n", h.FinalStates["visits"]["n"])

@@ -113,14 +113,16 @@ func (s *N2PL) Step(e *engine.Exec, obj *engine.Object, inv core.OpInvocation) (
 }
 
 // Commit implements engine.Scheduler: rule 5, locks pass to the parent (or
-// are discarded at top level).
+// are discarded at top level). The striped manager visits only the
+// stripes this execution locked, so concurrent commits against disjoint
+// scopes never serialise on each other.
 func (s *N2PL) Commit(e *engine.Exec) error {
 	s.mgr.CommitTransfer(e.ID())
 	return nil
 }
 
 // Abort implements engine.Scheduler: an aborted execution's locks are
-// discarded.
+// discarded (again touching only the stripes it locked).
 func (s *N2PL) Abort(e *engine.Exec) {
 	s.mgr.ReleaseAll(e.ID())
 }

@@ -35,10 +35,21 @@ type Options struct {
 	// schedulers that let transactions observe uncommitted effects.
 	// Lock-based schedulers leave it off.
 	TrackDependencies bool
+	// Recording selects the history observer: RecordFull (default)
+	// retains the whole history for the oracle; RecordStats keeps only
+	// atomic counters (bounded memory, near-zero per-event cost).
+	Recording RecordingMode
+	// HistoryLimit caps the number of retained history events (execs +
+	// steps + messages) in RecordFull mode; once it would be exceeded,
+	// the recording transaction aborts with ErrHistoryLimit instead of
+	// the process growing without bound. 0 means unlimited. Ignored
+	// under RecordStats.
+	HistoryLimit int
 }
 
 // Engine executes nested transactions over an object base under a
-// Scheduler, recording the full history.
+// Scheduler, feeding every execution event to a history observer (the
+// full recorder by default, atomic counters under RecordStats).
 type Engine struct {
 	opts  Options
 	sched Scheduler
@@ -47,7 +58,7 @@ type Engine struct {
 	objects map[string]*Object
 	methods map[string]map[string]MethodFunc
 
-	rec  *recorder
+	rec  HistoryObserver
 	deps *depTracker
 
 	liveMu   sync.Mutex
@@ -70,15 +81,34 @@ func New(sched Scheduler, opts Options) *Engine {
 	if opts.RetryBackoff <= 0 {
 		opts.RetryBackoff = 100 * time.Microsecond
 	}
+	var rec HistoryObserver
+	if opts.Recording == RecordStats {
+		rec = newStatsObserver()
+	} else {
+		rec = newRecorder(opts.HistoryLimit)
+	}
 	return &Engine{
 		opts:     opts,
 		sched:    sched,
 		objects:  make(map[string]*Object),
 		methods:  make(map[string]map[string]MethodFunc),
-		rec:      newRecorder(),
+		rec:      rec,
 		deps:     newDepTracker(opts.TrackDependencies),
 		liveTops: make(map[int32]bool),
 	}
+}
+
+// Recording returns the engine's history recording mode.
+func (en *Engine) Recording() RecordingMode { return en.opts.Recording }
+
+// ObserverStats returns the history observer's event counters; they are
+// maintained in both recording modes.
+func (en *Engine) ObserverStats() ObserverStats { return en.rec.EventStats() }
+
+// historyAbort converts an observer refusal (history limit breached)
+// into the non-retriable abort that fails the issuing transaction fast.
+func historyAbort(id core.ExecID, err error) error {
+	return &AbortError{Exec: id, Reason: "history limit", Retriable: false, Err: err}
 }
 
 // allocTop atomically assigns the next top-level transaction identity and
@@ -136,7 +166,7 @@ func (en *Engine) AddObject(name string, sc *core.Schema, initial core.State) *O
 	en.mu.Lock()
 	en.objects[name] = o
 	en.mu.Unlock()
-	en.rec.addObject(name, sc, initial)
+	en.rec.AddObject(name, sc, initial)
 	return o
 }
 
@@ -230,7 +260,9 @@ func (en *Engine) runOnce(ctx context.Context, name string, fn MethodFunc, args 
 		killCh: make(chan struct{}),
 	}
 	e.top = e
-	en.rec.addExec(e)
+	if err := en.rec.AddExec(e.id, e.object, e.method); err != nil {
+		return nil, historyAbort(e.id, err)
+	}
 	en.deps.beginTop(e)
 	defer en.deps.forget(e)
 
@@ -279,7 +311,11 @@ func (en *Engine) call(parent *Exec, lane int, object, method string, args []cor
 		return nil, fmt.Errorf("engine: unknown object %q", object)
 	}
 
-	msg, childID := en.rec.startMessage(parent, lane, object, method, args)
+	childID := parent.nextChildID()
+	msg, err := en.rec.StartMessage(parent.id, childID, lane, object, method, args)
+	if err != nil {
+		return nil, historyAbort(parent.id, err)
+	}
 	child := &Exec{
 		id:     childID,
 		object: object,
@@ -289,11 +325,14 @@ func (en *Engine) call(parent *Exec, lane int, object, method string, args []cor
 		parent: parent,
 		top:    parent.top,
 	}
-	en.rec.addExec(child)
+	if err := en.rec.AddExec(childID, object, method); err != nil {
+		en.rec.EndMessage(msg, nil, true)
+		return nil, historyAbort(childID, err)
+	}
 
 	if err := en.sched.Begin(child); err != nil {
 		en.abortExec(child, err)
-		en.rec.endMessage(msg, nil, true)
+		en.rec.EndMessage(msg, nil, true)
 		return nil, err
 	}
 	ret, err := fn(&Ctx{e: child, lane: 0})
@@ -302,12 +341,12 @@ func (en *Engine) call(parent *Exec, lane int, object, method string, args []cor
 	}
 	if err != nil {
 		en.abortExec(child, err)
-		en.rec.endMessage(msg, nil, true)
+		en.rec.EndMessage(msg, nil, true)
 		return nil, err
 	}
 	// Relative commit: effects become the parent's provisional effects.
 	parent.adoptUndo(child)
-	en.rec.endMessage(msg, ret, false)
+	en.rec.EndMessage(msg, ret, false)
 	return ret, nil
 }
 
@@ -325,7 +364,7 @@ func (en *Engine) abortExec(e *Exec, cause error) {
 	}
 	e.runUndo()
 	en.sched.Abort(e)
-	en.rec.markAborted(e.id)
+	en.rec.MarkAborted(e.id)
 	if e.parent == nil {
 		en.deps.finishAbort(e)
 	}
@@ -345,19 +384,38 @@ func (en *Engine) TrackTouch(e *Exec, obj *Object, step core.StepInfo) error {
 	return en.deps.touch(e, obj, step, readOnly)
 }
 
-// History returns a snapshot of the run's recorded history. It is safe to
-// call concurrently with running transactions (the snapshot is taken under
-// the recorder lock and shares no mutable records with the live run), but
-// a mid-run snapshot reflects in-flight transactions, so oracle verdicts
-// are only meaningful on a quiescent engine.
+// History returns a snapshot of the run's recorded history, or nil when
+// none is available (RecordStats mode, or a full-mode run past its
+// HistoryLimit) — use HistoryErr to distinguish. It is safe to call
+// concurrently with running transactions (the snapshot is taken under
+// the recorder lock and shares no mutable records with the live run),
+// but a mid-run snapshot reflects in-flight transactions, so oracle
+// verdicts are only meaningful on a quiescent engine.
 func (en *Engine) History() *core.History {
+	h, _ := en.HistoryErr()
+	return h
+}
+
+// HistoryErr is History with the failure reason: the error wraps
+// ErrHistoryDisabled under RecordStats and ErrHistoryLimit once a
+// full-mode run overflowed its cap.
+func (en *Engine) HistoryErr() (*core.History, error) {
+	if en.opts.Recording == RecordStats {
+		// Refuse before snapshotting final states: monitoring loops on a
+		// stats-only engine must not contend the object latches.
+		return nil, ErrHistoryDisabled
+	}
 	en.mu.RLock()
 	objs := make(map[string]*Object, len(en.objects))
 	for k, v := range en.objects {
 		objs[k] = v
 	}
 	en.mu.RUnlock()
-	return en.rec.history(objs)
+	finals := make(map[string]core.State, len(objs))
+	for name, o := range objs {
+		finals[name] = o.StateSnapshot()
+	}
+	return en.rec.Snapshot(finals)
 }
 
 // RunMany executes n transactions across p goroutines (round-robin over

@@ -22,6 +22,13 @@ type Exec struct {
 	mu   sync.Mutex
 	undo []undoEntry
 
+	// childN allocates message indices (child k is id.Child(k)); laneN
+	// numbers intra-execution parallel branches. Both used to live in the
+	// recorder behind its mutex; per-execution atomics keep them off the
+	// observer entirely.
+	childN atomic.Int32
+	laneN  atomic.Int32
+
 	// SchedData is scheduler-private per-execution state (e.g. the
 	// certifier's access sets). Only the owning scheduler touches it.
 	SchedData interface{}
@@ -60,6 +67,16 @@ func (e *Exec) Parent() *Exec { return e.parent }
 
 // Top returns the top-level ancestor.
 func (e *Exec) Top() *Exec { return e.top }
+
+// nextChildID allocates the identity of e's next child execution: the
+// message indices of one parent are assigned in send order.
+func (e *Exec) nextChildID() core.ExecID {
+	return e.id.Child(e.childN.Add(1) - 1)
+}
+
+// nextLane numbers the next internal-parallelism branch (lane 0 is the
+// method body itself).
+func (e *Exec) nextLane() int { return int(e.laneN.Add(1)) }
 
 func (e *Exec) pushUndo(o *Object, fn core.UndoFunc) {
 	e.mu.Lock()
@@ -217,7 +234,7 @@ func (c *Ctx) Parallel(bodies ...func(*Ctx) error) error {
 	errs := make([]error, len(bodies))
 	for i, body := range bodies {
 		wg.Add(1)
-		lane := c.e.eng.rec.nextLane(c.e)
+		lane := c.e.nextLane()
 		go func(i int, body func(*Ctx) error, lane int) {
 			defer wg.Done()
 			errs[i] = body(&Ctx{e: c.e, lane: lane})

@@ -77,9 +77,16 @@ func (o *Object) ApplyForLocked(e *Exec, inv core.OpInvocation) (core.StepInfo, 
 		return core.StepInfo{}, fmt.Errorf("engine: %s on %s: %w", inv, o.name, err)
 	}
 	st := core.StepInfo{Op: inv.Op, Args: inv.Args, Ret: ret}
-	seq := o.seq
+	if rerr := o.eng.rec.AddStep(e.id, o.name, st, o.seq); rerr != nil {
+		// The observer refused the step (history limit): roll the state
+		// mutation back under the latch we still hold and fail the step —
+		// an unrecorded effect must never survive into the history.
+		if undo != nil {
+			undo(o.state)
+		}
+		return core.StepInfo{}, historyAbort(e.id, rerr)
+	}
 	o.seq++
-	o.eng.rec.addStep(e, o.name, st, seq)
 	if undo != nil {
 		e.pushUndo(o, undo)
 	}

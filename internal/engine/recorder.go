@@ -1,65 +1,103 @@
 package engine
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"objectbase/internal/core"
 )
 
-// recorder accumulates the history h = (E, <, B, S) of a run. Ticks come
-// from one atomic clock; per-object step sequences are appended in apply
-// order (the caller holds the object latch, so ObjSeq order is the order
-// effects hit the state — a topological sort of < as Definition 6
-// condition 3 requires).
+// recorder is the RecordFull HistoryObserver: it accumulates the history
+// h = (E, <, B, S) of a run. Ticks come from one atomic clock; per-object
+// step sequences are appended in apply order (the caller holds the object
+// latch, so ObjSeq order is the order effects hit the state — a
+// topological sort of < as Definition 6 condition 3 requires).
+//
+// Memory grows with the run: every execution, step, and message is
+// retained until the engine is dropped. A limit > 0 caps the total event
+// count; once it would be exceeded, recording calls fail with
+// ErrHistoryLimit (sticky), and so do snapshots — the history is
+// incomplete from that point on. Long-lived servers that do not need the
+// oracle should run with RecordStats instead.
 type recorder struct {
 	clock atomic.Int64
+	limit int64 // 0 = unlimited
 
 	mu sync.Mutex
 	h  *core.History
-	// lanes numbers intra-execution parallel branches.
-	lanes map[string]int
+	// events counts retained records (execs + steps + messages) against
+	// limit; overflowed is the sticky limit-breached marker.
+	events     int64
+	steps      int64
+	messages   int64
+	aborts     int64
+	overflowed bool
 }
 
-func newRecorder() *recorder {
-	return &recorder{h: core.NewHistory(), lanes: make(map[string]int)}
+func newRecorder(limit int) *recorder {
+	return &recorder{h: core.NewHistory(), limit: int64(limit)}
 }
 
 func (r *recorder) tick() core.Tick { return core.Tick(r.clock.Add(1)) }
 
-func (r *recorder) addObject(name string, sc *core.Schema, initial core.State) {
+// reserveLocked admits n more retained events or reports the (sticky)
+// limit breach. Caller holds r.mu.
+func (r *recorder) reserveLocked(n int64) error {
+	if r.overflowed {
+		return fmt.Errorf("%w (limit %d)", ErrHistoryLimit, r.limit)
+	}
+	if r.limit > 0 && r.events+n > r.limit {
+		r.overflowed = true
+		return fmt.Errorf("%w: %d events recorded, limit %d — raise WithHistoryLimit or record with history off", ErrHistoryLimit, r.events, r.limit)
+	}
+	r.events += n
+	return nil
+}
+
+func (r *recorder) AddObject(name string, sc *core.Schema, initial core.State) {
 	r.mu.Lock()
 	r.h.AddObject(name, sc, initial)
 	r.mu.Unlock()
 }
 
-func (r *recorder) addExec(e *Exec) {
+func (r *recorder) AddExec(id core.ExecID, object, method string) error {
 	r.mu.Lock()
-	r.h.Execs[e.id.Key()] = &core.MethodExec{
-		ID:     e.id,
-		Object: e.object,
-		Method: e.method,
+	defer r.mu.Unlock()
+	if err := r.reserveLocked(1); err != nil {
+		return err
 	}
-	if len(e.id) == 1 {
-		r.h.Roots = append(r.h.Roots, e.id)
+	r.h.Execs[id.Key()] = &core.MethodExec{
+		ID:     id,
+		Object: object,
+		Method: method,
+	}
+	if len(id) == 1 {
+		r.h.Roots = append(r.h.Roots, id)
 	} else {
-		pe := r.h.Execs[e.id.Parent().Key()]
+		pe := r.h.Execs[id.Parent().Key()]
 		if pe != nil {
-			pe.Children = append(pe.Children, e.id)
+			pe.Children = append(pe.Children, id)
 		}
 	}
-	r.mu.Unlock()
+	return nil
 }
 
-// nextMsg allocates the next message index of parent and records the open
-// message step; the child ID is parent.Child(k).
-func (r *recorder) startMessage(parent *Exec, lane int, object, method string, args []core.Value) (*core.MessageStep, core.ExecID) {
+// StartMessage records the open message step that creates child. The
+// engine allocates child indices per parent, so under internal
+// parallelism message k+1 may arrive before message k; the slice is
+// grown with nil placeholders and each message lands at its own index,
+// keeping the Messages[parent][k]-creates-Child(k) invariant for every
+// quiescent history.
+func (r *recorder) StartMessage(parent, child core.ExecID, lane int, object, method string, args []core.Value) (*core.MessageStep, error) {
 	start := r.tick()
 	r.mu.Lock()
-	k := int32(len(r.h.Messages[parent.id.Key()]))
-	child := parent.id.Child(k)
+	defer r.mu.Unlock()
+	if err := r.reserveLocked(1); err != nil {
+		return nil, err
+	}
 	m := &core.MessageStep{
-		Exec:   parent.id,
+		Exec:   parent,
 		Child:  child,
 		Object: object,
 		Method: method,
@@ -67,12 +105,19 @@ func (r *recorder) startMessage(parent *Exec, lane int, object, method string, a
 		Start:  start,
 		Lane:   lane,
 	}
-	r.h.Messages[parent.id.Key()] = append(r.h.Messages[parent.id.Key()], m)
-	r.mu.Unlock()
-	return m, child
+	k := int(child[len(child)-1])
+	key := parent.Key()
+	msgs := r.h.Messages[key]
+	for k >= len(msgs) {
+		msgs = append(msgs, nil)
+	}
+	msgs[k] = m
+	r.h.Messages[key] = msgs
+	r.messages++
+	return m, nil
 }
 
-func (r *recorder) endMessage(m *core.MessageStep, ret core.Value, aborted bool) {
+func (r *recorder) EndMessage(m *core.MessageStep, ret core.Value, aborted bool) {
 	end := r.tick()
 	r.mu.Lock()
 	m.Ret = ret
@@ -81,27 +126,33 @@ func (r *recorder) endMessage(m *core.MessageStep, ret core.Value, aborted bool)
 	r.mu.Unlock()
 }
 
-// addStep records a local step; the caller holds the object's latch, so
+// AddStep records a local step; the caller holds the object's latch, so
 // consecutive calls for one object arrive in apply order.
-func (r *recorder) addStep(e *Exec, object string, info core.StepInfo, objSeq int) {
+func (r *recorder) AddStep(exec core.ExecID, object string, info core.StepInfo, objSeq int) error {
 	at := r.tick()
 	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.reserveLocked(1); err != nil {
+		return err
+	}
 	st := &core.Step{
-		Exec:   e.id,
+		Exec:   exec,
 		Object: object,
 		Info:   info,
 		At:     at,
 		ObjSeq: objSeq,
 	}
 	r.h.Steps[object] = append(r.h.Steps[object], st)
-	r.h.LocalSteps[e.id.Key()] = append(r.h.LocalSteps[e.id.Key()], st)
-	r.mu.Unlock()
+	r.h.LocalSteps[exec.Key()] = append(r.h.LocalSteps[exec.Key()], st)
+	r.steps++
+	return nil
 }
 
-// markAborted marks the execution and all recorded descendants aborted
+// MarkAborted marks the execution and all recorded descendants aborted
 // (abort semantics (b)).
-func (r *recorder) markAborted(id core.ExecID) {
+func (r *recorder) MarkAborted(id core.ExecID) {
 	r.mu.Lock()
+	r.aborts++
 	var mark func(core.ExecID)
 	mark = func(x core.ExecID) {
 		e := r.h.Execs[x.Key()]
@@ -117,31 +168,34 @@ func (r *recorder) markAborted(id core.ExecID) {
 	r.mu.Unlock()
 }
 
-func (r *recorder) nextLane(e *Exec) int {
-	r.mu.Lock()
-	r.lanes[e.id.Key()]++
-	lane := r.lanes[e.id.Key()]
-	r.mu.Unlock()
-	return lane
-}
-
-// history returns a snapshot of the recorded history. The snapshot is
-// safe to read while transactions are still running: every record the
-// recorder keeps mutating after insertion (MethodExec, MessageStep) is
-// copied under the lock, and the container maps and slices are fresh.
-// Step records are immutable once inserted and are shared. Final states
-// are snapshotted from the live objects before the recorder lock is taken
-// (object latches are always acquired before the recorder lock
-// elsewhere). A snapshot taken mid-run is internally consistent but
-// reflects in-flight transactions; oracle verdicts are only meaningful on
-// a quiescent engine.
-func (r *recorder) history(objects map[string]*Object) *core.History {
-	finals := make(map[string]core.State, len(objects))
-	for name, o := range objects {
-		finals[name] = o.StateSnapshot()
-	}
+func (r *recorder) EventStats() ObserverStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return ObserverStats{
+		Execs:    int64(len(r.h.Execs)),
+		Steps:    r.steps,
+		Messages: r.messages,
+		Aborts:   r.aborts,
+	}
+}
+
+// Snapshot returns a copy of the recorded history. The snapshot is safe
+// to read while transactions are still running: every record the
+// recorder keeps mutating after insertion (MethodExec, MessageStep) is
+// copied under the lock, and the container maps and slices are fresh.
+// Step records are immutable once inserted and are shared. The caller
+// snapshots final states from the live objects before the recorder lock
+// is taken (object latches are always acquired before the recorder lock
+// elsewhere). A snapshot taken mid-run is internally consistent but
+// reflects in-flight transactions — message slots whose StartMessage has
+// not landed yet are elided; oracle verdicts are only meaningful on a
+// quiescent engine, where no such gaps exist.
+func (r *recorder) Snapshot(finals map[string]core.State) (*core.History, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.overflowed {
+		return nil, fmt.Errorf("%w: history truncated at %d events", ErrHistoryLimit, r.events)
+	}
 	h := core.NewHistory()
 	for k, e := range r.h.Execs {
 		ce := *e
@@ -159,10 +213,13 @@ func (r *recorder) history(objects map[string]*Object) *core.History {
 		h.Steps[n] = append([]*core.Step(nil), steps...)
 	}
 	for k, msgs := range r.h.Messages {
-		cp := make([]*core.MessageStep, len(msgs))
-		for i, m := range msgs {
+		cp := make([]*core.MessageStep, 0, len(msgs))
+		for _, m := range msgs {
+			if m == nil {
+				continue // in-flight allocation gap (mid-run snapshot only)
+			}
 			cm := *m
-			cp[i] = &cm
+			cp = append(cp, &cm)
 		}
 		h.Messages[k] = cp
 	}
@@ -170,5 +227,5 @@ func (r *recorder) history(objects map[string]*Object) *core.History {
 		h.LocalSteps[k] = append([]*core.Step(nil), steps...)
 	}
 	h.FinalStates = finals
-	return h
+	return h, nil
 }

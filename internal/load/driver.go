@@ -20,11 +20,34 @@ type Options struct {
 	// Verify runs the serialisability oracle (DB.Verify) on the
 	// quiescent DB after the drive and folds the verdict into the
 	// Result. The oracle replays the whole history, so sample it rather
-	// than paying for it on every cell.
+	// than paying for it on every cell. Requires full history recording.
 	Verify bool
+	// History selects the recording mode for the run: HistoryFull keeps
+	// the whole history (required for Verify), HistoryOff swaps in the
+	// stats-only observer — the measurement configuration, since the
+	// recorder is pure overhead on unverified load runs. Empty means
+	// auto: full when Verify is set, off otherwise.
+	History objectbase.HistoryMode
 	// Open passes extra options (retry policy, lock timeout) through to
 	// objectbase.Open.
 	Open []objectbase.Option
+}
+
+// historyMode resolves the run's recording mode and rejects the one
+// combination that cannot work: the oracle needs the history.
+func (o Options) historyMode() (objectbase.HistoryMode, error) {
+	mode := o.History
+	if mode == "" {
+		if o.Verify {
+			mode = objectbase.HistoryFull
+		} else {
+			mode = objectbase.HistoryOff
+		}
+	}
+	if o.Verify && mode == objectbase.HistoryOff {
+		return "", errors.New("load: Verify requires full history recording (History=off)")
+	}
+	return mode, nil
 }
 
 // Run executes one load run: open a DB under the scheduler, set the
@@ -49,9 +72,14 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	if err := k.validate(); err != nil {
 		return nil, err
 	}
+	mode, err := opts.historyMode()
+	if err != nil {
+		return nil, err
+	}
 
 	db, err := objectbase.Open(append([]objectbase.Option{
 		objectbase.WithScheduler(opts.Scheduler),
+		objectbase.WithHistory(mode),
 	}, opts.Open...)...)
 	if err != nil {
 		return nil, fmt.Errorf("load: %w", err)
@@ -127,6 +155,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 
 	merged := mergeRecorders(recs)
 	res := newResult(sc, opts.Scheduler, k, merged, elapsed, db.Stats().Sub(base))
+	res.History = string(mode)
 	if opts.Verify {
 		_, verr := db.Verify()
 		ok := verr == nil

@@ -188,3 +188,50 @@ func TestKnobDefaults(t *testing.T) {
 		t.Fatalf("duration mode should leave Txns at 0: %+v", k)
 	}
 }
+
+// TestRunHistoryModes: the recording mode threads through the driver —
+// auto resolves to off on unverified runs and full on verified ones, an
+// explicit off still measures correctly, and off + Verify is rejected
+// up front rather than failing after the drive.
+func TestRunHistoryModes(t *testing.T) {
+	sc, _ := Get("hotspot-counter")
+	base := Knobs{Clients: 2, Txns: 10, Seed: 3}
+
+	res, err := Run(context.Background(), Options{Scenario: sc, Knobs: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History != string(objectbase.HistoryOff) {
+		t.Fatalf("auto unverified: history = %q, want off", res.History)
+	}
+	if res.Counters.Commits != 20 {
+		t.Fatalf("commits = %d, want 20", res.Counters.Commits)
+	}
+
+	res, err = Run(context.Background(), Options{Scenario: sc, Knobs: base, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History != string(objectbase.HistoryFull) {
+		t.Fatalf("auto verified: history = %q, want full", res.History)
+	}
+	if res.Verified == nil || !*res.Verified {
+		t.Fatalf("verified run not marked verified: %+v", res)
+	}
+
+	res, err = Run(context.Background(), Options{
+		Scenario: sc, Knobs: base, History: objectbase.HistoryOff,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History != "off" || res.Verified != nil {
+		t.Fatalf("explicit off: %+v", res)
+	}
+
+	if _, err := Run(context.Background(), Options{
+		Scenario: sc, Knobs: base, Verify: true, History: objectbase.HistoryOff,
+	}); err == nil {
+		t.Fatal("Verify with history off must be rejected")
+	}
+}

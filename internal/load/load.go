@@ -11,7 +11,8 @@
 //   - a driver (Run): closed-loop or open-loop (target-rate,
 //     token-bucket) clients with per-client seeded RNG for
 //     reproducibility, driven through DB.Exec with context-aware
-//     shutdown;
+//     shutdown; unverified runs default to history-off recording
+//     (Options.History), so the measured hot path carries no recorder;
 //   - metrics: lock-free per-client recorders merged into an HDR-style
 //     log-linear latency histogram (p50/p90/p95/p99/max), throughput,
 //     and abort/retry counters folded in from DB.Stats;

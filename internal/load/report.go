@@ -51,7 +51,8 @@ type Result struct {
 	Theta        float64 `json:"theta"`
 	ReadFraction float64 `json:"read_fraction"`
 	Seed         int64   `json:"seed"`
-	Mode         string  `json:"mode"` // "closed" or "open"
+	Mode         string  `json:"mode"`    // "closed" or "open"
+	History      string  `json:"history"` // recording mode: "full" or "off"
 	TargetRate   float64 `json:"target_rate,omitempty"`
 
 	// Measurements.
@@ -128,14 +129,17 @@ type Report struct {
 func NewReport() *Report { return &Report{Schema: SchemaVersion} }
 
 // Add appends a cell, keeping the matrix sorted (scenario, then
-// scheduler) so reports diff cleanly across runs.
+// scheduler, then history mode) so reports diff cleanly across runs.
 func (rp *Report) Add(r *Result) {
 	rp.Results = append(rp.Results, *r)
 	sort.SliceStable(rp.Results, func(i, j int) bool {
 		if rp.Results[i].Scenario != rp.Results[j].Scenario {
 			return rp.Results[i].Scenario < rp.Results[j].Scenario
 		}
-		return rp.Results[i].Scheduler < rp.Results[j].Scheduler
+		if rp.Results[i].Scheduler != rp.Results[j].Scheduler {
+			return rp.Results[i].Scheduler < rp.Results[j].Scheduler
+		}
+		return rp.Results[i].History < rp.Results[j].History
 	})
 }
 
@@ -161,7 +165,7 @@ func ReadReport(r io.Reader) (*Report, error) {
 // Table writes the human-readable matrix.
 func (rp *Report) Table(w io.Writer) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "SCENARIO\tSCHED\tMODE\tCLIENTS\tOPS\tERR\tTXN/S\tP50\tP95\tP99\tMAX\tRETRIES\tVERIFIED")
+	fmt.Fprintln(tw, "SCENARIO\tSCHED\tMODE\tHIST\tCLIENTS\tOPS\tERR\tTXN/S\tP50\tP95\tP99\tMAX\tRETRIES\tVERIFIED")
 	for i := range rp.Results {
 		r := &rp.Results[i]
 		verified := "-"
@@ -172,8 +176,12 @@ func (rp *Report) Table(w io.Writer) {
 				verified = "FAIL"
 			}
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%.0f\t%s\t%s\t%s\t%s\t%d\t%s\n",
-			r.Scenario, r.Scheduler, r.Mode, r.Clients, r.Ops, r.Errors, r.Throughput,
+		hist := r.History
+		if hist == "" {
+			hist = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\t%d\t%.0f\t%s\t%s\t%s\t%s\t%d\t%s\n",
+			r.Scenario, r.Scheduler, r.Mode, hist, r.Clients, r.Ops, r.Errors, r.Throughput,
 			fdur(r.Latency.P50), fdur(r.Latency.P95), fdur(r.Latency.P99), fdur(r.Latency.Max),
 			r.Counters.Retries, verified)
 	}

@@ -13,8 +13,8 @@ func sampleResult() *Result {
 	return &Result{
 		Scenario: "bank", Scheduler: "n2pl-op",
 		Clients: 4, Txns: 25, Keys: 16, Theta: 0.5, ReadFraction: 0.25, Seed: 42,
-		Mode: "closed",
-		Ops:  100, Errors: 2, ElapsedNS: 1_500_000, Throughput: 65333.3,
+		Mode: "closed", History: "full",
+		Ops: 100, Errors: 2, ElapsedNS: 1_500_000, Throughput: 65333.3,
 		Latency:  Latency{P50: 8000, P90: 20000, P95: 30000, P99: 50000, Max: 60000, Mean: 11000},
 		Counters: Counters{Commits: 98, Aborts: 5, Retries: 3},
 		ByName:   map[string]int64{"transfer": 70, "balance": 28},
@@ -68,8 +68,9 @@ func TestReportStableKeys(t *testing.T) {
 	cell := raw["results"].([]any)[0].(map[string]any)
 	for _, key := range []string{
 		"scenario", "scheduler", "clients", "keys", "theta", "read_fraction",
-		"seed", "mode", "ops", "errors", "elapsed_ns", "throughput_txn_per_sec",
-		"latency_ns", "counters", "verified", "legal", "verdict",
+		"seed", "mode", "history", "ops", "errors", "elapsed_ns",
+		"throughput_txn_per_sec", "latency_ns", "counters", "verified",
+		"legal", "verdict",
 	} {
 		if _, present := cell[key]; !present {
 			t.Errorf("result cell missing key %q", key)

@@ -38,6 +38,24 @@
 // proper ancestors below their least common ancestor (rule 5 moves locks
 // upward one level per commit), and an execution's commit needs its whole
 // subtree to finish. A request that closes a cycle fails with ErrDeadlock.
+//
+// # Striping
+//
+// The lock table is striped: shard names (conflict scopes) hash onto a
+// fixed array of stripes, each with its own mutex and shard map, so
+// requests against different scopes proceed without serialising on one
+// manager-wide lock. Per-execution bookkeeping — the finished set
+// (rule 3) and the owner→shards index that commit/abort consult — is
+// striped the same way, hashed by execution key. Only the waits-for
+// graph cannot be striped: deadlock detection needs a consistent global
+// view, so it lives behind one small dedicated registry lock that is
+// touched exclusively on the blocking paths (register a wait, detect a
+// cycle, cancel); a per-owner "waited" flag lets grants and finishes
+// skip it entirely when the execution never blocked. Lock order is
+// stripe → owner shard → waits registry, and never two locks of the
+// same tier at once. Grants remove the requester's waits-for entry
+// before the lock lands in the shard, so a concurrent detector never
+// sees a granted request as still waiting.
 package lock
 
 import (
@@ -105,17 +123,45 @@ type Options struct {
 	WaitTimeout time.Duration
 }
 
+// numStripes is the size of the stripe array. Shard names hash onto it;
+// it is a power of two so the hash folds with a mask.
+const numStripes = 64
+
 // Manager is the lock manager; one Manager serves one object base.
 type Manager struct {
-	opts       Options
-	mu         sync.Mutex
-	shard      map[string]*shard
-	waitingFor map[string]waitInfo
-	finished   map[string]bool
-	// byOwner indexes the shard names where each execution holds locks, so
-	// commit/abort touch only those shards instead of scanning the table.
-	byOwner map[string]map[string]bool
+	opts    Options
+	stripes [numStripes]stripe
+	owners  [numStripes]ownerShard
+	waits   waitRegistry
 	stats   *Stats
+}
+
+// stripe is one slice of the lock table: the shards whose names hash
+// here, behind their own mutex.
+type stripe struct {
+	mu     sync.Mutex
+	shards map[string]*shard
+}
+
+// ownerShard is one slice of the per-execution bookkeeping, hashed by
+// execution key: the finished markers (rule 3), the owner→shards index
+// that lets commit/abort touch only the shards an execution actually
+// locked, and the waited flags that let the common no-contention paths
+// skip the global waits registry.
+type ownerShard struct {
+	mu       sync.Mutex
+	finished map[string]bool
+	byOwner  map[string]map[string]bool
+	waited   map[string]bool
+}
+
+// waitRegistry is the manager's only global state: the waits-for graph
+// feeding deadlock detection, which needs a consistent view across all
+// stripes. Its mutex is deliberately small-scope — blocking paths only —
+// and is the innermost in the stripe → owner → waits order.
+type waitRegistry struct {
+	mu         sync.Mutex
+	waitingFor map[string]waitInfo
 }
 
 type waitInfo struct {
@@ -150,21 +196,44 @@ func New(opts Options) *Manager {
 	if opts.WaitTimeout <= 0 {
 		opts.WaitTimeout = 10 * time.Second
 	}
-	return &Manager{
-		opts:       opts,
-		shard:      make(map[string]*shard),
-		waitingFor: make(map[string]waitInfo),
-		finished:   make(map[string]bool),
-		byOwner:    make(map[string]map[string]bool),
-		stats:      &Stats{},
+	m := &Manager{opts: opts, stats: &Stats{}}
+	for i := range m.stripes {
+		m.stripes[i].shards = make(map[string]*shard)
+		m.owners[i].finished = make(map[string]bool)
+		m.owners[i].byOwner = make(map[string]map[string]bool)
+		m.owners[i].waited = make(map[string]bool)
 	}
+	m.waits.waitingFor = make(map[string]waitInfo)
+	return m
 }
 
-func (m *Manager) indexOwner(owner core.ExecID, shardName string) {
-	set := m.byOwner[owner.Key()]
+// fnv32 is FNV-1a, the stripe hash.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// stripeFor maps a shard name onto its lock-table stripe.
+func (m *Manager) stripeFor(shardName string) *stripe {
+	return &m.stripes[fnv32(shardName)&(numStripes-1)]
+}
+
+// ownerFor maps an execution key onto its bookkeeping shard.
+func (m *Manager) ownerFor(execKey string) *ownerShard {
+	return &m.owners[fnv32(execKey)&(numStripes-1)]
+}
+
+// indexOwnerLocked records that owner holds a lock in shardName; caller
+// holds the owner shard's mu.
+func (o *ownerShard) indexOwnerLocked(owner core.ExecID, shardName string) {
+	set := o.byOwner[owner.Key()]
 	if set == nil {
 		set = make(map[string]bool)
-		m.byOwner[owner.Key()] = set
+		o.byOwner[owner.Key()] = set
 	}
 	set[shardName] = true
 }
@@ -202,32 +271,61 @@ func (m *Manager) incompatible(h *heldLock, rel core.ConflictRelation, req core.
 // happen under the latch.
 func (m *Manager) TryAcquire(e core.ExecID, object string, rel core.ConflictRelation, req core.StepInfo) (bool, *Waiter, error) {
 	key := shardName(object, rel, req)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.finished[e.Key()] {
+	ek := e.Key()
+	st := m.stripeFor(key)
+	os := m.ownerFor(ek)
+	st.mu.Lock()
+	os.mu.Lock()
+	if os.finished[ek] {
+		os.mu.Unlock()
+		st.mu.Unlock()
 		return false, nil, ErrFinished
 	}
-	sh := m.shard[key]
+	os.mu.Unlock()
+	sh := st.shards[key]
 	if sh == nil {
 		sh = &shard{}
-		m.shard[key] = sh
+		st.shards[key] = sh
 	}
 	blockers := m.blockers(sh, e, rel, req)
 	if len(blockers) == 0 {
+		// Clear any stale waits-for entry and index ownership before the
+		// grant lands in the shard: a concurrent detector (waits lock
+		// only) must never see a granted request as still waiting. The
+		// waited flag makes the registry visit conditional — an execution
+		// that never blocked never touches the global lock here.
+		os.mu.Lock()
+		if os.waited[ek] {
+			delete(os.waited, ek)
+			m.waits.mu.Lock()
+			delete(m.waits.waitingFor, ek)
+			m.waits.mu.Unlock()
+		}
+		os.indexOwnerLocked(e, key)
+		os.mu.Unlock()
 		m.grant(sh, e, rel, req)
-		m.indexOwner(e, key)
-		delete(m.waitingFor, e.Key())
+		st.mu.Unlock()
 		m.stats.Acquires.Add(1)
 		return true, nil, nil
 	}
-	m.waitingFor[e.Key()] = waitInfo{exec: e, owners: blockers}
-	if m.wouldDeadlock(e) {
-		delete(m.waitingFor, e.Key())
+	os.mu.Lock()
+	os.waited[ek] = true
+	os.mu.Unlock()
+	m.waits.mu.Lock()
+	m.waits.waitingFor[ek] = waitInfo{exec: e, owners: blockers}
+	if m.wouldDeadlockLocked(e) {
+		delete(m.waits.waitingFor, ek)
+		m.waits.mu.Unlock()
+		st.mu.Unlock()
 		m.stats.Deadlocks.Add(1)
 		return false, nil, fmt.Errorf("%w: %s requesting %s on %s", ErrDeadlock, e, req.Invocation(), object)
 	}
+	m.waits.mu.Unlock()
+	// The waiter is registered under the stripe lock, so a release on
+	// this shard after the blockers were computed cannot miss it.
 	w := &Waiter{m: m, key: key, exec: e, ch: make(chan struct{}, 1), start: time.Now()}
 	sh.waiters = append(sh.waiters, w)
+	st.mu.Unlock()
 	m.stats.Waits.Add(1)
 	return false, w, nil
 }
@@ -266,8 +364,9 @@ func (w *Waiter) WaitDone(done <-chan struct{}) error {
 
 // Cancel deregisters the waiter.
 func (w *Waiter) Cancel() {
-	w.m.mu.Lock()
-	if sh := w.m.shard[w.key]; sh != nil {
+	st := w.m.stripeFor(w.key)
+	st.mu.Lock()
+	if sh := st.shards[w.key]; sh != nil {
 		for i, x := range sh.waiters {
 			if x == w {
 				sh.waiters = append(sh.waiters[:i], sh.waiters[i+1:]...)
@@ -275,8 +374,10 @@ func (w *Waiter) Cancel() {
 			}
 		}
 	}
-	delete(w.m.waitingFor, w.exec.Key())
-	w.m.mu.Unlock()
+	st.mu.Unlock()
+	w.m.waits.mu.Lock()
+	delete(w.m.waits.waitingFor, w.exec.Key())
+	w.m.waits.mu.Unlock()
 }
 
 // Acquire is the blocking convenience used at OpGranularity (no provisional
@@ -350,10 +451,12 @@ func sameArgs(a, b []core.Value) bool {
 	return true
 }
 
-// wouldDeadlock reports whether e transitively waits for the completion of
-// its own subtree — see the package comment for the wait-graph semantics.
-// Called with m.mu held.
-func (m *Manager) wouldDeadlock(e core.ExecID) bool {
+// wouldDeadlockLocked reports whether e transitively waits for the
+// completion of its own subtree — see the package comment for the
+// wait-graph semantics. Called with waits.mu held: the waits-for graph
+// is global, which is exactly why it lives behind the one registry lock
+// rather than the stripes.
+func (m *Manager) wouldDeadlockLocked(e core.ExecID) bool {
 	neededCommits := func(w core.ExecID, owner core.ExecID) []core.ExecID {
 		var out []core.ExecID
 		lca, ok := core.LCA(w, owner)
@@ -380,7 +483,7 @@ func (m *Manager) wouldDeadlock(e core.ExecID) bool {
 		return false
 	}
 
-	info, ok := m.waitingFor[e.Key()]
+	info, ok := m.waits.waitingFor[e.Key()]
 	if !ok {
 		return false
 	}
@@ -394,7 +497,7 @@ func (m *Manager) wouldDeadlock(e core.ExecID) bool {
 	for len(stack) > 0 {
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, wi := range m.waitingFor {
+		for _, wi := range m.waits.waitingFor {
 			if !x.IsAncestorOf(wi.exec) {
 				continue
 			}
@@ -410,20 +513,43 @@ func (m *Manager) wouldDeadlock(e core.ExecID) bool {
 	return false
 }
 
+// finish marks e finished (rule 3), drops its waits-for entry, and
+// returns the shards it owned, consuming the owner index.
+func (m *Manager) finish(e core.ExecID) map[string]bool {
+	ek := e.Key()
+	os := m.ownerFor(ek)
+	os.mu.Lock()
+	os.finished[ek] = true
+	names := os.byOwner[ek]
+	delete(os.byOwner, ek)
+	waited := os.waited[ek]
+	delete(os.waited, ek)
+	os.mu.Unlock()
+	if waited {
+		m.waits.mu.Lock()
+		delete(m.waits.waitingFor, ek)
+		m.waits.mu.Unlock()
+	}
+	return names
+}
+
 // CommitTransfer implements rule 5 for a committing execution: its locks
 // are inherited by its parent; a committing top-level execution discards
-// them. The execution is marked finished (rule 3).
+// them. The execution is marked finished (rule 3). Only the stripes
+// where e actually held locks are visited; each is transferred
+// independently, so a commit never serialises the whole table.
 func (m *Manager) CommitTransfer(e core.ExecID) {
 	parent := e.Parent()
-	m.mu.Lock()
-	m.finished[e.Key()] = true
-	delete(m.waitingFor, e.Key())
-	for name := range m.byOwner[e.Key()] {
-		sh := m.shard[name]
+	for name := range m.finish(e) {
+		st := m.stripeFor(name)
+		st.mu.Lock()
+		sh := st.shards[name]
 		if sh == nil {
+			st.mu.Unlock()
 			continue
 		}
 		changed := false
+		inherited := false
 		out := sh.held[:0]
 		for _, h := range sh.held {
 			if !h.owner.Equal(e) {
@@ -434,28 +560,33 @@ func (m *Manager) CommitTransfer(e core.ExecID) {
 			if parent != nil {
 				h.owner = parent
 				out = append(out, h)
-				m.indexOwner(parent, name)
+				inherited = true
 				m.stats.Inherits.Add(1)
 			}
 		}
 		sh.held = out
+		if inherited {
+			po := m.ownerFor(parent.Key())
+			po.mu.Lock()
+			po.indexOwnerLocked(parent, name)
+			po.mu.Unlock()
+		}
 		if changed {
 			wakeAll(sh)
 		}
+		st.mu.Unlock()
 	}
-	delete(m.byOwner, e.Key())
-	m.mu.Unlock()
 }
 
 // ReleaseAll discards every lock owned by e (abort path) and marks it
 // finished.
 func (m *Manager) ReleaseAll(e core.ExecID) {
-	m.mu.Lock()
-	m.finished[e.Key()] = true
-	delete(m.waitingFor, e.Key())
-	for name := range m.byOwner[e.Key()] {
-		sh := m.shard[name]
+	for name := range m.finish(e) {
+		st := m.stripeFor(name)
+		st.mu.Lock()
+		sh := st.shards[name]
 		if sh == nil {
+			st.mu.Unlock()
 			continue
 		}
 		changed := false
@@ -471,16 +602,16 @@ func (m *Manager) ReleaseAll(e core.ExecID) {
 		if changed {
 			wakeAll(sh)
 		}
+		st.mu.Unlock()
 	}
-	delete(m.byOwner, e.Key())
-	m.mu.Unlock()
 }
 
 // Forget clears the finished marker (tests).
 func (m *Manager) Forget(e core.ExecID) {
-	m.mu.Lock()
-	delete(m.finished, e.Key())
-	m.mu.Unlock()
+	os := m.ownerFor(e.Key())
+	os.mu.Lock()
+	delete(os.finished, e.Key())
+	os.mu.Unlock()
 }
 
 func wakeAll(sh *shard) {
@@ -492,28 +623,37 @@ func wakeAll(sh *shard) {
 	}
 }
 
-// HeldBy returns the number of locks currently owned by e.
+// HeldBy returns the number of locks currently owned by e. The stripes
+// are visited one at a time, so the count is exact only on a quiescent
+// manager (tests, stats).
 func (m *Manager) HeldBy(e core.ExecID) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	n := 0
-	for _, sh := range m.shard {
-		for _, h := range sh.held {
-			if h.owner.Equal(e) {
-				n += h.count
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.Lock()
+		for _, sh := range st.shards {
+			for _, h := range sh.held {
+				if h.owner.Equal(e) {
+					n += h.count
+				}
 			}
 		}
+		st.mu.Unlock()
 	}
 	return n
 }
 
-// TotalHeld returns the number of held lock entries across all shards.
+// TotalHeld returns the number of held lock entries across all shards,
+// stripe by stripe (exact only on a quiescent manager).
 func (m *Manager) TotalHeld() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	n := 0
-	for _, sh := range m.shard {
-		n += len(sh.held)
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.Lock()
+		for _, sh := range st.shards {
+			n += len(sh.held)
+		}
+		st.mu.Unlock()
 	}
 	return n
 }

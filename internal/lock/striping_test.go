@@ -1,0 +1,198 @@
+package lock
+
+// Concurrency coverage for the striped lock table: many goroutines over
+// overlapping conflict scopes, exercising grants, waits, deadlock
+// detection through the shared waits-for registry, and WaitTimeout
+// expiry. Run under -race (CI does); the assertions also pin down that
+// no lock survives its owner and no goroutine hangs.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"objectbase/internal/core"
+	"objectbase/internal/objects"
+)
+
+// TestStripedCommutingAcquires: 8 goroutines hammer the same hot shard
+// (commuting Adds never block each other), crossing stripe and registry
+// locks on every grant/commit. Every acquire must be granted without a
+// deadlock verdict, and the table must drain.
+func TestStripedCommutingAcquires(t *testing.T) {
+	m := New(Options{})
+	rel := objects.Counter().Conflicts
+	add := core.OpInvocation{Op: "Add", Args: []core.Value{int64(1)}}
+	const goroutines, iters = 8, 200
+
+	var wg sync.WaitGroup
+	var next atomic.Int32
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				e := core.RootID(next.Add(1))
+				if err := m.Acquire(e, "hot", rel, add); err != nil {
+					t.Errorf("commuting acquire failed: %v", err)
+					return
+				}
+				m.CommitTransfer(e)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Stats().Acquires.Load(); got != goroutines*iters {
+		t.Fatalf("Acquires = %d, want %d", got, goroutines*iters)
+	}
+	if m.Stats().Deadlocks.Load() != 0 {
+		t.Fatalf("spurious deadlocks on commuting workload: %d", m.Stats().Deadlocks.Load())
+	}
+	if m.TotalHeld() != 0 {
+		t.Fatalf("TotalHeld = %d after all commits", m.TotalHeld())
+	}
+}
+
+// TestStripedDeadlockStorm: 8 goroutines lock conflicting writes over a
+// ring of overlapping shards (goroutine g wants k_g then k_{g+1}), a
+// deadlock-prone pattern whose cycles span stripes. Victims must get
+// ErrDeadlock (never a hang), release, and retry with a fresh identity;
+// everyone must eventually finish and the table must drain.
+func TestStripedDeadlockStorm(t *testing.T) {
+	m := New(Options{WaitTimeout: 2 * time.Second})
+	rel := objects.Register().Conflicts
+	const goroutines, rounds = 8, 40
+	wr := func(k int) core.OpInvocation {
+		return core.OpInvocation{Op: "Write", Args: []core.Value{fmt.Sprintf("k%d", k), int64(1)}}
+	}
+
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for {
+					e := core.RootID(next.Add(1))
+					err := m.Acquire(e, "A", rel, wr(g))
+					if err == nil {
+						err = m.Acquire(e, "A", rel, wr((g+1)%goroutines))
+					}
+					if err == nil {
+						m.CommitTransfer(e)
+						break
+					}
+					if !errors.Is(err, ErrDeadlock) {
+						t.Errorf("unexpected error: %v", err)
+						return
+					}
+					m.ReleaseAll(e) // victim: drop everything, retry fresh
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("deadlock storm hung: detection failed under striping")
+	}
+	if m.TotalHeld() != 0 {
+		t.Fatalf("TotalHeld = %d after storm", m.TotalHeld())
+	}
+}
+
+// TestStripedWaitTimeoutExpiry: WaitTimeout is the liveness backstop —
+// with a holder that never releases, 8 concurrent conflicting waiters
+// on the same shard must all expire with ErrDeadlock, roughly on time.
+func TestStripedWaitTimeoutExpiry(t *testing.T) {
+	m := New(Options{WaitTimeout: 50 * time.Millisecond})
+	rel := objects.Register().Conflicts
+	wr := core.OpInvocation{Op: "Write", Args: []core.Value{"x", int64(1)}}
+	holder := core.RootID(0)
+	if err := m.Acquire(holder, "A", rel, wr); err != nil {
+		t.Fatal(err)
+	}
+
+	const waiters = 8
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	for g := 0; g < waiters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errs[g] = m.Acquire(core.RootID(int32(g+1)), "A", rel, wr)
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("waiter %d: err = %v, want ErrDeadlock (timeout)", g, err)
+		}
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("timeouts took %v — backstop not honoured", el)
+	}
+	if got := m.Stats().Deadlocks.Load(); got < waiters {
+		t.Fatalf("Deadlocks = %d, want >= %d", got, waiters)
+	}
+	m.ReleaseAll(holder)
+	if m.TotalHeld() != 0 {
+		t.Fatalf("TotalHeld = %d", m.TotalHeld())
+	}
+}
+
+// TestStripedNestedInheritanceConcurrent: rule 5 under concurrency —
+// children of distinct tops lock disjoint-then-shared scopes and commit,
+// inheriting to parents, while siblings contend. Ownership indexing
+// (registry) and held entries (stripes) must stay consistent: after all
+// tops finish, nothing is held.
+func TestStripedNestedInheritanceConcurrent(t *testing.T) {
+	m := New(Options{WaitTimeout: 2 * time.Second})
+	rel := objects.Register().Conflicts
+	const tops, iters = 8, 25
+
+	var wg sync.WaitGroup
+	var seq atomic.Int32
+	for g := 0; g < tops; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for {
+					top := core.RootID(seq.Add(1))
+					child := top.Child(0)
+					inv := core.OpInvocation{Op: "Write", Args: []core.Value{fmt.Sprintf("s%d", i%4), int64(g)}}
+					err := m.Acquire(child, "A", rel, inv)
+					if err == nil {
+						m.CommitTransfer(child) // inherit to top
+						if n := m.HeldBy(top); n < 1 {
+							t.Errorf("parent inherited %d locks, want >= 1", n)
+						}
+						m.CommitTransfer(top)
+						break
+					}
+					if !errors.Is(err, ErrDeadlock) {
+						t.Errorf("unexpected error: %v", err)
+						return
+					}
+					m.ReleaseAll(child)
+					m.ReleaseAll(top)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.TotalHeld() != 0 {
+		t.Fatalf("TotalHeld = %d after all tops committed", m.TotalHeld())
+	}
+	if m.Stats().Inherits.Load() == 0 {
+		t.Fatal("no inheritance recorded")
+	}
+}

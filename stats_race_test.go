@@ -51,7 +51,10 @@ func TestStatsAndHistoryDuringTraffic(t *testing.T) {
 		if st.Commits < 0 {
 			t.Fatal("impossible counter")
 		}
-		h := db.History()
+		h, err := db.History()
+		if err != nil {
+			t.Fatal(err)
+		}
 		_ = h.StepCount()
 		for _, e := range h.AllExecs() {
 			_ = e.Aborted
