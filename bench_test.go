@@ -284,6 +284,38 @@ func BenchmarkLoadScenarios(b *testing.B) {
 	}
 }
 
+// BenchmarkViewFastPath measures the snapshot read-only fast path against
+// the locked read path on the two read-heavy scenarios the MVCC layer
+// targets: identical knobs and op streams, with the reads routed through
+// DB.View (UseView) versus DB.Exec. History is off in both cells — the
+// measurement configuration.
+func BenchmarkViewFastPath(b *testing.B) {
+	for _, name := range []string{"scan-read-mostly", "dict-read-heavy"} {
+		sc, _ := load.Get(name)
+		for _, useView := range []bool{false, true} {
+			mode := "locked"
+			if useView {
+				mode = "view"
+			}
+			b.Run(name+"/"+mode, func(b *testing.B) {
+				throughput := 0.0
+				for i := 0; i < b.N; i++ {
+					res, err := load.Run(context.Background(), load.Options{
+						Scenario: sc,
+						Knobs:    load.Knobs{Clients: 8, Txns: 50, Seed: int64(i), UseView: useView},
+						History:  objectbase.HistoryOff,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					throughput += res.Throughput
+				}
+				b.ReportMetric(throughput/float64(b.N), "txn/s")
+			})
+		}
+	}
+}
+
 // BenchmarkRecorderOverhead measures the history observer's cost on the
 // transaction hot path: the same counter-bump transaction stream under
 // full recording versus the stats-only observer (WithHistory(off)), with

@@ -11,8 +11,8 @@
 //	obsim load [-scenario NAME|all] [-sched NAME|all] [-quick]
 //	           [-clients N] [-txns N] [-duration D] [-rate R]
 //	           [-keys N] [-theta F] [-readfrac F] [-seed N]
-//	           [-verify sample|all|none] [-history auto|full|off|full,off]
-//	           [-out FILE]
+//	           [-view] [-verify sample|all|none]
+//	           [-history auto|full|off|full,off] [-out FILE]
 //	                           # drive the load matrix, print the table,
 //	                           # write the machine-readable BENCH_load.json
 //
@@ -215,6 +215,7 @@ func runLoad(args []string) {
 	theta := fs.Float64("theta", 0, "zipfian skew, 0=scenario default, negative=uniform")
 	readfrac := fs.Float64("readfrac", 0, "read fraction, 0=scenario default, negative=all-write")
 	seed := fs.Int64("seed", 42, "deterministic seed")
+	view := fs.Bool("view", false, "route read-only transactions through the snapshot fast path (DB.View)")
 	quick := fs.Bool("quick", false, "CI-sized runs (small client/txn counts unless set explicitly)")
 	verify := fs.String("verify", "sample", "oracle policy: sample (one run per scheduler), all, none")
 	hist := fs.String("history", "auto",
@@ -296,7 +297,7 @@ func runLoad(args []string) {
 					Knobs: load.Knobs{
 						Clients: *clients, Txns: *txns, Duration: *duration,
 						Rate: *rate, Keys: *keys, Theta: *theta,
-						ReadFraction: *readfrac, Seed: *seed,
+						ReadFraction: *readfrac, Seed: *seed, UseView: *view,
 					},
 					Verify:  doVerify,
 					History: hmode,

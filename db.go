@@ -84,6 +84,7 @@ type config struct {
 	lockTimeout  time.Duration
 	recording    engine.RecordingMode
 	historyLimit int
+	versioning   bool
 }
 
 // Option configures Open.
@@ -162,6 +163,20 @@ func WithHistory(mode HistoryMode) Option {
 	}
 }
 
+// WithReadOnly enables the snapshot read-only fast path: every committing
+// transaction publishes the committed state of the objects it mutated
+// into a small per-object ring of versions (MVCC), and DB.View serves
+// read-only transactions from those versions — no locks, no scheduler,
+// no waiting behind writers. The cost is one state clone per mutated
+// object per commit, so the path is opt-in; View on a DB opened without
+// WithReadOnly fails with ErrViewDisabled.
+func WithReadOnly() Option {
+	return func(c *config) error {
+		c.versioning = true
+		return nil
+	}
+}
+
 // WithHistoryLimit caps a HistoryFull DB at n recorded events (method
 // executions + local steps + messages). History memory otherwise grows
 // for the life of the DB — every event is retained for the oracle — so
@@ -216,6 +231,7 @@ func Open(opts ...Option) (*DB, error) {
 		RetryBackoff: cfg.retryBackoff,
 		Recording:    cfg.recording,
 		HistoryLimit: cfg.historyLimit,
+		Versioning:   cfg.versioning,
 	})
 	return &DB{scheduler: cfg.scheduler, sched: sched, eng: eng}, nil
 }
@@ -282,6 +298,35 @@ func (db *DB) Exec(ctx context.Context, name string, fn MethodFunc, args ...Valu
 	return db.eng.RunCtx(ctx, name, fn, args...)
 }
 
+// ErrViewDisabled is wrapped by DB.View errors on a DB opened without
+// WithReadOnly: no committed versions are published, so there is no
+// consistent snapshot to read.
+var ErrViewDisabled = engine.ErrViewDisabled
+
+// ErrReadOnlyWrite is wrapped by the abort that fails a View transaction
+// whose body issued a mutating step. The classification is the schema's:
+// operations not declared ReadOnly mutate the object.
+var ErrReadOnlyWrite = engine.ErrReadOnlyWrite
+
+// View runs fn as a read-only transaction against a consistent committed
+// snapshot (requires WithReadOnly). The body uses the same Ctx API as
+// Exec — Call, Do, Parallel — but every step is served from the MVCC
+// version ring of its object at one global snapshot: View transactions
+// never enter the lock manager or the scheduler, never block writers, and
+// observe no torn state across objects. A mutating step aborts the
+// transaction with an error wrapping ErrReadOnlyWrite.
+//
+// When a snapshot momentarily cannot be resolved (overlapping writers hold
+// uncommitted effects in every recent version of some object), View
+// refreshes its snapshot and retries, then falls back to the ordinary
+// locked path with read-only enforcement — the semantics are unchanged,
+// only the cost. Stats().ViewFallbacks counts how often that happened.
+// View transactions appear in the history like any other transaction, so
+// Verify covers them.
+func (db *DB) View(ctx context.Context, name string, fn MethodFunc, args ...Value) (Value, error) {
+	return db.eng.RunView(ctx, name, fn, args...)
+}
+
 // Call names one method invocation for Txn.
 type Call struct {
 	Object string
@@ -338,6 +383,11 @@ type Stats struct {
 	// (certifying schedulers: modular).
 	CertValidated int64
 	CertRejected  int64
+	// ViewCommits counts committed snapshot (View) transactions — a
+	// subset of Commits; ViewFallbacks counts View transactions that
+	// could not resolve a snapshot and ran on the locked path instead.
+	ViewCommits   int64
+	ViewFallbacks int64
 }
 
 // Sub returns the counter deltas s - prev: the activity between two
@@ -352,6 +402,8 @@ func (s Stats) Sub(prev Stats) Stats {
 		Deadlocks:     s.Deadlocks - prev.Deadlocks,
 		CertValidated: s.CertValidated - prev.CertValidated,
 		CertRejected:  s.CertRejected - prev.CertRejected,
+		ViewCommits:   s.ViewCommits - prev.ViewCommits,
+		ViewFallbacks: s.ViewFallbacks - prev.ViewFallbacks,
 	}
 }
 
@@ -361,9 +413,11 @@ func (s Stats) Sub(prev Stats) Stats {
 // commit).
 func (db *DB) Stats() Stats {
 	st := Stats{
-		Commits: db.eng.Commits(),
-		Aborts:  db.eng.Aborts(),
-		Retries: db.eng.Retries(),
+		Commits:       db.eng.Commits(),
+		Aborts:        db.eng.Aborts(),
+		Retries:       db.eng.Retries(),
+		ViewCommits:   db.eng.ViewCommits(),
+		ViewFallbacks: db.eng.ViewFallbacks(),
 	}
 	if lm, ok := db.sched.(interface{ Manager() *lock.Manager }); ok {
 		ls := lm.Manager().Stats()

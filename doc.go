@@ -35,6 +35,33 @@
 // or commit boundary and interrupts retry backoff. Schedulers() lists the
 // registered concurrency controls; WithScheduler selects one by name.
 //
+// # Snapshot views
+//
+// Read-only transactions commute with each other by construction, so
+// they need no synchronisation — only a consistent state. A DB opened
+// with WithReadOnly() publishes, at every commit, the committed state of
+// each mutated object into a small per-object ring of immutable versions
+// (MVCC), and View runs a read-only transaction against one global
+// snapshot of those versions without ever entering the lock manager or
+// the scheduler:
+//
+//	db, _ := objectbase.Open(objectbase.WithReadOnly())
+//	...
+//	total, err := db.View(ctx, "audit", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+//		a, _ := ctx.Call("a", "balance")
+//		b, _ := ctx.Call("b", "balance")
+//		return a.(int64) + b.(int64), nil // one snapshot: never torn
+//	})
+//
+// A mutating step inside a view aborts with an error wrapping
+// ErrReadOnlyWrite (the schema's ReadOnly declarations classify the
+// steps); a snapshot that cannot be resolved — overlapping writers left
+// uncommitted effects in every recent version — falls back to the locked
+// read-only path, counted by Stats.ViewFallbacks. View transactions are
+// recorded in the history at their snapshot position, so Verify covers
+// them under every scheduler. Versioning costs one state clone per
+// mutated object per commit, which is why it is opt-in.
+//
 // # History recording
 //
 // By default every execution event is retained so History/Check/Verify

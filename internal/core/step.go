@@ -36,10 +36,45 @@ type Step struct {
 	// method's partial order from Definition 4) only as witnessed by
 	// lanes and ticks; see History.ProgramOrdered.
 	Lane int
+	// Snap marks a read-only step served from a committed snapshot (the
+	// MVCC fast path). Such steps are recorded with ObjSeq equal to the
+	// version's publication watermark — the position *before* the
+	// regular step carrying the same ObjSeq — so replaying the object's
+	// linearisation feeds them exactly the committed prefix they
+	// observed. SnapSeq is the snapshot's global commit sequence number;
+	// it totally orders snapshot reads that share a watermark, keeping
+	// the serialisation graph acyclic even for schemas whose observers
+	// are declared mutually conflicting.
+	Snap    bool
+	SnapSeq uint64
 }
 
 func (s *Step) String() string {
 	return fmt.Sprintf("[%s@%s %s #%d]", s.Exec, s.Object, s.Info, s.ObjSeq)
+}
+
+// StepLess orders an object's recorded steps into the linearisation the
+// analyses consume: primarily by ObjSeq; snapshot reads sort before the
+// regular step sharing their watermark (they observed the state *before*
+// it), ordered among themselves by snapshot sequence, then by top-level
+// transaction (so two snapshot transactions interleave identically on
+// every object), then by tick.
+func StepLess(a, b *Step) bool {
+	if a.ObjSeq != b.ObjSeq {
+		return a.ObjSeq < b.ObjSeq
+	}
+	if a.Snap != b.Snap {
+		return a.Snap
+	}
+	if a.Snap {
+		if a.SnapSeq != b.SnapSeq {
+			return a.SnapSeq < b.SnapSeq
+		}
+		if c := a.Exec.Top().Compare(b.Exec.Top()); c != 0 {
+			return c < 0
+		}
+	}
+	return a.At < b.At
 }
 
 // MessageStep records one message step (m, v): the sending execution, the

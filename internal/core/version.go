@@ -1,0 +1,200 @@
+package core
+
+import "fmt"
+
+// This file is the core of the MVCC read-only fast path: committed object
+// states are published as immutable versions tagged with a global commit
+// sequence number, and read-only transactions evaluate their observer
+// steps against the newest version at or below their snapshot — never
+// touching the lock manager or the scheduler.
+//
+// The theory behind the fast path is the observer-commutes corner of the
+// conflict lattice (Definition 3): an operation whose sigma is the
+// identity commutes with every other such operation, so any number of
+// read-only method executions may run against the same committed state
+// concurrently; the only ordering they need is "after the commits their
+// snapshot includes, before everything later", which the version sequence
+// numbers provide.
+
+// Version is one published snapshot of an object's committed state.
+//
+// A version is published when a top-level transaction that mutated the
+// object commits with no other transaction's uncommitted effects present
+// in the state; Seq is the committing transaction's position in the
+// global commit sequence. When uncommitted alien effects *are* present
+// (commuting writers overlapping under 2PL, or optimistic schedulers
+// admitting dirty state), the committer publishes a Gap instead: a marker
+// that the state as of Seq exists but could not be captured. Readers that
+// land on a gap must refresh their snapshot (or fall back to locking).
+type Version struct {
+	// Seq is the global commit sequence number this version reflects: the
+	// state contains the effects of exactly the commits <= Seq that
+	// touched the object.
+	Seq uint64
+	// ObjSeq is the object's step-linearisation watermark at publication:
+	// the number of local steps applied to the object before this version
+	// was captured. Read-only steps served from the version are recorded
+	// at this position, which is what lets the offline oracle replay them
+	// against the very prefix they observed.
+	ObjSeq int
+	// State is the committed state; immutable once published. Nil for
+	// gaps.
+	State State
+	// Gap marks a commit whose state could not be captured (see above).
+	Gap bool
+}
+
+// versionRingCap bounds the number of retained versions per object. Only
+// readers whose snapshot lags more than versionRingCap commits behind the
+// object's write stream ever miss; they refresh and retry.
+const versionRingCap = 8
+
+// VersionRing is an immutable ring of an object's most recent versions in
+// ascending Seq order. Push returns a new ring, so a publisher can swap
+// the ring with a single atomic pointer store and readers never lock.
+type VersionRing struct {
+	vers []Version
+}
+
+// NewVersionRing returns a ring holding version 0: the object's initial
+// state, the committed state before any transaction ran.
+func NewVersionRing(initial State) *VersionRing {
+	return &VersionRing{vers: []Version{{Seq: 0, ObjSeq: 0, State: initial}}}
+}
+
+// push appends v, evicting the oldest entries beyond the ring capacity.
+func (r *VersionRing) push(v Version) *VersionRing {
+	n := len(r.vers)
+	start := 0
+	if n+1 > versionRingCap {
+		start = n + 1 - versionRingCap
+	}
+	out := make([]Version, 0, n-start+1)
+	out = append(out, r.vers[start:]...)
+	out = append(out, v)
+	return &VersionRing{vers: out}
+}
+
+// Push publishes a captured state as the version at seq.
+func (r *VersionRing) Push(seq uint64, objSeq int, st State) *VersionRing {
+	return r.push(Version{Seq: seq, ObjSeq: objSeq, State: st})
+}
+
+// PushGap publishes a gap marker at seq: the commit happened but its
+// state could not be captured.
+func (r *VersionRing) PushGap(seq uint64) *VersionRing {
+	return r.push(Version{Seq: seq, Gap: true})
+}
+
+// InsertGap records a gap at seq even when newer versions were already
+// published (an out-of-order publisher that lost the race): the marker is
+// inserted at its sorted position so readers between seq and the next
+// version know their snapshot is unavailable rather than silently reading
+// an older state that misses this commit. A seq older than everything
+// retained is dropped — no reader can resolve there anyway.
+func (r *VersionRing) InsertGap(seq uint64) *VersionRing {
+	if seq >= r.Newest().Seq {
+		return r.push(Version{Seq: seq, Gap: true})
+	}
+	if seq <= r.vers[0].Seq {
+		// Older than (or colliding with) everything retained: no reader
+		// can resolve there, so there is nothing to mark.
+		return r
+	}
+	// Insert at the sorted position, scanning from the end (rings are
+	// short).
+	out := make([]Version, len(r.vers)+1)
+	copy(out, r.vers)
+	i := len(out) - 1
+	for i > 0 && out[i-1].Seq > seq {
+		out[i] = out[i-1]
+		i--
+	}
+	out[i] = Version{Seq: seq, Gap: true}
+	if len(out) > versionRingCap {
+		out = append([]Version(nil), out[len(out)-versionRingCap:]...)
+	}
+	return &VersionRing{vers: out}
+}
+
+// Repair replaces the newest entry — a gap whose pending writers have all
+// drained away (the last one aborted) — with a capture of the committed
+// state at the same sequence number, reviving the fast path for readers
+// that would otherwise fall back until the next committed write. No-op
+// when the newest entry is not a gap.
+func (r *VersionRing) Repair(objSeq int, st State) *VersionRing {
+	n := len(r.vers)
+	if !r.vers[n-1].Gap {
+		return r
+	}
+	out := append([]Version(nil), r.vers...)
+	out[n-1] = Version{Seq: out[n-1].Seq, ObjSeq: objSeq, State: st}
+	return &VersionRing{vers: out}
+}
+
+// Lookup returns the newest version with Seq <= seq. ok is false when
+// every retained version is newer than seq (the reader's snapshot has
+// fallen off the ring). A returned gap means the snapshot at seq is
+// unavailable for this object; the caller refreshes and retries.
+func (r *VersionRing) Lookup(seq uint64) (Version, bool) {
+	for i := len(r.vers) - 1; i >= 0; i-- {
+		if r.vers[i].Seq <= seq {
+			return r.vers[i], true
+		}
+	}
+	return Version{}, false
+}
+
+// Newest returns the most recently published version.
+func (r *VersionRing) Newest() Version { return r.vers[len(r.vers)-1] }
+
+// Len returns the number of retained versions.
+func (r *VersionRing) Len() int { return len(r.vers) }
+
+// ReadOnlyOp classifies the named operation for the snapshot fast path:
+// true means the operation is an observer (sigma is the identity) and may
+// be served from a committed version; false means it mutates and must go
+// through a scheduler. The classification is the schema's own ReadOnly
+// declaration — the same bit the lock-based schedulers rely on for
+// shared modes — and VerifyReadOnlySoundness is the executable check that
+// the declaration is honest.
+func (sc *Schema) ReadOnlyOp(name string) (bool, error) {
+	op, err := sc.Op(name)
+	if err != nil {
+		return false, err
+	}
+	return op.ReadOnly, nil
+}
+
+// VerifyReadOnlySoundness checks that an operation declared ReadOnly
+// really is an observer on the given state: applying it must leave the
+// state unchanged, return no undo closure, and — per the conflict table —
+// never conflict with another read-only step (observers commute).
+// Property tests drive it across the object library, the same way
+// VerifyConflictSoundness backs the conflict tables.
+func VerifyReadOnlySoundness(sc *Schema, s State, inv OpInvocation) error {
+	op, err := sc.Op(inv.Op)
+	if err != nil {
+		return err
+	}
+	if !op.ReadOnly {
+		return nil // no obligation
+	}
+	before := sc.Clone(s)
+	work := sc.Clone(s)
+	ret, undo, err := op.Apply(work, inv.Args)
+	if err != nil {
+		return nil // not defined on s: nothing to check
+	}
+	if undo != nil {
+		return fmt.Errorf("core: schema %s: read-only op %s returned an undo closure", sc.Name, inv.Op)
+	}
+	if !sc.EqualStates(before, work) {
+		return fmt.Errorf("core: schema %s: read-only op %s mutated the state: %s -> %s", sc.Name, inv.Op, before, work)
+	}
+	step := StepInfo{Op: inv.Op, Args: inv.Args, Ret: ret}
+	if sc.Conflicts.StepConflicts(step, step) {
+		return fmt.Errorf("core: schema %s: read-only op %s declared conflicting with itself — observers must commute", sc.Name, inv.Op)
+	}
+	return nil
+}

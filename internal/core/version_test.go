@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestVersionRingLookup(t *testing.T) {
+	r := NewVersionRing(State{"n": int64(0)})
+	if v, ok := r.Lookup(0); !ok || v.Seq != 0 || v.Gap {
+		t.Fatalf("Lookup(0) = %+v, %v", v, ok)
+	}
+	if v, ok := r.Lookup(99); !ok || v.Seq != 0 {
+		t.Fatalf("Lookup(99) on fresh ring = %+v, %v", v, ok)
+	}
+	r = r.Push(3, 5, State{"n": int64(5)})
+	r = r.PushGap(4)
+	r = r.Push(7, 9, State{"n": int64(9)})
+	cases := []struct {
+		seq     uint64
+		wantSeq uint64
+		wantGap bool
+	}{
+		{0, 0, false},
+		{2, 0, false},
+		{3, 3, false},
+		{4, 4, true},  // gap: snapshot at 4 unavailable
+		{6, 4, true},  // still behind the gap
+		{7, 7, false}, // clean capture supersedes the gap
+		{100, 7, false},
+	}
+	for _, c := range cases {
+		v, ok := r.Lookup(c.seq)
+		if !ok {
+			t.Fatalf("Lookup(%d): not found", c.seq)
+		}
+		if v.Seq != c.wantSeq || v.Gap != c.wantGap {
+			t.Fatalf("Lookup(%d) = seq %d gap %v, want seq %d gap %v", c.seq, v.Seq, v.Gap, c.wantSeq, c.wantGap)
+		}
+	}
+}
+
+func TestVersionRingEviction(t *testing.T) {
+	r := NewVersionRing(State{})
+	for i := 1; i <= versionRingCap+3; i++ {
+		r = r.Push(uint64(i), i, State{})
+	}
+	if r.Len() != versionRingCap {
+		t.Fatalf("ring length = %d, want %d", r.Len(), versionRingCap)
+	}
+	// The oldest surviving version is cap-1 behind the newest.
+	oldest := uint64(versionRingCap + 3 - versionRingCap + 1)
+	if _, ok := r.Lookup(oldest - 1); ok {
+		t.Fatalf("Lookup(%d) found an evicted version", oldest-1)
+	}
+	if v, ok := r.Lookup(oldest); !ok || v.Seq != oldest {
+		t.Fatalf("Lookup(%d) = %+v, %v", oldest, v, ok)
+	}
+	if v := r.Newest(); v.Seq != uint64(versionRingCap+3) {
+		t.Fatalf("Newest = %+v", v)
+	}
+}
+
+func TestVersionRingImmutable(t *testing.T) {
+	r := NewVersionRing(State{})
+	r2 := r.Push(1, 1, State{})
+	if r.Len() != 1 || r2.Len() != 2 {
+		t.Fatalf("Push mutated the receiver: %d, %d", r.Len(), r2.Len())
+	}
+}
+
+// lyingSchema declares a mutating op ReadOnly, which the soundness check
+// must catch.
+func lyingSchema() *Schema {
+	bump := &Operation{
+		Name:     "Bump",
+		ReadOnly: true, // a lie: sigma is not the identity
+		Apply: func(s State, args []Value) (Value, UndoFunc, error) {
+			n, _ := s["n"].(int64)
+			s["n"] = n + 1
+			return n, nil, nil
+		},
+	}
+	get := &Operation{
+		Name:     "Get",
+		ReadOnly: true,
+		Apply: func(s State, args []Value) (Value, UndoFunc, error) {
+			n, _ := s["n"].(int64)
+			return n, nil, nil
+		},
+	}
+	return NewSchema("lying", func() State { return State{"n": int64(0)} },
+		&TableConflict{Pairs: ConflictPairs()}, bump, get)
+}
+
+func TestReadOnlyOpClassification(t *testing.T) {
+	sc := lyingSchema()
+	if ro, err := sc.ReadOnlyOp("Get"); err != nil || !ro {
+		t.Fatalf("ReadOnlyOp(Get) = %v, %v", ro, err)
+	}
+	if _, err := sc.ReadOnlyOp("Nope"); err == nil {
+		t.Fatal("ReadOnlyOp(Nope): want error")
+	}
+}
+
+func TestVerifyReadOnlySoundness(t *testing.T) {
+	sc := lyingSchema()
+	if err := VerifyReadOnlySoundness(sc, sc.NewState(), OpInvocation{Op: "Get"}); err != nil {
+		t.Fatalf("honest observer flagged: %v", err)
+	}
+	if err := VerifyReadOnlySoundness(sc, sc.NewState(), OpInvocation{Op: "Bump"}); err == nil {
+		t.Fatal("lying ReadOnly op passed the soundness check")
+	}
+	// A ReadOnly op declared self-conflicting violates observer
+	// commutativity.
+	selfish := NewSchema("selfish", func() State { return State{} }, TotalConflict{},
+		&Operation{Name: "Peek", ReadOnly: true, Apply: func(s State, args []Value) (Value, UndoFunc, error) {
+			return nil, nil, nil
+		}})
+	if err := VerifyReadOnlySoundness(selfish, selfish.NewState(), OpInvocation{Op: "Peek"}); err == nil {
+		t.Fatal("self-conflicting observer passed the soundness check")
+	}
+}
+
+func TestStepLessOrdersSnapshotReads(t *testing.T) {
+	w0 := &Step{Exec: ExecID{0}, Object: "o", ObjSeq: 0, At: 1}
+	w1 := &Step{Exec: ExecID{1}, Object: "o", ObjSeq: 1, At: 5}
+	// Two snapshot reads at watermark 1 from different snapshots, plus one
+	// sharing a snapshot with a later tick.
+	rA := &Step{Exec: ExecID{2}, Object: "o", ObjSeq: 1, At: 9, Snap: true, SnapSeq: 1}
+	rB := &Step{Exec: ExecID{3}, Object: "o", ObjSeq: 1, At: 3, Snap: true, SnapSeq: 2}
+	rA2 := &Step{Exec: ExecID{2}, Object: "o", ObjSeq: 1, At: 11, Snap: true, SnapSeq: 1}
+	if !StepLess(w0, rA) || !StepLess(w0, w1) {
+		t.Fatal("position 0 must precede everything at position 1")
+	}
+	if !StepLess(rA, w1) || !StepLess(rB, w1) {
+		t.Fatal("snapshot reads at watermark k must precede the regular step with ObjSeq k")
+	}
+	if !StepLess(rA, rB) || StepLess(rB, rA) {
+		t.Fatal("snapshot reads order by snapshot sequence")
+	}
+	if !StepLess(rA, rA2) {
+		t.Fatal("same snapshot, same txn: ticks break the tie")
+	}
+}
+
+func TestVersionRingInsertGap(t *testing.T) {
+	r := NewVersionRing(State{})
+	r = r.Push(5, 1, State{})
+	r = r.Push(9, 2, State{})
+	// A late out-of-order publisher lands its gap in sorted position.
+	r = r.InsertGap(7)
+	if v, ok := r.Lookup(7); !ok || v.Seq != 7 || !v.Gap {
+		t.Fatalf("Lookup(7) = %+v, %v", v, ok)
+	}
+	if v, ok := r.Lookup(8); !ok || v.Seq != 7 || !v.Gap {
+		t.Fatalf("Lookup(8) = %+v, %v — the gap must shadow version 5", v, ok)
+	}
+	if v, ok := r.Lookup(6); !ok || v.Seq != 5 || v.Gap {
+		t.Fatalf("Lookup(6) = %+v, %v", v, ok)
+	}
+	if v, ok := r.Lookup(9); !ok || v.Seq != 9 || v.Gap {
+		t.Fatalf("Lookup(9) = %+v, %v", v, ok)
+	}
+	// Ascending order must be preserved.
+	for i := 1; i < r.Len(); i++ {
+		if r.vers[i-1].Seq >= r.vers[i].Seq {
+			t.Fatalf("ring out of order: %+v", r.vers)
+		}
+	}
+	// Older than everything retained: dropped.
+	r2 := r.InsertGap(0)
+	if _, ok := r2.Lookup(0); ok && r2.vers[0].Seq == 0 && r2.vers[0].Gap {
+		t.Fatalf("prehistoric gap retained: %+v", r2.vers)
+	}
+}
+
+func TestVersionRingRepair(t *testing.T) {
+	r := NewVersionRing(State{"n": int64(0)})
+	r = r.PushGap(3)
+	r2 := r.Repair(4, State{"n": int64(7)})
+	if v := r2.Newest(); v.Gap || v.Seq != 3 || v.ObjSeq != 4 {
+		t.Fatalf("repaired newest = %+v", v)
+	}
+	if n, _ := r2.Newest().State["n"].(int64); n != 7 {
+		t.Fatalf("repaired state n = %d", n)
+	}
+	// Repair on a non-gap head is a no-op.
+	if r3 := r2.Repair(9, State{}); r3.Newest().ObjSeq != 4 {
+		t.Fatalf("Repair overwrote a capture: %+v", r3.Newest())
+	}
+}

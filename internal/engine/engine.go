@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +44,12 @@ type Options struct {
 	// the process growing without bound. 0 means unlimited. Ignored
 	// under RecordStats.
 	HistoryLimit int
+	// Versioning maintains a ring of committed state versions per object
+	// (published at top-level commit) and enables the snapshot read-only
+	// fast path (RunView). Off by default: version publication costs one
+	// state clone per mutated object per commit, which pure write
+	// workloads should not pay.
+	Versioning bool
 }
 
 // Engine executes nested transactions over an object base under a
@@ -65,10 +70,30 @@ type Engine struct {
 	topN     int32
 	liveTops map[int32]bool
 
+	// Version publication (Options.Versioning). pubMu guards only the
+	// sequence counter and the completion bookkeeping — never the state
+	// captures, which run under their objects' own latches so commits
+	// against disjoint objects publish in parallel. pubSeq is the
+	// *contiguous* fully-published watermark snapshot readers fix their
+	// views at: it advances past a sequence number only once that commit
+	// published on every object it touched (pubDone tracks out-of-order
+	// completions), so a reader never sees a half-published commit.
+	pubMu   sync.Mutex
+	pubNext uint64          // last allocated commit sequence number
+	pubWm   uint64          // contiguous completion watermark
+	pubDone map[uint64]bool // completed seqs above the watermark
+	pubSeq  atomic.Uint64   // pubWm, readable without the mutex
+
+	// rngState seeds the per-engine retry-backoff jitter (splitmix64):
+	// no global rand lock on the hottest retry path.
+	rngState atomic.Uint64
+
 	// stats
-	commits atomic.Int64
-	aborts  atomic.Int64
-	retries atomic.Int64
+	commits       atomic.Int64
+	aborts        atomic.Int64
+	retries       atomic.Int64
+	viewCommits   atomic.Int64
+	viewFallbacks atomic.Int64
 }
 
 // New creates an engine running the given scheduler.
@@ -87,7 +112,7 @@ func New(sched Scheduler, opts Options) *Engine {
 	} else {
 		rec = newRecorder(opts.HistoryLimit)
 	}
-	return &Engine{
+	en := &Engine{
 		opts:     opts,
 		sched:    sched,
 		objects:  make(map[string]*Object),
@@ -95,7 +120,10 @@ func New(sched Scheduler, opts Options) *Engine {
 		rec:      rec,
 		deps:     newDepTracker(opts.TrackDependencies),
 		liveTops: make(map[int32]bool),
+		pubDone:  make(map[uint64]bool),
 	}
+	en.rngState.Store(uint64(time.Now().UnixNano()))
+	return en
 }
 
 // Recording returns the engine's history recording mode.
@@ -163,6 +191,9 @@ func (en *Engine) AddObject(name string, sc *core.Schema, initial core.State) *O
 		initial = sc.NewState()
 	}
 	o := &Object{name: name, schema: sc, eng: en, state: sc.Clone(initial)}
+	if en.opts.Versioning {
+		o.initVersions(initial)
+	}
 	en.mu.Lock()
 	en.objects[name] = o
 	en.mu.Unlock()
@@ -219,19 +250,52 @@ func (en *Engine) Run(name string, fn MethodFunc, args ...core.Value) (core.Valu
 // error unwraps to ctx.Err() so callers can errors.Is against
 // context.Canceled / context.DeadlineExceeded.
 func (en *Engine) RunCtx(ctx context.Context, name string, fn MethodFunc, args ...core.Value) (core.Value, error) {
+	return en.runRetry(ctx, name, fn, args, false)
+}
+
+// jitter draws from the engine's private splitmix64 stream. The retry
+// path is the engine's most contended: the global math/rand source would
+// serialise every backing-off transaction on one lock.
+func (en *Engine) jitter() uint64 {
+	x := en.rngState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// backoffDelay picks the jittered sleep before the next retry. The floor
+// (an eighth of the current backoff, at least a microsecond) prevents the
+// zero-sleep draws that used to turn contended retries into a spin storm.
+func (en *Engine) backoffDelay(backoff time.Duration) time.Duration {
+	floor := backoff / 8
+	if floor < time.Microsecond {
+		floor = time.Microsecond
+	}
+	if floor > backoff {
+		floor = backoff
+	}
+	span := uint64(backoff-floor) + 1
+	return floor + time.Duration(en.jitter()%span)
+}
+
+// runRetry is the retry loop shared by RunCtx and the read-only fallback
+// of RunView; readOnly transactions have Ctx.Do reject mutating steps.
+func (en *Engine) runRetry(ctx context.Context, name string, fn MethodFunc, args []core.Value, readOnly bool) (core.Value, error) {
 	backoff := en.opts.RetryBackoff
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		ret, err := en.runOnce(ctx, name, fn, args)
+		ret, err := en.runOnce(ctx, name, fn, args, readOnly)
 		if err == nil {
 			return ret, nil
 		}
 		if !Retriable(err) || attempt >= en.opts.MaxRetries {
 			return nil, err
 		}
-		t := time.NewTimer(time.Duration(rand.Int63n(int64(backoff) + 1)))
+		t := time.NewTimer(en.backoffDelay(backoff))
 		select {
 		case <-t.C:
 		case <-ctx.Done():
@@ -247,17 +311,18 @@ func (en *Engine) RunCtx(ctx context.Context, name string, fn MethodFunc, args .
 	}
 }
 
-func (en *Engine) runOnce(ctx context.Context, name string, fn MethodFunc, args []core.Value) (core.Value, error) {
+func (en *Engine) runOnce(ctx context.Context, name string, fn MethodFunc, args []core.Value, readOnly bool) (core.Value, error) {
 	id := en.allocTop()
 	defer en.releaseTop(id)
 	e := &Exec{
-		id:     id,
-		object: core.EnvironmentObject,
-		method: name,
-		args:   args,
-		eng:    en,
-		goctx:  ctx,
-		killCh: make(chan struct{}),
+		id:       id,
+		object:   core.EnvironmentObject,
+		method:   name,
+		args:     args,
+		eng:      en,
+		goctx:    ctx,
+		killCh:   make(chan struct{}),
+		readOnly: readOnly,
 	}
 	e.top = e
 	if err := en.rec.AddExec(e.id, e.object, e.method); err != nil {
@@ -296,6 +361,12 @@ func (en *Engine) runOnce(ctx context.Context, name string, fn MethodFunc, args 
 		return nil, err
 	}
 	en.deps.commitTop(e)
+	if en.opts.Versioning {
+		// Publish the committed state of every object this transaction
+		// mutated, under the next global commit sequence number, for the
+		// snapshot read-only fast path.
+		en.publishCommit(e)
+	}
 	en.commits.Add(1)
 	return ret, nil
 }
@@ -303,6 +374,11 @@ func (en *Engine) runOnce(ctx context.Context, name string, fn MethodFunc, args 
 // call implements Ctx.Call: create the child execution, run the method
 // body, commit or abort it.
 func (en *Engine) call(parent *Exec, lane int, object, method string, args []core.Value) (core.Value, error) {
+	if parent.top.snap != nil {
+		// Snapshot transactions never enter the scheduler; their child
+		// method executions run against the same snapshot.
+		return en.viewCall(parent, lane, object, method, args)
+	}
 	fn, err := en.method(object, method)
 	if err != nil {
 		return nil, err

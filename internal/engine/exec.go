@@ -33,6 +33,17 @@ type Exec struct {
 	// certifier's access sets). Only the owning scheduler touches it.
 	SchedData interface{}
 
+	// readOnly marks a transaction tree that must not issue mutating
+	// steps: Ctx.Do classifies every operation against the schema and
+	// aborts with ErrReadOnlyWrite on a mutator. Set on top-level
+	// executions only (descendants reach it through top).
+	readOnly bool
+	// snap, when non-nil, switches the tree to snapshot execution: steps
+	// are served from committed object versions at snap.seq and neither
+	// the scheduler nor the lock manager is ever entered. Implies
+	// readOnly. Set on top-level executions only.
+	snap *viewSnap
+
 	// goctx is the caller's context.Context; set on top-level executions
 	// only (descendants reach it through top).
 	goctx context.Context
@@ -108,8 +119,9 @@ func (e *Exec) runUndo() {
 	entries := e.undo
 	e.undo = nil
 	e.mu.Unlock()
+	topKey := e.top.id.Key()
 	for i := len(entries) - 1; i >= 0; i-- {
-		entries[i].obj.applyUndo(entries[i].fn)
+		entries[i].obj.applyUndo(topKey, entries[i].fn)
 	}
 }
 
@@ -204,6 +216,21 @@ func (c *Ctx) Do(object, op string, args ...core.Value) (core.Value, error) {
 		return nil, fmt.Errorf("engine: unknown object %q", object)
 	}
 	inv := core.OpInvocation{Op: op, Args: args}
+	if top := c.e.top; top.snap != nil {
+		// Snapshot mode: serve the step from a committed version, never
+		// entering the scheduler or the lock manager.
+		return c.e.eng.viewStep(c.e, obj, inv)
+	} else if top.readOnly {
+		// Locked read-only fallback: steps still go through the
+		// scheduler, but mutators are rejected up front.
+		ro, err := obj.schema.ReadOnlyOp(inv.Op)
+		if err != nil {
+			return nil, err
+		}
+		if !ro {
+			return nil, readOnlyAbort(c.e, obj.name, inv)
+		}
+	}
 	ret, err := c.e.eng.sched.Step(c.e, obj, inv)
 	if err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"objectbase/internal/core"
 )
@@ -13,6 +14,12 @@ import (
 // admission logic; the paper's step-granularity protocols require peeking
 // (provisional execution), conflict checking and applying to happen
 // atomically under this latch.
+//
+// When the engine runs with Options.Versioning, the object additionally
+// keeps a ring of committed state versions (see core.VersionRing) that the
+// snapshot read-only fast path serves from, plus the pending-writer
+// bookkeeping that decides whether a committing transaction may capture
+// the state (no uncommitted alien effects) or must publish a gap.
 type Object struct {
 	name   string
 	schema *core.Schema
@@ -21,6 +28,17 @@ type Object struct {
 	mu    sync.Mutex
 	state core.State
 	seq   int // per-object linearisation counter (ObjSeq)
+
+	// pending counts the uncommitted mutating steps currently in the
+	// state, per top-level transaction key. Guarded by mu. Maintained
+	// only under Options.Versioning; publication captures the state only
+	// when the committing transaction is the sole pending writer.
+	pending map[string]int
+
+	// vers is the immutable committed-version ring; publishers swap it,
+	// snapshot readers only load it — the read fast path never takes mu.
+	// Nil unless Options.Versioning.
+	vers atomic.Pointer[core.VersionRing]
 }
 
 // Name returns the object's instance name.
@@ -88,6 +106,9 @@ func (o *Object) ApplyForLocked(e *Exec, inv core.OpInvocation) (core.StepInfo, 
 	}
 	o.seq++
 	if undo != nil {
+		if o.pending != nil {
+			o.pending[e.top.id.Key()]++
+		}
 		e.pushUndo(o, undo)
 	}
 	return st, nil
@@ -110,9 +131,68 @@ func (o *Object) StateSnapshot() core.State {
 	return o.schema.Clone(o.state)
 }
 
-// applyUndoLocked runs an undo closure under the latch (abort path).
-func (o *Object) applyUndo(fn core.UndoFunc) {
+// applyUndo runs an undo closure under the latch (abort path) on behalf
+// of the top-level transaction topKey, and retires the corresponding
+// pending-writer mark. When the last pending writer drains away and the
+// newest published version is a gap (a committer that could not capture
+// because of this very writer), the now-clean committed state is
+// captured in its place — otherwise the object would stay view-dead
+// (every snapshot read falling back to locks) until the next committed
+// write happened to republish it.
+func (o *Object) applyUndo(topKey string, fn core.UndoFunc) {
 	o.mu.Lock()
 	fn(o.state)
+	if o.pending != nil {
+		if n := o.pending[topKey]; n <= 1 {
+			delete(o.pending, topKey)
+			if len(o.pending) == 0 {
+				if ring := o.vers.Load(); ring.Newest().Gap {
+					// The state now holds exactly the commits the gap's
+					// sequence number covers (later committers would have
+					// published above it), so the repair carries that seq.
+					o.vers.Store(ring.Repair(o.seq, o.schema.Clone(o.state)))
+				}
+			}
+		} else {
+			o.pending[topKey] = n - 1
+		}
+	}
 	o.mu.Unlock()
 }
+
+// initVersions installs version 0 (the initial state). Called once at
+// registration when the engine runs with Options.Versioning.
+func (o *Object) initVersions(initial core.State) {
+	o.pending = make(map[string]int)
+	o.vers.Store(core.NewVersionRing(o.schema.Clone(initial)))
+}
+
+// publishVersion publishes the committed state at seq on behalf of the
+// committing top-level transaction topKey, under the object latch only —
+// publication runs outside the engine's global mutex, so concurrent
+// commits against disjoint objects capture in parallel. The transaction's
+// own pending marks are retired first; a capture happens only when the
+// state is provably the committed prefix at seq, i.e. when no other
+// transaction has uncommitted effects in it (pending empty) and no later
+// commit has already published on this object (out-of-order loser). In
+// either losing case a gap lands instead of a wrong snapshot: readers
+// refresh past it or fall back.
+func (o *Object) publishVersion(topKey string, seq uint64) {
+	o.mu.Lock()
+	delete(o.pending, topKey)
+	ring := o.vers.Load()
+	switch {
+	case ring.Newest().Seq > seq:
+		o.vers.Store(ring.InsertGap(seq))
+	case len(o.pending) > 0:
+		o.vers.Store(ring.PushGap(seq))
+	default:
+		o.vers.Store(ring.Push(seq, o.seq, o.schema.Clone(o.state)))
+	}
+	o.mu.Unlock()
+}
+
+// Versions returns the object's committed-version ring, or nil when the
+// engine does not maintain versions. Snapshot readers and tests use it;
+// the returned ring is immutable.
+func (o *Object) Versions() *core.VersionRing { return o.vers.Load() }

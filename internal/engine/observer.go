@@ -67,6 +67,14 @@ type HistoryObserver interface {
 	// AddStep records a local step. The caller holds the object's latch,
 	// so consecutive calls for one object arrive in apply (ObjSeq) order.
 	AddStep(exec core.ExecID, object string, info core.StepInfo, objSeq int) error
+	// AddViewStep records a read-only step served from a committed
+	// snapshot (the MVCC fast path). objSeq is the version's publication
+	// watermark — the position in the object's linearisation *before*
+	// which the step logically occurred — and snapSeq the snapshot's
+	// global commit sequence number. The caller holds no latch; the full
+	// recorder re-sorts per-object steps at snapshot time (see
+	// core.StepLess).
+	AddViewStep(exec core.ExecID, object string, info core.StepInfo, objSeq int, snapSeq uint64) error
 	// MarkAborted marks the execution and all recorded descendants
 	// aborted (abort semantics (b)).
 	MarkAborted(id core.ExecID)
@@ -113,6 +121,11 @@ func (s *statsObserver) StartMessage(_, _ core.ExecID, _ int, _, _ string, _ []c
 func (s *statsObserver) EndMessage(*core.MessageStep, core.Value, bool) {}
 
 func (s *statsObserver) AddStep(core.ExecID, string, core.StepInfo, int) error {
+	s.steps.Add(1)
+	return nil
+}
+
+func (s *statsObserver) AddViewStep(core.ExecID, string, core.StepInfo, int, uint64) error {
 	s.steps.Add(1)
 	return nil
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -129,21 +130,39 @@ func (r *recorder) EndMessage(m *core.MessageStep, ret core.Value, aborted bool)
 // AddStep records a local step; the caller holds the object's latch, so
 // consecutive calls for one object arrive in apply order.
 func (r *recorder) AddStep(exec core.ExecID, object string, info core.StepInfo, objSeq int) error {
-	at := r.tick()
+	return r.addStep(&core.Step{
+		Exec:   exec,
+		Object: object,
+		Info:   info,
+		ObjSeq: objSeq,
+	})
+}
+
+// AddViewStep records a snapshot read: a read-only step positioned at the
+// version's publication watermark in the object's linearisation. View
+// steps arrive without the object latch, so they interleave arbitrarily
+// with regular appends; Snapshot sorts each object's steps (core.StepLess)
+// before handing the history out.
+func (r *recorder) AddViewStep(exec core.ExecID, object string, info core.StepInfo, objSeq int, snapSeq uint64) error {
+	return r.addStep(&core.Step{
+		Exec:    exec,
+		Object:  object,
+		Info:    info,
+		ObjSeq:  objSeq,
+		Snap:    true,
+		SnapSeq: snapSeq,
+	})
+}
+
+func (r *recorder) addStep(st *core.Step) error {
+	st.At = r.tick()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.reserveLocked(1); err != nil {
 		return err
 	}
-	st := &core.Step{
-		Exec:   exec,
-		Object: object,
-		Info:   info,
-		At:     at,
-		ObjSeq: objSeq,
-	}
-	r.h.Steps[object] = append(r.h.Steps[object], st)
-	r.h.LocalSteps[exec.Key()] = append(r.h.LocalSteps[exec.Key()], st)
+	r.h.Steps[st.Object] = append(r.h.Steps[st.Object], st)
+	r.h.LocalSteps[st.Exec.Key()] = append(r.h.LocalSteps[st.Exec.Key()], st)
 	r.steps++
 	return nil
 }
@@ -210,7 +229,13 @@ func (r *recorder) Snapshot(finals map[string]core.State) (*core.History, error)
 		h.InitialStates[n] = st
 	}
 	for n, steps := range r.h.Steps {
-		h.Steps[n] = append([]*core.Step(nil), steps...)
+		cp := append([]*core.Step(nil), steps...)
+		// Slot snapshot reads at their watermark position: regular steps
+		// land in ObjSeq order already, but view steps are appended
+		// without the object latch and carry the (earlier) position of
+		// the version they observed.
+		sort.SliceStable(cp, func(i, j int) bool { return core.StepLess(cp[i], cp[j]) })
+		h.Steps[n] = cp
 	}
 	for k, msgs := range r.h.Messages {
 		cp := make([]*core.MessageStep, 0, len(msgs))

@@ -1,0 +1,291 @@
+package engine
+
+// Engine-level coverage of the MVCC machinery: version publication at
+// commit (clean captures vs gaps), the per-object pending-writer
+// bookkeeping across abort/undo, snapshot step classification, and the
+// retry-backoff jitter bounds (the per-engine source that replaced the
+// global math/rand draw).
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"objectbase/internal/core"
+	"objectbase/internal/objects"
+)
+
+func newVersioningEngine(t *testing.T) *Engine {
+	t.Helper()
+	en := New(None{}, Options{Versioning: true})
+	en.AddObject("c", objects.Counter(), nil)
+	en.Register("c", "bump", func(ctx *Ctx) (core.Value, error) {
+		return ctx.Do("c", "Add", int64(1))
+	})
+	en.Register("c", "get", func(ctx *Ctx) (core.Value, error) {
+		return ctx.Do("c", "Get")
+	})
+	return en
+}
+
+func TestVersionPublishedOnCommit(t *testing.T) {
+	en := newVersioningEngine(t)
+	obj := en.Object("c")
+	if r := obj.Versions(); r == nil || r.Len() != 1 || r.Newest().Seq != 0 {
+		t.Fatalf("initial ring = %+v", r)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := en.Run("bump", func(ctx *Ctx) (core.Value, error) {
+			return ctx.Call("c", "bump")
+		}); err != nil {
+			t.Fatal(err)
+		}
+		v := obj.Versions().Newest()
+		if v.Gap || v.Seq != uint64(i) || v.ObjSeq != i {
+			t.Fatalf("after commit %d: newest = %+v", i, v)
+		}
+		if n, _ := v.State["n"].(int64); n != int64(i) {
+			t.Fatalf("version state n = %d, want %d", n, i)
+		}
+	}
+	// Read-only commits publish nothing.
+	if _, err := en.Run("get", func(ctx *Ctx) (core.Value, error) {
+		return ctx.Call("c", "get")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s := en.pubSeq.Load(); s != 3 {
+		t.Fatalf("pubSeq after read-only commit = %d, want 3", s)
+	}
+}
+
+func TestAbortedWriterPublishesNothing(t *testing.T) {
+	en := newVersioningEngine(t)
+	obj := en.Object("c")
+	wantAbort := errors.New("user abort")
+	if _, err := en.Run("bump-abort", func(ctx *Ctx) (core.Value, error) {
+		if _, err := ctx.Call("c", "bump"); err != nil {
+			return nil, err
+		}
+		return nil, wantAbort
+	}); !errors.Is(err, wantAbort) {
+		t.Fatalf("err = %v", err)
+	}
+	if r := obj.Versions(); r.Len() != 1 || r.Newest().Seq != 0 {
+		t.Fatalf("aborted writer published: %+v", r.Newest())
+	}
+	// The undo retired the pending mark: the next committer captures
+	// cleanly.
+	if _, err := en.Run("bump", func(ctx *Ctx) (core.Value, error) {
+		return ctx.Call("c", "bump")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v := obj.Versions().Newest()
+	if v.Gap || v.Seq != 1 {
+		t.Fatalf("post-abort commit published %+v", v)
+	}
+	if n, _ := v.State["n"].(int64); n != 1 {
+		t.Fatalf("version state n = %d, want 1", n)
+	}
+}
+
+// TestOverlappingWriterForcesGap: a committer whose object still carries
+// another transaction's uncommitted (commuting) effects must publish a
+// gap, never a state that mixes committed and uncommitted writes.
+func TestOverlappingWriterForcesGap(t *testing.T) {
+	en := newVersioningEngine(t)
+	obj := en.Object("c")
+	inTxn := make(chan struct{})
+	hold := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := en.Run("slow", func(ctx *Ctx) (core.Value, error) {
+			if _, err := ctx.Call("c", "bump"); err != nil {
+				return nil, err
+			}
+			close(inTxn)
+			<-hold
+			return nil, nil
+		})
+		done <- err
+	}()
+	<-inTxn
+	if _, err := en.Run("fast", func(ctx *Ctx) (core.Value, error) {
+		return ctx.Call("c", "bump")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v := obj.Versions().Newest()
+	if !v.Gap || v.Seq != 1 {
+		t.Fatalf("overlapped commit published %+v, want gap at seq 1", v)
+	}
+	close(hold)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The slow writer was the last pending owner: its commit captures.
+	v = obj.Versions().Newest()
+	if v.Gap || v.Seq != 2 {
+		t.Fatalf("clean commit published %+v, want capture at seq 2", v)
+	}
+	if n, _ := v.State["n"].(int64); n != 2 {
+		t.Fatalf("version state n = %d, want 2", n)
+	}
+}
+
+func TestRunViewRequiresVersioning(t *testing.T) {
+	en := New(None{}, Options{})
+	if _, err := en.RunView(context.Background(), "v", func(ctx *Ctx) (core.Value, error) { return nil, nil }); !errors.Is(err, ErrViewDisabled) {
+		t.Fatalf("err = %v, want ErrViewDisabled", err)
+	}
+}
+
+// TestBackoffDelayBounds: the jittered retry sleep must never be zero
+// (zero-sleep retry storms) and must stay within [floor, backoff].
+func TestBackoffDelayBounds(t *testing.T) {
+	en := New(None{}, Options{})
+	for _, backoff := range []time.Duration{time.Nanosecond, time.Microsecond, 100 * time.Microsecond, 10 * time.Millisecond} {
+		sawSpread := make(map[time.Duration]bool)
+		for i := 0; i < 2000; i++ {
+			d := en.backoffDelay(backoff)
+			if d <= 0 {
+				t.Fatalf("backoffDelay(%v) = %v, want > 0", backoff, d)
+			}
+			if d > backoff && backoff > time.Microsecond {
+				t.Fatalf("backoffDelay(%v) = %v, want <= backoff", backoff, d)
+			}
+			floor := backoff / 8
+			if floor < time.Microsecond {
+				floor = time.Microsecond
+			}
+			if floor > backoff {
+				floor = backoff
+			}
+			if d < floor {
+				t.Fatalf("backoffDelay(%v) = %v, below floor %v", backoff, d, floor)
+			}
+			sawSpread[d] = true
+		}
+		if backoff >= 100*time.Microsecond && len(sawSpread) < 10 {
+			t.Fatalf("backoffDelay(%v): only %d distinct draws — jitter missing", backoff, len(sawSpread))
+		}
+	}
+}
+
+// TestJitterStreamsDiffer: two engines must not share a jitter stream
+// (the old global source serialised them; per-engine seeds also decouple
+// their sequences).
+func TestJitterStreamsDiffer(t *testing.T) {
+	a, b := New(None{}, Options{}), New(None{}, Options{})
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.jitter() == b.jitter() {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("two engines produced identical jitter streams")
+	}
+}
+
+// TestAbortDrainRepairsGap: when the pending writer that forced a gap
+// aborts away, the object's committed state is captured in the gap's
+// place — views must not stay on the locked fallback until the next
+// committed write.
+func TestAbortDrainRepairsGap(t *testing.T) {
+	en := newVersioningEngine(t)
+	obj := en.Object("c")
+	inTxn := make(chan struct{})
+	hold := make(chan struct{})
+	done := make(chan error, 1)
+	wantAbort := errors.New("user abort")
+	go func() {
+		_, err := en.Run("slow-abort", func(ctx *Ctx) (core.Value, error) {
+			if _, err := ctx.Call("c", "bump"); err != nil {
+				return nil, err
+			}
+			close(inTxn)
+			<-hold
+			return nil, wantAbort
+		})
+		done <- err
+	}()
+	<-inTxn
+	if _, err := en.Run("fast", func(ctx *Ctx) (core.Value, error) {
+		return ctx.Call("c", "bump")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v := obj.Versions().Newest(); !v.Gap || v.Seq != 1 {
+		t.Fatalf("overlapped commit published %+v, want gap at seq 1", v)
+	}
+	close(hold)
+	if err := <-done; !errors.Is(err, wantAbort) {
+		t.Fatalf("slow writer: %v", err)
+	}
+	v := obj.Versions().Newest()
+	if v.Gap || v.Seq != 1 {
+		t.Fatalf("gap not repaired after abort drain: %+v", v)
+	}
+	if n, _ := v.State["n"].(int64); n != 1 {
+		t.Fatalf("repaired state n = %d, want 1 (fast writer only)", n)
+	}
+	// And a view at the repaired snapshot reads it without fallback.
+	got, err := en.RunView(context.Background(), "read", func(ctx *Ctx) (core.Value, error) {
+		return ctx.Call("c", "get")
+	})
+	if err != nil || got.(int64) != 1 {
+		t.Fatalf("view after repair = %v, %v", got, err)
+	}
+	if en.ViewFallbacks() != 0 {
+		t.Fatalf("view fell back despite repair")
+	}
+}
+
+// TestStaleRefreshNotCountedAsAbort: internal snapshot refreshes must
+// not pollute the abort/retry counters view cells are compared on.
+func TestStaleRefreshNotCountedAsAbort(t *testing.T) {
+	en := newVersioningEngine(t)
+	inTxn := make(chan struct{})
+	hold := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := en.Run("slow", func(ctx *Ctx) (core.Value, error) {
+			if _, err := ctx.Call("c", "bump"); err != nil {
+				return nil, err
+			}
+			close(inTxn)
+			<-hold
+			return nil, nil
+		})
+		done <- err
+	}()
+	<-inTxn
+	if _, err := en.Run("fast", func(ctx *Ctx) (core.Value, error) {
+		return ctx.Call("c", "bump")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Gap at the head: the view refreshes, then falls back; the fallback
+	// read (None scheduler) succeeds immediately.
+	if _, err := en.RunView(context.Background(), "read", func(ctx *Ctx) (core.Value, error) {
+		return ctx.Call("c", "get")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if a := en.Aborts(); a != 0 {
+		t.Fatalf("stale refreshes counted as %d aborts", a)
+	}
+	if r := en.Retries(); r != 0 {
+		t.Fatalf("stale refreshes counted as %d retries", r)
+	}
+	if en.ViewFallbacks() != 1 {
+		t.Fatalf("ViewFallbacks = %d, want 1", en.ViewFallbacks())
+	}
+	close(hold)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -77,10 +77,15 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		return nil, err
 	}
 
-	db, err := objectbase.Open(append([]objectbase.Option{
+	openOpts := []objectbase.Option{
 		objectbase.WithScheduler(opts.Scheduler),
 		objectbase.WithHistory(mode),
-	}, opts.Open...)...)
+	}
+	if k.UseView {
+		// The snapshot fast path needs version publication.
+		openOpts = append(openOpts, objectbase.WithReadOnly())
+	}
+	db, err := objectbase.Open(append(openOpts, opts.Open...)...)
 	if err != nil {
 		return nil, fmt.Errorf("load: %w", err)
 	}
@@ -122,7 +127,12 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 				}
 				op := ops(i)
 				t0 := time.Now()
-				_, err := db.Exec(runCtx, op.Name, op.Fn)
+				var err error
+				if k.UseView && op.ReadOnly {
+					_, err = db.View(runCtx, op.Name, op.Fn)
+				} else {
+					_, err = db.Exec(runCtx, op.Name, op.Fn)
+				}
 				if err != nil {
 					if runCtx.Err() != nil {
 						// Shutdown (duration elapsed, sibling failure, or

@@ -235,3 +235,57 @@ func TestRunHistoryModes(t *testing.T) {
 		t.Fatal("Verify with history off must be rejected")
 	}
 }
+
+// TestRunUseViewVerifies drives every scenario with its read-only
+// transactions routed through the snapshot fast path and holds the run to
+// the full oracle: view reads must slot into a serialisable history.
+func TestRunUseViewVerifies(t *testing.T) {
+	for _, name := range Names() {
+		sc, _ := Get(name)
+		res, err := Run(context.Background(), Options{
+			Scenario: sc,
+			Knobs:    Knobs{Clients: 2, Txns: 10, Seed: 3, UseView: true},
+			Verify:   true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Verified == nil || !*res.Verified {
+			t.Fatalf("%s (view): not serialisable: %s", name, res.Verdict)
+		}
+		if !res.View {
+			t.Fatalf("%s: View knob not echoed in the result", name)
+		}
+		reads := int64(0)
+		for _, n := range []string{"balance", "lookup", "read", "scan"} {
+			reads += res.ByName[n]
+		}
+		if reads > 0 && res.Counters.ViewCommits+res.Counters.ViewFallbacks < reads {
+			t.Fatalf("%s: %d read txns but only %d view commits + %d fallbacks",
+				name, reads, res.Counters.ViewCommits, res.Counters.ViewFallbacks)
+		}
+	}
+}
+
+// TestUseViewKeepsOpStreams: routing reads through DB.View must not
+// change the op mix — same knobs and seed produce the same per-name
+// transaction counts with the knob on and off.
+func TestUseViewKeepsOpStreams(t *testing.T) {
+	sc, _ := Get("dict-read-heavy")
+	run := func(useView bool) map[string]int64 {
+		res, err := Run(context.Background(), Options{
+			Scenario: sc,
+			Knobs:    Knobs{Clients: 2, Txns: 20, Seed: 7, UseView: useView},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ByName
+	}
+	with, without := run(true), run(false)
+	for name, n := range without {
+		if with[name] != n {
+			t.Fatalf("op mix changed under UseView: %s %d != %d", name, with[name], n)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package load
 import (
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // A KeyChooser draws keys from [0, N). Implementations hold only
@@ -44,7 +45,29 @@ type zipf struct {
 	half  float64 // 0.5^theta
 }
 
+// zipfCache memoises generators by (n, theta): the zeta normalisation sum
+// is O(n), and the driver builds one chooser per client per run, so
+// without the cache a large-Keys scenario pays Clients × Keys work before
+// the first transaction. A *zipf is immutable after construction (all
+// randomness comes from the caller's source), so one instance is safely
+// shared by every client of every run with the same parameters.
+var zipfCache sync.Map // zipfKey -> *zipf
+
+type zipfKey struct {
+	n     int
+	theta float64
+}
+
 func newZipf(n int, theta float64) *zipf {
+	key := zipfKey{n: n, theta: theta}
+	if z, ok := zipfCache.Load(key); ok {
+		return z.(*zipf)
+	}
+	z, _ := zipfCache.LoadOrStore(key, computeZipf(n, theta))
+	return z.(*zipf)
+}
+
+func computeZipf(n int, theta float64) *zipf {
 	// theta = 1 makes alpha blow up; clamp just below (YCSB does the
 	// same — its "zipfian constant" is 0.99).
 	if theta >= 1 {

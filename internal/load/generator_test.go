@@ -76,3 +76,25 @@ func TestUniformDistribution(t *testing.T) {
 		}
 	}
 }
+
+// TestZipfMemoised: generators are memoised by (n, theta) — the O(n) zeta
+// sum must be paid once, not per client per run — and the memoised
+// instance must keep producing the identical deterministic stream.
+func TestZipfMemoised(t *testing.T) {
+	a := NewKeyChooser(4096, 0.9)
+	b := NewKeyChooser(4096, 0.9)
+	if a.(*zipf) != b.(*zipf) {
+		t.Fatal("same (n, theta) produced distinct zipf instances")
+	}
+	if c := NewKeyChooser(4096, 0.8); c.(*zipf) == a.(*zipf) {
+		t.Fatal("different theta shares an instance")
+	}
+	r1 := rand.New(rand.NewSource(42))
+	r2 := rand.New(rand.NewSource(42))
+	fresh := computeZipf(4096, 0.9)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Next(r1), fresh.Next(r2); got != want {
+			t.Fatalf("draw %d: memoised %d != fresh %d", i, got, want)
+		}
+	}
+}

@@ -70,6 +70,13 @@ type Knobs struct {
 	// Seed derives each client's private RNG; identical knobs and seed
 	// reproduce identical op sequences.
 	Seed int64
+	// UseView routes the read-only transactions of the op stream (those
+	// the scenario marks Op.ReadOnly — its ReadFraction) through the
+	// snapshot fast path DB.View instead of DB.Exec, and opens the DB
+	// with objectbase.WithReadOnly so versions are published. The op
+	// stream itself is unchanged, so determinism per (knobs, seed,
+	// client) is preserved.
+	UseView bool
 }
 
 // global fallbacks applied after the scenario's own defaults.
@@ -139,10 +146,13 @@ func (k Knobs) validate() error {
 }
 
 // Op is one transaction of a scenario's op stream: the name labelling it
-// in the history plus its body.
+// in the history plus its body. ReadOnly marks transactions whose body
+// issues only observer steps; the driver may route them through the
+// snapshot fast path (Knobs.UseView).
 type Op struct {
-	Name string
-	Fn   objectbase.MethodFunc
+	Name     string
+	Fn       objectbase.MethodFunc
+	ReadOnly bool
 }
 
 // OpFunc produces the i-th transaction of one client's op stream. It is

@@ -36,6 +36,8 @@ type Counters struct {
 	Deadlocks     int64 `json:"deadlocks"`
 	CertValidated int64 `json:"cert_validated"`
 	CertRejected  int64 `json:"cert_rejected"`
+	ViewCommits   int64 `json:"view_commits"`
+	ViewFallbacks int64 `json:"view_fallbacks"`
 }
 
 // Result is one scenario × scheduler cell of the matrix.
@@ -53,6 +55,7 @@ type Result struct {
 	Seed         int64   `json:"seed"`
 	Mode         string  `json:"mode"`    // "closed" or "open"
 	History      string  `json:"history"` // recording mode: "full" or "off"
+	View         bool    `json:"view"`    // read-only txns routed through DB.View
 	TargetRate   float64 `json:"target_rate,omitempty"`
 
 	// Measurements.
@@ -89,6 +92,7 @@ func newResult(sc *Scenario, scheduler string, k Knobs, rec *Recorder, elapsed t
 		ReadFraction: k.ReadFraction,
 		Seed:         k.Seed,
 		Mode:         mode,
+		View:         k.UseView,
 		TargetRate:   k.Rate,
 		Ops:          rec.Ops,
 		Errors:       rec.Errors,
@@ -109,6 +113,8 @@ func newResult(sc *Scenario, scheduler string, k Knobs, rec *Recorder, elapsed t
 			Deadlocks:     st.Deadlocks,
 			CertValidated: st.CertValidated,
 			CertRejected:  st.CertRejected,
+			ViewCommits:   st.ViewCommits,
+			ViewFallbacks: st.ViewFallbacks,
 		},
 		ByName: rec.ByName,
 	}
@@ -139,7 +145,10 @@ func (rp *Report) Add(r *Result) {
 		if rp.Results[i].Scheduler != rp.Results[j].Scheduler {
 			return rp.Results[i].Scheduler < rp.Results[j].Scheduler
 		}
-		return rp.Results[i].History < rp.Results[j].History
+		if rp.Results[i].History != rp.Results[j].History {
+			return rp.Results[i].History < rp.Results[j].History
+		}
+		return !rp.Results[i].View && rp.Results[j].View
 	})
 }
 
@@ -165,7 +174,7 @@ func ReadReport(r io.Reader) (*Report, error) {
 // Table writes the human-readable matrix.
 func (rp *Report) Table(w io.Writer) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "SCENARIO\tSCHED\tMODE\tHIST\tCLIENTS\tOPS\tERR\tTXN/S\tP50\tP95\tP99\tMAX\tRETRIES\tVERIFIED")
+	fmt.Fprintln(tw, "SCENARIO\tSCHED\tMODE\tHIST\tVIEW\tCLIENTS\tOPS\tERR\tTXN/S\tP50\tP95\tP99\tMAX\tRETRIES\tVERIFIED")
 	for i := range rp.Results {
 		r := &rp.Results[i]
 		verified := "-"
@@ -180,8 +189,12 @@ func (rp *Report) Table(w io.Writer) {
 		if hist == "" {
 			hist = "-"
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\t%d\t%.0f\t%s\t%s\t%s\t%s\t%d\t%s\n",
-			r.Scenario, r.Scheduler, r.Mode, hist, r.Clients, r.Ops, r.Errors, r.Throughput,
+		view := "-"
+		if r.View {
+			view = "y"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%d\t%d\t%.0f\t%s\t%s\t%s\t%s\t%d\t%s\n",
+			r.Scenario, r.Scheduler, r.Mode, hist, view, r.Clients, r.Ops, r.Errors, r.Throughput,
 			fdur(r.Latency.P50), fdur(r.Latency.P95), fdur(r.Latency.P99), fdur(r.Latency.Max),
 			r.Counters.Retries, verified)
 	}

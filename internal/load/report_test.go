@@ -68,7 +68,7 @@ func TestReportStableKeys(t *testing.T) {
 	cell := raw["results"].([]any)[0].(map[string]any)
 	for _, key := range []string{
 		"scenario", "scheduler", "clients", "keys", "theta", "read_fraction",
-		"seed", "mode", "history", "ops", "errors", "elapsed_ns",
+		"seed", "mode", "history", "view", "ops", "errors", "elapsed_ns",
 		"throughput_txn_per_sec", "latency_ns", "counters", "verified",
 		"legal", "verdict",
 	} {
@@ -83,7 +83,7 @@ func TestReportStableKeys(t *testing.T) {
 		}
 	}
 	ctr := cell["counters"].(map[string]any)
-	for _, key := range []string{"commits", "aborts", "retries", "lock_waits", "deadlocks", "cert_validated", "cert_rejected"} {
+	for _, key := range []string{"commits", "aborts", "retries", "lock_waits", "deadlocks", "cert_validated", "cert_rejected", "view_commits", "view_fallbacks"} {
 		if _, present := ctr[key]; !present {
 			t.Errorf("counters missing key %q", key)
 		}
@@ -116,5 +116,19 @@ func TestTableRendersEveryCell(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("table missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestReportSortedByView: within a (scenario, scheduler, history) group,
+// locked cells sort before their -view counterparts.
+func TestReportSortedByView(t *testing.T) {
+	rp := NewReport()
+	for _, view := range []bool{true, false} {
+		r := sampleResult()
+		r.View = view
+		rp.Add(r)
+	}
+	if rp.Results[0].View || !rp.Results[1].View {
+		t.Fatalf("view sort order: %v, %v", rp.Results[0].View, rp.Results[1].View)
 	}
 }

@@ -54,7 +54,7 @@ func bankScenario() *Scenario {
 			return func(i int) Op {
 				if r.Float64() < k.ReadFraction {
 					a := acctName(pick.Next(r))
-					return Op{Name: "balance", Fn: func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+					return Op{Name: "balance", ReadOnly: true, Fn: func(ctx *objectbase.Ctx) (objectbase.Value, error) {
 						return ctx.Call(a, "balance")
 					}}
 				}
@@ -126,7 +126,7 @@ func dictReadHeavyScenario() *Scenario {
 			return func(i int) Op {
 				key := int64(pick.Next(r))
 				if r.Float64() < k.ReadFraction {
-					return Op{Name: "lookup", Fn: func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+					return Op{Name: "lookup", ReadOnly: true, Fn: func(ctx *objectbase.Ctx) (objectbase.Value, error) {
 						return ctx.Call("dict", "lookup", key)
 					}}
 				}
@@ -192,7 +192,7 @@ func hotspotCounterScenario() *Scenario {
 			return func(i int) Op {
 				c := ctrName(pick.Next(r))
 				if r.Float64() < k.ReadFraction {
-					return Op{Name: "read", Fn: func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+					return Op{Name: "read", ReadOnly: true, Fn: func(ctx *objectbase.Ctx) (objectbase.Value, error) {
 						return ctx.Call(c, "read")
 					}}
 				}
@@ -220,7 +220,7 @@ func scanReadMostlyScenario() *Scenario {
 			return func(i int) Op {
 				start := pick.Next(r)
 				if r.Float64() < k.ReadFraction {
-					return Op{Name: "scan", Fn: func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+					return Op{Name: "scan", ReadOnly: true, Fn: func(ctx *objectbase.Ctx) (objectbase.Value, error) {
 						if _, err := ctx.Call("dict", "len"); err != nil {
 							return nil, err
 						}

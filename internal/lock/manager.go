@@ -207,6 +207,12 @@ func New(opts Options) *Manager {
 	return m
 }
 
+// grantScanHook, when non-nil, runs between the blocker scan and the
+// grant's ownership re-check — the window in which a concurrent finish
+// (commit/abort) can interleave. Tests use it to pin the grant-vs-finish
+// race deterministically; it is nil in production.
+var grantScanHook func()
+
 // fnv32 is FNV-1a, the stripe hash.
 func fnv32(s string) uint32 {
 	h := uint32(2166136261)
@@ -289,12 +295,28 @@ func (m *Manager) TryAcquire(e core.ExecID, object string, rel core.ConflictRela
 	}
 	blockers := m.blockers(sh, e, rel, req)
 	if len(blockers) == 0 {
+		if grantScanHook != nil {
+			grantScanHook()
+		}
 		// Clear any stale waits-for entry and index ownership before the
 		// grant lands in the shard: a concurrent detector (waits lock
 		// only) must never see a granted request as still waiting. The
 		// waited flag makes the registry visit conditional — an execution
 		// that never blocked never touches the global lock here.
 		os.mu.Lock()
+		if os.finished[ek] {
+			// The execution finished (commit/abort — e.g. its WaitTimeout
+			// fired on another lane) between the rule-3 check above and
+			// this grant. Granting now would leak the lock: finish()
+			// already consumed the owner index, so no release would ever
+			// visit this shard. Refuse instead; if finish() runs after
+			// this block, it collects the ownership indexed here and its
+			// sweep (serialised behind the stripe lock we hold) releases
+			// the grant.
+			os.mu.Unlock()
+			st.mu.Unlock()
+			return false, nil, ErrFinished
+		}
 		if os.waited[ek] {
 			delete(os.waited, ek)
 			m.waits.mu.Lock()
@@ -343,6 +365,14 @@ func (w *Waiter) Wait() error { return w.WaitDone(nil) }
 func (w *Waiter) WaitDone(done <-chan struct{}) error {
 	remaining := w.m.opts.WaitTimeout - time.Since(w.start)
 	if remaining <= 0 {
+		// Same rule as the timer branch below: a wake that already
+		// arrived proves the lock situation changed — prefer the retry
+		// over a spurious deadlock verdict.
+		select {
+		case <-w.ch:
+			return nil
+		default:
+		}
 		w.Cancel()
 		w.m.stats.Deadlocks.Add(1)
 		return fmt.Errorf("%w: %s timed out", ErrDeadlock, w.exec)
@@ -356,6 +386,14 @@ func (w *Waiter) WaitDone(done <-chan struct{}) error {
 		w.Cancel()
 		return fmt.Errorf("%w: %s", ErrCancelled, w.exec)
 	case <-t.C:
+		// A wake-up racing the timeout means the lock situation changed
+		// at the deadline: prefer the retry over a spurious deadlock
+		// verdict (the caller's next TryAcquire decides for real).
+		select {
+		case <-w.ch:
+			return nil
+		default:
+		}
 		w.Cancel()
 		w.m.stats.Deadlocks.Add(1)
 		return fmt.Errorf("%w: %s timed out", ErrDeadlock, w.exec)
