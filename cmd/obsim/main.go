@@ -11,16 +11,21 @@
 //	obsim load [-scenario NAME|all] [-sched NAME|all] [-quick]
 //	           [-clients N] [-txns N] [-duration D] [-rate R]
 //	           [-keys N] [-theta F] [-readfrac F] [-seed N]
-//	           [-view] [-verify sample|all|none]
-//	           [-history auto|full|off|full,off] [-out FILE]
+//	           [-view] [-shards N[,M...]] [-verify sample|all|none]
+//	           [-history auto|full|off|full,off] [-out FILE] [-append]
 //	                           # drive the load matrix, print the table,
 //	                           # write the machine-readable BENCH_load.json
+//	obsim compare -base OLD.json -head NEW.json [-threshold 0.30]
+//	                           # diff two load reports; exit 1 when any
+//	                           # matching cell's throughput dropped by
+//	                           # more than the threshold fraction
 //
 // The -sched flags accept any scheduler registered with the objectbase
 // package; -scenario accepts any scenario in the internal/load registry
 // (both list their registries in their usage text). Comma-separated
 // lists and 'all' select multiple cells of the scenario × scheduler
-// matrix.
+// matrix; -shards takes a comma list of shard counts, running every cell
+// once per count.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -57,6 +63,8 @@ func main() {
 		runBank(os.Args[2:])
 	case "load":
 		runLoad(os.Args[2:])
+	case "compare":
+		runCompare(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -64,7 +72,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: obsim {list | exp <ID> | all | bank | load} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: obsim {list | exp <ID> | all | bank | load | compare} [flags]")
 	fmt.Fprintf(os.Stderr, "schedulers: %s\n", strings.Join(objectbase.Schedulers(), ", "))
 	fmt.Fprintf(os.Stderr, "scenarios:  %s\n", strings.Join(load.Names(), ", "))
 }
@@ -216,13 +224,30 @@ func runLoad(args []string) {
 	readfrac := fs.Float64("readfrac", 0, "read fraction, 0=scenario default, negative=all-write")
 	seed := fs.Int64("seed", 42, "deterministic seed")
 	view := fs.Bool("view", false, "route read-only transactions through the snapshot fast path (DB.View)")
+	shardsFlag := fs.String("shards", "1", "shard count, or a comma list (e.g. 1,8 runs every cell at both counts)")
 	quick := fs.Bool("quick", false, "CI-sized runs (small client/txn counts unless set explicitly)")
-	verify := fs.String("verify", "sample", "oracle policy: sample (one run per scheduler), all, none")
+	verify := fs.String("verify", "sample", "oracle policy: sample (one run per scheduler per shard count), all, none")
 	hist := fs.String("history", "auto",
 		"history recording: auto (full on verified cells, off elsewhere), full, off, or a comma list (e.g. full,off runs every cell in both modes)")
 	out := fs.String("out", "BENCH_load.json", "machine-readable report path ('' disables)")
+	appendOut := fs.Bool("append", false, "merge the new cells into an existing -out report instead of replacing it")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
+	}
+	var shardCounts []int
+	for _, s := range strings.Split(*shardsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "obsim load: bad -shards entry %q (want positive integers, e.g. 1,8)\n", s)
+			os.Exit(2)
+		}
+		dup := false
+		for _, seen := range shardCounts {
+			dup = dup || seen == n
+		}
+		if !dup {
+			shardCounts = append(shardCounts, n)
+		}
 	}
 	// A typo here must not silently disable the oracle backstop.
 	if *verify != "sample" && *verify != "all" && *verify != "none" {
@@ -271,55 +296,74 @@ func runLoad(args []string) {
 	schedulers := splitList(*sched, objectbase.Schedulers(), "scheduler")
 
 	report := load.NewReport()
+	if *out != "" {
+		// Fail before the (expensive) matrix, not after it: an unwritable
+		// -out used to surface only once the whole run had completed.
+		if *appendOut {
+			if prev := readReportIfAny(*out); prev != nil {
+				report.Results = prev.Results
+			}
+		}
+		f, err := os.OpenFile(*out, os.O_WRONLY|os.O_CREATE, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obsim load: report path unwritable: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 	report.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	verifyFailed := false
-	sampled := make(map[string]bool) // scheduler -> a verified run exists
+	sampled := make(map[string]bool) // scheduler/shards -> a verified run exists
 	for _, sc := range scenarios {
 		scenario, _ := load.Get(sc)
 		for _, s := range schedulers {
 			for _, mode := range modes {
-				// The oracle wants a full history; -history off cells are
-				// measurement-only. "auto" maps to the driver's empty mode,
-				// whose resolution (full exactly where the verify policy
-				// samples, off elsewhere) lives in load.Options.
-				doVerify := *verify == "all" || (*verify == "sample" && !sampled[s])
-				var hmode objectbase.HistoryMode
-				switch mode {
-				case "full":
-					hmode = objectbase.HistoryFull
-				case "off":
-					hmode = objectbase.HistoryOff
-					doVerify = false
-				}
-				res, err := load.Run(context.Background(), load.Options{
-					Scenario:  scenario,
-					Scheduler: s,
-					Knobs: load.Knobs{
-						Clients: *clients, Txns: *txns, Duration: *duration,
-						Rate: *rate, Keys: *keys, Theta: *theta,
-						ReadFraction: *readfrac, Seed: *seed, UseView: *view,
-					},
-					Verify:  doVerify,
-					History: hmode,
-				})
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "obsim load: %s × %s: %v\n", sc, s, err)
-					os.Exit(1)
-				}
-				if doVerify {
-					sampled[s] = true
-					// Legality is an engine invariant: its violation is fatal
-					// under any scheduler. Beyond that the empty scheduler is
-					// the control: its anomalies are expected, so its verdict
-					// is reported but not fatal.
-					if res.Legal != nil && !*res.Legal {
-						fmt.Fprintf(os.Stderr, "obsim load: %s × %s: history not legal: %s\n", sc, s, res.Verdict)
-						verifyFailed = true
-					} else if res.Verified != nil && !*res.Verified && s != "none" {
-						verifyFailed = true
+				for _, shardN := range shardCounts {
+					// The oracle wants a full history; -history off cells are
+					// measurement-only. "auto" maps to the driver's empty mode,
+					// whose resolution (full exactly where the verify policy
+					// samples, off elsewhere) lives in load.Options.
+					sampleKey := fmt.Sprintf("%s/%d", s, shardN)
+					doVerify := *verify == "all" || (*verify == "sample" && !sampled[sampleKey])
+					var hmode objectbase.HistoryMode
+					switch mode {
+					case "full":
+						hmode = objectbase.HistoryFull
+					case "off":
+						hmode = objectbase.HistoryOff
+						doVerify = false
 					}
+					res, err := load.Run(context.Background(), load.Options{
+						Scenario:  scenario,
+						Scheduler: s,
+						Knobs: load.Knobs{
+							Clients: *clients, Txns: *txns, Duration: *duration,
+							Rate: *rate, Keys: *keys, Theta: *theta,
+							ReadFraction: *readfrac, Seed: *seed, UseView: *view,
+							Shards: shardN,
+						},
+						Verify:  doVerify,
+						History: hmode,
+					})
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "obsim load: %s × %s: %v\n", sc, s, err)
+						os.Exit(1)
+					}
+					if doVerify {
+						sampled[sampleKey] = true
+						// Legality is an engine invariant: its violation is fatal
+						// under any scheduler. Beyond that the empty scheduler is
+						// the control: its anomalies are expected, so its verdict
+						// is reported but not fatal.
+						if res.Legal != nil && !*res.Legal {
+							fmt.Fprintf(os.Stderr, "obsim load: %s × %s: history not legal: %s\n", sc, s, res.Verdict)
+							verifyFailed = true
+						} else if res.Verified != nil && !*res.Verified && s != "none" {
+							verifyFailed = true
+						}
+					}
+					report.Add(res)
 				}
-				report.Add(res)
 			}
 		}
 	}
@@ -328,7 +372,7 @@ func runLoad(args []string) {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "obsim load:", err)
+			fmt.Fprintf(os.Stderr, "obsim load: cannot write report: %v\n", err)
 			os.Exit(1)
 		}
 		if err := report.WriteJSON(f); err != nil {
@@ -346,4 +390,74 @@ func runLoad(args []string) {
 		fmt.Fprintln(os.Stderr, "obsim load: a sampled run failed the serialisability oracle")
 		os.Exit(1)
 	}
+}
+
+// readReportIfAny loads an existing report for -append; a missing file is
+// fine (first run), an unreadable or alien-schema file is fatal — merging
+// into it would corrupt the trajectory.
+func readReportIfAny(path string) *load.Report {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		fmt.Fprintf(os.Stderr, "obsim load: -append: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if st, err := f.Stat(); err == nil && st.Size() == 0 {
+		return nil
+	}
+	rp, err := load.ReadReport(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obsim load: -append: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return rp
+}
+
+// runCompare diffs two load reports and gates on throughput regressions:
+// exit 0 when every matching cell held up, 1 on any regression beyond the
+// threshold, 2 on unusable input (missing file, schema mismatch, no
+// comparable cells).
+func runCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	basePath := fs.String("base", "", "baseline report (e.g. the committed BENCH_load.json)")
+	headPath := fs.String("head", "", "candidate report to gate")
+	threshold := fs.Float64("threshold", 0.30, "allowed throughput drop as a fraction (0.30 = 30%)")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *basePath == "" || *headPath == "" {
+		fmt.Fprintln(os.Stderr, "obsim compare: both -base and -head are required")
+		os.Exit(2)
+	}
+	base := mustReadReport(*basePath)
+	head := mustReadReport(*headPath)
+	cmp, err := load.Compare(base, head, *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsim compare:", err)
+		os.Exit(2)
+	}
+	cmp.Table(os.Stdout)
+	if regs := cmp.Regressions(); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "obsim compare: %d cell(s) regressed by more than %.0f%%\n", len(regs), *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Printf("compare: %d cell(s) within %.0f%% of %s\n", len(cmp.Cells), *threshold*100, *basePath)
+}
+
+func mustReadReport(path string) *load.Report {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsim compare:", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	rp, err := load.ReadReport(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obsim compare: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return rp
 }

@@ -12,6 +12,7 @@ import (
 	"objectbase/internal/engine"
 	"objectbase/internal/graph"
 	"objectbase/internal/lock"
+	"objectbase/internal/shard"
 )
 
 // The façade re-exports the model's vocabulary so client code needs no
@@ -85,6 +86,7 @@ type config struct {
 	recording    engine.RecordingMode
 	historyLimit int
 	versioning   bool
+	shards       int
 }
 
 // Option configures Open.
@@ -177,6 +179,31 @@ func WithReadOnly() Option {
 	}
 }
 
+// WithShards partitions the object space across n independent engine
+// instances, each with its own scheduler, lock manager, and version
+// rings. Objects are placed by a deterministic directory (a hash of the
+// object name); transactions that stay within one shard run at native
+// engine speed, and transactions spanning shards commit atomically under
+// a shard-ordered two-phase protocol that keeps the whole space
+// serialisable and deadlock-free across engines (see the README's
+// Sharding section). History, Check and Verify stitch the per-shard
+// histories into one, so the oracle certifies a sharded run exactly like
+// a single-engine one. n <= 1 means no sharding (the default).
+//
+// Declaring a transaction's object set up front (Txn does it
+// automatically; ExecTouching takes it explicitly) lets a cross-shard
+// transaction acquire its shards in directory order from the start
+// instead of discovering them optimistically.
+func WithShards(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("objectbase: WithShards: non-positive shard count %d", n)
+		}
+		c.shards = n
+		return nil
+	}
+}
+
 // WithHistoryLimit caps a HistoryFull DB at n recorded events (method
 // executions + local steps + messages). History memory otherwise grows
 // for the life of the DB — every event is retained for the oracle — so
@@ -205,8 +232,9 @@ func WithHistoryLimit(n int) Option {
 // flight).
 type DB struct {
 	scheduler string
-	sched     engine.Scheduler
-	eng       *engine.Engine
+	eng       *engine.Engine   // engines[0]
+	engines   []*engine.Engine // one per shard; length 1 unsharded
+	space     *shard.Space     // nil unless WithShards(n > 1)
 
 	// regMu serialises registration: the duplicate-object check and the
 	// engine insertion must be atomic against concurrent registrations.
@@ -222,22 +250,47 @@ func Open(opts ...Option) (*DB, error) {
 			return nil, err
 		}
 	}
-	sched, err := cc.NewByName(cfg.scheduler, cc.Config{LockTimeout: cfg.lockTimeout})
-	if err != nil {
-		return nil, fmt.Errorf("objectbase: %w", err)
-	}
-	eng := cc.NewEngine(sched, engine.Options{
+	engOpts := engine.Options{
 		MaxRetries:   cfg.maxRetries,
 		RetryBackoff: cfg.retryBackoff,
 		Recording:    cfg.recording,
 		HistoryLimit: cfg.historyLimit,
 		Versioning:   cfg.versioning,
-	})
-	return &DB{scheduler: cfg.scheduler, sched: sched, eng: eng}, nil
+	}
+	if cfg.shards > 1 {
+		engines, err := cc.NewShardedEngines(cfg.scheduler, cfg.shards, cc.Config{LockTimeout: cfg.lockTimeout}, engOpts)
+		if err != nil {
+			return nil, fmt.Errorf("objectbase: %w", err)
+		}
+		return &DB{
+			scheduler: cfg.scheduler,
+			eng:       engines[0],
+			engines:   engines,
+			space:     shard.NewSpace(engines),
+		}, nil
+	}
+	sched, err := cc.NewByName(cfg.scheduler, cc.Config{LockTimeout: cfg.lockTimeout})
+	if err != nil {
+		return nil, fmt.Errorf("objectbase: %w", err)
+	}
+	eng := cc.NewEngine(sched, engOpts)
+	return &DB{scheduler: cfg.scheduler, eng: eng, engines: []*engine.Engine{eng}}, nil
 }
 
 // Scheduler returns the registered name of the DB's scheduler.
 func (db *DB) Scheduler() string { return db.scheduler }
+
+// Shards returns the number of shards the object space is partitioned
+// into (1 when unsharded).
+func (db *DB) Shards() int { return len(db.engines) }
+
+// object looks an object up in its home engine.
+func (db *DB) object(name string) *engine.Object {
+	if db.space != nil {
+		return db.space.Object(name)
+	}
+	return db.eng.Object(name)
+}
 
 // HistoryRecording returns the DB's history mode ("full" or "off").
 func (db *DB) HistoryRecording() HistoryMode {
@@ -259,10 +312,10 @@ func (db *DB) RegisterObject(name string, schema *Schema, initial State) error {
 	}
 	db.regMu.Lock()
 	defer db.regMu.Unlock()
-	if db.eng.Object(name) != nil {
+	if db.object(name) != nil {
 		return fmt.Errorf("objectbase: object %q already registered", name)
 	}
-	db.eng.AddObject(name, schema, initial)
+	db.registrar().AddObject(name, schema, initial)
 	return nil
 }
 
@@ -272,7 +325,7 @@ func (db *DB) RegisterObject(name string, schema *Schema, initial State) error {
 func (db *DB) RegisterMethod(object, method string, fn MethodFunc) error {
 	db.regMu.Lock()
 	defer db.regMu.Unlock()
-	if db.eng.Object(object) == nil {
+	if db.object(object) == nil {
 		return fmt.Errorf("objectbase: RegisterMethod %s.%s: unknown object %q", object, method, object)
 	}
 	if method == "" {
@@ -281,7 +334,7 @@ func (db *DB) RegisterMethod(object, method string, fn MethodFunc) error {
 	if fn == nil {
 		return fmt.Errorf("objectbase: RegisterMethod %s.%s: nil body", object, method)
 	}
-	db.eng.Register(object, method, fn)
+	db.registrar().Register(object, method, fn)
 	return nil
 }
 
@@ -295,6 +348,23 @@ func (db *DB) RegisterMethod(object, method string, fn MethodFunc) error {
 // boundary, retry backoff sleeps are interrupted, and the returned error
 // unwraps to ctx.Err().
 func (db *DB) Exec(ctx context.Context, name string, fn MethodFunc, args ...Value) (Value, error) {
+	if db.space != nil {
+		return db.space.Exec(ctx, name, fn, nil, args...)
+	}
+	return db.eng.RunCtx(ctx, name, fn, args...)
+}
+
+// ExecTouching is Exec with the transaction's object access set declared
+// up front. On an unsharded DB the declaration is ignored; on a sharded
+// one it lets a transaction whose objects span shards acquire its shards
+// in directory order from the start, instead of paying one optimistic
+// discovery abort to learn the set. The declaration is a hint: touching
+// an undeclared object is still correct (the protocol falls back to
+// discovery), it just costs the restart the hint would have avoided.
+func (db *DB) ExecTouching(ctx context.Context, name string, touches []string, fn MethodFunc, args ...Value) (Value, error) {
+	if db.space != nil {
+		return db.space.Exec(ctx, name, fn, touches, args...)
+	}
 	return db.eng.RunCtx(ctx, name, fn, args...)
 }
 
@@ -324,6 +394,12 @@ var ErrReadOnlyWrite = engine.ErrReadOnlyWrite
 // View transactions appear in the history like any other transaction, so
 // Verify covers them.
 func (db *DB) View(ctx context.Context, name string, fn MethodFunc, args ...Value) (Value, error) {
+	if db.space != nil {
+		// Publication sequences are per shard: the view pins the shard of
+		// its first touched object; views spanning shards fall back to
+		// the locked read-only path.
+		return db.space.View(ctx, name, fn, args...)
+	}
 	return db.eng.RunView(ctx, name, fn, args...)
 }
 
@@ -342,7 +418,13 @@ func (db *DB) Txn(ctx context.Context, name string, calls ...Call) ([]Value, err
 	if len(calls) == 0 {
 		return nil, errors.New("objectbase: Txn: no calls")
 	}
-	ret, err := db.Exec(ctx, name, func(c *Ctx) (Value, error) {
+	// The declarative form knows its object set: declare it so a sharded
+	// DB can order its shard acquisition up front.
+	touches := make([]string, 0, len(calls))
+	for _, call := range calls {
+		touches = append(touches, call.Object)
+	}
+	ret, err := db.ExecTouching(ctx, name, touches, func(c *Ctx) (Value, error) {
 		results := make([]Value, len(calls))
 		for i, call := range calls {
 			v, err := c.Call(call.Object, call.Method, call.Args...)
@@ -407,28 +489,56 @@ func (s Stats) Sub(prev Stats) Stats {
 	}
 }
 
-// Stats returns a snapshot of the DB's execution counters. It is safe to
-// call while transactions are running; the counters are read atomically
-// (field by field, so a mid-run snapshot may straddle a transaction's
-// commit).
+// Stats returns a snapshot of the DB's execution counters, summed across
+// shards on a sharded DB (every transaction is charged to exactly one
+// shard, so the sums count each once). It is safe to call while
+// transactions are running; the counters are read atomically (field by
+// field, so a mid-run snapshot may straddle a transaction's commit).
 func (db *DB) Stats() Stats {
-	st := Stats{
-		Commits:       db.eng.Commits(),
-		Aborts:        db.eng.Aborts(),
-		Retries:       db.eng.Retries(),
-		ViewCommits:   db.eng.ViewCommits(),
-		ViewFallbacks: db.eng.ViewFallbacks(),
+	var st Stats
+	for _, en := range db.engines {
+		st.Commits += en.Commits()
+		st.Aborts += en.Aborts()
+		st.Retries += en.Retries()
+		st.ViewCommits += en.ViewCommits()
+		st.ViewFallbacks += en.ViewFallbacks()
 	}
-	if lm, ok := db.sched.(interface{ Manager() *lock.Manager }); ok {
-		ls := lm.Manager().Stats()
-		st.LockWaits = ls.Waits.Load()
-		st.Deadlocks = ls.Deadlocks.Load()
-	}
-	if m, ok := db.sched.(*cc.Modular); ok {
-		cs := m.Stats()
-		st.CertValidated, st.CertRejected = cs.Validated, cs.Rejected
+	// Scheduler-side counters come from the distinct scheduler instances:
+	// per-shard schedulers contribute each, a space-shared one (the
+	// certifier) exactly once.
+	for _, sched := range db.distinctSchedulers() {
+		if lm, ok := sched.(interface{ Manager() *lock.Manager }); ok {
+			ls := lm.Manager().Stats()
+			st.LockWaits += ls.Waits.Load()
+			st.Deadlocks += ls.Deadlocks.Load()
+		}
+		if m, ok := sched.(*cc.Modular); ok {
+			cs := m.Stats()
+			st.CertValidated += cs.Validated
+			st.CertRejected += cs.Rejected
+		}
 	}
 	return st
+}
+
+// distinctSchedulers returns the DB's scheduler instances, deduplicated
+// (a space-shared scheduler serves every shard).
+func (db *DB) distinctSchedulers() []engine.Scheduler {
+	out := make([]engine.Scheduler, 0, len(db.engines))
+	for _, en := range db.engines {
+		sched := en.Scheduler()
+		dup := false
+		for _, have := range out {
+			if have == sched {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, sched)
+		}
+	}
+	return out
 }
 
 // History returns a snapshot of the run's recorded history h = (E, <, B,
@@ -439,11 +549,20 @@ func (db *DB) Stats() Stats {
 // HistoryOff DB and ErrHistoryLimit once a WithHistoryLimit cap was
 // exceeded.
 func (db *DB) History() (*History, error) {
-	h, err := db.eng.HistoryErr()
+	h, err := db.historyErr()
 	if err != nil {
 		return nil, fmt.Errorf("objectbase: %w", err)
 	}
 	return h, nil
+}
+
+// historyErr returns the run's history: the engine's recording, or the
+// per-shard recordings stitched into one on a sharded DB.
+func (db *DB) historyErr() (*History, error) {
+	if db.space != nil {
+		return db.space.History()
+	}
+	return db.eng.HistoryErr()
 }
 
 // Check runs the serialisability oracle on the recorded history and
@@ -451,7 +570,7 @@ func (db *DB) History() (*History, error) {
 // replay). The DB must be quiescent and recording (HistoryFull); the
 // error wraps ErrHistoryDisabled or ErrHistoryLimit otherwise.
 func (db *DB) Check() (Verdict, error) {
-	h, err := db.eng.HistoryErr()
+	h, err := db.historyErr()
 	if err != nil {
 		return Verdict{}, fmt.Errorf("objectbase: %w", err)
 	}
@@ -481,7 +600,7 @@ var (
 // or ErrHistoryDisabled/ErrHistoryLimit when no complete history exists.
 // The DB must be quiescent.
 func (db *DB) Verify() (Verdict, error) {
-	h, err := db.eng.HistoryErr()
+	h, err := db.historyErr()
 	if err != nil {
 		return Verdict{}, fmt.Errorf("objectbase: %w", err)
 	}
@@ -498,8 +617,23 @@ func (db *DB) Verify() (Verdict, error) {
 	return v, nil
 }
 
-// Engine exposes the underlying runtime engine. It is an escape hatch for
-// this module's own tooling (cmd/obsim, the experiment drivers in
-// internal/bench and internal/workload); the returned type lives under
-// internal/ and cannot be named outside the module.
+// Engine exposes the underlying runtime engine — shard 0's on a sharded
+// DB. It is an escape hatch for this module's own tooling (cmd/obsim,
+// the experiment drivers in internal/bench and internal/workload); the
+// returned type lives under internal/ and cannot be named outside the
+// module. Tooling that registers objects should use Registrar instead,
+// which routes to the right shard.
 func (db *DB) Engine() *engine.Engine { return db.eng }
+
+// Registrar exposes the object/method registration surface backed by the
+// DB's engine — or, on a sharded DB, by the space's directory routing.
+// Like Engine, it is an escape hatch for this module's own tooling; the
+// public API is RegisterObject/RegisterMethod.
+func (db *DB) Registrar() engine.Registrar { return db.registrar() }
+
+func (db *DB) registrar() engine.Registrar {
+	if db.space != nil {
+		return db.space
+	}
+	return db.eng
+}

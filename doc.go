@@ -62,6 +62,45 @@
 // them under every scheduler. Versioning costs one state clone per
 // mutated object per commit, which is why it is opt-in.
 //
+// # Sharding
+//
+// Open(WithShards(n)) partitions the object space across n independent
+// engine instances — per-shard schedulers, lock managers, and version
+// rings — with objects placed by a deterministic directory (a hash of
+// the object name). Each shard carries a reader/writer gate, and a
+// transaction runs in one of two modes. A transaction whose object set
+// is declared up front (Txn derives it from its call list, ExecTouching
+// takes it explicitly) write-gates its shards in directory order and
+// runs on the serial commit fast path: exclusively gated, it is
+// temporally alone on its shards, so it skips the scheduler and the
+// lock manager entirely and applies its steps directly — undo-logged,
+// recorded, and version-published as usual — which makes declared
+// transactions the fastest way through a sharded DB by a wide margin
+// (see the README's measured cost model). An undeclared transaction
+// runs under its home shard's scheduler, concurrent with the shard's
+// other scheduled transactions; if it touches a second shard it
+// restarts once with the learned set write-gated around the per-shard
+// schedulers and a shard-ordered two-phase commit. In both modes the
+// gate discipline makes cross-engine waits-for cycles impossible (see
+// the README's Sharding section for the argument), and a wrong or
+// missing declaration degrades to a bounded restart, never to a wrong
+// result. The API is unchanged: Exec routes calls through the
+// directory, History/Check/Verify stitch the per-shard recordings into
+// one history the oracle certifies as usual, Stats sums the shards, and
+// View pins the shard of the first object it reads (falling back to the
+// locked read-only path when a view spans shards).
+//
+// Declaring the object set:
+//
+//	_, err = db.ExecTouching(ctx, "transfer", []string{"a", "b"},
+//		func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+//			if _, err := ctx.Call("a", "withdraw", amt); err != nil { return nil, err }
+//			return ctx.Call("b", "deposit", amt)
+//		})
+//
+// The declaration is a hint: touching an undeclared object degrades to
+// discovery, never to a wrong result.
+//
 // # History recording
 //
 // By default every execution event is retained so History/Check/Verify

@@ -18,3 +18,49 @@ func NewEngine(sched engine.Scheduler, opts engine.Options) *engine.Engine {
 	}
 	return engine.New(sched, opts)
 }
+
+// SpaceSharer is implemented by schedulers that must run as a single
+// instance across every shard of a sharded object space. Concretely the
+// optimistic certifier: per-shard certifiers each see only their shard's
+// conflict edges, and a cross-shard serialisation cycle (T1→T2 through an
+// object in shard A, T2→T1 through shard B) closes in neither — one
+// space-wide certifier sees, and rejects, the union. It doubles as the
+// two-phase commit's prepare step: being a single instance, its one
+// Commit call validates the transaction for every shard before any
+// per-shard lock release runs. Lock- and timestamp-based schedulers stay
+// per-shard: strict 2PL held to the cross-shard commit is globally
+// two-phase, and timestamps are space-wide ExecIDs, so per-shard issue
+// tables enforce one global timestamp order.
+type SpaceSharer interface {
+	SharedAcrossShards() bool
+}
+
+// NewShardedEngines builds n engines for a sharded object space running
+// the named scheduler: one engine per shard, all plugged into one
+// engine.Shared (space-wide transaction identities, history clock, and
+// recoverability tracker), with a fresh scheduler instance per shard —
+// or one shared instance when the scheduler declares it must span the
+// space (SpaceSharer).
+func NewShardedEngines(name string, n int, cfg Config, opts engine.Options) ([]*engine.Engine, error) {
+	if n < 1 {
+		n = 1
+	}
+	opts.Shared = engine.NewShared()
+	engines := make([]*engine.Engine, n)
+	var shared engine.Scheduler
+	for i := range engines {
+		sched := shared
+		if sched == nil {
+			var err error
+			sched, err = NewByName(name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if ss, ok := sched.(SpaceSharer); ok && ss.SharedAcrossShards() {
+				shared = sched
+			}
+		}
+		engines[i] = NewEngine(sched, opts)
+	}
+	return engines, nil
+}

@@ -239,3 +239,9 @@ func (s *Modular) dropLocked(n int32) {
 // RequiresDependencyTracking: yes — optimistic execution observes
 // uncommitted effects.
 func (s *Modular) RequiresDependencyTracking() bool { return true }
+
+// SharedAcrossShards: yes — certification must see every shard's conflict
+// edges, or a cross-shard cycle whose halves live in different shards
+// would certify on both sides. The single instance also makes its Commit
+// the atomic prepare decision of the cross-shard two-phase commit.
+func (s *Modular) SharedAcrossShards() bool { return true }

@@ -50,6 +50,13 @@ type Options struct {
 	// state clone per mutated object per commit, which pure write
 	// workloads should not pay.
 	Versioning bool
+	// Shared, when non-nil, plugs the engine into a sharded object
+	// space: transaction identities, the history tick clock, and the
+	// recoverability tracker come from the space-wide instances so that
+	// cross-shard transactions keep one identity, one timestamp order,
+	// and one commit barrier across every engine they touch. Nil gives
+	// the engine private instances with identical behaviour.
+	Shared *Shared
 }
 
 // Engine executes nested transactions over an object base under a
@@ -65,10 +72,7 @@ type Engine struct {
 
 	rec  HistoryObserver
 	deps *depTracker
-
-	liveMu   sync.Mutex
-	topN     int32
-	liveTops map[int32]bool
+	tops *TopAllocator
 
 	// Version publication (Options.Versioning). pubMu guards only the
 	// sequence counter and the completion bookkeeping — never the state
@@ -106,21 +110,29 @@ func New(sched Scheduler, opts Options) *Engine {
 	if opts.RetryBackoff <= 0 {
 		opts.RetryBackoff = 100 * time.Microsecond
 	}
+	var clock *atomic.Int64
+	tops := NewTopAllocator()
+	deps := newDepTracker(opts.TrackDependencies)
+	if opts.Shared != nil {
+		clock = &opts.Shared.clock
+		tops = opts.Shared.tops
+		deps = opts.Shared.depsFor(opts.TrackDependencies)
+	}
 	var rec HistoryObserver
 	if opts.Recording == RecordStats {
 		rec = newStatsObserver()
 	} else {
-		rec = newRecorder(opts.HistoryLimit)
+		rec = newRecorder(opts.HistoryLimit, clock)
 	}
 	en := &Engine{
-		opts:     opts,
-		sched:    sched,
-		objects:  make(map[string]*Object),
-		methods:  make(map[string]map[string]MethodFunc),
-		rec:      rec,
-		deps:     newDepTracker(opts.TrackDependencies),
-		liveTops: make(map[int32]bool),
-		pubDone:  make(map[uint64]bool),
+		opts:    opts,
+		sched:   sched,
+		objects: make(map[string]*Object),
+		methods: make(map[string]map[string]MethodFunc),
+		rec:     rec,
+		deps:    deps,
+		tops:    tops,
+		pubDone: make(map[uint64]bool),
 	}
 	en.rngState.Store(uint64(time.Now().UnixNano()))
 	return en
@@ -139,50 +151,36 @@ func historyAbort(id core.ExecID, err error) error {
 	return &AbortError{Exec: id, Reason: "history limit", Retriable: false, Err: err}
 }
 
-// allocTop atomically assigns the next top-level transaction identity and
-// registers it live; timestamp-based schedulers rely on the atomicity for
-// their garbage-collection low-water mark.
-func (en *Engine) allocTop() core.ExecID {
-	en.liveMu.Lock()
-	id := core.RootID(en.topN)
-	en.topN++
-	en.liveTops[id[0]] = true
-	en.liveMu.Unlock()
-	return id
-}
+// allocTop assigns the next top-level transaction identity and registers
+// it live. Under Options.Shared the allocator is the space-wide one, so
+// identities — and hence hierarchical timestamps — stay globally unique
+// and monotone across shards.
+func (en *Engine) allocTop() core.ExecID { return en.tops.Alloc() }
 
-func (en *Engine) releaseTop(id core.ExecID) {
-	en.liveMu.Lock()
-	delete(en.liveTops, id[0])
-	en.liveMu.Unlock()
-}
+func (en *Engine) releaseTop(id core.ExecID) { en.tops.Release(id) }
 
 // TopCount returns the number of top-level transaction identities assigned
-// so far.
-func (en *Engine) TopCount() int32 {
-	en.liveMu.Lock()
-	defer en.liveMu.Unlock()
-	return en.topN
-}
+// so far (space-wide under Options.Shared).
+func (en *Engine) TopCount() int32 { return en.tops.Count() }
 
-// MinLiveTop returns the smallest top-level transaction number still in
-// flight, or the next number to be assigned when none is. Every
-// transaction with a smaller number has finished — the paper's low-water
-// condition for discarding timestamp information (Section 5.2).
-func (en *Engine) MinLiveTop() int32 {
-	en.liveMu.Lock()
-	defer en.liveMu.Unlock()
-	low := en.topN
-	for n := range en.liveTops {
-		if n < low {
-			low = n
-		}
-	}
-	return low
-}
+// MinLiveTop returns a conservative lower bound on the smallest top-level
+// transaction number still in flight, or the next number to be assigned
+// when none is. Every transaction with a smaller number has finished —
+// the paper's low-water condition for discarding timestamp information
+// (Section 5.2). Under Options.Shared the bound is global across shards.
+func (en *Engine) MinLiveTop() int32 { return en.tops.MinLive() }
 
 // Scheduler returns the engine's scheduler.
 func (en *Engine) Scheduler() Scheduler { return en.sched }
+
+// Registrar is the object/method registration surface: an Engine, or a
+// sharded space (internal/shard.Space) routing each registration to the
+// object's home engine. Workload setup code programs against it so the
+// same scenario populates either.
+type Registrar interface {
+	AddObject(name string, sc *core.Schema, initial core.State) *Object
+	Register(object, method string, fn MethodFunc)
+}
 
 // AddObject creates an object instance. The initial state defaults to the
 // schema's NewState when nil.
@@ -335,7 +333,7 @@ func (en *Engine) runOnce(ctx context.Context, name string, fn MethodFunc, args 
 		en.abortExec(e, err)
 		return nil, err
 	}
-	ret, err := fn(&Ctx{e: e})
+	ret, err := fn(e.ctx())
 	if err == nil && e.Killed() {
 		err = &AbortError{Exec: id, Reason: "cascade", Retriable: true, Err: ErrKilled}
 	}
@@ -374,6 +372,14 @@ func (en *Engine) runOnce(ctx context.Context, name string, fn MethodFunc, args 
 // call implements Ctx.Call: create the child execution, run the method
 // body, commit or abort it.
 func (en *Engine) call(parent *Exec, lane int, object, method string, args []core.Value) (core.Value, error) {
+	if cs := parent.top.cross; cs != nil {
+		// Sharded space: route the message to the target object's home
+		// engine (snapshot views pin their single shard).
+		if cs.view {
+			return crossViewCall(parent, lane, object, method, args)
+		}
+		return crossCall(parent, lane, object, method, args)
+	}
 	if parent.top.snap != nil {
 		// Snapshot transactions never enter the scheduler; their child
 		// method executions run against the same snapshot.
@@ -411,7 +417,7 @@ func (en *Engine) call(parent *Exec, lane int, object, method string, args []cor
 		en.rec.EndMessage(msg, nil, true)
 		return nil, err
 	}
-	ret, err := fn(&Ctx{e: child, lane: 0})
+	ret, err := fn(child.ctx())
 	if err == nil {
 		err = en.sched.Commit(child)
 	}

@@ -21,6 +21,15 @@ type Exec struct {
 
 	mu   sync.Mutex
 	undo []undoEntry
+	// undoInline backs the first undo entries without a heap allocation
+	// (most transactions mutate a handful of objects); pushUndo and
+	// adoptUndo fall back to growing normally past its capacity.
+	undoInline [3]undoEntry
+
+	// selfCtx is the lane-0 Ctx handed to this execution's method body:
+	// one per execution, so running a body does not allocate a Ctx
+	// (Ctx.Parallel still mints per-lane ones).
+	selfCtx Ctx
 
 	// childN allocates message indices (child k is id.Child(k)); laneN
 	// numbers intra-execution parallel branches. Both used to live in the
@@ -43,6 +52,16 @@ type Exec struct {
 	// the scheduler nor the lock manager is ever entered. Implies
 	// readOnly. Set on top-level executions only.
 	snap *viewSnap
+	// cross, when non-nil, marks a transaction running against a sharded
+	// object space: Do and Call route through the space's directory and
+	// the cross-shard protocol (see shard_run.go). Set on top-level
+	// executions only (descendants reach it through top).
+	cross *crossState
+	// recIn is the first engine recorder holding this execution's record
+	// (sharded runs only): the lock-free fast path of crossState.record.
+	// Executions replicated into further engines are tracked by the
+	// crossState map.
+	recIn atomic.Pointer[Engine]
 
 	// goctx is the caller's context.Context; set on top-level executions
 	// only (descendants reach it through top).
@@ -89,8 +108,18 @@ func (e *Exec) nextChildID() core.ExecID {
 // method body itself).
 func (e *Exec) nextLane() int { return int(e.laneN.Add(1)) }
 
+// ctx returns the execution's lane-0 Ctx. Call once, before the body
+// runs (never concurrently with it).
+func (e *Exec) ctx() *Ctx {
+	e.selfCtx = Ctx{e: e}
+	return &e.selfCtx
+}
+
 func (e *Exec) pushUndo(o *Object, fn core.UndoFunc) {
 	e.mu.Lock()
+	if e.undo == nil {
+		e.undo = e.undoInline[:0]
+	}
 	e.undo = append(e.undo, undoEntry{obj: o, fn: fn})
 	e.mu.Unlock()
 }
@@ -108,6 +137,9 @@ func (e *Exec) adoptUndo(child *Exec) {
 		return
 	}
 	e.mu.Lock()
+	if e.undo == nil {
+		e.undo = e.undoInline[:0]
+	}
 	e.undo = append(e.undo, entries...)
 	e.mu.Unlock()
 }
@@ -211,11 +243,16 @@ func (c *Ctx) Do(object, op string, args ...core.Value) (core.Value, error) {
 	if err := c.checkAlive(); err != nil {
 		return nil, err
 	}
+	inv := core.OpInvocation{Op: op, Args: args}
+	if c.e.top.cross != nil {
+		// Sharded space: the object's home engine (and scheduler) is the
+		// directory's business, not this engine's.
+		return crossDo(c.e, object, inv)
+	}
 	obj := c.e.eng.Object(object)
 	if obj == nil {
 		return nil, fmt.Errorf("engine: unknown object %q", object)
 	}
-	inv := core.OpInvocation{Op: op, Args: args}
 	if top := c.e.top; top.snap != nil {
 		// Snapshot mode: serve the step from a committed version, never
 		// entering the scheduler or the lock manager.

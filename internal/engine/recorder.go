@@ -22,7 +22,10 @@ import (
 // incomplete from that point on. Long-lived servers that do not need the
 // oracle should run with RecordStats instead.
 type recorder struct {
-	clock atomic.Int64
+	// clock is the tick source: private by default, the space-wide shared
+	// clock under a sharded engine (Options.Shared), so stitched
+	// histories carry one consistent < relation across shards.
+	clock *atomic.Int64
 	limit int64 // 0 = unlimited
 
 	mu sync.Mutex
@@ -36,8 +39,11 @@ type recorder struct {
 	overflowed bool
 }
 
-func newRecorder(limit int) *recorder {
-	return &recorder{h: core.NewHistory(), limit: int64(limit)}
+func newRecorder(limit int, clock *atomic.Int64) *recorder {
+	if clock == nil {
+		clock = new(atomic.Int64)
+	}
+	return &recorder{h: core.NewHistory(), limit: int64(limit), clock: clock}
 }
 
 func (r *recorder) tick() core.Tick { return core.Tick(r.clock.Add(1)) }

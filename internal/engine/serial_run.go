@@ -1,0 +1,342 @@
+// The serial commit fast path of a sharded object space.
+//
+// A transaction whose object set is declared up front (DB.Txn,
+// DB.ExecTouching, load-scenario op streams) write-gates the shards the
+// set resolves to — in directory order, so gate acquisition cannot
+// deadlock — before its body runs. Holding every gate exclusively, the
+// transaction is temporally alone on its shards: any conflicting
+// transaction is wholly before or wholly after it, so no serialisation
+// cycle can pass through it and the per-shard scheduler, lock manager,
+// and recoverability tracker are redundant for the duration. Its steps
+// therefore apply directly to the object states (undo-logged, recorded,
+// and version-published exactly like scheduled steps), which removes the
+// lock table, waits-for bookkeeping, scheduler admission, and dependency
+// tracking from the per-transaction cost entirely — the sharded
+// equivalent of running each partition single-threaded.
+//
+// Touching a shard outside the gated set aborts the attempt (undoing
+// its effects) and restarts it with the grown set pre-gated; the set
+// strictly grows, so restarts are bounded by the shard count. The
+// history records a serial transaction exactly like a scheduled one, so
+// shard.Stitch and the oracle treat both uniformly.
+
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"objectbase/internal/core"
+)
+
+// serialExecPool recycles the per-attempt shardedExec of serial
+// transactions. Only the serial path pools: it hands its Exec to no
+// scheduler, lock manager, or dependency tracker, so nothing can retain
+// a pointer past the attempt (history records keep ExecIDs, not Execs).
+// The scheduled and view paths keep allocating.
+var serialExecPool = sync.Pool{New: func() any { return &shardedExec{} }}
+
+// serialChildPool recycles child method executions of serial
+// transactions, under the same no-retention argument.
+var serialChildPool = sync.Pool{New: func() any { return &Exec{} }}
+
+// serialChildGet returns a reset child execution for the serial path,
+// recorded-in home (the caller AddExecs it there immediately).
+func serialChildGet(home *Engine, parent *Exec, id core.ExecID, object, method string, args []core.Value) *Exec {
+	c := serialChildPool.Get().(*Exec)
+	c.id = id
+	c.object = object
+	c.method = method
+	c.args = args
+	c.eng = home
+	c.parent = parent
+	c.top = parent.top
+	c.undo = nil
+	c.childN.Store(0)
+	c.laneN.Store(0)
+	c.SchedData = nil
+	c.snap = nil
+	c.recIn.Store(home)
+	return c
+}
+
+// serialExecGet returns a reset shardedExec in serial mode. The reset is
+// explicit, field by field: the structs embed mutexes and atomics, so a
+// wholesale overwrite is not an option, and every field the serial path
+// can have touched must be listed here.
+func serialExecGet(r Router) *shardedExec {
+	st := serialExecPool.Get().(*shardedExec)
+	e, cs := &st.e, &st.cs
+	e.args = nil
+	e.parent = nil
+	e.undo = nil
+	e.childN.Store(0)
+	e.laneN.Store(0)
+	e.SchedData = nil
+	e.snap = nil
+	e.recIn.Store(nil)
+	e.killed.Store(false)
+	e.cross = cs
+	cs.r = r
+	cs.view = false
+	cs.serial = true
+	cs.joinedMask.Store(0)
+	cs.joined = st.joinedInline[:0]
+	cs.scheds = st.schedInline[:0]
+	cs.gated = nil
+	cs.rgated = -1
+	cs.restart = nil
+	cs.topIn = st.topInInline[:0]
+	cs.replicated = nil
+	cs.counted = nil
+	cs.pinned = nil
+	cs.snapSeq = 0
+	return st
+}
+
+// runSerialOnce is one attempt of a declared-set transaction: exclusive
+// gates around direct execution, with the degenerate shard-ordered
+// two-phase commit (validation cannot fail; publication and gate release
+// walk the shards in reverse order).
+func (en *Engine) runSerialOnce(ctx context.Context, r Router, name string, fn MethodFunc, args []core.Value, readOnly bool, gate []int) (core.Value, error) {
+	id := en.allocTop()
+	defer en.releaseTop(id)
+	st := serialExecGet(r)
+	defer serialExecPool.Put(st) // after releaseGates (LIFO)
+	e, cs := &st.e, &st.cs
+	e.id = id
+	e.object = core.EnvironmentObject
+	e.method = name
+	e.args = args
+	e.eng = en
+	e.goctx = ctx
+	e.readOnly = readOnly
+	e.top = e
+	for i, s := range gate {
+		if err := lockGateCtx(ctx, r, s); err != nil {
+			// Cancelled while queued: hand control back without waiting
+			// out the holders. Nothing ran and nothing was recorded yet.
+			for j := i - 1; j >= 0; j-- {
+				r.UnlockGate(gate[j])
+			}
+			return nil, err
+		}
+	}
+	cs.gated = gate
+	defer cs.releaseGates() // after publication (LIFO)
+	// Record the top-level execution eagerly in the base engine, exactly
+	// like an unsharded run records every top in its engine: a
+	// transaction that commits without touching any object must still
+	// appear in the (stitched) history.
+	if err := en.rec.AddExec(id, e.object, e.method); err != nil {
+		return nil, historyAbort(id, err)
+	}
+	e.recIn.Store(en)
+
+	ret, err := fn(e.ctx())
+	if err == nil {
+		err = e.ctxAbortErr()
+	}
+	need, counted := cs.commitState(en)
+	if err == nil && need != nil {
+		// The body swallowed the restart error from a Call and finished
+		// anyway; the attempt still cannot commit with an incomplete
+		// shard set.
+		err = restartAbort(id, need)
+	}
+	if err != nil {
+		e.runUndo()
+		cs.markTopAborted(en, e.id)
+		var rs *shardRestartError
+		if !errors.As(err, &rs) {
+			// Membership restarts are routing, not workload outcomes;
+			// everything else counts as an aborted attempt.
+			counted.aborts.Add(1)
+		}
+		return nil, err
+	}
+	if en.opts.Versioning {
+		publishCommitSharded(e)
+	}
+	counted.commits.Add(1)
+	return ret, nil
+}
+
+// joinSerial makes engine en (shard s) a participant of a serial
+// transaction: the shard must already be gated (else the attempt
+// restarts with the grown set), and the top-level record is replicated
+// into en's recorder so abort marking and stitching stay closed per
+// shard. No scheduler is consulted — gate exclusivity is the admission.
+// After the first join of a shard, re-joining it is one atomic load
+// (joinedMask), so the per-step membership check stays off the mutex.
+func (cs *crossState) joinSerial(top *Exec, en *Engine, s int) error {
+	if s < 64 && cs.joinedMask.Load()&(1<<uint(s)) != 0 {
+		return nil
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.joinedLocked(s) {
+		return nil
+	}
+	if cs.restart != nil {
+		return restartAbort(top.id, cs.restart)
+	}
+	if !cs.holdsGateLocked(s) {
+		// The declared set missed this shard. Gates cannot be grown here
+		// (s may sort below an already-held gate, and we may hold state
+		// in gated shards), so the attempt unwinds and restarts with the
+		// full set gated in order.
+		need := append(append([]int(nil), cs.gated...), s)
+		sort.Ints(need)
+		cs.restart = need
+		return restartAbort(top.id, need)
+	}
+	if err := cs.recordLocked(en, top); err != nil {
+		return historyAbort(top.id, err)
+	}
+	cs.insertJoinedLocked(s, en)
+	if s < 64 {
+		cs.joinedMask.Or(1 << uint(s))
+	}
+	return nil
+}
+
+// insertJoinedLocked records {s, en} in the ascending joined list and
+// charges the transaction's outcome counter to its first engine. Caller
+// holds cs.mu.
+func (cs *crossState) insertJoinedLocked(s int, en *Engine) {
+	at := len(cs.joined)
+	for i, j := range cs.joined {
+		if s < j.s {
+			at = i
+			break
+		}
+	}
+	cs.joined = append(cs.joined, joinedShard{})
+	copy(cs.joined[at+1:], cs.joined[at:])
+	cs.joined[at] = joinedShard{s: s, en: en}
+	if cs.counted == nil {
+		cs.counted = en
+	}
+}
+
+// serialDo executes a local step of a serial transaction: directly
+// against the object state (under its latch — monitoring snapshots still
+// run concurrently), no scheduler, no lock manager. Recording and undo
+// logging are identical to the scheduled path's.
+func (cs *crossState) serialDo(e *Exec, object string, inv core.OpInvocation) (core.Value, error) {
+	var home *Engine
+	var obj *Object
+	if e != e.top {
+		// A method execution issuing a step on an object of its own
+		// engine — the idiomatic local step. Its engine was
+		// membership-checked when the message creating it was routed.
+		if obj = e.eng.Object(object); obj != nil {
+			home = e.eng
+		}
+	}
+	if home == nil {
+		var s int
+		var err error
+		home, s, err = cs.r.HomeOf(object)
+		if err != nil {
+			return nil, err
+		}
+		if err := cs.joinSerial(e.top, home, s); err != nil {
+			return nil, err
+		}
+		obj = home.Object(object)
+		if obj == nil {
+			return nil, fmt.Errorf("engine: unknown object %q", object)
+		}
+		if e != e.top {
+			// A method execution stepping on a foreign engine's object:
+			// replicate its record chain there before the step lands.
+			// (The top-level record is already there — joinSerial put it.)
+			if err := cs.record(home, e); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if e.top.readOnly {
+		ro, roerr := obj.schema.ReadOnlyOp(inv.Op)
+		if roerr != nil {
+			return nil, roerr
+		}
+		if !ro {
+			return nil, readOnlyAbort(e, obj.name, inv)
+		}
+	}
+	st, err := obj.ApplyFor(e, inv)
+	if err != nil {
+		return nil, err
+	}
+	return st.Ret, nil
+}
+
+// serialCall routes a message of a serial transaction: the child method
+// execution runs in the target object's home engine (which must be
+// gated), without any scheduler hand-off — a child abort undoes the
+// child's effects and surfaces as the Call's error, exactly as in the
+// scheduled path.
+func serialCall(parent *Exec, lane int, object, method string, args []core.Value) (core.Value, error) {
+	cs := parent.top.cross
+	var home *Engine
+	if parent != parent.top && parent.eng.Object(object) != nil {
+		home = parent.eng
+	}
+	if home == nil {
+		var s int
+		var err error
+		home, s, err = cs.r.HomeOf(object)
+		if err != nil {
+			return nil, err
+		}
+		if err := cs.joinSerial(parent.top, home, s); err != nil {
+			return nil, err
+		}
+		if home.Object(object) == nil {
+			return nil, fmt.Errorf("engine: unknown object %q", object)
+		}
+	}
+	fn, err := home.method(object, method)
+	if err != nil {
+		return nil, err
+	}
+	if parent != parent.top {
+		// A nested cross-engine send: replicate the issuing chain into the
+		// target engine. (For a top-level send, joinSerial already put the
+		// top record there.)
+		if err := cs.record(home, parent); err != nil {
+			return nil, err
+		}
+	}
+
+	childID := parent.nextChildID()
+	msg, err := home.rec.StartMessage(parent.id, childID, lane, object, method, args)
+	if err != nil {
+		return nil, historyAbort(parent.id, err)
+	}
+	child := serialChildGet(home, parent, childID, object, method, args)
+	defer serialChildPool.Put(child)
+	// The child's record lands in exactly one engine — the one it runs
+	// in — so it skips the crossState bookkeeping entirely.
+	if err := home.rec.AddExec(childID, object, method); err != nil {
+		home.rec.EndMessage(msg, nil, true)
+		return nil, historyAbort(childID, err)
+	}
+	ret, err := fn(child.ctx())
+	if err != nil {
+		child.runUndo()
+		cs.markAbortedEverywhere(child.id)
+		home.rec.EndMessage(msg, nil, true)
+		return nil, err
+	}
+	// Relative commit: effects become the parent's provisional effects.
+	parent.adoptUndo(child)
+	home.rec.EndMessage(msg, ret, false)
+	return ret, nil
+}

@@ -1,0 +1,452 @@
+package engine
+
+// Serial commit fast path: declared-set transactions must bypass the
+// scheduler entirely, undo cleanly across shards, publish versions for
+// snapshot readers, grow their gate set on a membership miss, and —
+// since their per-attempt state is pooled — stay correct across heavy
+// sequential and concurrent reuse.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"objectbase/internal/core"
+	"objectbase/internal/objects"
+)
+
+// testRouter is a minimal Router over explicit object placements.
+type testRouter struct {
+	engines []*Engine
+	gates   []sync.RWMutex
+	homes   map[string]int
+}
+
+func (r *testRouter) HomeOf(object string) (*Engine, int, error) {
+	s, ok := r.homes[object]
+	if !ok {
+		return nil, 0, fmt.Errorf("testRouter: unknown object %q", object)
+	}
+	return r.engines[s], s, nil
+}
+func (r *testRouter) NumShards() int      { return len(r.engines) }
+func (r *testRouter) Base() *Engine       { return r.engines[0] }
+func (r *testRouter) TryGate(s int) bool  { return r.gates[s].TryLock() }
+func (r *testRouter) LockGate(s int)      { r.gates[s].Lock() }
+func (r *testRouter) UnlockGate(s int)    { r.gates[s].Unlock() }
+func (r *testRouter) RLockGate(s int)     { r.gates[s].RLock() }
+func (r *testRouter) TryRGate(s int) bool { return r.gates[s].TryRLock() }
+func (r *testRouter) RUnlockGate(s int)   { r.gates[s].RUnlock() }
+
+// spySched counts every scheduler entry point on top of the empty
+// scheduler, so tests can prove a path never consulted it.
+type spySched struct {
+	None
+	begins, steps, commits atomic.Int64
+}
+
+func (s *spySched) Begin(e *Exec) error {
+	s.begins.Add(1)
+	return s.None.Begin(e)
+}
+func (s *spySched) Step(e *Exec, obj *Object, inv core.OpInvocation) (core.Value, error) {
+	s.steps.Add(1)
+	return s.None.Step(e, obj, inv)
+}
+func (s *spySched) Commit(e *Exec) error {
+	s.commits.Add(1)
+	return s.None.Commit(e)
+}
+
+// newSerialFixture builds n engines (one spy scheduler each, shared
+// identity/clock space) with one counter object per shard, named ctr<s>,
+// plus a bump method.
+func newSerialFixture(t *testing.T, n int, opts Options) (*testRouter, []*spySched) {
+	t.Helper()
+	shared := NewShared()
+	r := &testRouter{
+		gates: make([]sync.RWMutex, n),
+		homes: make(map[string]int),
+	}
+	spies := make([]*spySched, n)
+	for s := 0; s < n; s++ {
+		spies[s] = &spySched{}
+		o := opts
+		o.Shared = shared
+		en := New(spies[s], o)
+		r.engines = append(r.engines, en)
+		name := fmt.Sprintf("ctr%d", s)
+		en.AddObject(name, objects.Counter(), nil)
+		en.Register(name, "bump", func(c *Ctx) (core.Value, error) {
+			return c.Do(name, "Add", int64(1))
+		})
+		r.homes[name] = s
+	}
+	return r, spies
+}
+
+func counterValue(t *testing.T, r *testRouter, name string) int64 {
+	t.Helper()
+	en, _, err := r.HomeOf(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := en.Object(name).StateSnapshot()["n"]
+	if v == nil {
+		return 0
+	}
+	return v.(int64)
+}
+
+// TestSerialPathSkipsScheduler: a declared cross-shard transaction runs
+// without a single scheduler call in any shard, while an undeclared one
+// goes through Begin/Step/Commit as usual.
+func TestSerialPathSkipsScheduler(t *testing.T) {
+	r, spies := newSerialFixture(t, 4, Options{})
+	ctx := context.Background()
+	body := func(c *Ctx) (core.Value, error) {
+		if _, err := c.Call("ctr0", "bump"); err != nil {
+			return nil, err
+		}
+		return c.Call("ctr2", "bump")
+	}
+	if _, err := RunSharded(ctx, r, "declared", body, nil, []string{"ctr0", "ctr2"}); err != nil {
+		t.Fatal(err)
+	}
+	for s, spy := range spies {
+		if n := spy.begins.Load() + spy.steps.Load() + spy.commits.Load(); n != 0 {
+			t.Fatalf("declared transaction consulted shard %d's scheduler %d times", s, n)
+		}
+	}
+	if _, err := RunSharded(ctx, r, "undeclared", func(c *Ctx) (core.Value, error) {
+		return c.Call("ctr1", "bump")
+	}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if spies[1].steps.Load() == 0 {
+		t.Fatal("undeclared transaction bypassed its shard's scheduler")
+	}
+	if got := counterValue(t, r, "ctr0"); got != 1 {
+		t.Fatalf("ctr0 = %d, want 1", got)
+	}
+}
+
+// TestSerialAbortUndoesAcrossShards: an aborting declared transaction
+// rolls its effects back in every shard it touched, and the recorders
+// mark the abort everywhere.
+func TestSerialAbortUndoesAcrossShards(t *testing.T) {
+	r, _ := newSerialFixture(t, 3, Options{})
+	boom := fmt.Errorf("boom")
+	_, err := RunSharded(context.Background(), r, "doomed", func(c *Ctx) (core.Value, error) {
+		if _, err := c.Call("ctr0", "bump"); err != nil {
+			return nil, err
+		}
+		if _, err := c.Call("ctr2", "bump"); err != nil {
+			return nil, err
+		}
+		return nil, boom
+	}, nil, []string{"ctr0", "ctr2"})
+	if err == nil {
+		t.Fatal("doomed transaction committed")
+	}
+	for _, name := range []string{"ctr0", "ctr2"} {
+		if got := counterValue(t, r, name); got != 0 {
+			t.Fatalf("%s = %d after abort, want 0", name, got)
+		}
+	}
+	for _, s := range []int{0, 2} {
+		h, err := r.engines[s].HistoryErr()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(h.Roots) != 1 || !h.Exec(h.Roots[0]).Aborted {
+			t.Fatalf("shard %d: abort not marked in recorder", s)
+		}
+	}
+	if got := r.engines[0].Aborts() + r.engines[2].Aborts(); got != 1 {
+		t.Fatalf("aborts counted %d times, want exactly once", got)
+	}
+}
+
+// TestSerialPublishesVersions: serial commits feed the version rings, so
+// snapshot views opened afterwards read the committed state lock-free.
+func TestSerialPublishesVersions(t *testing.T) {
+	r, _ := newSerialFixture(t, 2, Options{Versioning: true})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := RunSharded(ctx, r, "bump", func(c *Ctx) (core.Value, error) {
+			return c.Call("ctr1", "bump")
+		}, nil, []string{"ctr1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	en := r.engines[1]
+	ring := en.Object("ctr1").Versions()
+	newest := ring.Newest()
+	if newest.Gap {
+		t.Fatal("serial commit published a gap on an uncontended object")
+	}
+	if got := newest.State["n"]; got != int64(3) {
+		t.Fatalf("published version n = %v, want 3", got)
+	}
+	v, err := en.RunView(ctx, "read", func(c *Ctx) (core.Value, error) {
+		return c.Do("ctr1", "Get")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int64) != 3 {
+		t.Fatalf("view read %v, want 3", v)
+	}
+}
+
+// TestSerialMembershipRestartGrowsSet: a declared set missing a shard
+// the body touches restarts with the grown set and commits; the misses
+// never count as workload aborts or retries.
+func TestSerialMembershipRestartGrowsSet(t *testing.T) {
+	r, spies := newSerialFixture(t, 4, Options{})
+	// Declared: ctr3 only. Touched: ctr3, then ctr1, then ctr0 — two
+	// membership restarts, each growing the set below the held maximum.
+	if _, err := RunSharded(context.Background(), r, "growing", func(c *Ctx) (core.Value, error) {
+		if _, err := c.Call("ctr3", "bump"); err != nil {
+			return nil, err
+		}
+		if _, err := c.Call("ctr1", "bump"); err != nil {
+			return nil, err
+		}
+		return c.Call("ctr0", "bump")
+	}, nil, []string{"ctr3"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ctr0", "ctr1", "ctr3"} {
+		if got := counterValue(t, r, name); got != 1 {
+			t.Fatalf("%s = %d, want 1", name, got)
+		}
+	}
+	var aborts, retries, commits int64
+	for _, en := range r.engines {
+		aborts += en.Aborts()
+		retries += en.Retries()
+		commits += en.Commits()
+	}
+	if aborts != 0 || retries != 0 {
+		t.Fatalf("membership restarts counted as workload outcomes: aborts=%d retries=%d", aborts, retries)
+	}
+	if commits != 1 {
+		t.Fatalf("commits = %d, want 1", commits)
+	}
+	for s, spy := range spies {
+		if n := spy.steps.Load(); n != 0 {
+			t.Fatalf("restarted serial transaction reached shard %d's scheduler (%d steps)", s, n)
+		}
+	}
+}
+
+// TestSerialPoolReuseHammer: the serial path pools its per-attempt
+// execution state; heavy sequential and concurrent reuse — commits,
+// aborts, and membership restarts interleaved — must never leak state
+// between transactions. Run with -race in CI.
+func TestSerialPoolReuseHammer(t *testing.T) {
+	r, _ := newSerialFixture(t, 4, Options{})
+	ctx := context.Background()
+	const (
+		workers = 8
+		txns    = 200
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < txns; i++ {
+				a := fmt.Sprintf("ctr%d", (w+i)%4)
+				b := fmt.Sprintf("ctr%d", (w+i+1)%4)
+				switch i % 3 {
+				case 0: // declared pair, commits
+					if _, err := RunSharded(ctx, r, "pair", func(c *Ctx) (core.Value, error) {
+						if _, err := c.Call(a, "bump"); err != nil {
+							return nil, err
+						}
+						return c.Call(b, "bump")
+					}, nil, []string{a, b}); err != nil {
+						errCh <- err
+						return
+					}
+				case 1: // declared subset, membership restart, commits
+					if _, err := RunSharded(ctx, r, "grow", func(c *Ctx) (core.Value, error) {
+						if _, err := c.Call(a, "bump"); err != nil {
+							return nil, err
+						}
+						return c.Call(b, "bump")
+					}, nil, []string{a}); err != nil {
+						errCh <- err
+						return
+					}
+				default: // declared, aborts after mutating both shards
+					if _, err := RunSharded(ctx, r, "doomed", func(c *Ctx) (core.Value, error) {
+						if _, err := c.Call(a, "bump"); err != nil {
+							return nil, err
+						}
+						if _, err := c.Call(b, "bump"); err != nil {
+							return nil, err
+						}
+						return nil, fmt.Errorf("planned abort")
+					}, nil, []string{a, b}); err == nil {
+						errCh <- fmt.Errorf("doomed transaction committed")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	// Committed bump pairs: workers × txns × 2/3 of the stream, two bumps
+	// each; the aborted third contributes nothing.
+	want := int64(0)
+	for w := 0; w < workers; w++ {
+		for i := 0; i < txns; i++ {
+			if i%3 != 2 {
+				want += 2
+			}
+		}
+	}
+	total := int64(0)
+	for s := 0; s < 4; s++ {
+		total += counterValue(t, r, fmt.Sprintf("ctr%d", s))
+	}
+	if total != want {
+		t.Fatalf("total bumps = %d, want %d (pooled state leaked across transactions?)", total, want)
+	}
+}
+
+// TestParallelLaneAbortVsJoinRace: one lane's child abort iterates the
+// joined-shard list (markAbortedEverywhere / the scheduled path's
+// forEachSched) while another lane is still joining shards — the
+// in-place sorted insert shifts the backing array, so the iteration must
+// run on a locked copy. Regression test for the torn-snapshot race; run
+// with -race in CI. Covers both modes: serial (declared) and scheduled
+// (undeclared).
+func TestParallelLaneAbortVsJoinRace(t *testing.T) {
+	r, _ := newSerialFixture(t, 4, Options{})
+	ctx := context.Background()
+	planned := fmt.Errorf("planned child abort")
+	for s := 0; s < 4; s++ {
+		name := fmt.Sprintf("ctr%d", s)
+		r.engines[s].Register(name, "fail", func(c *Ctx) (core.Value, error) {
+			return nil, planned
+		})
+	}
+	for _, touches := range [][]string{
+		{"ctr0", "ctr1", "ctr2", "ctr3"}, // serial mode
+		nil,                              // scheduled mode (discovery)
+	} {
+		for i := 0; i < 50; i++ {
+			_, err := RunSharded(ctx, r, "racer", func(c *Ctx) (core.Value, error) {
+				perr := c.Parallel(
+					func(c *Ctx) error {
+						_, err := c.Call("ctr3", "fail") // child aborts, iterating joined
+						return err
+					},
+					func(c *Ctx) error {
+						if _, err := c.Call("ctr1", "bump"); err != nil {
+							return err
+						}
+						if _, err := c.Call("ctr0", "bump"); err != nil {
+							return err
+						}
+						_, err := c.Call("ctr2", "bump")
+						return err
+					},
+				)
+				// The failing lane's error aborts the whole transaction.
+				return nil, perr
+			}, nil, touches)
+			if err == nil {
+				t.Fatal("transaction with a failing lane committed")
+			}
+		}
+	}
+	// Every attempt aborted: all bumps must have been undone.
+	for s := 0; s < 4; s++ {
+		if got := counterValue(t, r, fmt.Sprintf("ctr%d", s)); got != 0 {
+			t.Fatalf("ctr%d = %d after aborts, want 0", s, got)
+		}
+	}
+}
+
+// TestGateWaitHonoursCancellation: a transaction queued on a held shard
+// gate must return promptly when its context is cancelled — gate waits
+// are bounded only by other transactions' durations, so they honour ctx
+// like every other blocking point. The abandoned acquisition must also
+// release itself once it lands, leaving the gate usable.
+func TestGateWaitHonoursCancellation(t *testing.T) {
+	r, _ := newSerialFixture(t, 2, Options{})
+	for _, mode := range []struct {
+		name    string
+		touches []string
+	}{
+		{"serial", []string{"ctr1"}},
+		{"scheduled", nil},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			r.LockGate(1) // hold ctr1's shard exclusively
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() {
+				_, err := RunSharded(ctx, r, "blocked", func(c *Ctx) (core.Value, error) {
+					return c.Call("ctr1", "bump")
+				}, nil, mode.touches)
+				done <- err
+			}()
+			time.Sleep(50 * time.Millisecond) // let it queue on the gate
+			cancel()
+			select {
+			case err := <-done:
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("cancelled gate wait returned %v, want context.Canceled", err)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("cancelled transaction still waiting on the shard gate")
+			}
+			r.UnlockGate(1)
+			// The abandoned acquisition releases itself; a fresh
+			// transaction must get through.
+			if _, err := RunSharded(context.Background(), r, "after", func(c *Ctx) (core.Value, error) {
+				return c.Call("ctr1", "bump")
+			}, nil, mode.touches); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestObjectlessTransactionRecorded: a sharded transaction that commits
+// without touching any object still lands in the base engine's history —
+// the same contract the unsharded engine keeps.
+func TestObjectlessTransactionRecorded(t *testing.T) {
+	r, _ := newSerialFixture(t, 2, Options{})
+	if _, err := RunSharded(context.Background(), r, "noop", func(c *Ctx) (core.Value, error) {
+		return int64(7), nil
+	}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.Base().HistoryErr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Roots) != 1 {
+		t.Fatalf("object-less transaction missing from the base history (roots = %v)", h.Roots)
+	}
+	if h.Exec(h.Roots[0]).Aborted {
+		t.Fatal("committed object-less transaction marked aborted")
+	}
+}

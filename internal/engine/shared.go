@@ -1,0 +1,158 @@
+// Cross-engine shared state for sharded object spaces.
+//
+// A sharded space (internal/shard) partitions the objects across N
+// independent engines — each with its own scheduler, lock manager, object
+// latches and version rings — so that transactions against disjoint
+// shards never touch a common mutex. Three pieces of state must stay
+// global for the model to keep holding across the partition:
+//
+//   - top-level transaction identities (TopAllocator): ExecIDs double as
+//     hierarchical timestamps (Section 5.2), so they must be allocated
+//     from one monotone counter — a cross-shard transaction carries the
+//     same timestamp into every engine it touches, and the low-water mark
+//     that gates timestamp GC must be the global minimum live ID;
+//   - the history tick clock: per-shard histories are stitched into one
+//     history (shard.Stitch), and the < relation is recorded by ticks, so
+//     all recorders must draw from one clock for the stitched order to be
+//     meaningful (only paid under full recording);
+//   - the recoverability tracker (depTracker): a cross-shard transaction
+//     under an optimistic scheduler can observe uncommitted effects in
+//     several shards, and its commit barrier must await all of them.
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"objectbase/internal/core"
+)
+
+// topStripes is the number of live-set stripes in a TopAllocator. Sixteen
+// keeps the stripe mutexes off each other's cache lines for any plausible
+// shard count while MinLive (a GC-path rarity) still only scans 16 maps.
+const topStripes = 16
+
+// TopAllocator hands out top-level transaction numbers and tracks which
+// are still live. Allocation is one atomic add; liveness registration is
+// striped so that engines sharing the allocator do not serialise on one
+// mutex per transaction. MinLive — the paper's low-water condition for
+// discarding timestamp information — is only certain when no allocation
+// is mid-registration; the allocator then falls back to the last
+// certified value, which is stale but conservative (GC prunes less, never
+// more, than it may).
+type TopAllocator struct {
+	n       atomic.Int32
+	pending atomic.Int64 // allocations between Add and live-set insert
+	safeMin atomic.Int32 // last certified MinLive (monotone, conservative)
+	stripes [topStripes]topStripe
+}
+
+type topStripe struct {
+	mu   sync.Mutex
+	live map[int32]struct{}
+	// pad the stripe to a full 64-byte cache line (mutex 8 + map header 8
+	// + 48) so neighbouring stripes do not false-share under cross-shard
+	// traffic.
+	_ [48]byte
+}
+
+// NewTopAllocator returns an empty allocator.
+func NewTopAllocator() *TopAllocator {
+	a := &TopAllocator{}
+	for i := range a.stripes {
+		a.stripes[i].live = make(map[int32]struct{})
+	}
+	return a
+}
+
+func (a *TopAllocator) stripe(n int32) *topStripe {
+	return &a.stripes[uint32(n)%topStripes]
+}
+
+// Alloc assigns the next top-level transaction identity and registers it
+// live. The pending counter brackets the window between the atomic
+// allocation and the live-set insert, so MinLive can tell when its scan
+// is complete.
+func (a *TopAllocator) Alloc() core.ExecID {
+	a.pending.Add(1)
+	n := a.n.Add(1) - 1
+	s := a.stripe(n)
+	s.mu.Lock()
+	s.live[n] = struct{}{}
+	s.mu.Unlock()
+	a.pending.Add(-1)
+	return core.RootID(n)
+}
+
+// Release retires a finished top-level transaction.
+func (a *TopAllocator) Release(id core.ExecID) {
+	s := a.stripe(id[0])
+	s.mu.Lock()
+	delete(s.live, id[0])
+	s.mu.Unlock()
+}
+
+// Count returns the number of identities assigned so far.
+func (a *TopAllocator) Count() int32 { return a.n.Load() }
+
+// MinLive returns a lower bound on the smallest live transaction number —
+// the next number to assign when none is live. The bound is exact
+// whenever no allocation is caught between its atomic add and its
+// live-set insert; otherwise the last certified value is returned
+// (staleness only delays garbage collection, it never unblocks it early).
+func (a *TopAllocator) MinLive() int32 {
+	for attempt := 0; attempt < 4; attempt++ {
+		n0 := a.n.Load()
+		if a.pending.Load() != 0 {
+			continue
+		}
+		// Every ID below n0 is now registered or already released: the
+		// pending counter covered the add-to-insert window of each.
+		low := n0
+		for i := range a.stripes {
+			s := &a.stripes[i]
+			s.mu.Lock()
+			for m := range s.live {
+				if m < low {
+					low = m
+				}
+			}
+			s.mu.Unlock()
+		}
+		// Monotone publication: a racing certification may compute an
+		// older bound; keep the maximum.
+		for {
+			prev := a.safeMin.Load()
+			if low <= prev || a.safeMin.CompareAndSwap(prev, low) {
+				break
+			}
+		}
+		return a.safeMin.Load()
+	}
+	return a.safeMin.Load()
+}
+
+// Shared bundles the cross-engine state of one sharded object space. Pass
+// the same Shared to every engine of the space via Options.Shared; an
+// engine built without one gets private instances with identical
+// behaviour.
+type Shared struct {
+	tops  *TopAllocator
+	clock atomic.Int64
+
+	depsOnce sync.Once
+	deps     *depTracker
+}
+
+// NewShared returns the shared state for one sharded space.
+func NewShared() *Shared {
+	return &Shared{tops: NewTopAllocator()}
+}
+
+// depsFor returns the space-wide recoverability tracker, created on first
+// use with the given enablement. All engines of a space run the same
+// scheduler, so the flag agrees across calls.
+func (s *Shared) depsFor(enabled bool) *depTracker {
+	s.depsOnce.Do(func() { s.deps = newDepTracker(enabled) })
+	return s.deps
+}

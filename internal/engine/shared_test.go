@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTopAllocatorUniqueMonotone: concurrent allocation hands out every
+// identity exactly once, in a dense range.
+func TestTopAllocatorUniqueMonotone(t *testing.T) {
+	a := NewTopAllocator()
+	const goroutines, per = 8, 500
+	var mu sync.Mutex
+	seen := make(map[int32]bool)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				id := a.Alloc()
+				mu.Lock()
+				if seen[id[0]] {
+					t.Errorf("identity %d allocated twice", id[0])
+				}
+				seen[id[0]] = true
+				mu.Unlock()
+				a.Release(id)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Count(); got != goroutines*per {
+		t.Fatalf("Count = %d, want %d", got, goroutines*per)
+	}
+	if min := a.MinLive(); min != goroutines*per {
+		t.Fatalf("MinLive with nothing live = %d, want next-to-assign %d", min, goroutines*per)
+	}
+}
+
+// TestTopAllocatorMinLiveLowerBound: under concurrent churn, MinLive
+// never exceeds the smallest live identity — the safety direction for
+// timestamp GC (pruning less is fine, pruning live information is not).
+func TestTopAllocatorMinLiveLowerBound(t *testing.T) {
+	a := NewTopAllocator()
+	hold := a.Alloc() // stays live throughout
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := a.Alloc()
+			a.Release(id)
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		if min := a.MinLive(); min > hold[0] {
+			t.Fatalf("MinLive = %d exceeds live identity %d", min, hold[0])
+		}
+	}
+	close(stop)
+	wg.Wait()
+	a.Release(hold)
+	// Monotone: after the holder drains, the certified bound catches up
+	// but never moves backwards.
+	m1 := a.MinLive()
+	m2 := a.MinLive()
+	if m2 < m1 {
+		t.Fatalf("MinLive moved backwards: %d then %d", m1, m2)
+	}
+}

@@ -139,7 +139,7 @@ func (en *Engine) runViewOnce(ctx context.Context, name string, fn MethodFunc, a
 	if err := en.rec.AddExec(e.id, e.object, e.method); err != nil {
 		return nil, historyAbort(e.id, err)
 	}
-	ret, err := fn(&Ctx{e: e})
+	ret, err := fn(e.ctx())
 	if err == nil {
 		err = e.ctxAbortErr()
 	}
@@ -223,7 +223,7 @@ func (en *Engine) viewCall(parent *Exec, lane int, object, method string, args [
 		en.rec.EndMessage(msg, nil, true)
 		return nil, historyAbort(childID, err)
 	}
-	ret, err := fn(&Ctx{e: child, lane: 0})
+	ret, err := fn(child.ctx())
 	if err != nil {
 		en.rec.MarkAborted(child.id)
 		en.rec.EndMessage(msg, nil, true)
@@ -251,7 +251,14 @@ func (en *Engine) publishCommit(e *Exec) {
 	if len(objs) == 0 {
 		return
 	}
-	topKey := e.id.Key()
+	en.publishObjects(e.id.Key(), objs)
+}
+
+// publishObjects sequences and captures the given committed objects under
+// this engine's publication counter; the per-engine half of publishCommit,
+// shared with the cross-shard commit path (which groups a transaction's
+// touched objects by home engine first).
+func (en *Engine) publishObjects(topKey string, objs []*Object) {
 	en.pubMu.Lock()
 	en.pubNext++
 	seq := en.pubNext

@@ -85,6 +85,9 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		// The snapshot fast path needs version publication.
 		openOpts = append(openOpts, objectbase.WithReadOnly())
 	}
+	if k.Shards > 1 {
+		openOpts = append(openOpts, objectbase.WithShards(k.Shards))
+	}
 	db, err := objectbase.Open(append(openOpts, opts.Open...)...)
 	if err != nil {
 		return nil, fmt.Errorf("load: %w", err)
@@ -128,9 +131,12 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 				op := ops(i)
 				t0 := time.Now()
 				var err error
-				if k.UseView && op.ReadOnly {
+				switch {
+				case k.UseView && op.ReadOnly:
 					_, err = db.View(runCtx, op.Name, op.Fn)
-				} else {
+				case len(op.Objects) > 0:
+					_, err = db.ExecTouching(runCtx, op.Name, op.Objects, op.Fn)
+				default:
 					_, err = db.Exec(runCtx, op.Name, op.Fn)
 				}
 				if err != nil {

@@ -77,6 +77,13 @@ type Knobs struct {
 	// stream itself is unchanged, so determinism per (knobs, seed,
 	// client) is preserved.
 	UseView bool
+	// Shards partitions the object space across this many independent
+	// engine instances (objectbase.WithShards). 0 or 1 means unsharded.
+	// The op streams are unchanged — object placement is the directory's
+	// business — so determinism per (knobs, seed, client) is preserved;
+	// transactions whose declared object set (Op.Objects) spans shards
+	// run the cross-shard commit protocol.
+	Shards int
 }
 
 // global fallbacks applied after the scenario's own defaults.
@@ -122,6 +129,9 @@ func (k Knobs) withDefaults(d Knobs) Knobs {
 	if k.ReadFraction < 0 {
 		k.ReadFraction = 0
 	}
+	if k.Shards == 0 {
+		k.Shards = 1
+	}
 	return k
 }
 
@@ -141,6 +151,8 @@ func (k Knobs) validate() error {
 		return fmt.Errorf("load: Rate = %v, want >= 0", k.Rate)
 	case k.ReadFraction > 1:
 		return fmt.Errorf("load: ReadFraction = %v, want <= 1", k.ReadFraction)
+	case k.Shards < 1:
+		return fmt.Errorf("load: Shards = %d, want >= 1", k.Shards)
 	}
 	return nil
 }
@@ -148,11 +160,16 @@ func (k Knobs) validate() error {
 // Op is one transaction of a scenario's op stream: the name labelling it
 // in the history plus its body. ReadOnly marks transactions whose body
 // issues only observer steps; the driver may route them through the
-// snapshot fast path (Knobs.UseView).
+// snapshot fast path (Knobs.UseView). Objects optionally declares the
+// objects the body accesses — the stored-procedure discipline — letting
+// a sharded run (Knobs.Shards) order its shard acquisition up front
+// (DB.ExecTouching) instead of discovering the set optimistically; a
+// wrong or missing declaration degrades to discovery, never breaks.
 type Op struct {
 	Name     string
 	Fn       objectbase.MethodFunc
 	ReadOnly bool
+	Objects  []string
 }
 
 // OpFunc produces the i-th transaction of one client's op stream. It is
@@ -227,7 +244,7 @@ func FromSpec(name, description string, mk func(k Knobs) workload.Spec, defaults
 		Description: description,
 		Defaults:    defaults,
 		Setup: func(db *objectbase.DB, k Knobs) error {
-			mk(k).Setup(db.Engine())
+			mk(k).Setup(db.Registrar())
 			return nil
 		},
 		Ops: func(k Knobs, client int, r *rand.Rand) OpFunc {

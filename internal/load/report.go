@@ -56,6 +56,7 @@ type Result struct {
 	Mode         string  `json:"mode"`    // "closed" or "open"
 	History      string  `json:"history"` // recording mode: "full" or "off"
 	View         bool    `json:"view"`    // read-only txns routed through DB.View
+	Shards       int     `json:"shards"`  // object-space partitions (1 = unsharded)
 	TargetRate   float64 `json:"target_rate,omitempty"`
 
 	// Measurements.
@@ -93,6 +94,7 @@ func newResult(sc *Scenario, scheduler string, k Knobs, rec *Recorder, elapsed t
 		Seed:         k.Seed,
 		Mode:         mode,
 		View:         k.UseView,
+		Shards:       k.Shards,
 		TargetRate:   k.Rate,
 		Ops:          rec.Ops,
 		Errors:       rec.Errors,
@@ -134,9 +136,20 @@ type Report struct {
 // NewReport returns an empty report carrying the current schema version.
 func NewReport() *Report { return &Report{Schema: SchemaVersion} }
 
-// Add appends a cell, keeping the matrix sorted (scenario, then
-// scheduler, then history mode) so reports diff cleanly across runs.
+// Add upserts a cell, keeping the matrix sorted (scenario, then
+// scheduler, then history mode, then view, then shard count) so reports
+// diff cleanly across runs. A cell with the same knob key replaces the
+// old one — re-running a configuration into an -append'ed report must
+// refresh its cell, not stack a duplicate that the compare gate (which
+// rejects duplicate keys) would choke on.
 func (rp *Report) Add(r *Result) {
+	key := r.CellKey()
+	for i := range rp.Results {
+		if rp.Results[i].CellKey() == key {
+			rp.Results[i] = *r
+			return
+		}
+	}
 	rp.Results = append(rp.Results, *r)
 	sort.SliceStable(rp.Results, func(i, j int) bool {
 		if rp.Results[i].Scenario != rp.Results[j].Scenario {
@@ -148,7 +161,10 @@ func (rp *Report) Add(r *Result) {
 		if rp.Results[i].History != rp.Results[j].History {
 			return rp.Results[i].History < rp.Results[j].History
 		}
-		return !rp.Results[i].View && rp.Results[j].View
+		if rp.Results[i].View != rp.Results[j].View {
+			return !rp.Results[i].View
+		}
+		return rp.Results[i].Shards < rp.Results[j].Shards
 	})
 }
 
@@ -174,7 +190,7 @@ func ReadReport(r io.Reader) (*Report, error) {
 // Table writes the human-readable matrix.
 func (rp *Report) Table(w io.Writer) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "SCENARIO\tSCHED\tMODE\tHIST\tVIEW\tCLIENTS\tOPS\tERR\tTXN/S\tP50\tP95\tP99\tMAX\tRETRIES\tVERIFIED")
+	fmt.Fprintln(tw, "SCENARIO\tSCHED\tMODE\tHIST\tVIEW\tSHARDS\tCLIENTS\tOPS\tERR\tTXN/S\tP50\tP95\tP99\tMAX\tRETRIES\tVERIFIED")
 	for i := range rp.Results {
 		r := &rp.Results[i]
 		verified := "-"
@@ -193,8 +209,12 @@ func (rp *Report) Table(w io.Writer) {
 		if r.View {
 			view = "y"
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%d\t%d\t%.0f\t%s\t%s\t%s\t%s\t%d\t%s\n",
-			r.Scenario, r.Scheduler, r.Mode, hist, view, r.Clients, r.Ops, r.Errors, r.Throughput,
+		shards := r.Shards
+		if shards == 0 {
+			shards = 1 // pre-sharding reports
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%d\t%d\t%d\t%.0f\t%s\t%s\t%s\t%s\t%d\t%s\n",
+			r.Scenario, r.Scheduler, r.Mode, hist, view, shards, r.Clients, r.Ops, r.Errors, r.Throughput,
 			fdur(r.Latency.P50), fdur(r.Latency.P95), fdur(r.Latency.P99), fdur(r.Latency.Max),
 			r.Counters.Retries, verified)
 	}

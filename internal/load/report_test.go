@@ -106,6 +106,31 @@ func TestReportSorted(t *testing.T) {
 	}
 }
 
+// TestReportAddUpserts: re-adding a cell with identical knobs replaces
+// the old one — the -append trajectory must never accumulate duplicate
+// cell keys, which the compare gate rejects as unusable.
+func TestReportAddUpserts(t *testing.T) {
+	rp := NewReport()
+	r1 := sampleResult()
+	r1.Throughput = 100
+	rp.Add(r1)
+	r2 := sampleResult()
+	r2.Throughput = 250
+	rp.Add(r2)
+	if len(rp.Results) != 1 {
+		t.Fatalf("duplicate knobs produced %d cells, want 1 (upsert)", len(rp.Results))
+	}
+	if rp.Results[0].Throughput != 250 {
+		t.Fatalf("upsert kept the stale cell (throughput %v, want 250)", rp.Results[0].Throughput)
+	}
+	r3 := sampleResult()
+	r3.Shards = 8
+	rp.Add(r3)
+	if len(rp.Results) != 2 {
+		t.Fatalf("distinct shard count did not add a cell (%d cells)", len(rp.Results))
+	}
+}
+
 func TestTableRendersEveryCell(t *testing.T) {
 	rp := NewReport()
 	rp.Add(sampleResult())

@@ -1,0 +1,369 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"objectbase/internal/cc"
+	"objectbase/internal/core"
+	"objectbase/internal/engine"
+	"objectbase/internal/objects"
+)
+
+// TestDirectoryDeterministicAndSpread: the directory is a pure function
+// of the name, stable across instances, and spreads a realistic name
+// population over every shard.
+func TestDirectoryDeterministicAndSpread(t *testing.T) {
+	d1 := NewDirectory(8)
+	d2 := NewDirectory(8)
+	counts := make([]int, 8)
+	for i := 0; i < 1024; i++ {
+		name := fmt.Sprintf("obj-%d", i)
+		s := d1.Shard(name)
+		if s != d2.Shard(name) {
+			t.Fatalf("directory not deterministic for %q", name)
+		}
+		if s < 0 || s >= 8 {
+			t.Fatalf("shard %d out of range", s)
+		}
+		counts[s]++
+	}
+	for s, n := range counts {
+		if n == 0 {
+			t.Fatalf("shard %d received no objects out of 1024", s)
+		}
+	}
+	if NewDirectory(0).N() != 1 {
+		t.Fatal("NewDirectory(0) should clamp to 1")
+	}
+}
+
+// newSpace builds a sharded space over n engines running the named
+// scheduler, the way the façade does.
+func newSpace(t *testing.T, sched string, n int, opts engine.Options) *Space {
+	t.Helper()
+	engines, err := cc.NewShardedEngines(sched, n, cc.Config{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSpace(engines)
+}
+
+// counterOn registers a counter object with a bump method.
+func counterOn(sp *Space, name string) {
+	sp.AddObject(name, objects.Counter(), nil)
+	sp.Register(name, "bump", func(c *engine.Ctx) (core.Value, error) {
+		return c.Do(name, "Add", int64(1))
+	})
+}
+
+// shardedNames returns object names covering at least two distinct
+// shards, grouped by shard.
+func shardedNames(sp *Space, want int) map[int][]string {
+	out := make(map[int][]string)
+	for i := 0; len(out) < want && i < 4096; i++ {
+		n := fmt.Sprintf("ctr%d", i)
+		s := sp.Directory().Shard(n)
+		if len(out[s]) == 0 {
+			out[s] = append(out[s], n)
+		}
+	}
+	return out
+}
+
+// TestStitchCrossShardTransaction: a transaction spanning two shards is
+// recorded piecewise and stitched back into one history whose structure
+// (roots, children, messages, steps) the oracle machinery accepts. The
+// set is declared, so the transaction runs the serial commit fast path —
+// whose records must be indistinguishable in shape from scheduled ones.
+func TestStitchCrossShardTransaction(t *testing.T) {
+	sp := newSpace(t, "n2pl-op", 4, engine.Options{})
+	byShard := shardedNames(sp, 2)
+	var names []string
+	for _, ns := range byShard {
+		names = append(names, ns[0])
+	}
+	a, b := names[0], names[1]
+	counterOn(sp, a)
+	counterOn(sp, b)
+
+	ctx := context.Background()
+	if _, err := sp.Exec(ctx, "cross", func(c *engine.Ctx) (core.Value, error) {
+		if _, err := c.Call(a, "bump"); err != nil {
+			return nil, err
+		}
+		return c.Call(b, "bump")
+	}, []string{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Exec(ctx, "single", func(c *engine.Ctx) (core.Value, error) {
+		return c.Call(a, "bump")
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := sp.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Roots) != 2 {
+		t.Fatalf("stitched Roots = %v, want 2 roots", h.Roots)
+	}
+	// The cross transaction's root must carry both children, in message
+	// order, with MessageTo resolving each (the slot invariant).
+	cross := h.Exec(h.Roots[0])
+	if cross == nil || len(cross.Children) != 2 {
+		t.Fatalf("cross root children = %+v", cross)
+	}
+	for _, child := range cross.Children {
+		if _, _, err := h.MessageTo(child); err != nil {
+			t.Fatalf("MessageTo(%v): %v", child, err)
+		}
+	}
+	// One step per object per bump, in each object's own linearisation.
+	if len(h.Steps[a]) != 2 || len(h.Steps[b]) != 1 {
+		t.Fatalf("steps: %s=%d %s=%d, want 2/1", a, len(h.Steps[a]), b, len(h.Steps[b]))
+	}
+	if err := h.CheckLegal(); err != nil {
+		t.Fatalf("stitched history not legal: %v", err)
+	}
+	// Final states must come from each object's home shard.
+	if got := h.FinalStates[a]["n"]; got != int64(2) {
+		t.Fatalf("final %s = %v, want 2", a, got)
+	}
+}
+
+// TestStitchDiscoveryRestart: an *undeclared* transaction that discovers
+// a second shard mid-run restarts — its shared first gate cannot be
+// upgraded — leaving one aborted attempt in the stitched history, and
+// the restarted attempt commits with the full structure. The effective
+// steps see exactly one bump per object.
+func TestStitchDiscoveryRestart(t *testing.T) {
+	sp := newSpace(t, "n2pl-op", 4, engine.Options{})
+	byShard := shardedNames(sp, 2)
+	var names []string
+	for _, ns := range byShard {
+		names = append(names, ns[0])
+	}
+	a, b := names[0], names[1]
+	counterOn(sp, a)
+	counterOn(sp, b)
+
+	if _, err := sp.Exec(context.Background(), "cross", func(c *engine.Ctx) (core.Value, error) {
+		if _, err := c.Call(a, "bump"); err != nil {
+			return nil, err
+		}
+		return c.Call(b, "bump")
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	h, err := sp.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Roots) != 2 {
+		t.Fatalf("stitched Roots = %v, want aborted attempt + committed restart", h.Roots)
+	}
+	if first := h.Exec(h.Roots[0]); !first.Aborted {
+		t.Fatal("discovery attempt not marked aborted")
+	}
+	if second := h.Exec(h.Roots[1]); second.Aborted || len(second.Children) != 2 {
+		t.Fatalf("restarted attempt = %+v, want 2 children committed", second)
+	}
+	if got := len(h.EffectiveSteps(a)) + len(h.EffectiveSteps(b)); got != 2 {
+		t.Fatalf("effective steps = %d, want 2 (one bump per object)", got)
+	}
+	if err := h.CheckLegal(); err != nil {
+		t.Fatalf("stitched history not legal: %v", err)
+	}
+	aborts := int64(0)
+	for _, en := range sp.Engines() {
+		aborts += en.Aborts()
+	}
+	if aborts != 0 {
+		t.Fatalf("discovery restart counted %d workload aborts, want 0", aborts)
+	}
+}
+
+// TestStitchAbortClosure: an aborted cross-shard transaction is marked
+// aborted in every shard it touched, and the stitched history keeps the
+// abort closed over the whole subtree.
+func TestStitchAbortClosure(t *testing.T) {
+	sp := newSpace(t, "n2pl-op", 4, engine.Options{})
+	byShard := shardedNames(sp, 2)
+	var names []string
+	for _, ns := range byShard {
+		names = append(names, ns[0])
+	}
+	a, b := names[0], names[1]
+	counterOn(sp, a)
+	counterOn(sp, b)
+
+	wantErr := fmt.Errorf("user abort")
+	_, err := sp.Exec(context.Background(), "doomed", func(c *engine.Ctx) (core.Value, error) {
+		if _, err := c.Call(a, "bump"); err != nil {
+			return nil, err
+		}
+		if _, err := c.Call(b, "bump"); err != nil {
+			return nil, err
+		}
+		return nil, wantErr
+	}, nil)
+	if err == nil {
+		t.Fatal("doomed transaction committed")
+	}
+	h, err := sp.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := h.Exec(h.Roots[0])
+	if !root.Aborted {
+		t.Fatal("aborted root not marked in stitched history")
+	}
+	for _, child := range root.Children {
+		if !h.Aborted(child) {
+			t.Fatalf("child %v of aborted root not marked aborted", child)
+		}
+	}
+	if err := h.CheckLegal(); err != nil {
+		t.Fatalf("stitched history not legal after abort: %v", err)
+	}
+	// The effective steps exclude the aborted transaction's bumps.
+	if n := len(h.EffectiveSteps(a)); n != 0 {
+		t.Fatalf("EffectiveSteps(%s) = %d, want 0", a, n)
+	}
+}
+
+// TestGateRestartConvergence: when a transaction's non-blocking gate
+// acquisition loses (another cross-shard holder), it restarts with the
+// learned set pre-gated — blocking, in directory order — and completes
+// once the holder drains. Exercised deterministically by holding a gate
+// by hand.
+func TestGateRestartConvergence(t *testing.T) {
+	sp := newSpace(t, "n2pl-op", 4, engine.Options{})
+	byShard := shardedNames(sp, 2)
+	var shards []int
+	for s := range byShard {
+		shards = append(shards, s)
+	}
+	a, b := byShard[shards[0]][0], byShard[shards[1]][0]
+	counterOn(sp, a)
+	counterOn(sp, b)
+
+	// Hold the gate of b's shard, so the transaction's TryGate loses and
+	// its pre-gated restart must wait until release.
+	blocked := sp.Directory().Shard(b)
+	sp.LockGate(blocked)
+	released := false
+	var mu sync.Mutex
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		mu.Lock()
+		released = true
+		mu.Unlock()
+		sp.UnlockGate(blocked)
+	}()
+	start := time.Now()
+	if _, err := sp.Exec(context.Background(), "t", func(c *engine.Ctx) (core.Value, error) {
+		if _, err := c.Call(a, "bump"); err != nil {
+			return nil, err
+		}
+		return c.Call(b, "bump")
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !released {
+		t.Fatal("transaction committed while the shard gate was still held")
+	}
+	if waited := time.Since(start); waited < 80*time.Millisecond {
+		t.Fatalf("completed after %v, before the gate released", waited)
+	}
+	if got := sp.Engines()[sp.Directory().Shard(a)].Commits() + sp.Engines()[sp.Directory().Shard(b)].Commits(); got != 1 {
+		t.Fatalf("commit counted %d times, want exactly once", got)
+	}
+}
+
+// TestPreGatedUndeclaredShard: a pre-gated transaction whose body
+// touches a shard *outside* its declared set must not mix gated and
+// ungated shards (the deadlock-freedom invariant needs gates on every
+// touched shard once any gate is held) — it restarts with the union set
+// and completes correctly, whatever the undeclared shard's index.
+func TestPreGatedUndeclaredShard(t *testing.T) {
+	sp := newSpace(t, "n2pl-op", 8, engine.Options{})
+	byShard := shardedNames(sp, 8)
+	if len(byShard) < 3 {
+		t.Skip("need three shards")
+	}
+	var names []string
+	for s := 0; s < 8; s++ {
+		if ns := byShard[s]; len(ns) > 0 {
+			names = append(names, ns[0])
+		}
+	}
+	// Declare the two highest-shard objects; actually touch the lowest
+	// first, forcing the worst case (undeclared shard below the gated
+	// maximum, where blocking acquisition would be unsafe).
+	low, hi1, hi2 := names[0], names[len(names)-2], names[len(names)-1]
+	counterOn(sp, low)
+	counterOn(sp, hi1)
+	counterOn(sp, hi2)
+	if _, err := sp.Exec(context.Background(), "t", func(c *engine.Ctx) (core.Value, error) {
+		if _, err := c.Call(low, "bump"); err != nil {
+			return nil, err
+		}
+		if _, err := c.Call(hi1, "bump"); err != nil {
+			return nil, err
+		}
+		return c.Call(hi2, "bump")
+	}, []string{hi1, hi2}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := sp.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+	commits := int64(0)
+	for _, en := range sp.Engines() {
+		commits += en.Commits()
+	}
+	if commits != 1 {
+		t.Fatalf("commits = %d, want 1", commits)
+	}
+}
+
+// TestPreGatedTouches: a declared cross-shard touch set skips discovery
+// entirely — no aborts are recorded even though the objects span shards.
+func TestPreGatedTouches(t *testing.T) {
+	sp := newSpace(t, "n2pl-op", 4, engine.Options{})
+	byShard := shardedNames(sp, 2)
+	var names []string
+	for _, ns := range byShard {
+		names = append(names, ns[0])
+	}
+	a, b := names[0], names[1]
+	counterOn(sp, a)
+	counterOn(sp, b)
+	if _, err := sp.Exec(context.Background(), "t", func(c *engine.Ctx) (core.Value, error) {
+		if _, err := c.Call(a, "bump"); err != nil {
+			return nil, err
+		}
+		return c.Call(b, "bump")
+	}, []string{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	aborts := int64(0)
+	for _, en := range sp.Engines() {
+		aborts += en.Aborts()
+	}
+	if aborts != 0 {
+		t.Fatalf("pre-gated transaction recorded %d aborts, want 0", aborts)
+	}
+}

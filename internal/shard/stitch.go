@@ -1,0 +1,136 @@
+package shard
+
+import (
+	"sort"
+
+	"objectbase/internal/core"
+)
+
+// Stitch merges per-shard history snapshots into one history of the whole
+// space, on which the oracle (legality, serialisability, Theorem 5)
+// certifies the run exactly as it would a single-engine history.
+//
+// The merge is sound because of what the engines share and how the
+// records are laid out:
+//
+//   - objects live in exactly one shard, so Schemas, Initial/FinalStates
+//     and the per-object step linearisations are disjoint unions;
+//   - transaction identities come from the space-wide allocator, so a
+//     cross-shard execution carries the same ExecID in every shard — its
+//     replicated records collapse by key, and Roots order by ID is the
+//     space-wide start order ("stitched by global commit sequence");
+//   - ticks come from the space-wide clock, so the < relation is
+//     consistent across shards: an execution's local steps, recorded in
+//     several shards, interleave correctly when sorted by tick;
+//   - a parent's message steps land in the recorder of each child's home
+//     shard at the child's message index, so re-slotting the union by
+//     index restores the Messages[parent][k]-creates-Child(k) invariant.
+func Stitch(parts []*core.History) *core.History {
+	out := core.NewHistory()
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	out.FinalStates = make(map[string]core.State)
+
+	type msgSlot struct{ msgs []*core.MessageStep }
+	slots := make(map[string]*msgSlot)
+	rootSeen := make(map[string]bool)
+
+	for _, h := range parts {
+		if h == nil {
+			continue
+		}
+		for name, sc := range h.Schemas {
+			out.Schemas[name] = sc
+		}
+		for name, st := range h.InitialStates {
+			out.InitialStates[name] = st
+		}
+		for name, st := range h.FinalStates {
+			out.FinalStates[name] = st
+		}
+		for name, steps := range h.Steps {
+			out.Steps[name] = append(out.Steps[name], steps...)
+		}
+		for key, steps := range h.LocalSteps {
+			out.LocalSteps[key] = append(out.LocalSteps[key], steps...)
+		}
+		for key, e := range h.Execs {
+			if have := out.Execs[key]; have != nil {
+				// A cross-shard execution's record is replicated per
+				// shard; the abort mark is written to every replica, but
+				// merge defensively.
+				have.Aborted = have.Aborted || e.Aborted
+				continue
+			}
+			ce := *e
+			ce.Children = nil // recomputed below from the merged exec set
+			out.Execs[key] = &ce
+		}
+		for _, r := range h.Roots {
+			if !rootSeen[r.Key()] {
+				rootSeen[r.Key()] = true
+				out.Roots = append(out.Roots, r)
+			}
+		}
+		for key, msgs := range h.Messages {
+			sl := slots[key]
+			if sl == nil {
+				sl = &msgSlot{}
+				slots[key] = sl
+			}
+			for _, m := range msgs {
+				if m == nil {
+					continue
+				}
+				k := int(m.Child[len(m.Child)-1])
+				for k >= len(sl.msgs) {
+					sl.msgs = append(sl.msgs, nil)
+				}
+				sl.msgs[k] = m
+			}
+		}
+	}
+
+	// Children: each shard only links the children that ran there, so
+	// rebuild the forest from the merged execution set.
+	for _, e := range out.Execs {
+		if len(e.ID) <= 1 {
+			continue
+		}
+		if pe := out.Execs[e.ID.Parent().Key()]; pe != nil {
+			pe.Children = append(pe.Children, e.ID)
+		}
+	}
+	for _, e := range out.Execs {
+		sort.Slice(e.Children, func(i, j int) bool {
+			return e.Children[i][len(e.Children[i])-1] < e.Children[j][len(e.Children[j])-1]
+		})
+	}
+
+	// Roots in space-wide start order (the shared allocator's order).
+	sort.Slice(out.Roots, func(i, j int) bool { return out.Roots[i][0] < out.Roots[j][0] })
+
+	// Messages compacted like a single-engine snapshot: a quiescent
+	// history has every slot filled; mid-run allocation gaps are elided.
+	for key, sl := range slots {
+		cp := make([]*core.MessageStep, 0, len(sl.msgs))
+		for _, m := range sl.msgs {
+			if m != nil {
+				cp = append(cp, m)
+			}
+		}
+		out.Messages[key] = cp
+	}
+
+	// An execution's local steps may span shards (environment-level Do):
+	// the shared clock makes tick order the issue order.
+	for key, steps := range out.LocalSteps {
+		sort.SliceStable(steps, func(i, j int) bool { return steps[i].At < steps[j].At })
+		out.LocalSteps[key] = steps
+	}
+	// Per-object steps never span shards; their recorded linearisation
+	// (ObjSeq order, with view steps slotted by core.StepLess) is already
+	// what each shard's snapshot handed over.
+	return out
+}

@@ -20,7 +20,7 @@ import (
 // produce the i-th transaction.
 type Spec struct {
 	Name  string
-	Setup func(en *engine.Engine)
+	Setup func(en engine.Registrar)
 	// Txn returns the transaction body for sequence number i; r is a
 	// client-local deterministic source.
 	Txn func(r *rand.Rand, i int) (string, engine.MethodFunc)
@@ -96,7 +96,7 @@ func Bank(accounts int, initialBalance int64) Spec {
 	}
 	return Spec{
 		Name: "bank",
-		Setup: func(en *engine.Engine) {
+		Setup: func(en engine.Registrar) {
 			for _, a := range names {
 				a := a
 				en.AddObject(a, objects.Account(), core.State{"balance": initialBalance})
@@ -211,7 +211,7 @@ func ProducerConsumer(backlog, spin int) Spec {
 	}
 	return Spec{
 		Name: "producer-consumer",
-		Setup: func(en *engine.Engine) {
+		Setup: func(en engine.Registrar) {
 			items := make([]core.Value, backlog)
 			for i := range items {
 				items[i] = int64(-1 - i)
@@ -265,7 +265,7 @@ func ProducerConsumer(backlog, spin int) Spec {
 func HotObject(vars int, spinWork int) Spec {
 	return Spec{
 		Name: "hot-object",
-		Setup: func(en *engine.Engine) {
+		Setup: func(en engine.Registrar) {
 			init := core.State{}
 			for i := 0; i < vars; i++ {
 				init[fmt.Sprintf("v%d", i)] = int64(0)
@@ -303,7 +303,7 @@ func HotObject(vars int, spinWork int) Spec {
 func Dictionary(keyRange, preload, lookupPct, spin int) Spec {
 	return Spec{
 		Name: "dictionary",
-		Setup: func(en *engine.Engine) {
+		Setup: func(en engine.Registrar) {
 			sc := objects.Dictionary()
 			st := sc.NewState()
 			for k := 0; k < preload; k++ {
@@ -385,7 +385,7 @@ func Dictionary(keyRange, preload, lookupPct, spin int) Spec {
 func Skewed(vars, hotPct, spin int) Spec {
 	return Spec{
 		Name: "skewed",
-		Setup: func(en *engine.Engine) {
+		Setup: func(en engine.Registrar) {
 			init := core.State{}
 			for i := 0; i < vars; i++ {
 				init[fmt.Sprintf("v%d", i)] = int64(0)
@@ -433,7 +433,7 @@ func AccountMix(accounts, hotPct, spin int) Spec {
 	}
 	return Spec{
 		Name: "account-mix",
-		Setup: func(en *engine.Engine) {
+		Setup: func(en engine.Registrar) {
 			for _, a := range names {
 				a := a
 				en.AddObject(a, objects.Account(), core.State{"balance": int64(1000)})
@@ -484,7 +484,7 @@ func AccountMix(accounts, hotPct, spin int) Spec {
 func FailureInjection(abortPct int) Spec {
 	return Spec{
 		Name: "failure-injection",
-		Setup: func(en *engine.Engine) {
+		Setup: func(en engine.Registrar) {
 			en.AddObject("store", objects.Register(), core.State{})
 			en.AddObject("good", objects.Counter(), nil)
 			en.AddObject("bad", objects.Counter(), nil)

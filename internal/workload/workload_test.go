@@ -161,7 +161,7 @@ func TestDriveAggregatesClientErrors(t *testing.T) {
 	gate.Add(2)
 	spec := Spec{
 		Name:  "failing",
-		Setup: func(en *engine.Engine) {},
+		Setup: func(en engine.Registrar) {},
 		Txn: func(r *rand.Rand, i int) (string, engine.MethodFunc) {
 			return "boom", func(ctx *engine.Ctx) (core.Value, error) {
 				gate.Done()
@@ -188,7 +188,7 @@ func TestDriveAggregatesClientErrors(t *testing.T) {
 func TestDriveCancelsSiblingsOnError(t *testing.T) {
 	spec := Spec{
 		Name:  "mixed",
-		Setup: func(en *engine.Engine) {},
+		Setup: func(en engine.Registrar) {},
 		ClientTxn: func(r *rand.Rand, client, i int) (string, engine.MethodFunc) {
 			if client == 0 {
 				return "fail", func(ctx *engine.Ctx) (core.Value, error) {
