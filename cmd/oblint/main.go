@@ -1,0 +1,72 @@
+// Command oblint runs the repository's static-analysis suite (see
+// internal/analysis) over the module: lock/gate acquisition order,
+// version-publication discipline, context-aware blocking, the façade
+// import boundary, and observer/read-only completeness.
+//
+// Usage:
+//
+//	go run ./cmd/oblint [-C dir] [-tags tag,tag] [-list] [packages]
+//
+// Packages default to ./... . Exit status is 0 when clean, 1 when any
+// diagnostic is reported, 2 on load/usage errors. Diagnostics can be
+// acknowledged in source with an
+//
+//	//oblint:allow <analyzer> -- <justification>
+//
+// comment on, or directly above, the offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"objectbase/internal/analysis"
+)
+
+func main() {
+	var (
+		dir  = flag.String("C", ".", "module root to analyze")
+		tags = flag.String("tags", "", "comma-separated build tags (e.g. ordercheck)")
+		list = flag.Bool("list", false, "print the analyzer catalogue and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: oblint [-C dir] [-tags tag,tag] [-list] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cfg := analysis.LoadConfig{Dir: *dir}
+	if *tags != "" {
+		cfg.Tags = strings.Split(*tags, ",")
+	}
+	pkgs, err := analysis.Load(cfg, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oblint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(analysis.All(), pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oblint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "oblint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

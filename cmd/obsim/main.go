@@ -33,7 +33,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
@@ -234,55 +233,16 @@ func runLoad(args []string) {
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
-	var shardCounts []int
-	for _, s := range strings.Split(*shardsFlag, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || n < 1 {
-			fmt.Fprintf(os.Stderr, "obsim load: bad -shards entry %q (want positive integers, e.g. 1,8)\n", s)
-			os.Exit(2)
-		}
-		dup := false
-		for _, seen := range shardCounts {
-			dup = dup || seen == n
-		}
-		if !dup {
-			shardCounts = append(shardCounts, n)
-		}
+	// Validate the matrix-shaping flags as one combination, so a run with
+	// several mistakes reports all of them in one go.
+	spec, flagErrs := load.FlagConfig{Shards: *shardsFlag, Verify: *verify, History: *hist, View: *view}.Validate()
+	for _, err := range flagErrs {
+		fmt.Fprintf(os.Stderr, "obsim load: %v\n", err)
 	}
-	// A typo here must not silently disable the oracle backstop.
-	if *verify != "sample" && *verify != "all" && *verify != "none" {
-		fmt.Fprintf(os.Stderr, "obsim load: unknown -verify policy %q (want sample, all, or none)\n", *verify)
+	if len(flagErrs) > 0 {
 		os.Exit(2)
 	}
-	var modes []string
-	canVerify := false // some mode records a history the oracle could check
-	for _, m := range strings.Split(*hist, ",") {
-		if m != "auto" && m != "full" && m != "off" {
-			fmt.Fprintf(os.Stderr, "obsim load: unknown -history mode %q (want auto, full, or off)\n", m)
-			os.Exit(2)
-		}
-		dup := false
-		for _, seen := range modes {
-			dup = dup || seen == m
-		}
-		if dup {
-			continue
-		}
-		modes = append(modes, m)
-		canVerify = canVerify || m != "off"
-	}
-	if len(modes) > 1 {
-		for _, m := range modes {
-			if m == "auto" {
-				fmt.Fprintln(os.Stderr, "obsim load: -history auto cannot be combined with other modes")
-				os.Exit(2)
-			}
-		}
-	}
-	if !canVerify && *verify != "none" {
-		fmt.Fprintln(os.Stderr, "obsim load: -history off records nothing the oracle could check; pass -verify none (or -history auto/full)")
-		os.Exit(2)
-	}
+	shardCounts, modes := spec.ShardCounts, spec.HistoryModes
 	if *quick {
 		if *clients == 0 {
 			*clients = 4

@@ -113,6 +113,18 @@
 // behave identically under either mode; only the oracle needs the full
 // history.
 //
+// # Invariant checking
+//
+// The engine's concurrency conventions — the repo-wide lock rank order,
+// the shard-gate acquisition order, version-publication discipline,
+// context plumbing on blocking paths, and the cmd//examples import
+// boundary — are machine-checked. `go run ./cmd/oblint ./...` runs the
+// five analyzers of internal/analysis over the tree (CI enforces a
+// clean run), and building or testing with -tags ordercheck compiles in
+// a runtime witness that panics at the call site of any out-of-order
+// lock or gate acquisition. See the README's "Static analysis" section
+// for the analyzer catalogue and the rank table.
+//
 // See README.md for the repository layout, the scheduler catalogue, and a
 // complete quickstart; the runnable programs under examples/ exercise the
 // public API end to end.

@@ -1,0 +1,186 @@
+// Package analysis is the repository's static-analysis suite: a set of
+// custom analyzers that machine-check the concurrency invariants the
+// engine's correctness argument rests on — the stripe → owner → waits
+// lock order and directory-ordered shard-gate acquisition (lockorder,
+// cross-validated at runtime by the `ordercheck` build tag), the
+// version-publication discipline of the MVCC fast path (pubdiscipline),
+// context-aware blocking on engine paths (ctxwait), the public-façade
+// import boundary (nointernal), and observer/read-only completeness
+// (observercomplete).
+//
+// The framework deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic, and an
+// analysistest-style golden-fixture runner) but is built on the standard
+// library alone — go/parser, go/types, go/build — so the module keeps
+// its zero-dependency property. If x/tools ever becomes a dependency,
+// each analyzer's Run is a near drop-in for an analysis.Analyzer.
+//
+// Suppression: a diagnostic can be acknowledged in source with a
+//
+//	//oblint:allow <analyzer>[,<analyzer>...] -- <justification>
+//
+// comment on the offending line or the line directly above it. The
+// justification is mandatory culture, not mandatory syntax; reviews
+// treat a bare allow like an unexplained nolint.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check, run over one package at a time.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //oblint:allow
+	// comments.
+	Name string
+	// Doc is the one-paragraph description printed by `oblint -help`.
+	Doc string
+	// Run reports the analyzer's diagnostics for one package via
+	// Pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information through an
+// analyzer, mirroring golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	// Report records one diagnostic. Suppressed diagnostics
+	// (//oblint:allow) are filtered by the driver, not by Report.
+	Report func(Diagnostic)
+}
+
+// Fset returns the file set positions resolve against.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Files returns the package's parsed files.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message. The driver
+// attaches the analyzer name.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled by the driver
+}
+
+// Finding is a resolved diagnostic with its printable position.
+type Finding struct {
+	Position token.Position
+	Message  string
+	Analyzer string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Message, f.Analyzer)
+}
+
+// allowRe matches suppression comments; see the package comment.
+var allowRe = regexp.MustCompile(`^//\s*oblint:allow\s+([A-Za-z0-9_,\s]+?)(?:\s+--.*)?$`)
+
+// allowedLines indexes //oblint:allow comments: analyzer name -> file ->
+// set of line numbers on which that analyzer's diagnostics are
+// acknowledged (the comment's own line and the line below it).
+type allowedLines map[string]map[string]map[int]bool
+
+func collectAllows(fset *token.FileSet, files []*ast.File) allowedLines {
+	out := make(allowedLines)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					byFile := out[name]
+					if byFile == nil {
+						byFile = make(map[string]map[int]bool)
+						out[name] = byFile
+					}
+					lines := byFile[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]bool)
+						byFile[pos.Filename] = lines
+					}
+					lines[pos.Line] = true
+					lines[pos.Line+1] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (a allowedLines) suppressed(name string, pos token.Position) bool {
+	byFile := a[name]
+	if byFile == nil {
+		return false
+	}
+	return byFile[pos.Filename][pos.Line]
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position. Packages with load errors contribute an
+// error instead of findings.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		allows := collectAllows(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				Report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				position := pkg.Fset.Position(d.Pos)
+				if allows.suppressed(a.Name, position) {
+					continue
+				}
+				findings = append(findings, Finding{Position: position, Message: d.Message, Analyzer: a.Name})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+// All returns the full analyzer suite in catalogue order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		LockOrder,
+		PubDiscipline,
+		CtxWait,
+		NoInternal,
+		ObserverComplete,
+	}
+}

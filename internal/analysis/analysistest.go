@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// wantRe matches the expectation comments in fixtures:
+//
+//	// want "regexp" ["regexp" ...]
+var wantRe = regexp.MustCompile(`want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+
+var wantQuoted = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// expectation is one // want entry: a diagnostic matching re must be
+// reported on this file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// RunFixture mirrors golang.org/x/tools/go/analysis/analysistest: it
+// loads testdata/<analyzer>/src as a fake "objectbase" module, runs the
+// analyzer over every package in it, and checks the reported diagnostics
+// exactly against the fixture's // want "regexp" comments — every
+// finding must be wanted, every want must be found.
+func RunFixture(t *testing.T, a *Analyzer, tags ...string) {
+	t.Helper()
+	dir := "testdata/" + a.Name + "/src"
+	pkgs, err := Load(LoadConfig{Dir: dir, Module: "objectbase", Tags: tags}, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s contains no packages", dir)
+	}
+	findings, err := Run([]*Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("running %s on fixture: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			wants = append(wants, collectWants(t, pkg, f)...)
+		}
+	}
+
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == f.Position.Filename && w.line == f.Position.Line && w.re.MatchString(f.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants extracts the // want expectations of one fixture file.
+func collectWants(t *testing.T, pkg *Package, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			for _, q := range wantQuoted.FindAllString(m[1], -1) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxWait enforces context-aware blocking on engine paths. A transaction
+// holding locks, gates or published-but-unresolved dependencies must stay
+// cancellable: RunCtx promises that cancelling the caller's context
+// aborts the transaction at the next retry or commit boundary, and every
+// unconditional block is a place that promise silently breaks.
+var CtxWait = &Analyzer{
+	Name: "ctxwait",
+	Doc: "on engine paths (internal/engine, internal/lock, internal/shard), " +
+		"blocking waits must select on a cancellation signal: no time.Sleep, " +
+		"no bare channel send/receive outside a select, and every blocking " +
+		"select needs a <-ctx.Done()-style or <-done case",
+	Run: runCtxWait,
+}
+
+func runCtxWait(pass *Pass) error {
+	if !pathIs(pass.Pkg, "internal/engine", "internal/lock", "internal/shard") {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Files() {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isTimeSleep(info, n) {
+					pass.Reportf(n.Pos(),
+						"time.Sleep on an engine path: block on a timer in a select with a ctx.Done() case instead")
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && !inSelectComm(n, stack) {
+					pass.Reportf(n.Pos(),
+						"bare channel receive blocks without a cancellation path: select on the channel and a ctx.Done()/done signal")
+				}
+			case *ast.SendStmt:
+				if !inSelectComm(n, stack) {
+					pass.Reportf(n.Pos(),
+						"bare channel send blocks without a cancellation path: select on the send and a ctx.Done()/done signal")
+				}
+			case *ast.SelectStmt:
+				if blockingSelect(n) && !hasCancellationCase(n) {
+					pass.Reportf(n.Pos(),
+						"blocking select has no cancellation case: add a <-ctx.Done()-style or <-done case so the wait stays abortable")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isTimeSleep reports whether call is time.Sleep from the standard time
+// package.
+func isTimeSleep(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sleep" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "time"
+}
+
+// inSelectComm reports whether n sits inside the communication clause of
+// an enclosing select case (where blocking is the point of the
+// construct).
+func inSelectComm(n ast.Node, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if cc, ok := stack[i].(*ast.CommClause); ok {
+			return nodeContains(cc.Comm, n)
+		}
+	}
+	return false
+}
+
+// blockingSelect reports whether sel has no default clause.
+func blockingSelect(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// hasCancellationCase reports whether some case receives from a
+// cancellation-shaped source: a call to a method or function named Done
+// (ctx.Done(), sub-exec done channels) or an identifier named done (the
+// conventional abandon-signal parameter). Deliberately narrow — kill
+// channels and wake channels do not count, because they fire on different
+// conditions than the caller's context.
+func hasCancellationCase(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		var recv ast.Expr
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if ue, ok := comm.X.(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+				recv = ue.X
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				if ue, ok := comm.Rhs[0].(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+					recv = ue.X
+				}
+			}
+		}
+		if recv == nil {
+			continue
+		}
+		switch src := ast.Unparen(recv).(type) {
+		case *ast.CallExpr:
+			if calleeName(src) == "Done" {
+				return true
+			}
+		case *ast.Ident:
+			if src.Name == "done" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,33 @@
+package analysis
+
+import "testing"
+
+// Each analyzer's golden fixtures live under testdata/<name>/src as a
+// fake "objectbase" module mirroring the real tree's package layout,
+// with at least one flagged and one permitted pattern per rule.
+
+func TestLockOrderFixtures(t *testing.T)        { RunFixture(t, LockOrder) }
+func TestPubDisciplineFixtures(t *testing.T)    { RunFixture(t, PubDiscipline) }
+func TestCtxWaitFixtures(t *testing.T)          { RunFixture(t, CtxWait) }
+func TestNoInternalFixtures(t *testing.T)       { RunFixture(t, NoInternal) }
+func TestObserverCompleteFixtures(t *testing.T) { RunFixture(t, ObserverComplete) }
+
+// TestSuiteOnRealTree pins the acceptance bar in-process: the full suite
+// over the real module must come back clean (the same check CI enforces
+// via cmd/oblint).
+func TestSuiteOnRealTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := Load(LoadConfig{Dir: "../.."}, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	findings, err := Run(All(), pkgs)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding on the real tree: %s", f)
+	}
+}

@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: what a Pass analyzes.
+type Package struct {
+	Path   string // import path
+	Name   string // package name
+	Dir    string
+	Module string // module path of the tree it was loaded from
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+}
+
+// LoadConfig configures a Load.
+type LoadConfig struct {
+	// Dir is the module root to enumerate packages from.
+	Dir string
+	// Module overrides the module path; read from Dir/go.mod when empty
+	// (fixture trees carry no go.mod).
+	Module string
+	// Tags are additional build tags (e.g. "ordercheck"); files excluded
+	// by build constraints under these tags are not analyzed.
+	Tags []string
+}
+
+// loader loads and type-checks the local package graph. Local imports
+// resolve within the module tree; everything else is the standard
+// library, type-checked from GOROOT source (the module has no
+// third-party dependencies, and fixtures must not either).
+type loader struct {
+	cfg     LoadConfig
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// Load enumerates, parses and type-checks the packages named by the
+// patterns — "./..." for the whole tree under cfg.Dir, or "./x/y" for a
+// single directory — and returns them sorted by import path.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	root, err := filepath.Abs(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Dir = root
+	if cfg.Module == "" {
+		cfg.Module, err = modulePath(root)
+		if err != nil {
+			return nil, err
+		}
+	}
+	l := &loader{
+		cfg:     cfg,
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := walkDirs(root, add); err != nil {
+				return nil, err
+			}
+		default:
+			add(filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(pat, "./"))))
+		}
+	}
+
+	var out []*Package
+	for _, dir := range dirs {
+		path, err := l.importPathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.load(path)
+		if err != nil {
+			if _, nogo := err.(*build.NoGoError); nogo {
+				continue
+			}
+			if nogoWrapped(err) {
+				continue
+			}
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+func nogoWrapped(err error) bool {
+	_, ok := err.(*build.NoGoError)
+	return ok
+}
+
+// walkDirs visits every package-candidate directory under root.
+func walkDirs(root string, visit func(string)) error {
+	return filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				visit(p)
+				break
+			}
+		}
+		return nil
+	})
+}
+
+// modulePath reads the module path from dir/go.mod.
+func modulePath(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: cannot determine module path: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s/go.mod", dir)
+}
+
+// importPathFor maps a directory under the module root to its import
+// path.
+func (l *loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.cfg.Dir, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.cfg.Module, nil
+	}
+	return l.cfg.Module + "/" + filepath.ToSlash(rel), nil
+}
+
+// local reports whether path names a package of the analyzed module.
+func (l *loader) local(path string) bool {
+	return path == l.cfg.Module || strings.HasPrefix(path, l.cfg.Module+"/")
+}
+
+// Import implements types.Importer: local packages load recursively,
+// everything else is standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if !l.local(path) {
+		return l.std.Import(path)
+	}
+	pkg, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// load parses and type-checks one local package (memoised).
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.cfg.Dir
+	if path != l.cfg.Module {
+		dir = filepath.Join(dir, filepath.FromSlash(strings.TrimPrefix(path, l.cfg.Module+"/")))
+	}
+	bctx := build.Default
+	bctx.BuildTags = l.cfg.Tags
+	bp, err := bctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, &build.NoGoError{Dir: dir}
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+
+	pkg := &Package{
+		Path:   path,
+		Name:   tpkg.Name(),
+		Dir:    dir,
+		Module: l.cfg.Module,
+		Fset:   l.fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

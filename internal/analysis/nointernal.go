@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// NoInternal enforces the façade boundary: programs under cmd/ and
+// examples/ consume the public objectbase package, never the concurrency
+// internals directly. (Support packages such as internal/bench or
+// internal/workload are deliberately not guarded — the boundary protects
+// the engine's invariants, not code reuse.)
+var NoInternal = &Analyzer{
+	Name: "nointernal",
+	Doc: "forbid internal/engine, internal/cc, internal/lock and internal/shard " +
+		"imports under cmd/ and examples/: binaries and examples must go through " +
+		"the public façade so engine-internal invariants stay refactorable",
+	Run: runNoInternal,
+}
+
+// guardedInternal lists the packages behind the façade.
+var guardedInternal = []string{
+	"internal/engine",
+	"internal/cc",
+	"internal/lock",
+	"internal/shard",
+}
+
+func runNoInternal(pass *Pass) error {
+	pkg := pass.Pkg
+	rel := relPath(pkg)
+	if !strings.HasPrefix(rel, "cmd/") && !strings.HasPrefix(rel, "examples/") &&
+		rel != "cmd" && rel != "examples" {
+		return nil
+	}
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, g := range guardedInternal {
+				guarded := pkg.Module + "/" + g
+				if path == guarded || strings.HasPrefix(path, guarded+"/") {
+					pass.Reportf(imp.Pos(),
+						"%s imports %s: cmd/ and examples/ must use the public façade (package %s)",
+						rel, path, pkg.Module)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ObserverComplete guards the history-observation surface. First, every
+// concrete HistoryObserver must implement the full method set — a type
+// that handles most events but not, say, AddViewStep compiles fine as
+// long as nobody assigns it to the interface in the analyzed package, and
+// then drops snapshot reads from the record at runtime. Second, an
+// Operation registered ReadOnly must actually be read-only: the
+// schedulers and the snapshot fast path route ReadOnly operations around
+// locking and undo logging, so a mutating Apply breaks serializability
+// silently (this complements the executable core.VerifyReadOnlySoundness
+// spot-check with a whole-tree static pass).
+var ObserverComplete = &Analyzer{
+	Name: "observercomplete",
+	Doc: "every HistoryObserver implementation must cover the full method " +
+		"set (incl. AddViewStep), and core.Operation literals declared " +
+		"ReadOnly must not mutate state or return an undo in Apply",
+	Run: runObserverComplete,
+}
+
+// observerMethods is the full engine.HistoryObserver method set, in
+// interface declaration order.
+var observerMethods = []string{
+	"AddObject",
+	"AddExec",
+	"StartMessage",
+	"EndMessage",
+	"AddStep",
+	"AddViewStep",
+	"MarkAborted",
+	"Snapshot",
+	"EventStats",
+}
+
+// observerThreshold is how many observer methods a type must share before
+// it is presumed to be an attempted HistoryObserver implementation.
+const observerThreshold = 3
+
+func runObserverComplete(pass *Pass) error {
+	checkObserverImpls(pass)
+	checkReadOnlyOps(pass)
+	return nil
+}
+
+// checkObserverImpls flags package-level types that implement enough of
+// the observer surface to clearly be observers, but not all of it.
+func checkObserverImpls(pass *Pass) {
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		ms := types.NewMethodSet(types.NewPointer(named))
+		var missing []string
+		have := 0
+		for _, m := range observerMethods {
+			if ms.Lookup(pass.Pkg.Types, m) != nil {
+				have++
+			} else {
+				missing = append(missing, m)
+			}
+		}
+		if have >= observerThreshold && len(missing) > 0 {
+			pass.Reportf(tn.Pos(),
+				"%s implements %d HistoryObserver methods but is missing %s: partial observers silently drop events",
+				name, have, strings.Join(missing, ", "))
+		}
+	}
+}
+
+// checkReadOnlyOps flags ReadOnly core.Operation literals whose Apply
+// function literal writes through the state parameter or returns an undo.
+func checkReadOnlyOps(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isOperationLit(info, lit) {
+				return true
+			}
+			var readOnly bool
+			var apply *ast.FuncLit
+			var name string
+			for _, el := range lit.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch key.Name {
+				case "ReadOnly":
+					if id, ok := kv.Value.(*ast.Ident); ok && id.Name == "true" {
+						readOnly = true
+					}
+				case "Apply":
+					if fl, ok := kv.Value.(*ast.FuncLit); ok {
+						apply = fl
+					}
+				case "Name":
+					if bl, ok := kv.Value.(*ast.BasicLit); ok {
+						name = bl.Value
+					}
+				}
+			}
+			if readOnly && apply != nil {
+				checkReadOnlyApply(pass, name, apply)
+			}
+			return true
+		})
+	}
+}
+
+// isOperationLit reports whether lit's type is core.Operation.
+func isOperationLit(info *types.Info, lit *ast.CompositeLit) bool {
+	tv, ok := info.Types[lit]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Operation" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/core")
+}
+
+// checkReadOnlyApply flags writes through the state parameter and undo
+// returns inside a ReadOnly Apply.
+func checkReadOnlyApply(pass *Pass, opName string, apply *ast.FuncLit) {
+	info := pass.Pkg.Info
+	params := apply.Type.Params
+	if params == nil || len(params.List) == 0 || len(params.List[0].Names) == 0 {
+		return
+	}
+	stateObj := info.Defs[params.List[0].Names[0]]
+	if stateObj == nil {
+		return
+	}
+	label := "operation"
+	if opName != "" {
+		label = "operation " + opName
+	}
+	rootedInState := func(e ast.Expr) bool {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.Ident:
+				return info.Uses[x] == stateObj
+			default:
+				return false
+			}
+		}
+	}
+	ast.Inspect(apply.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if rootedInState(lhs) {
+					pass.Reportf(lhs.Pos(),
+						"ReadOnly %s writes state in Apply: read-only ops bypass locking and undo, so this write is unserialized", label)
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "delete" &&
+				len(n.Args) > 0 && rootedInState(n.Args[0]) {
+				pass.Reportf(n.Pos(),
+					"ReadOnly %s deletes state in Apply: read-only ops bypass locking and undo, so this write is unserialized", label)
+			}
+		case *ast.ReturnStmt:
+			if len(n.Results) >= 2 {
+				if id, ok := ast.Unparen(n.Results[1]).(*ast.Ident); !ok || id.Name != "nil" {
+					pass.Reportf(n.Results[1].Pos(),
+						"ReadOnly %s returns a non-nil undo: an operation that needs undo is not read-only", label)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PubDiscipline enforces the MVCC publication discipline from the
+// versioned fast path: the snapshot read path trusts that (a) an
+// object's version ring pointer is replaced only by the publication and
+// gap-repair helpers, and (b) the engine's watermark bookkeeping
+// (pubNext/pubWm/pubDone) is touched only under pubMu inside
+// publishObjects, with pubSeq.Store as its sole mirror. Any other write
+// would let RunView observe a watermark that precedes the rings it
+// promises are visible.
+var PubDiscipline = &Analyzer{
+	Name: "pubdiscipline",
+	Doc: "in internal/engine, Object.vers may be Stored only by " +
+		"publishVersion/initVersions/applyUndo, Engine.pubSeq only by " +
+		"publishObjects, and the pubNext/pubWm/pubDone watermark fields " +
+		"accessed only inside publishObjects",
+	Run: runPubDiscipline,
+}
+
+// pubStoreAllow maps a guarded (recv type, field) whose .Store is
+// restricted to the set of functions allowed to call it.
+var pubStoreAllow = map[[2]string]map[string]bool{
+	{"Object", "vers"}:   {"publishVersion": true, "initVersions": true, "applyUndo": true},
+	{"Engine", "pubSeq"}: {"publishObjects": true},
+}
+
+// pubFieldAllow maps a guarded (recv type, field) whose every access is
+// restricted to the set of functions allowed to touch it.
+var pubFieldAllow = map[[2]string]map[string]bool{
+	{"Engine", "pubNext"}: {"publishObjects": true},
+	{"Engine", "pubWm"}:   {"publishObjects": true},
+	{"Engine", "pubDone"}: {"publishObjects": true},
+}
+
+func runPubDiscipline(pass *Pass) error {
+	if !pathIs(pass.Pkg, "internal/engine") {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Files() {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection := info.Selections[sel]
+			if selection == nil || selection.Kind() != types.FieldVal {
+				return true
+			}
+			key := [2]string{recvTypeName(selection.Recv()), sel.Sel.Name}
+			fn := enclosingFuncName(stack)
+			if allowed, guarded := pubStoreAllow[key]; guarded && isStoreReceiver(sel, stack) && !allowed[fn] {
+				pass.Reportf(sel.Pos(),
+					"%s.%s.Store outside its publication helper%s: version state must be published only via %s",
+					key[0], key[1], plural(allowed), funcList(allowed))
+			}
+			if allowed, guarded := pubFieldAllow[key]; guarded && !allowed[fn] {
+				pass.Reportf(sel.Pos(),
+					"%s.%s accessed outside %s: the watermark fields are pubMu-guarded publication bookkeeping",
+					key[0], key[1], funcList(allowed))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// recvTypeName returns the named type a field selection was made on,
+// looking through pointers ("" when unnamed).
+func recvTypeName(t types.Type) string {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		if n, ok := p.Elem().(*types.Named); ok {
+			return n.Obj().Name()
+		}
+	}
+	return ""
+}
+
+// isStoreReceiver reports whether sel is the X of an X.Store(...) call.
+func isStoreReceiver(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	parent, ok := stack[len(stack)-1].(*ast.SelectorExpr)
+	if !ok || parent.X != sel || parent.Sel.Name != "Store" {
+		return false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	return ok && call.Fun == parent
+}
+
+func funcList(set map[string]bool) string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	// Deterministic order for diagnostics and fixtures.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += "/"
+		}
+		out += n
+	}
+	return out
+}
+
+func plural(set map[string]bool) string {
+	if len(set) > 1 {
+		return "s"
+	}
+	return ""
+}

@@ -1,0 +1,68 @@
+// Package engine is a fixture of blocking shapes on an engine path.
+package engine
+
+import (
+	"context"
+	"time"
+)
+
+// retrySleep backs off without a cancellation path.
+func retrySleep() {
+	time.Sleep(time.Millisecond) // want "time.Sleep on an engine path"
+}
+
+// bareRecv blocks on a channel with no way out.
+func bareRecv(ch chan int) int {
+	return <-ch // want "bare channel receive"
+}
+
+// bareSend blocks publishing with no way out.
+func bareSend(ch chan int) {
+	ch <- 1 // want "bare channel send"
+}
+
+// deafSelect blocks with no cancellation case.
+func deafSelect(a, b chan int) int {
+	select { // want "blocking select has no cancellation case"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// ctxSelect waits with ctx.Done: legal.
+func ctxSelect(ctx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// doneSelect waits with an abandon signal: legal.
+func doneSelect(ch chan int, done <-chan struct{}) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-done:
+		return 0
+	}
+}
+
+// pollSelect has a default and never blocks: legal.
+func pollSelect(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// reaper documents its unconditional wait: suppressed, legal.
+func reaper(acquired chan struct{}) {
+	//oblint:allow ctxwait -- fixture: the reaper must outwait the acquisition it abandons
+	<-acquired
+}

@@ -1,0 +1,9 @@
+// Package history sits outside the engine paths: ctxwait does not apply
+// here, so an uncancellable sleep is (grudgingly) legal.
+package history
+
+import "time"
+
+func Throttle() {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,104 @@
+// Package lock is a fixture mirror of the real lock manager's tier
+// shapes: stripe (20) → ownerShard (30) → waitRegistry (40).
+package lock
+
+import "sync"
+
+type stripe struct {
+	mu     sync.Mutex
+	shards map[string]int
+}
+
+type ownerShard struct {
+	mu       sync.Mutex
+	finished int
+}
+
+type waitRegistry struct {
+	mu         sync.Mutex
+	waitingFor int
+}
+
+type Manager struct {
+	stripes [4]stripe
+	owners  [4]ownerShard
+	waits   waitRegistry
+}
+
+// inOrder walks the tiers in rank order, releasing as it goes: legal.
+func (m *Manager) inOrder() {
+	st := &m.stripes[0]
+	st.mu.Lock()
+	st.mu.Unlock()
+	os := &m.owners[0]
+	os.mu.Lock()
+	os.mu.Unlock()
+	m.waits.mu.Lock()
+	m.waits.mu.Unlock()
+}
+
+// nested holds a stripe while taking an owner shard: ascending, legal.
+func (m *Manager) nested() {
+	st := &m.stripes[1]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	os := &m.owners[1]
+	os.mu.Lock()
+	os.mu.Unlock()
+}
+
+// inverted takes a stripe while holding the waits registry: rank 20
+// under rank 40.
+func (m *Manager) inverted() {
+	m.waits.mu.Lock()
+	st := &m.stripes[2]
+	st.mu.Lock() // want "acquires st.mu .* while holding m.waits.mu"
+	st.mu.Unlock()
+	m.waits.mu.Unlock()
+}
+
+// doubled holds two stripes at once: never two locks of one tier.
+func (m *Manager) doubled() {
+	a := &m.stripes[0]
+	b := &m.stripes[1]
+	a.mu.Lock()
+	b.mu.Lock() // want "acquires b.mu .* while holding a.mu"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// underDefer acquires an owner shard under a deferred-held waits lock:
+// the defer keeps rank 40 held to function end.
+func (m *Manager) underDefer() {
+	m.waits.mu.Lock()
+	defer m.waits.mu.Unlock()
+	os := &m.owners[2]
+	os.mu.Lock() // want "acquires os.mu .* while holding m.waits.mu"
+	os.mu.Unlock()
+}
+
+// branchReturn holds a stripe only to the early return; the later owner
+// acquisition is clean.
+func (m *Manager) branchReturn(flag bool) {
+	if flag {
+		st := &m.stripes[3]
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return
+	}
+	os := &m.owners[3]
+	os.mu.Lock()
+	os.mu.Unlock()
+}
+
+// spawned goroutines are separate scopes: the literal's stripe
+// acquisition does not nest under the caller's waits lock.
+func (m *Manager) spawned() {
+	m.waits.mu.Lock()
+	go func() {
+		st := &m.stripes[0]
+		st.mu.Lock()
+		st.mu.Unlock()
+	}()
+	m.waits.mu.Unlock()
+}

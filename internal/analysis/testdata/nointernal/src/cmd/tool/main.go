@@ -1,0 +1,14 @@
+// Command tool is a fixture binary: it may use the façade and support
+// packages, but not the guarded engine internals.
+package main
+
+import (
+	"objectbase"
+	"objectbase/internal/bench"
+	"objectbase/internal/engine" // want "cmd/tool imports objectbase/internal/engine"
+)
+
+func main() {
+	_ = objectbase.DB{}
+	bench.Run(&engine.Engine{})
+}

@@ -1,0 +1,9 @@
+// Command demo is a fixture example: the lock manager is behind the
+// façade boundary.
+package main
+
+import "objectbase/internal/lock" // want "examples/demo imports objectbase/internal/lock"
+
+func main() {
+	_ = lock.Manager{}
+}

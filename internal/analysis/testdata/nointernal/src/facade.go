@@ -1,0 +1,4 @@
+// Package objectbase is the fixture façade.
+package objectbase
+
+type DB struct{}

@@ -1,0 +1,7 @@
+// Package bench is a support package: it may use the engine internals
+// (internal-to-internal imports are not the guarded boundary).
+package bench
+
+import "objectbase/internal/engine"
+
+func Run(e *engine.Engine) {}

@@ -1,0 +1,3 @@
+package engine
+
+type Engine struct{}

@@ -1,0 +1,3 @@
+package lock
+
+type Manager struct{}

@@ -1,0 +1,17 @@
+// Package core is a fixture mirror of the operation surface the
+// observercomplete read-only check keys on.
+package core
+
+type Value any
+
+type State map[string]Value
+
+type UndoFunc func(State)
+
+type ApplyFunc func(State, []Value) (Value, UndoFunc, error)
+
+type Operation struct {
+	Name     string
+	ReadOnly bool
+	Apply    ApplyFunc
+}

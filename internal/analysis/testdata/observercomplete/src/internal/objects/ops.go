@@ -1,0 +1,53 @@
+// Package objects exercises the read-only soundness half of
+// observercomplete.
+package objects
+
+import "objectbase/internal/core"
+
+// Get is genuinely read-only: legal.
+func Get() *core.Operation {
+	return &core.Operation{
+		Name:     "Get",
+		ReadOnly: true,
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			n, _ := s["n"].(int64)
+			return n, nil, nil
+		},
+	}
+}
+
+// Add mutates but is not declared ReadOnly: legal.
+func Add() *core.Operation {
+	return &core.Operation{
+		Name: "Add",
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			n, _ := s["n"].(int64)
+			s["n"] = n + 1
+			return nil, func(st core.State) { st["n"] = n }, nil
+		},
+	}
+}
+
+// SneakyWrite claims ReadOnly but writes through the state parameter.
+func SneakyWrite() *core.Operation {
+	return &core.Operation{
+		Name:     "SneakyWrite",
+		ReadOnly: true,
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			s["hits"] = int64(1) // want "writes state in Apply"
+			delete(s, "tmp")     // want "deletes state in Apply"
+			return nil, nil, nil
+		},
+	}
+}
+
+// SneakyUndo claims ReadOnly but registers an undo.
+func SneakyUndo() *core.Operation {
+	return &core.Operation{
+		Name:     "SneakyUndo",
+		ReadOnly: true,
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			return nil, func(st core.State) {}, nil // want "returns a non-nil undo"
+		},
+	}
+}

@@ -1,0 +1,34 @@
+// Package obs exercises the observer-completeness check. Signatures are
+// irrelevant to the check (the interface lives elsewhere); coverage of
+// the method-name surface is what is being tested.
+package obs
+
+// complete implements the full observer surface: legal.
+type complete struct{}
+
+func (complete) AddObject()    {}
+func (complete) AddExec()      {}
+func (complete) StartMessage() {}
+func (complete) EndMessage()   {}
+func (complete) AddStep()      {}
+func (complete) AddViewStep()  {}
+func (complete) MarkAborted()  {}
+func (complete) Snapshot()     {}
+func (complete) EventStats()   {}
+
+// partial covers most of the surface but drops snapshot reads and stats.
+type partial struct{} // want "partial implements 7 HistoryObserver methods but is missing AddViewStep, EventStats"
+
+func (partial) AddObject()    {}
+func (partial) AddExec()      {}
+func (partial) StartMessage() {}
+func (partial) EndMessage()   {}
+func (partial) AddStep()      {}
+func (partial) MarkAborted()  {}
+func (partial) Snapshot()     {}
+
+// unrelated shares a couple of method names by coincidence: legal.
+type unrelated struct{}
+
+func (unrelated) AddObject() {}
+func (unrelated) Snapshot()  {}

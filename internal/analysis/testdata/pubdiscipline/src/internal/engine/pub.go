@@ -1,0 +1,71 @@
+// Package engine is a fixture mirror of the engine's publication state:
+// per-object version rings behind an atomic pointer, and the pubMu
+// watermark bookkeeping.
+package engine
+
+import "sync/atomic"
+
+type VersionRing struct {
+	seqs []uint64
+}
+
+type Object struct {
+	name string
+	vers atomic.Pointer[VersionRing]
+}
+
+type Engine struct {
+	pubNext uint64
+	pubWm   uint64
+	pubDone map[uint64]bool
+	pubSeq  atomic.Uint64
+}
+
+// publishVersion is a blessed publisher.
+func publishVersion(o *Object, r *VersionRing) {
+	o.vers.Store(r)
+}
+
+// initVersions seeds the ring at registration time: blessed.
+func initVersions(o *Object) {
+	o.vers.Store(&VersionRing{})
+}
+
+// applyUndo repairs the gap left by an aborted publication: blessed.
+func (o *Object) applyUndo() {
+	o.vers.Store(nil)
+}
+
+// publishObjects advances the watermark: the one place the bookkeeping
+// fields may be touched.
+func (e *Engine) publishObjects() {
+	e.pubNext++
+	seq := e.pubNext
+	e.pubDone[seq] = true
+	for e.pubDone[e.pubWm+1] {
+		delete(e.pubDone, e.pubWm+1)
+		e.pubWm++
+	}
+	e.pubSeq.Store(e.pubWm)
+}
+
+// readSeq reads the mirrored watermark without the mutex: legal.
+func (e *Engine) readSeq() uint64 {
+	return e.pubSeq.Load()
+}
+
+// latestRing reads the published ring: legal anywhere.
+func latestRing(o *Object) *VersionRing {
+	return o.vers.Load()
+}
+
+// sneakyStore bypasses the publication helpers.
+func sneakyStore(o *Object) {
+	o.vers.Store(&VersionRing{}) // want "Object.vers.Store outside"
+}
+
+// bumpWatermark touches the bookkeeping outside publishObjects.
+func bumpWatermark(e *Engine) {
+	e.pubWm++                       // want "Engine.pubWm accessed outside publishObjects"
+	e.pubSeq.Store(uint64(e.pubWm)) // want "Engine.pubSeq.Store outside" "Engine.pubWm accessed outside publishObjects"
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// relPath returns the package path relative to its module root ("" for
+// the module root package itself).
+func relPath(p *Package) string {
+	if p.Path == p.Module {
+		return ""
+	}
+	return strings.TrimPrefix(p.Path, p.Module+"/")
+}
+
+// pathIs reports whether the package is one of the given module-relative
+// paths.
+func pathIs(p *Package, rels ...string) bool {
+	got := relPath(p)
+	for _, r := range rels {
+		if got == r {
+			return true
+		}
+	}
+	return false
+}
+
+// inspectWithStack walks root in source order, calling f with each node
+// and its ancestor stack (outermost first, excluding n itself). Returning
+// false skips n's children.
+func inspectWithStack(root ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !f(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// enclosingFuncName returns the name of the nearest enclosing FuncDecl on
+// the stack ("" at file scope). Function literals inherit the declared
+// function they appear in.
+func enclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}
+
+// nodeContains reports whether n lies within outer's source range.
+func nodeContains(outer, n ast.Node) bool {
+	return outer != nil && outer.Pos() <= n.Pos() && n.End() <= outer.End()
+}
+
+// calleeName returns the terminal identifier of a call's function
+// expression: f(...) -> "f", x.m(...) -> "m", "" otherwise.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}

@@ -241,6 +241,11 @@ func (d *depTracker) commitBarrier(e *Exec) error {
 			// resolved; loop to re-examine
 		case <-e.KillCh():
 			return &AbortError{Exec: e.id, Reason: fmt.Sprintf("cascade: killed while awaiting T%d", waitN), Retriable: true, Err: ErrKilled}
+		case <-e.Context().Done():
+			// The caller gave up: RunCtx promises cancellation is honoured
+			// at the commit boundary, and the kill channel above only fires
+			// for wound-wait aborts, not for context cancellation.
+			return &AbortError{Exec: e.id, Reason: fmt.Sprintf("cancelled while awaiting T%d: %v", waitN, e.Context().Err()), Retriable: false, Err: e.Context().Err()}
 		}
 	}
 }

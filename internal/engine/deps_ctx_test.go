@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"objectbase/internal/core"
+	"objectbase/internal/objects"
+)
+
+// TestCommitBarrierHonoursContext pins the commit barrier's cancellation
+// path: a transaction blocked at the barrier on an unresolved dependency
+// must return promptly when its own context is cancelled, instead of
+// waiting for the dependency to resolve. (Regression: the barrier select
+// listened only on the dependency and the kill channel, so RunCtx's
+// commit-boundary cancellation promise was broken for exactly the wait
+// that can be longest.)
+func TestCommitBarrierHonoursContext(t *testing.T) {
+	en := New(trackingScheduler{}, Options{TrackDependencies: true, MaxRetries: NoRetry})
+	en.AddObject("A", objects.Register(), core.State{"x": int64(0)})
+
+	wrote := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Writer parks after its dirty write so the reader's dependency
+		// on it stays unresolved until the test releases it.
+		_, _ = en.Run("W", func(ctx *Ctx) (core.Value, error) {
+			if _, err := ctx.Do("A", "Write", "x", int64(5)); err != nil {
+				return nil, err
+			}
+			close(wrote)
+			<-release
+			return nil, nil
+		})
+	}()
+	<-wrote
+
+	cctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := en.RunCtx(cctx, "R", func(ctx *Ctx) (core.Value, error) {
+			return ctx.Do("A", "Read", "x") // dirty read: dependency on W
+		})
+		errCh <- err
+	}()
+
+	// Let the reader reach the barrier, then cancel it while W is still
+	// unresolved.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled barrier wait returned %v, want context.Canceled", err)
+		}
+		if Retriable(err) {
+			t.Fatalf("context cancellation must not be retriable, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("commit barrier ignored context cancellation")
+	}
+
+	close(release)
+	wg.Wait()
+}

@@ -440,6 +440,7 @@ func (en *Engine) abortExec(e *Exec, cause error) {
 		// Top-level: cascade dependents before undoing (see depTracker).
 		for _, dep := range en.deps.beginAbort(e) {
 			dep.exec.kill()
+			//oblint:allow ctxwait -- cascade joins a dependent just killed above; its abort path cannot block indefinitely, and abandoning it here would undo state out of order
 			<-dep.done
 		}
 		en.aborts.Add(1)

@@ -51,10 +51,16 @@ func (o *Object) Schema() *core.Schema { return o.schema }
 // peek/admit/apply sequence; they must never block on other engine
 // resources while holding it except the lock manager's TryAcquire (which
 // never takes latches).
-func (o *Object) Latch() { o.mu.Lock() }
+func (o *Object) Latch() {
+	ordAcquire(ordRankObject, "object latch")
+	o.mu.Lock()
+}
 
 // Unlatch releases the object latch.
-func (o *Object) Unlatch() { o.mu.Unlock() }
+func (o *Object) Unlatch() {
+	ordRelease(ordRankObject, "object latch")
+	o.mu.Unlock()
+}
 
 // PeekLocked provisionally executes inv on a copy of the state and returns
 // the completed step without mutating anything. Caller holds the latch.
@@ -118,16 +124,20 @@ func (o *Object) ApplyForLocked(e *Exec, inv core.OpInvocation) (core.StepInfo, 
 // for schedulers that admit before touching the object (operation-
 // granularity locking, conservative timestamp ordering, no control at all).
 func (o *Object) ApplyFor(e *Exec, inv core.OpInvocation) (core.StepInfo, error) {
+	ordAcquire(ordRankObject, "object latch")
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	defer ordRelease(ordRankObject, "object latch")
 	return o.ApplyForLocked(e, inv)
 }
 
 // StateSnapshot returns a copy of the current state (tests, final-state
 // recording). It takes the latch.
 func (o *Object) StateSnapshot() core.State {
+	ordAcquire(ordRankObject, "object latch")
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	defer ordRelease(ordRankObject, "object latch")
 	return o.schema.Clone(o.state)
 }
 
@@ -140,6 +150,7 @@ func (o *Object) StateSnapshot() core.State {
 // (every snapshot read falling back to locks) until the next committed
 // write happened to republish it.
 func (o *Object) applyUndo(topKey string, fn core.UndoFunc) {
+	ordAcquire(ordRankObject, "object latch")
 	o.mu.Lock()
 	fn(o.state)
 	if o.pending != nil {
@@ -157,6 +168,7 @@ func (o *Object) applyUndo(topKey string, fn core.UndoFunc) {
 			o.pending[topKey] = n - 1
 		}
 	}
+	ordRelease(ordRankObject, "object latch")
 	o.mu.Unlock()
 }
 
@@ -178,6 +190,7 @@ func (o *Object) initVersions(initial core.State) {
 // either losing case a gap lands instead of a wrong snapshot: readers
 // refresh past it or fall back.
 func (o *Object) publishVersion(topKey string, seq uint64) {
+	ordAcquire(ordRankObject, "object latch")
 	o.mu.Lock()
 	delete(o.pending, topKey)
 	ring := o.vers.Load()
@@ -189,6 +202,7 @@ func (o *Object) publishVersion(topKey string, seq uint64) {
 	default:
 		o.vers.Store(ring.Push(seq, o.seq, o.schema.Clone(o.state)))
 	}
+	ordRelease(ordRankObject, "object latch")
 	o.mu.Unlock()
 }
 

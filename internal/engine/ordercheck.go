@@ -1,0 +1,44 @@
+//go:build ordercheck
+
+// The engine's half of the ordercheck runtime witness (see
+// internal/lock/ordercheck.go for the tracker): the object latch and the
+// publication mutex join the per-goroutine tier check, and the
+// shard-gate protocol gets per-transaction assertions that gates are
+// only ever held in ascending directory order — the property the static
+// lockorder analyzer checks per call site, witnessed here across the
+// whole acquire path at runtime. Gate tracking is per transaction, not
+// per goroutine, because a cross-shard transaction's lanes may acquire
+// and release gates from different goroutines.
+
+package engine
+
+import (
+	"fmt"
+
+	"objectbase/internal/lock"
+)
+
+const (
+	ordRankObject = 10
+	ordRankPub    = 50
+)
+
+func ordAcquire(rank int, name string) { lock.OrdAcquire(rank, name) }
+func ordRelease(rank int, name string) { lock.OrdRelease(rank, name) }
+
+// ordGates asserts that a transaction's gate set is strictly ascending.
+func ordGates(gated []int) {
+	for i := 1; i < len(gated); i++ {
+		if gated[i] <= gated[i-1] {
+			panic(fmt.Sprintf("ordercheck: gate set %v not in ascending directory order", gated))
+		}
+	}
+}
+
+// ordGateAppend asserts that joining shard s after the gates already
+// held respects directory order.
+func ordGateAppend(gated []int, s int) {
+	if n := len(gated); n > 0 && s <= gated[n-1] {
+		panic(fmt.Sprintf("ordercheck: gate %d acquired after gate %d: shard gates must be taken in ascending directory order", s, gated[n-1]))
+	}
+}

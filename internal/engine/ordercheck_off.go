@@ -1,0 +1,16 @@
+//go:build !ordercheck
+
+package engine
+
+// Without the ordercheck tag the witness calls compile to empty,
+// inlinable no-ops: the instrumented hot paths carry no cost.
+
+const (
+	ordRankObject = 10
+	ordRankPub    = 50
+)
+
+func ordAcquire(rank int, name string) {}
+func ordRelease(rank int, name string) {}
+func ordGates(gated []int)             {}
+func ordGateAppend(gated []int, s int) {}

@@ -1,0 +1,41 @@
+//go:build ordercheck
+
+package engine
+
+import "testing"
+
+func mustPanicOrd(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("ordercheck witness must panic")
+		}
+	}()
+	fn()
+}
+
+// TestOrdGateWitness pins the per-transaction gate assertions: ascending
+// sets and joins pass, any descent or repeat panics deterministically.
+func TestOrdGateWitness(t *testing.T) {
+	ordGates(nil)
+	ordGates([]int{2})
+	ordGates([]int{0, 1, 4})
+	ordGateAppend(nil, 3)
+	ordGateAppend([]int{0, 1}, 4)
+
+	mustPanicOrd(t, func() { ordGates([]int{1, 3, 2}) })
+	mustPanicOrd(t, func() { ordGates([]int{1, 1}) })
+	mustPanicOrd(t, func() { ordGateAppend([]int{2, 5}, 3) })
+	mustPanicOrd(t, func() { ordGateAppend([]int{2, 5}, 5) })
+}
+
+// TestOrdLatchWitnessRoundTrip: the instrumented latch is transparent on
+// the legal path, and a second latch on the same tier is caught.
+func TestOrdLatchWitnessRoundTrip(t *testing.T) {
+	a, b := &Object{name: "A"}, &Object{name: "B"}
+	a.Latch()
+	a.Unlatch()
+	b.Latch()
+	defer b.Unlatch()
+	mustPanicOrd(t, func() { a.Latch() })
+}

@@ -125,6 +125,7 @@ func (en *Engine) runSerialOnce(ctx context.Context, r Router, name string, fn M
 			return nil, err
 		}
 	}
+	ordGates(gate)
 	cs.gated = gate
 	defer cs.releaseGates() // after publication (LIFO)
 	// Record the top-level execution eagerly in the base engine, exactly

@@ -121,6 +121,7 @@ func lockGateCtx(ctx context.Context, r Router, s int) error {
 		return nil
 	case <-done:
 		go func() {
+			//oblint:allow ctxwait -- abandoned-acquire reaper: the blocked LockGate cannot be interrupted, so this detached goroutine must outwait it to release the gate
 			<-acquired
 			r.UnlockGate(s)
 		}()
@@ -148,6 +149,7 @@ func rLockGateCtx(ctx context.Context, r Router, s int) error {
 		return nil
 	case <-done:
 		go func() {
+			//oblint:allow ctxwait -- abandoned-acquire reaper: the blocked RLockGate cannot be interrupted, so this detached goroutine must outwait it to release the gate
 			<-acquired
 			r.RUnlockGate(s)
 		}()
@@ -316,6 +318,7 @@ func (cs *crossState) join(top *Exec, en *Engine, s int) error {
 			if err := lockGateCtx(top.Context(), cs.r, s); err != nil {
 				return &AbortError{Exec: top.id, Reason: "context", Retriable: false, Err: err}
 			}
+			ordGateAppend(cs.gated, s)
 			cs.gated = append(cs.gated, s)
 		default:
 			need := append(append([]int(nil), cs.gated...), s)
@@ -663,6 +666,7 @@ func (en *Engine) runShardedOnce(ctx context.Context, r Router, name string, fn 
 				return nil, gerr
 			}
 		}
+		ordGates(pregate)
 		cs.gated = append([]int(nil), pregate...)
 	}
 	defer cs.releaseGates() // after locks are released below (LIFO)
@@ -716,6 +720,7 @@ func (en *Engine) runShardedOnce(ctx context.Context, r Router, name string, fn 
 	if err != nil {
 		for _, dep := range en.deps.beginAbort(e) {
 			dep.exec.kill()
+			//oblint:allow ctxwait -- cascade joins a dependent just killed above; its abort path cannot block indefinitely, and abandoning it here would undo state out of order
 			<-dep.done
 		}
 		e.runUndo()

@@ -259,13 +259,16 @@ func (en *Engine) publishCommit(e *Exec) {
 // shared with the cross-shard commit path (which groups a transaction's
 // touched objects by home engine first).
 func (en *Engine) publishObjects(topKey string, objs []*Object) {
+	ordAcquire(ordRankPub, "pubMu")
 	en.pubMu.Lock()
 	en.pubNext++
 	seq := en.pubNext
+	ordRelease(ordRankPub, "pubMu")
 	en.pubMu.Unlock()
 	for _, o := range objs {
 		o.publishVersion(topKey, seq)
 	}
+	ordAcquire(ordRankPub, "pubMu")
 	en.pubMu.Lock()
 	en.pubDone[seq] = true
 	for en.pubDone[en.pubWm+1] {
@@ -273,6 +276,7 @@ func (en *Engine) publishObjects(topKey string, objs []*Object) {
 		en.pubWm++
 	}
 	en.pubSeq.Store(en.pubWm)
+	ordRelease(ordRankPub, "pubMu")
 	en.pubMu.Unlock()
 }
 

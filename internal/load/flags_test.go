@@ -1,0 +1,65 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFlagConfigValidateOK(t *testing.T) {
+	spec, errs := FlagConfig{Shards: "1, 8,1", Verify: "sample", History: "full,off", View: true}.Validate()
+	if len(errs) != 0 {
+		t.Fatalf("valid combination rejected: %v", errs)
+	}
+	if len(spec.ShardCounts) != 2 || spec.ShardCounts[0] != 1 || spec.ShardCounts[1] != 8 {
+		t.Fatalf("ShardCounts = %v, want deduplicated [1 8]", spec.ShardCounts)
+	}
+	if len(spec.HistoryModes) != 2 || spec.HistoryModes[0] != "full" || spec.HistoryModes[1] != "off" {
+		t.Fatalf("HistoryModes = %v, want [full off]", spec.HistoryModes)
+	}
+	if spec.Verify != "sample" || !spec.View {
+		t.Fatalf("Verify/View not carried through: %+v", spec)
+	}
+}
+
+func TestFlagConfigValidateOffOnlyNeedsVerifyNone(t *testing.T) {
+	if _, errs := (FlagConfig{Shards: "1", Verify: "none", History: "off"}).Validate(); len(errs) != 0 {
+		t.Fatalf("-history off -verify none is legal, got %v", errs)
+	}
+	_, errs := FlagConfig{Shards: "1", Verify: "sample", History: "off"}.Validate()
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "records nothing the oracle could check") {
+		t.Fatalf("off-only history with an active oracle must conflict, got %v", errs)
+	}
+}
+
+func TestFlagConfigValidateAutoExclusive(t *testing.T) {
+	_, errs := FlagConfig{Shards: "1", Verify: "sample", History: "auto,full"}.Validate()
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "auto cannot be combined") {
+		t.Fatalf("auto combined with full must conflict, got %v", errs)
+	}
+}
+
+// TestFlagConfigValidateReportsAllConflicts pins the aggregate contract:
+// a flag set wrong along every dimension comes back with every conflict,
+// not just the first.
+func TestFlagConfigValidateReportsAllConflicts(t *testing.T) {
+	_, errs := FlagConfig{Shards: "0,x,8", Verify: "bogus", History: "sometimes,off"}.Validate()
+	var got []string
+	for _, e := range errs {
+		got = append(got, e.Error())
+	}
+	wants := []string{
+		`bad -shards entry "0"`,
+		`bad -shards entry "x"`,
+		`unknown -verify policy "bogus"`,
+		`unknown -history mode "sometimes"`,
+		"records nothing the oracle could check",
+	}
+	if len(errs) != len(wants) {
+		t.Fatalf("got %d conflicts %v, want %d", len(errs), got, len(wants))
+	}
+	for i, w := range wants {
+		if !strings.Contains(got[i], w) {
+			t.Fatalf("conflict %d = %q, want it to mention %q", i, got[i], w)
+		}
+	}
+}

@@ -52,10 +52,15 @@
 // touched exclusively on the blocking paths (register a wait, detect a
 // cycle, cancel); a per-owner "waited" flag lets grants and finishes
 // skip it entirely when the execution never blocked. Lock order is
-// stripe → owner shard → waits registry, and never two locks of the
-// same tier at once. Grants remove the requester's waits-for entry
-// before the lock lands in the shard, so a concurrent detector never
-// sees a granted request as still waiting.
+// stripe → owner shard → waits registry (tiers 20/30/40 of the
+// repo-wide rank table — see "Lock and gate order" in the README), and
+// never two locks of the same tier at once; the lockorder analyzer in
+// internal/analysis checks this statically, and building with
+// -tags ordercheck (ordercheck.go) compiles in a runtime witness that
+// panics at the call site of any out-of-order acquisition. Grants
+// remove the requester's waits-for entry before the lock lands in the
+// shard, so a concurrent detector never sees a granted request as
+// still waiting.
 package lock
 
 import (
@@ -280,13 +285,18 @@ func (m *Manager) TryAcquire(e core.ExecID, object string, rel core.ConflictRela
 	ek := e.Key()
 	st := m.stripeFor(key)
 	os := m.ownerFor(ek)
+	ordAcquire(ordRankStripe, "stripe")
 	st.mu.Lock()
+	ordAcquire(ordRankOwner, "owner shard")
 	os.mu.Lock()
 	if os.finished[ek] {
+		ordRelease(ordRankOwner, "owner shard")
 		os.mu.Unlock()
+		ordRelease(ordRankStripe, "stripe")
 		st.mu.Unlock()
 		return false, nil, ErrFinished
 	}
+	ordRelease(ordRankOwner, "owner shard")
 	os.mu.Unlock()
 	sh := st.shards[key]
 	if sh == nil {
@@ -303,6 +313,7 @@ func (m *Manager) TryAcquire(e core.ExecID, object string, rel core.ConflictRela
 		// only) must never see a granted request as still waiting. The
 		// waited flag makes the registry visit conditional — an execution
 		// that never blocked never touches the global lock here.
+		ordAcquire(ordRankOwner, "owner shard")
 		os.mu.Lock()
 		if os.finished[ek] {
 			// The execution finished (commit/abort — e.g. its WaitTimeout
@@ -313,40 +324,53 @@ func (m *Manager) TryAcquire(e core.ExecID, object string, rel core.ConflictRela
 			// this block, it collects the ownership indexed here and its
 			// sweep (serialised behind the stripe lock we hold) releases
 			// the grant.
+			ordRelease(ordRankOwner, "owner shard")
 			os.mu.Unlock()
+			ordRelease(ordRankStripe, "stripe")
 			st.mu.Unlock()
 			return false, nil, ErrFinished
 		}
 		if os.waited[ek] {
 			delete(os.waited, ek)
+			ordAcquire(ordRankWaits, "waits registry")
 			m.waits.mu.Lock()
 			delete(m.waits.waitingFor, ek)
+			ordRelease(ordRankWaits, "waits registry")
 			m.waits.mu.Unlock()
 		}
 		os.indexOwnerLocked(e, key)
+		ordRelease(ordRankOwner, "owner shard")
 		os.mu.Unlock()
 		m.grant(sh, e, rel, req)
+		ordRelease(ordRankStripe, "stripe")
 		st.mu.Unlock()
 		m.stats.Acquires.Add(1)
 		return true, nil, nil
 	}
+	ordAcquire(ordRankOwner, "owner shard")
 	os.mu.Lock()
 	os.waited[ek] = true
+	ordRelease(ordRankOwner, "owner shard")
 	os.mu.Unlock()
+	ordAcquire(ordRankWaits, "waits registry")
 	m.waits.mu.Lock()
 	m.waits.waitingFor[ek] = waitInfo{exec: e, owners: blockers}
 	if m.wouldDeadlockLocked(e) {
 		delete(m.waits.waitingFor, ek)
+		ordRelease(ordRankWaits, "waits registry")
 		m.waits.mu.Unlock()
+		ordRelease(ordRankStripe, "stripe")
 		st.mu.Unlock()
 		m.stats.Deadlocks.Add(1)
 		return false, nil, fmt.Errorf("%w: %s requesting %s on %s", ErrDeadlock, e, req.Invocation(), object)
 	}
+	ordRelease(ordRankWaits, "waits registry")
 	m.waits.mu.Unlock()
 	// The waiter is registered under the stripe lock, so a release on
 	// this shard after the blockers were computed cannot miss it.
 	w := &Waiter{m: m, key: key, exec: e, ch: make(chan struct{}, 1), start: time.Now()}
 	sh.waiters = append(sh.waiters, w)
+	ordRelease(ordRankStripe, "stripe")
 	st.mu.Unlock()
 	m.stats.Waits.Add(1)
 	return false, w, nil
@@ -403,6 +427,7 @@ func (w *Waiter) WaitDone(done <-chan struct{}) error {
 // Cancel deregisters the waiter.
 func (w *Waiter) Cancel() {
 	st := w.m.stripeFor(w.key)
+	ordAcquire(ordRankStripe, "stripe")
 	st.mu.Lock()
 	if sh := st.shards[w.key]; sh != nil {
 		for i, x := range sh.waiters {
@@ -412,9 +437,12 @@ func (w *Waiter) Cancel() {
 			}
 		}
 	}
+	ordRelease(ordRankStripe, "stripe")
 	st.mu.Unlock()
+	ordAcquire(ordRankWaits, "waits registry")
 	w.m.waits.mu.Lock()
 	delete(w.m.waits.waitingFor, w.exec.Key())
+	ordRelease(ordRankWaits, "waits registry")
 	w.m.waits.mu.Unlock()
 }
 
@@ -556,16 +584,20 @@ func (m *Manager) wouldDeadlockLocked(e core.ExecID) bool {
 func (m *Manager) finish(e core.ExecID) map[string]bool {
 	ek := e.Key()
 	os := m.ownerFor(ek)
+	ordAcquire(ordRankOwner, "owner shard")
 	os.mu.Lock()
 	os.finished[ek] = true
 	names := os.byOwner[ek]
 	delete(os.byOwner, ek)
 	waited := os.waited[ek]
 	delete(os.waited, ek)
+	ordRelease(ordRankOwner, "owner shard")
 	os.mu.Unlock()
 	if waited {
+		ordAcquire(ordRankWaits, "waits registry")
 		m.waits.mu.Lock()
 		delete(m.waits.waitingFor, ek)
+		ordRelease(ordRankWaits, "waits registry")
 		m.waits.mu.Unlock()
 	}
 	return names
@@ -580,9 +612,11 @@ func (m *Manager) CommitTransfer(e core.ExecID) {
 	parent := e.Parent()
 	for name := range m.finish(e) {
 		st := m.stripeFor(name)
+		ordAcquire(ordRankStripe, "stripe")
 		st.mu.Lock()
 		sh := st.shards[name]
 		if sh == nil {
+			ordRelease(ordRankStripe, "stripe")
 			st.mu.Unlock()
 			continue
 		}
@@ -605,13 +639,16 @@ func (m *Manager) CommitTransfer(e core.ExecID) {
 		sh.held = out
 		if inherited {
 			po := m.ownerFor(parent.Key())
+			ordAcquire(ordRankOwner, "owner shard")
 			po.mu.Lock()
 			po.indexOwnerLocked(parent, name)
+			ordRelease(ordRankOwner, "owner shard")
 			po.mu.Unlock()
 		}
 		if changed {
 			wakeAll(sh)
 		}
+		ordRelease(ordRankStripe, "stripe")
 		st.mu.Unlock()
 	}
 }
@@ -621,9 +658,11 @@ func (m *Manager) CommitTransfer(e core.ExecID) {
 func (m *Manager) ReleaseAll(e core.ExecID) {
 	for name := range m.finish(e) {
 		st := m.stripeFor(name)
+		ordAcquire(ordRankStripe, "stripe")
 		st.mu.Lock()
 		sh := st.shards[name]
 		if sh == nil {
+			ordRelease(ordRankStripe, "stripe")
 			st.mu.Unlock()
 			continue
 		}
@@ -640,6 +679,7 @@ func (m *Manager) ReleaseAll(e core.ExecID) {
 		if changed {
 			wakeAll(sh)
 		}
+		ordRelease(ordRankStripe, "stripe")
 		st.mu.Unlock()
 	}
 }
@@ -647,8 +687,10 @@ func (m *Manager) ReleaseAll(e core.ExecID) {
 // Forget clears the finished marker (tests).
 func (m *Manager) Forget(e core.ExecID) {
 	os := m.ownerFor(e.Key())
+	ordAcquire(ordRankOwner, "owner shard")
 	os.mu.Lock()
 	delete(os.finished, e.Key())
+	ordRelease(ordRankOwner, "owner shard")
 	os.mu.Unlock()
 }
 
@@ -668,6 +710,7 @@ func (m *Manager) HeldBy(e core.ExecID) int {
 	n := 0
 	for i := range m.stripes {
 		st := &m.stripes[i]
+		ordAcquire(ordRankStripe, "stripe")
 		st.mu.Lock()
 		for _, sh := range st.shards {
 			for _, h := range sh.held {
@@ -676,6 +719,7 @@ func (m *Manager) HeldBy(e core.ExecID) int {
 				}
 			}
 		}
+		ordRelease(ordRankStripe, "stripe")
 		st.mu.Unlock()
 	}
 	return n
@@ -687,10 +731,12 @@ func (m *Manager) TotalHeld() int {
 	n := 0
 	for i := range m.stripes {
 		st := &m.stripes[i]
+		ordAcquire(ordRankStripe, "stripe")
 		st.mu.Lock()
 		for _, sh := range st.shards {
 			n += len(sh.held)
 		}
+		ordRelease(ordRankStripe, "stripe")
 		st.mu.Unlock()
 	}
 	return n

@@ -1,0 +1,92 @@
+//go:build ordercheck
+
+// The ordercheck build tag turns on the runtime half of the lockorder
+// invariant (see internal/analysis): every ranked acquisition is checked
+// against the locks the goroutine already holds, and a violation of the
+//
+//	object latch (10) → stripe (20) → owner shard (30) → waits registry (40) → pubMu (50)
+//
+// order — or two locks of one tier at once — panics at the acquisition
+// site. The static analyzer reasons per function; this witness sees the
+// cross-function compositions the analyzer cannot, so the two
+// cross-validate. Enabled in CI alongside -race.
+
+package lock
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Ranks of the documented lock order. The object latch (10) and
+// publication mutex (50) belong to internal/engine, which asserts them
+// through OrdAcquire/OrdRelease.
+const (
+	ordRankStripe = 20
+	ordRankOwner  = 30
+	ordRankWaits  = 40
+)
+
+type ordEntry struct {
+	rank int
+	name string
+}
+
+var (
+	ordMu   sync.Mutex
+	ordHeld = make(map[uint64][]ordEntry)
+)
+
+// ordGID extracts the current goroutine's id from its stack header — the
+// witness needs per-goroutine held sets and this is test-grade tooling,
+// never compiled into untagged builds.
+func ordGID() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := strings.TrimPrefix(string(buf[:n]), "goroutine ")
+	if i := strings.IndexByte(s, ' '); i > 0 {
+		s = s[:i]
+	}
+	id, _ := strconv.ParseUint(s, 10, 64)
+	return id
+}
+
+// OrdAcquire asserts that taking a lock of the given rank respects the
+// tier order given what this goroutine already holds, then records it.
+func OrdAcquire(rank int, name string) {
+	g := ordGID()
+	ordMu.Lock()
+	defer ordMu.Unlock()
+	for _, h := range ordHeld[g] {
+		if h.rank >= rank {
+			panic(fmt.Sprintf(
+				"ordercheck: acquiring %s (rank %d) while holding %s (rank %d): lock order is object latch(10) → stripe(20) → owner shard(30) → waits registry(40) → pubMu(50), never two of one tier",
+				name, rank, h.name, h.rank))
+		}
+	}
+	ordHeld[g] = append(ordHeld[g], ordEntry{rank: rank, name: name})
+}
+
+// OrdRelease drops the most recent matching acquisition of this
+// goroutine.
+func OrdRelease(rank int, name string) {
+	g := ordGID()
+	ordMu.Lock()
+	defer ordMu.Unlock()
+	held := ordHeld[g]
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].rank == rank && held[i].name == name {
+			ordHeld[g] = append(held[:i], held[i+1:]...)
+			break
+		}
+	}
+	if len(ordHeld[g]) == 0 {
+		delete(ordHeld, g)
+	}
+}
+
+func ordAcquire(rank int, name string) { OrdAcquire(rank, name) }
+func ordRelease(rank int, name string) { OrdRelease(rank, name) }

@@ -1,0 +1,66 @@
+//go:build ordercheck
+
+package lock
+
+import (
+	"testing"
+
+	"objectbase/internal/core"
+	"objectbase/internal/objects"
+)
+
+// mustPanic runs fn and fails unless it panics with an ordercheck
+// message.
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("out-of-order acquisition must panic under ordercheck")
+		}
+	}()
+	fn()
+}
+
+// TestOrdWitnessPanicsOnInversion injects a tier inversion straight into
+// the witness: acquiring the stripe tier (20) while the same goroutine
+// holds the waits registry (40) must panic deterministically. (The
+// static half of the same injected violation lives in
+// internal/analysis/testdata/lockorder.)
+func TestOrdWitnessPanicsOnInversion(t *testing.T) {
+	OrdAcquire(ordRankWaits, "waits registry")
+	defer OrdRelease(ordRankWaits, "waits registry")
+	mustPanic(t, func() { OrdAcquire(ordRankStripe, "stripe") })
+}
+
+// TestOrdWitnessPanicsOnSameTier pins the "never two locks of one tier"
+// half of the invariant.
+func TestOrdWitnessPanicsOnSameTier(t *testing.T) {
+	OrdAcquire(ordRankOwner, "owner shard")
+	defer OrdRelease(ordRankOwner, "owner shard")
+	mustPanic(t, func() { OrdAcquire(ordRankOwner, "owner shard") })
+}
+
+// TestOrdWitnessAscendingClean: the documented order leaves no residue
+// and never panics.
+func TestOrdWitnessAscendingClean(t *testing.T) {
+	OrdAcquire(ordRankStripe, "stripe")
+	OrdAcquire(ordRankOwner, "owner shard")
+	OrdRelease(ordRankOwner, "owner shard")
+	OrdAcquire(ordRankWaits, "waits registry")
+	OrdRelease(ordRankWaits, "waits registry")
+	OrdRelease(ordRankStripe, "stripe")
+}
+
+// TestOrdWitnessCatchesInvertedManagerUse drives the inversion through
+// the real instrumentation: a goroutine that (wrongly) holds the waits
+// registry and then enters TryAcquire — whose first ranked acquisition
+// is a stripe — must be stopped by the witness at that call site.
+func TestOrdWitnessCatchesInvertedManagerUse(t *testing.T) {
+	m := New(Options{})
+	rel := objects.Register().Conflicts
+	OrdAcquire(ordRankWaits, "waits registry")
+	defer OrdRelease(ordRankWaits, "waits registry")
+	mustPanic(t, func() {
+		_, _, _ = m.TryAcquire(core.RootID(0), "A", rel, core.StepInfo{Op: "Read", Args: []core.Value{"x"}})
+	})
+}
