@@ -384,6 +384,50 @@ func BenchmarkRecorderOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceOverhead measures the flight recorder's cost on the
+// transaction hot path: the same commuting counter-bump stream with
+// tracing disabled (the nil-tracer pointer checks every instrumentation
+// site pays) versus enabled (span records, ring stores, histogram
+// updates). The disabled cell is the one the ≤2% CI compare gate guards:
+// shipping the instrumentation must not cost untraced users.
+func BenchmarkTraceOverhead(b *testing.B) {
+	for _, traced := range []bool{false, true} {
+		traced := traced
+		name := "disabled"
+		opts := []objectbase.Option{objectbase.WithHistory(objectbase.HistoryOff)}
+		if traced {
+			name = "enabled"
+			opts = append(opts, objectbase.WithTracing())
+		}
+		b.Run(name, func(b *testing.B) {
+			db, err := objectbase.Open(opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := db.RegisterObject("c", objectbase.Counter(), nil); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.RegisterMethod("c", "bump", func(ctx *objectbase.Ctx) (objectbase.Value, error) {
+				return ctx.Do("c", "Add", int64(1))
+			}); err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := db.Exec(ctx, "T", func(c *objectbase.Ctx) (objectbase.Value, error) {
+						return c.Call("c", "bump")
+					}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkLockStriping measures the striped lock table under parallel
 // grant/commit traffic: with one hot object every request lands on one
 // stripe (the pre-striping world in miniature), with 16 the requests

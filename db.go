@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"objectbase/internal/engine"
 	"objectbase/internal/graph"
 	"objectbase/internal/lock"
+	"objectbase/internal/obs"
 	"objectbase/internal/shard"
 )
 
@@ -41,6 +43,15 @@ type (
 	History = core.History
 	// Verdict is the oracle's judgement of a history.
 	Verdict = graph.Verdict
+	// Metrics is a snapshot of the DB's metrics registry: named counters
+	// and gauges, plus per-phase latency statistics when tracing is on.
+	// See DB.Metrics.
+	Metrics = obs.Metrics
+	// HistStat is the per-phase latency summary inside Metrics.Phases.
+	HistStat = obs.HistStat
+	// SpanRecord is one flight-recorder phase span or instant event.
+	// See DB.TraceSnapshot.
+	SpanRecord = obs.SpanRecord
 )
 
 // DefaultScheduler is the scheduler Open uses when none is requested:
@@ -87,6 +98,8 @@ type config struct {
 	historyLimit int
 	versioning   bool
 	shards       int
+	tracing      bool
+	debugAddr    string
 }
 
 // Option configures Open.
@@ -222,6 +235,49 @@ func WithHistoryLimit(n int) Option {
 	}
 }
 
+// WithTracing enables the transaction flight recorder: every top-level
+// transaction's attempt is decomposed into phase spans (admit,
+// schedule-wait, lock-wait, execute, commit-barrier, publish,
+// retry-backoff, ...) recorded into lock-free per-client ring buffers
+// and per-phase latency histograms. Drain spans with DB.TraceSnapshot
+// (newest ~256k spans; older ones are overwritten, the histograms keep
+// counting) and read the aggregates with DB.Metrics. Disabled, the
+// instrumentation costs one nil check per phase; the default is off.
+//
+// Setting the environment variable OBJECTBASE_TRACE=1 enables tracing
+// for every Open in the process — the hook CI uses to run the test
+// suite with the recorder on.
+func WithTracing() Option {
+	return func(c *config) error {
+		c.tracing = true
+		return nil
+	}
+}
+
+// WithDebugServer starts a live introspection HTTP server on addr
+// (":0" picks a free port — read it back with DB.DebugAddr) serving
+//
+//	/metrics   — the metrics registry in Prometheus text format
+//	/waitsfor  — the live waits-for graph as a Graphviz DOT digraph,
+//	             merged across the shards' lock managers (a deadlock
+//	             ring spanning shards shows only in the merged graph)
+//	/trace     — the flight-recorder contents as Chrome trace_event
+//	             JSON (open in chrome://tracing or Perfetto)
+//	/debug/pprof/ — the standard runtime profiles
+//
+// WithDebugServer implies WithTracing. Shut the server down with
+// DB.Close.
+func WithDebugServer(addr string) Option {
+	return func(c *config) error {
+		if addr == "" {
+			return errors.New("objectbase: WithDebugServer: empty address")
+		}
+		c.tracing = true
+		c.debugAddr = addr
+		return nil
+	}
+}
+
 // DB is an open object base: a set of objects (schema + state + methods)
 // executing nested transactions under one concurrency-control scheduler,
 // with the full history recorded for verification.
@@ -235,6 +291,10 @@ type DB struct {
 	eng       *engine.Engine   // engines[0]
 	engines   []*engine.Engine // one per shard; length 1 unsharded
 	space     *shard.Space     // nil unless WithShards(n > 1)
+
+	tr  *obs.Tracer   // nil unless WithTracing (or OBJECTBASE_TRACE=1)
+	reg *obs.Registry // always built; phase histograms only when tracing
+	dbg *obs.Server   // nil unless WithDebugServer
 
 	// regMu serialises registration: the duplicate-object check and the
 	// engine insertion must be atomic against concurrent registrations.
@@ -250,31 +310,71 @@ func Open(opts ...Option) (*DB, error) {
 			return nil, err
 		}
 	}
+	if !cfg.tracing && os.Getenv("OBJECTBASE_TRACE") == "1" {
+		cfg.tracing = true
+	}
+	var tr *obs.Tracer
+	if cfg.tracing {
+		tr = obs.NewTracer()
+	}
 	engOpts := engine.Options{
 		MaxRetries:   cfg.maxRetries,
 		RetryBackoff: cfg.retryBackoff,
 		Recording:    cfg.recording,
 		HistoryLimit: cfg.historyLimit,
 		Versioning:   cfg.versioning,
+		Tracer:       tr,
 	}
+	var db *DB
 	if cfg.shards > 1 {
 		engines, err := cc.NewShardedEngines(cfg.scheduler, cfg.shards, cc.Config{LockTimeout: cfg.lockTimeout}, engOpts)
 		if err != nil {
 			return nil, fmt.Errorf("objectbase: %w", err)
 		}
-		return &DB{
+		db = &DB{
 			scheduler: cfg.scheduler,
 			eng:       engines[0],
 			engines:   engines,
 			space:     shard.NewSpace(engines),
-		}, nil
+		}
+	} else {
+		sched, err := cc.NewByName(cfg.scheduler, cc.Config{LockTimeout: cfg.lockTimeout})
+		if err != nil {
+			return nil, fmt.Errorf("objectbase: %w", err)
+		}
+		eng := cc.NewEngine(sched, engOpts)
+		db = &DB{scheduler: cfg.scheduler, eng: eng, engines: []*engine.Engine{eng}}
 	}
-	sched, err := cc.NewByName(cfg.scheduler, cc.Config{LockTimeout: cfg.lockTimeout})
-	if err != nil {
-		return nil, fmt.Errorf("objectbase: %w", err)
+	db.tr = tr
+	if tr != nil {
+		if db.space != nil {
+			db.space.SetTracer(tr)
+		}
+		// Lock waits are recorded inside the managers; wire the recorder
+		// into every distinct one (per-shard managers each, a space-shared
+		// scheduler's exactly once).
+		for _, sched := range db.distinctSchedulers() {
+			if lm, ok := sched.(interface{ Manager() *lock.Manager }); ok {
+				lm.Manager().SetTracer(tr)
+			}
+		}
 	}
-	eng := cc.NewEngine(sched, engOpts)
-	return &DB{scheduler: cfg.scheduler, eng: eng, engines: []*engine.Engine{eng}}, nil
+	db.buildRegistry()
+	if cfg.debugAddr != "" {
+		srv, err := obs.StartServer(obs.ServerOptions{
+			Addr:     cfg.debugAddr,
+			Registry: db.reg,
+			WaitsFor: db.waitsForDOT,
+			Trace: func() ([]obs.SpanRecord, time.Time) {
+				return db.tr.Snapshot(), db.tr.Epoch()
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("objectbase: debug server: %w", err)
+		}
+		db.dbg = srv
+	}
+	return db, nil
 }
 
 // Scheduler returns the registered name of the DB's scheduler.
@@ -470,6 +570,14 @@ type Stats struct {
 	// could not resolve a snapshot and ran on the locked path instead.
 	ViewCommits   int64
 	ViewFallbacks int64
+	// SerialRestarts and TwoPCRestarts count attempts of sharded
+	// transactions restarted to grow their shard set: declared-set
+	// serial transactions that touched an undeclared shard, and
+	// cross-shard two-phase commits that discovered a member late
+	// (sharded DBs only). Restarts are routing, not workload outcomes:
+	// they are counted here, not in Aborts.
+	SerialRestarts int64
+	TwoPCRestarts  int64
 }
 
 // Sub returns the counter deltas s - prev: the activity between two
@@ -477,15 +585,17 @@ type Stats struct {
 // setup, warmup, or earlier runs) out of the DB's cumulative counters.
 func (s Stats) Sub(prev Stats) Stats {
 	return Stats{
-		Commits:       s.Commits - prev.Commits,
-		Aborts:        s.Aborts - prev.Aborts,
-		Retries:       s.Retries - prev.Retries,
-		LockWaits:     s.LockWaits - prev.LockWaits,
-		Deadlocks:     s.Deadlocks - prev.Deadlocks,
-		CertValidated: s.CertValidated - prev.CertValidated,
-		CertRejected:  s.CertRejected - prev.CertRejected,
-		ViewCommits:   s.ViewCommits - prev.ViewCommits,
-		ViewFallbacks: s.ViewFallbacks - prev.ViewFallbacks,
+		Commits:        s.Commits - prev.Commits,
+		Aborts:         s.Aborts - prev.Aborts,
+		Retries:        s.Retries - prev.Retries,
+		LockWaits:      s.LockWaits - prev.LockWaits,
+		Deadlocks:      s.Deadlocks - prev.Deadlocks,
+		CertValidated:  s.CertValidated - prev.CertValidated,
+		CertRejected:   s.CertRejected - prev.CertRejected,
+		ViewCommits:    s.ViewCommits - prev.ViewCommits,
+		ViewFallbacks:  s.ViewFallbacks - prev.ViewFallbacks,
+		SerialRestarts: s.SerialRestarts - prev.SerialRestarts,
+		TwoPCRestarts:  s.TwoPCRestarts - prev.TwoPCRestarts,
 	}
 }
 
@@ -502,6 +612,10 @@ func (db *DB) Stats() Stats {
 		st.Retries += en.Retries()
 		st.ViewCommits += en.ViewCommits()
 		st.ViewFallbacks += en.ViewFallbacks()
+		// Restart counters live on the base engine only, so the sum
+		// counts each restart once.
+		st.SerialRestarts += en.SerialRestarts()
+		st.TwoPCRestarts += en.TwoPCRestarts()
 	}
 	// Scheduler-side counters come from the distinct scheduler instances:
 	// per-shard schedulers contribute each, a space-shared one (the
@@ -615,6 +729,96 @@ func (db *DB) Verify() (Verdict, error) {
 		return v, fmt.Errorf("objectbase: %w: %w", ErrTheorem5, err)
 	}
 	return v, nil
+}
+
+// buildRegistry populates the DB's metrics registry: one func-backed
+// counter per Stats field (the registry and Stats read the same engine
+// counters, so the two surfaces cannot disagree), a shards gauge, and —
+// when tracing — the per-phase latency histograms and the dropped-span
+// gauge.
+func (db *DB) buildRegistry() {
+	reg := obs.NewRegistry()
+	counter := func(name, help string, fn func(Stats) int64) {
+		reg.Counter(name, help, func() int64 { return fn(db.Stats()) })
+	}
+	counter("commits", "Committed top-level transactions.", func(s Stats) int64 { return s.Commits })
+	counter("aborts", "Aborted top-level transaction attempts.", func(s Stats) int64 { return s.Aborts })
+	counter("retries", "Retried top-level transaction attempts.", func(s Stats) int64 { return s.Retries })
+	counter("lock_waits", "Blocking lock acquisitions.", func(s Stats) int64 { return s.LockWaits })
+	counter("deadlocks", "Detected deadlocks (denied or timed-out waits).", func(s Stats) int64 { return s.Deadlocks })
+	counter("cert_validated", "Certification successes (certifying schedulers).", func(s Stats) int64 { return s.CertValidated })
+	counter("cert_rejected", "Certification rejections (certifying schedulers).", func(s Stats) int64 { return s.CertRejected })
+	counter("view_commits", "Committed snapshot (View) transactions.", func(s Stats) int64 { return s.ViewCommits })
+	counter("view_fallbacks", "View transactions that fell back to the locked path.", func(s Stats) int64 { return s.ViewFallbacks })
+	counter("serial_restarts", "Serial-path restarts growing a declared shard set.", func(s Stats) int64 { return s.SerialRestarts })
+	counter("twopc_restarts", "Cross-shard restarts discovering a shard late.", func(s Stats) int64 { return s.TwoPCRestarts })
+	reg.Gauge("shards", "Number of shards the object space is partitioned into.", func() int64 { return int64(len(db.engines)) })
+	if db.tr != nil {
+		tr := db.tr
+		reg.Gauge("trace_dropped_spans", "Flight-recorder spans overwritten before being drained.", func() int64 { return int64(tr.Dropped()) })
+		reg.RegisterPhases(tr)
+	}
+	db.reg = reg
+}
+
+// waitsForDOT merges the live waits-for graphs of every distinct lock
+// manager into one DOT digraph — the /waitsfor endpoint's content. A
+// waits-for cycle spanning shards is visible only in the merged graph
+// (each shard's detector sees just its own edges, which is why the wait
+// budget, not detection, resolves cross-shard deadlocks).
+func (db *DB) waitsForDOT() string {
+	var parts []string
+	for _, sched := range db.distinctSchedulers() {
+		if lm, ok := sched.(interface{ Manager() *lock.Manager }); ok {
+			parts = append(parts, lm.Manager().WaitsForDOT())
+		}
+	}
+	return obs.MergeDOT(parts...)
+}
+
+// Metrics returns a snapshot of the DB's metrics registry: the Stats
+// counters by name, gauges, and — when tracing (WithTracing) — the
+// per-phase latency statistics of the flight recorder. The counter
+// values are read from the same engine counters as Stats, so the two
+// surfaces agree up to the skew of reading counters one by one while
+// transactions run.
+func (db *DB) Metrics() Metrics { return db.reg.Snapshot() }
+
+// Tracing reports whether the flight recorder is on (WithTracing,
+// WithDebugServer, or OBJECTBASE_TRACE=1).
+func (db *DB) Tracing() bool { return db.tr.Enabled() }
+
+// TraceSnapshot drains the flight recorder: every phase span and
+// instant event still in the ring buffers (the newest ~256k; older ones
+// were overwritten — the phase histograms in Metrics keep exact counts
+// regardless), sorted by start time, plus the recorder's epoch (spans
+// carry offsets from it). It returns nil spans when tracing is off.
+// Convert to Chrome trace_event JSON with cmd/obsim or serve it live
+// with WithDebugServer's /trace.
+func (db *DB) TraceSnapshot() ([]SpanRecord, time.Time) {
+	if db.tr == nil {
+		return nil, time.Time{}
+	}
+	return db.tr.Snapshot(), db.tr.Epoch()
+}
+
+// DebugAddr returns the listen address of the debug server (useful with
+// WithDebugServer(":0")), or "" when none is running.
+func (db *DB) DebugAddr() string {
+	if db.dbg == nil {
+		return ""
+	}
+	return db.dbg.Addr()
+}
+
+// Close releases the DB's background resources — today that is the
+// debug server, so Close on a DB opened without WithDebugServer is a
+// no-op. The DB itself needs no teardown.
+func (db *DB) Close() error {
+	if db.dbg == nil {
+		return nil
+	}
+	return db.dbg.Close()
 }
 
 // Engine exposes the underlying runtime engine — shard 0's on a sharded

@@ -113,17 +113,40 @@
 // behave identically under either mode; only the oracle needs the full
 // history.
 //
+// # Tracing and metrics
+//
+// Opening with WithTracing() (or setting OBJECTBASE_TRACE=1) turns on
+// the flight recorder: every transaction attempt is decomposed into
+// phase spans — admit, schedule-wait, execute, commit-barrier, publish,
+// retry-backoff, plus nested lock-wait/gate-wait stretches and instant
+// restart/fallback events — recorded in lock-free per-client ring
+// buffers. TraceSnapshot drains them; cmd/obsim can write the same data
+// as Chrome trace_event JSON (obsim load -trace) and pretty-print it
+// (obsim trace). The exclusive phases partition each attempt's wall
+// time, so their histogram totals reconcile with end-to-end latency —
+// slow cells decompose into "where the time went" with nothing hidden.
+//
+// Metrics() works on every DB, traced or not: a registry of named
+// counters guaranteed to agree with Stats(), gauges, and (when tracing)
+// per-phase latency histograms. WithDebugServer(addr) serves the
+// registry live — /metrics in Prometheus text format, /waitsfor as a
+// Graphviz DOT snapshot of the lock managers' merged waits-for graph
+// (the live deadlock diagnosis surface), /trace as trace_event JSON,
+// and the standard /debug/pprof/ profiles. When tracing is off the
+// instrumented hot paths cost one nil-pointer check per site.
+//
 // # Invariant checking
 //
 // The engine's concurrency conventions — the repo-wide lock rank order,
 // the shard-gate acquisition order, version-publication discipline,
-// context plumbing on blocking paths, and the cmd//examples import
-// boundary — are machine-checked. `go run ./cmd/oblint ./...` runs the
-// five analyzers of internal/analysis over the tree (CI enforces a
-// clean run), and building or testing with -tags ordercheck compiles in
-// a runtime witness that panics at the call site of any out-of-order
-// lock or gate acquisition. See the README's "Static analysis" section
-// for the analyzer catalogue and the rank table.
+// context plumbing on blocking paths, flight-recorder span balance,
+// and the cmd//examples import boundary — are machine-checked. `go run
+// ./cmd/oblint ./...` runs the six analyzers of internal/analysis over
+// the tree (CI enforces a clean run), and building or testing with
+// -tags ordercheck compiles in a runtime witness that panics at the
+// call site of any out-of-order lock or gate acquisition. See the
+// README's "Static analysis" section for the analyzer catalogue and
+// the rank table.
 //
 // See README.md for the repository layout, the scheduler catalogue, and a
 // complete quickstart; the runnable programs under examples/ exercise the

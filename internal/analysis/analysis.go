@@ -5,8 +5,9 @@
 // cross-validated at runtime by the `ordercheck` build tag), the
 // version-publication discipline of the MVCC fast path (pubdiscipline),
 // context-aware blocking on engine paths (ctxwait), the public-façade
-// import boundary (nointernal), and observer/read-only completeness
-// (observercomplete).
+// import boundary (nointernal), observer/read-only completeness
+// (observercomplete), and flight-recorder span balance on the
+// instrumented hot paths (spanbalance).
 //
 // The framework deliberately mirrors the shape of
 // golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic, and an
@@ -182,5 +183,6 @@ func All() []*Analyzer {
 		CtxWait,
 		NoInternal,
 		ObserverComplete,
+		SpanBalance,
 	}
 }

@@ -11,6 +11,7 @@ func TestPubDisciplineFixtures(t *testing.T)    { RunFixture(t, PubDiscipline) }
 func TestCtxWaitFixtures(t *testing.T)          { RunFixture(t, CtxWait) }
 func TestNoInternalFixtures(t *testing.T)       { RunFixture(t, NoInternal) }
 func TestObserverCompleteFixtures(t *testing.T) { RunFixture(t, ObserverComplete) }
+func TestSpanBalanceFixtures(t *testing.T)      { RunFixture(t, SpanBalance) }
 
 // TestSuiteOnRealTree pins the acceptance bar in-process: the full suite
 // over the real module must come back clean (the same check CI enforces

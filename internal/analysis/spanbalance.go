@@ -1,0 +1,391 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// SpanBalance checks that the flight-recorder spans opened on the
+// instrumented hot paths are balanced: every span a function binds with
+// tr.StartSpan must reach End or EndWith on every path that leaves the
+// function — directly before each return, or through a defer. A leaked
+// span is not a resource bug (spans hold no locks and the ring reclaims
+// slots), but it silently corrupts the phase accounting: the exclusive
+// phases are trusted to partition each attempt's wall time, and a span
+// that never ends records nothing, so the reconciliation invariant the
+// trace tests check drifts with no error anywhere.
+//
+// The check is a source-order flow analysis in the lockorder style, not
+// a full CFG: each statement list is scanned with the set of open spans;
+// branches (if/switch/select) fork the set and the after-state is the
+// union of the paths that fall through; a defer'd End/EndWith (directly
+// or inside a deferred function literal) absolves the variable for the
+// rest of the function; return statements — and falling off the end of
+// the function — report whatever is still open. Function literals are
+// independent scopes: they run at some other time, so they neither close
+// the enclosing function's spans nor leak their own into it.
+//
+// Passing a span to another function — as a call argument or a return
+// value — transfers ownership: the callee (or the caller) is now the one
+// that must End it, so the variable leaves the open set (the engine's
+// retry loop opens the admit span and hands it to runOnce this way).
+// Symmetrically, a span received as a parameter is never tracked, so the
+// callee's Ends are simply not the analyzer's concern.
+var SpanBalance = &Analyzer{
+	Name: "spanbalance",
+	Doc: "tracer spans on engine/lock/shard hot paths must End/EndWith on every return path (defer-aware); " +
+		"a leaked span silently breaks the phase-partition invariant of the flight recorder",
+	Run: runSpanBalance,
+}
+
+func runSpanBalance(pass *Pass) error {
+	if !pathIs(pass.Pkg, "internal/engine", "internal/lock", "internal/shard") {
+		return nil
+	}
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkSpanBody(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkSpanBody analyses one function body. Nested function literals are
+// peeled off first and analysed as bodies of their own; the structural
+// scan below never descends into them (a literal's End call runs when
+// the literal runs, not where it is written).
+func checkSpanBody(pass *Pass, body *ast.BlockStmt) {
+	var lits []*ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, fl.Body)
+			return false
+		}
+		return true
+	})
+	s := &spanScan{pass: pass, deferClosed: make(map[string]bool)}
+	out, terminated := s.stmts(body.List, spanSet{})
+	if !terminated {
+		s.reportOpen(body.Rbrace, out)
+	}
+	for _, lit := range lits {
+		checkSpanBody(pass, lit)
+	}
+}
+
+// spanSet maps an open span variable to the position of the StartSpan
+// that opened it.
+type spanSet map[string]token.Pos
+
+func (o spanSet) clone() spanSet {
+	c := make(spanSet, len(o))
+	for k, v := range o {
+		c[k] = v
+	}
+	return c
+}
+
+// union folds other into o (keeping o's position on collision) and
+// returns o.
+func (o spanSet) union(other spanSet) spanSet {
+	for k, v := range other {
+		if _, ok := o[k]; !ok {
+			o[k] = v
+		}
+	}
+	return o
+}
+
+// spanScan carries one function body's analysis state. deferClosed is
+// filled in source order: a defer absolves a span only for the code that
+// runs after the defer statement, which is exactly the code scanned
+// after it.
+type spanScan struct {
+	pass        *Pass
+	deferClosed map[string]bool
+}
+
+func (s *spanScan) line(pos token.Pos) int { return s.pass.Fset().Position(pos).Line }
+
+// reportOpen flags every open, non-defer-closed span at a point where
+// control leaves the function.
+func (s *spanScan) reportOpen(pos token.Pos, open spanSet) {
+	names := make([]string, 0, len(open))
+	for n := range open {
+		if !s.deferClosed[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.pass.Reportf(pos, "span %q opened at line %d may leave the function without End/EndWith", n, s.line(open[n]))
+	}
+}
+
+// stmts scans a statement list with the given open-span set. It returns
+// the set live after the list and whether every path through the list
+// left the enclosing scope (return, or break/continue/goto).
+func (s *spanScan) stmts(list []ast.Stmt, open spanSet) (spanSet, bool) {
+	for _, st := range list {
+		var term bool
+		open, term = s.stmt(st, open)
+		if term {
+			return open, true
+		}
+	}
+	return open, false
+}
+
+// stmt scans one statement. The returned set replaces the caller's; the
+// bool reports that control does not fall through to the next statement.
+func (s *spanScan) stmt(stmt ast.Stmt, open spanSet) (spanSet, bool) {
+	switch st := stmt.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			transferArgSpans(rhs, open)
+		}
+		// StartSpan has one result, so only the n:n form can bind one.
+		if len(st.Lhs) == len(st.Rhs) {
+			for i, rhs := range st.Rhs {
+				if !isStartSpanCall(rhs) {
+					continue
+				}
+				id, ok := st.Lhs[i].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if pos, already := open[id.Name]; already && !s.deferClosed[id.Name] {
+					s.pass.Reportf(rhs.Pos(), "span %q is restarted before the span opened at line %d was ended", id.Name, s.line(pos))
+				}
+				open[id.Name] = rhs.Pos()
+			}
+		}
+
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != len(vs.Values) {
+					continue
+				}
+				for i, v := range vs.Values {
+					if isStartSpanCall(v) && vs.Names[i].Name != "_" {
+						open[vs.Names[i].Name] = v.Pos()
+					}
+				}
+			}
+		}
+
+	case *ast.ExprStmt:
+		if name, ok := spanCloseTarget(st.X); ok {
+			delete(open, name)
+		} else {
+			transferArgSpans(st.X, open)
+		}
+
+	case *ast.GoStmt:
+		transferArgSpans(st.Call, open)
+
+	case *ast.DeferStmt:
+		// A tracked span passed to any deferred call is absolved like a
+		// deferred End: the callee owns it and runs at function exit.
+		for _, a := range st.Call.Args {
+			if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+				if _, tracked := open[id.Name]; tracked {
+					s.deferClosed[id.Name] = true
+				}
+			}
+		}
+		if name, ok := spanCloseTarget(st.Call); ok {
+			s.deferClosed[name] = true
+		} else if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			// defer func() { ... sp.End() ... }(): the literal runs at
+			// function exit, so any close inside it absolves the span.
+			ast.Inspect(fl.Body, func(n ast.Node) bool {
+				if ce, ok := n.(*ast.CallExpr); ok {
+					if name, ok := spanCloseTarget(ce); ok {
+						s.deferClosed[name] = true
+					}
+				}
+				return true
+			})
+		}
+
+	case *ast.ReturnStmt:
+		// Returning a span (or feeding it into a call in the result list)
+		// is an ownership transfer, not a leak.
+		for _, r := range st.Results {
+			if id, ok := ast.Unparen(r).(*ast.Ident); ok {
+				delete(open, id.Name)
+			}
+			transferArgSpans(r, open)
+		}
+		s.reportOpen(st.Pos(), open)
+		return open, true
+
+	case *ast.BranchStmt:
+		// break/continue/goto end this path without leaving the function;
+		// treating them as terminators keeps the linear scan sound (their
+		// target's state is the loop/switch merge handled by the caller).
+		return open, true
+
+	case *ast.BlockStmt:
+		return s.stmts(st.List, open)
+
+	case *ast.LabeledStmt:
+		return s.stmt(st.Stmt, open)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			open, _ = s.stmt(st.Init, open)
+		}
+		thenOut, thenTerm := s.stmts(st.Body.List, open.clone())
+		elseOut, elseTerm := open, false
+		if st.Else != nil {
+			elseOut, elseTerm = s.stmt(st.Else, open.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return open, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		}
+		return thenOut.union(elseOut), false
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			open, _ = s.stmt(st.Init, open)
+		}
+		bodyOut, _ := s.stmts(st.Body.List, open.clone())
+		// The body may run zero times, so the after-state is the union of
+		// skipping the loop and one pass through it.
+		return open.union(bodyOut), false
+
+	case *ast.RangeStmt:
+		bodyOut, _ := s.stmts(st.Body.List, open.clone())
+		return open.union(bodyOut), false
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			open, _ = s.stmt(st.Init, open)
+		}
+		bodies, hasDefault := caseBodies(st.Body)
+		return s.branches(bodies, hasDefault, open)
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			open, _ = s.stmt(st.Init, open)
+		}
+		open, _ = s.stmt(st.Assign, open)
+		bodies, hasDefault := caseBodies(st.Body)
+		return s.branches(bodies, hasDefault, open)
+
+	case *ast.SelectStmt:
+		// A select always runs exactly one of its cases (a default case
+		// is just another case), so unlike a switch there is no
+		// fall-past-every-case path.
+		var bodies [][]ast.Stmt
+		for _, c := range st.Body.List {
+			bodies = append(bodies, c.(*ast.CommClause).Body)
+		}
+		return s.branches(bodies, true, open)
+	}
+	return open, false
+}
+
+// branches merges the paths of a switch or select: the after-state is
+// the union of every non-terminated case body's out-state, plus the
+// incoming state when the construct is not exhaustive (a switch without
+// default). It is terminated only when exhaustive and every case is.
+func (s *spanScan) branches(bodies [][]ast.Stmt, exhaustive bool, open spanSet) (spanSet, bool) {
+	if len(bodies) == 0 {
+		return open, false
+	}
+	out := spanSet{}
+	allTerm := true
+	for _, b := range bodies {
+		bOut, bTerm := s.stmts(b, open.clone())
+		if !bTerm {
+			out = out.union(bOut)
+			allTerm = false
+		}
+	}
+	if !exhaustive {
+		out = out.union(open)
+		allTerm = false
+	}
+	if allTerm {
+		return open, true
+	}
+	return out, false
+}
+
+// caseBodies collects a switch body's clause statement lists and whether
+// one of them is the default clause.
+func caseBodies(body *ast.BlockStmt) ([][]ast.Stmt, bool) {
+	var bodies [][]ast.Stmt
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		bodies = append(bodies, cc.Body)
+	}
+	return bodies, hasDefault
+}
+
+// transferArgSpans deletes from open every tracked span handed to a call
+// as a plain-identifier argument anywhere inside e: the callee now owns
+// the duty to End it. Method calls *on* a span (sp.Next(...)) keep it
+// open — the receiver is not an argument. Function literals are skipped;
+// they are scopes of their own.
+func transferArgSpans(e ast.Expr, open spanSet) {
+	if e == nil || len(open) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			for _, a := range n.Args {
+				if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+					delete(open, id.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isStartSpanCall reports whether e is a call whose terminal selector is
+// StartSpan (tr.StartSpan, en.tr.StartSpan, ...).
+func isStartSpanCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	return ok && calleeName(call) == "StartSpan"
+}
+
+// spanCloseTarget matches x.End() / x.EndWith(...) on a plain identifier
+// and returns x's name. Untracked names are harmless: closing deletes
+// from the open set only.
+func spanCloseTarget(e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "End" && sel.Sel.Name != "EndWith") {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}

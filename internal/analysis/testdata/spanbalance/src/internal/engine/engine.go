@@ -1,0 +1,177 @@
+// Package engine exercises the spanbalance analyzer: every flagged
+// pattern leaks an open span past a return (or the function end), every
+// legal pattern closes it on all paths — the shapes the real engine,
+// lock manager and shard router actually use.
+package engine
+
+import "objectbase/internal/obs"
+
+type eng struct{ tr *obs.Tracer }
+
+// Legal: sequential reuse — each segment ends (on every path) before
+// the variable is restarted, the runOnce idiom.
+func (e *eng) balancedSequence(cond bool) error {
+	sp := e.tr.StartSpan(obs.PhaseAdmit, 0, "", "")
+	if cond {
+		sp.EndWith("abort")
+		return nil
+	}
+	sp.End()
+	sp = e.tr.StartSpan(obs.PhaseExecute, 0, "", "")
+	sp.End()
+	return nil
+}
+
+// Legal: a defer'd End absolves every later path, the runViewOnce idiom.
+func (e *eng) deferClose(cond bool) error {
+	sp := e.tr.StartSpan(obs.PhaseExecute, 0, "", "")
+	defer sp.End()
+	if cond {
+		return nil
+	}
+	return nil
+}
+
+// Legal: a deferred function literal closing the span counts too.
+func (e *eng) deferLitClose(cond bool) error {
+	sp := e.tr.StartSpan(obs.PhaseExecute, 0, "", "")
+	defer func() { sp.EndWith("late") }()
+	if cond {
+		return nil
+	}
+	return nil
+}
+
+// Legal: every select case closes before leaving, the retry-backoff
+// idiom (one case falls through, one returns).
+func (e *eng) selectClose(ch, done chan struct{}) error {
+	sp := e.tr.StartSpan(obs.PhaseLockWait, 0, "", "")
+	select {
+	case <-ch:
+		sp.End()
+	case <-done:
+		sp.EndWith("cancel")
+		return nil
+	}
+	return nil
+}
+
+// Legal: conditional start (zero Span is closable), closed before every
+// return — the WaitDone idiom.
+func (e *eng) conditionalStart(on, cond bool) error {
+	var sp obs.Span
+	if on {
+		sp = e.tr.StartSpan(obs.PhaseLockWait, 0, "", "")
+	}
+	if cond {
+		sp.EndWith("timeout")
+		return nil
+	}
+	sp.End()
+	return nil
+}
+
+// Legal: a loop body that closes-and-returns, with the fall-through
+// close after the loop — the gate-acquisition idiom.
+func (e *eng) loopClose(n int) error {
+	sp := e.tr.StartSpan(obs.PhaseLockWait, 0, "", "")
+	for i := 0; i < n; i++ {
+		if i == 1 {
+			sp.EndWith("wake")
+			return nil
+		}
+	}
+	sp.End()
+	return nil
+}
+
+// Legal: instant events never open a span.
+func (e *eng) eventOnly() error {
+	e.tr.Event(obs.PhaseAdmit, 0, "", "", "restart")
+	return nil
+}
+
+// Legal: handing the span to another function transfers ownership — the
+// runRetry → runOnce idiom. The abort path still closes locally.
+func (e *eng) handOff(cond bool) error {
+	sp := e.tr.StartSpan(obs.PhaseAdmit, 0, "", "")
+	if cond {
+		sp.EndWith("cancel")
+		return nil
+	}
+	return e.consume(0, sp)
+}
+
+// Legal: a span received as a parameter is never tracked; relabelling
+// and ending it here is the callee side of the hand-off.
+func (e *eng) consume(n int, sp obs.Span) error {
+	sp = sp.WithExecRing("t1", 1)
+	sp.End()
+	return nil
+}
+
+// Legal: returning the span transfers ownership to the caller.
+func (e *eng) openFor(p obs.Phase) obs.Span {
+	sp := e.tr.StartSpan(p, 0, "", "")
+	return sp
+}
+
+// Flagged: the early return leaks the open span.
+func (e *eng) leakEarlyReturn(cond bool) error {
+	sp := e.tr.StartSpan(obs.PhaseAdmit, 0, "", "")
+	if cond {
+		return nil // want "span \"sp\" opened at line \\d+ may leave the function without End/EndWith"
+	}
+	sp.End()
+	return nil
+}
+
+// Flagged: only one branch closes, and the fall-through path returns
+// with the span still open.
+func (e *eng) leakAfterBranchClose(cond bool) error {
+	sp := e.tr.StartSpan(obs.PhaseAdmit, 0, "", "")
+	if cond {
+		sp.End()
+	}
+	return nil // want "span \"sp\" opened at line \\d+ may leave the function without End/EndWith"
+}
+
+// Flagged: a void function can leak by falling off the end.
+func (e *eng) leakAtEnd() {
+	sp := e.tr.StartSpan(obs.PhaseAdmit, 0, "", "")
+	_ = sp
+} // want "span \"sp\" opened at line \\d+ may leave the function without End/EndWith"
+
+// Flagged: restarting the variable while its span is still open loses
+// the first measurement.
+func (e *eng) restartWhileOpen() {
+	sp := e.tr.StartSpan(obs.PhaseAdmit, 0, "", "")
+	sp = e.tr.StartSpan(obs.PhaseExecute, 0, "", "") // want "span \"sp\" is restarted before the span opened at line \\d+ was ended"
+	sp.End()
+}
+
+// Flagged: a select case that returns without closing, even though the
+// other case is balanced.
+func (e *eng) leakInSelectCase(ch, done chan struct{}) error {
+	sp := e.tr.StartSpan(obs.PhaseLockWait, 0, "", "")
+	select {
+	case <-ch:
+		sp.End()
+	case <-done:
+		return nil // want "span \"sp\" opened at line \\d+ may leave the function without End/EndWith"
+	}
+	return nil
+}
+
+// Function literals are scopes of their own: the outer span does not
+// absolve the literal, and the literal's leak is reported at its own
+// closing brace.
+func (e *eng) litScope() func() {
+	sp := e.tr.StartSpan(obs.PhaseAdmit, 0, "", "")
+	fn := func() {
+		inner := e.tr.StartSpan(obs.PhaseExecute, 0, "", "")
+		_ = inner
+	} // want "span \"inner\" opened at line \\d+ may leave the function without End/EndWith"
+	sp.End()
+	return fn
+}

@@ -1,0 +1,37 @@
+// Package obs is the fixture's stand-in for the real internal/obs:
+// just enough surface for span-balance scenarios to type-check.
+package obs
+
+// Phase mirrors the real phase taxonomy.
+type Phase uint8
+
+// A few phases; the analyzer never looks at the value.
+const (
+	PhaseAdmit Phase = iota
+	PhaseExecute
+	PhaseLockWait
+)
+
+// Tracer mirrors the real flight recorder.
+type Tracer struct{}
+
+// Span mirrors the real in-flight measurement.
+type Span struct{ t *Tracer }
+
+// StartSpan mirrors the real signature.
+func (t *Tracer) StartSpan(p Phase, client uint64, exec, object string) Span { return Span{} }
+
+// End closes the span.
+func (s Span) End() {}
+
+// EndWith closes the span with an outcome label.
+func (s Span) EndWith(outcome string) {}
+
+// Next hands the span off to its successor phase.
+func (s Span) Next(p Phase) Span { return s }
+
+// WithExecRing relabels and re-homes the span.
+func (s Span) WithExecRing(exec string, client uint64) Span { return s }
+
+// Event records an instant event (never opens a span).
+func (t *Tracer) Event(p Phase, client uint64, exec, object, outcome string) {}

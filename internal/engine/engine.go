@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"objectbase/internal/core"
+	"objectbase/internal/obs"
 )
 
 // MethodFunc is the body of a method: a programme that issues local steps
@@ -50,6 +51,10 @@ type Options struct {
 	// state clone per mutated object per commit, which pure write
 	// workloads should not pay.
 	Versioning bool
+	// Tracer, when non-nil, receives phase spans from every execution
+	// path (the flight recorder). Nil disables tracing; instrumented
+	// sites pay one pointer check.
+	Tracer *obs.Tracer
 	// Shared, when non-nil, plugs the engine into a sharded object
 	// space: transaction identities, the history tick clock, and the
 	// recoverability tracker come from the space-wide instances so that
@@ -73,6 +78,7 @@ type Engine struct {
 	rec  HistoryObserver
 	deps *depTracker
 	tops *TopAllocator
+	tr   *obs.Tracer // nil when tracing is off
 
 	// Version publication (Options.Versioning). pubMu guards only the
 	// sequence counter and the completion bookkeeping — never the state
@@ -93,11 +99,13 @@ type Engine struct {
 	rngState atomic.Uint64
 
 	// stats
-	commits       atomic.Int64
-	aborts        atomic.Int64
-	retries       atomic.Int64
-	viewCommits   atomic.Int64
-	viewFallbacks atomic.Int64
+	commits        atomic.Int64
+	aborts         atomic.Int64
+	retries        atomic.Int64
+	viewCommits    atomic.Int64
+	viewFallbacks  atomic.Int64
+	serialRestarts atomic.Int64
+	twopcRestarts  atomic.Int64
 }
 
 // New creates an engine running the given scheduler.
@@ -132,6 +140,7 @@ func New(sched Scheduler, opts Options) *Engine {
 		rec:     rec,
 		deps:    deps,
 		tops:    tops,
+		tr:      opts.Tracer,
 		pubDone: make(map[uint64]bool),
 	}
 	en.rngState.Store(uint64(time.Now().UnixNano()))
@@ -235,6 +244,23 @@ func (en *Engine) Aborts() int64 { return en.aborts.Load() }
 // Retries returns the number of retried top-level attempts.
 func (en *Engine) Retries() int64 { return en.retries.Load() }
 
+// SerialRestarts returns the number of serial fast-path attempts that
+// restarted because the declared object set proved incomplete.
+func (en *Engine) SerialRestarts() int64 { return en.serialRestarts.Load() }
+
+// TwoPCRestarts returns the number of cross-shard attempts that
+// restarted 2PC after discovering new shards mid-flight.
+func (en *Engine) TwoPCRestarts() int64 { return en.twopcRestarts.Load() }
+
+// Tracer returns the engine's flight recorder (nil when tracing is
+// off).
+func (en *Engine) Tracer() *obs.Tracer { return en.tr }
+
+// ringKey derives the flight-recorder ring from a transaction identity:
+// the top-level transaction number, so a transaction's spans across
+// engines and the lock manager land on one timeline.
+func ringKey(id core.ExecID) uint64 { return uint64(uint32(id[0])) }
+
 // Run executes a top-level transaction (a method of the environment). It
 // retries synchronisation aborts with fresh transaction identities up to
 // MaxRetries; user aborts and programming errors are returned as-is.
@@ -263,6 +289,15 @@ func (en *Engine) jitter() uint64 {
 	return x ^ (x >> 31)
 }
 
+// backoffRing picks a flight-recorder ring for spans recorded between
+// attempts, when no transaction identity exists yet.
+func (en *Engine) backoffRing() uint64 {
+	if en.tr == nil {
+		return 0
+	}
+	return en.jitter()
+}
+
 // backoffDelay picks the jittered sleep before the next retry. The floor
 // (an eighth of the current backoff, at least a microsecond) prevents the
 // zero-sleep draws that used to turn contended retries into a spin storm.
@@ -283,21 +318,32 @@ func (en *Engine) backoffDelay(backoff time.Duration) time.Duration {
 func (en *Engine) runRetry(ctx context.Context, name string, fn MethodFunc, args []core.Value, readOnly bool) (core.Value, error) {
 	backoff := en.opts.RetryBackoff
 	for attempt := 0; ; attempt++ {
+		// The admit span opens before anything else the attempt does: the
+		// cancellation check, identity allocation and Exec construction are
+		// real per-attempt work and must land inside a measured phase for
+		// the phase sums to reconcile with the driver's latency histogram.
+		// runOnce takes ownership of the span and re-homes it to the
+		// transaction's ring once the identity exists.
+		sp := en.tr.StartSpan(obs.PhaseAdmit, 0, "", "")
 		if err := ctx.Err(); err != nil {
+			sp.EndWith("cancel")
 			return nil, err
 		}
-		ret, err := en.runOnce(ctx, name, fn, args, readOnly)
+		ret, err := en.runOnce(ctx, name, fn, args, readOnly, sp)
 		if err == nil {
 			return ret, nil
 		}
 		if !Retriable(err) || attempt >= en.opts.MaxRetries {
 			return nil, err
 		}
+		sp = en.tr.StartSpan(obs.PhaseRetryBackoff, en.backoffRing(), "", "")
 		t := time.NewTimer(en.backoffDelay(backoff))
 		select {
 		case <-t.C:
+			sp.End()
 		case <-ctx.Done():
 			t.Stop()
+			sp.EndWith("cancel")
 			return nil, ctx.Err()
 		}
 		// Count the retry only once the backoff survived cancellation and
@@ -309,9 +355,29 @@ func (en *Engine) runRetry(ctx context.Context, name string, fn MethodFunc, args
 	}
 }
 
-func (en *Engine) runOnce(ctx context.Context, name string, fn MethodFunc, args []core.Value, readOnly bool) (core.Value, error) {
+// runOnce executes one top-level attempt. It receives the already-open
+// admit span from runRetry and hands the phases off back-to-back
+// (Span.Next) so they partition the attempt's wall time — the
+// reconciliation invariant the trace tests check.
+func (en *Engine) runOnce(ctx context.Context, name string, fn MethodFunc, args []core.Value, readOnly bool, sp obs.Span) (core.Value, error) {
 	id := en.allocTop()
-	defer en.releaseTop(id)
+	// The identity and dependency cleanups run inside the publish span on
+	// the commit path (they are real per-attempt work, and anything after
+	// the final span's End falls into an unmeasured gap); the guarded
+	// defers cover the abort and panic paths.
+	released := false
+	defer func() {
+		if !released {
+			en.releaseTop(id)
+		}
+	}()
+	tr := en.tr
+	if tr != nil {
+		// The exec key is formatted inside the admit span, not before it:
+		// the cost is real work of this attempt and must not fall into an
+		// unmeasured gap (the phases partition the attempt's wall time).
+		sp = sp.WithExecRing(id.Key(), ringKey(id))
+	}
 	e := &Exec{
 		id:       id,
 		object:   core.EnvironmentObject,
@@ -324,15 +390,23 @@ func (en *Engine) runOnce(ctx context.Context, name string, fn MethodFunc, args 
 	}
 	e.top = e
 	if err := en.rec.AddExec(e.id, e.object, e.method); err != nil {
+		sp.EndWith("abort")
 		return nil, historyAbort(e.id, err)
 	}
 	en.deps.beginTop(e)
-	defer en.deps.forget(e)
-
+	forgotten := false
+	defer func() {
+		if !forgotten {
+			en.deps.forget(e)
+		}
+	}()
+	sp = sp.Next(obs.PhaseScheduleWait)
 	if err := en.sched.Begin(e); err != nil {
 		en.abortExec(e, err)
+		sp.EndWith("abort")
 		return nil, err
 	}
+	sp = sp.Next(obs.PhaseExecute)
 	ret, err := fn(e.ctx())
 	if err == nil && e.Killed() {
 		err = &AbortError{Exec: id, Reason: "cascade", Retriable: true, Err: ErrKilled}
@@ -342,6 +416,7 @@ func (en *Engine) runOnce(ctx context.Context, name string, fn MethodFunc, args 
 		// body happened to finish.
 		err = e.ctxAbortErr()
 	}
+	sp = sp.Next(obs.PhaseCommitBarrier)
 	if err == nil {
 		// Recoverability barrier: all observed transactions must commit
 		// first.
@@ -356,9 +431,11 @@ func (en *Engine) runOnce(ctx context.Context, name string, fn MethodFunc, args 
 	}
 	if err != nil {
 		en.abortExec(e, err)
+		sp.EndWith("abort")
 		return nil, err
 	}
 	en.deps.commitTop(e)
+	sp = sp.Next(obs.PhasePublish)
 	if en.opts.Versioning {
 		// Publish the committed state of every object this transaction
 		// mutated, under the next global commit sequence number, for the
@@ -366,6 +443,11 @@ func (en *Engine) runOnce(ctx context.Context, name string, fn MethodFunc, args 
 		en.publishCommit(e)
 	}
 	en.commits.Add(1)
+	en.deps.forget(e)
+	forgotten = true
+	en.releaseTop(id)
+	released = true
+	sp.End()
 	return ret, nil
 }
 

@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"objectbase/internal/core"
+	"objectbase/internal/obs"
 )
 
 // serialExecPool recycles the per-attempt shardedExec of serial
@@ -104,6 +105,14 @@ func serialExecGet(r Router) *shardedExec {
 func (en *Engine) runSerialOnce(ctx context.Context, r Router, name string, fn MethodFunc, args []core.Value, readOnly bool, gate []int) (core.Value, error) {
 	id := en.allocTop()
 	defer en.releaseTop(id)
+	tr := en.tr
+	sp := tr.StartSpan(obs.PhaseAdmit, ringKey(id), "", "")
+	if tr != nil {
+		// The exec key is formatted inside the admit span, not before it:
+		// the cost is real work of this attempt and must not fall into an
+		// unmeasured gap (the phases partition the attempt's wall time).
+		sp = sp.WithExec(id.Key())
+	}
 	st := serialExecGet(r)
 	defer serialExecPool.Put(st) // after releaseGates (LIFO)
 	e, cs := &st.e, &st.cs
@@ -122,6 +131,7 @@ func (en *Engine) runSerialOnce(ctx context.Context, r Router, name string, fn M
 			for j := i - 1; j >= 0; j-- {
 				r.UnlockGate(gate[j])
 			}
+			sp.EndWith("cancel")
 			return nil, err
 		}
 	}
@@ -133,14 +143,16 @@ func (en *Engine) runSerialOnce(ctx context.Context, r Router, name string, fn M
 	// transaction that commits without touching any object must still
 	// appear in the (stitched) history.
 	if err := en.rec.AddExec(id, e.object, e.method); err != nil {
+		sp.EndWith("abort")
 		return nil, historyAbort(id, err)
 	}
 	e.recIn.Store(en)
-
+	sp = sp.Next(obs.PhaseExecute)
 	ret, err := fn(e.ctx())
 	if err == nil {
 		err = e.ctxAbortErr()
 	}
+	sp = sp.Next(obs.PhaseCommitBarrier)
 	need, counted := cs.commitState(en)
 	if err == nil && need != nil {
 		// The body swallowed the restart error from a Call and finished
@@ -157,12 +169,15 @@ func (en *Engine) runSerialOnce(ctx context.Context, r Router, name string, fn M
 			// everything else counts as an aborted attempt.
 			counted.aborts.Add(1)
 		}
+		sp.EndWith("abort")
 		return nil, err
 	}
+	sp = sp.Next(obs.PhasePublish)
 	if en.opts.Versioning {
 		publishCommitSharded(e)
 	}
 	counted.commits.Add(1)
+	sp.End()
 	return ret, nil
 }
 

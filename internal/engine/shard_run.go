@@ -61,6 +61,7 @@ import (
 	"time"
 
 	"objectbase/internal/core"
+	"objectbase/internal/obs"
 )
 
 // Router is the engine-facing surface of a sharded object space: the
@@ -604,6 +605,13 @@ func runShardedRetry(ctx context.Context, r Router, name string, fn MethodFunc, 
 			// terminates; no backoff and no retry counting — the abort
 			// was routing, not contention.
 			restarts++
+			if serial {
+				base.serialRestarts.Add(1)
+				base.tr.Event(obs.PhaseSerialRestart, base.backoffRing(), "", "", "incomplete-set")
+			} else {
+				base.twopcRestarts.Add(1)
+				base.tr.Event(obs.PhaseTwoPCRestart, base.backoffRing(), "", "", "discovery")
+			}
 			pregate = mergeShardSets(pregate, rs.need)
 			attempt--
 			continue
@@ -611,11 +619,14 @@ func runShardedRetry(ctx context.Context, r Router, name string, fn MethodFunc, 
 		if !Retriable(err) || attempt >= base.opts.MaxRetries {
 			return nil, err
 		}
+		sp := base.tr.StartSpan(obs.PhaseRetryBackoff, base.backoffRing(), "", "")
 		t := time.NewTimer(base.backoffDelay(backoff))
 		select {
 		case <-t.C:
+			sp.End()
 		case <-ctx.Done():
 			t.Stop()
+			sp.EndWith("cancel")
 			return nil, ctx.Err()
 		}
 		base.retries.Add(1)
@@ -643,6 +654,14 @@ func mergeShardSets(a, b []int) []int {
 func (en *Engine) runShardedOnce(ctx context.Context, r Router, name string, fn MethodFunc, args []core.Value, readOnly bool, pregate []int) (core.Value, error) {
 	id := en.allocTop()
 	defer en.releaseTop(id)
+	tr := en.tr
+	sp := tr.StartSpan(obs.PhaseAdmit, ringKey(id), "", "")
+	if tr != nil {
+		// The exec key is formatted inside the admit span, not before it:
+		// the cost is real work of this attempt and must not fall into an
+		// unmeasured gap (the phases partition the attempt's wall time).
+		sp = sp.WithExec(id.Key())
+	}
 	st := newShardedExec(r, false)
 	e, cs := &st.e, &st.cs
 	e.id = id
@@ -663,6 +682,7 @@ func (en *Engine) runShardedOnce(ctx context.Context, r Router, name string, fn 
 				for j := i - 1; j >= 0; j-- {
 					r.UnlockGate(pregate[j])
 				}
+				sp.EndWith("cancel")
 				return nil, gerr
 			}
 		}
@@ -674,12 +694,13 @@ func (en *Engine) runShardedOnce(ctx context.Context, r Router, name string, fn 
 	// would in its engine): even a transaction that never joins a shard
 	// must appear in the stitched history.
 	if err := en.rec.AddExec(id, e.object, e.method); err != nil {
+		sp.EndWith("abort")
 		return nil, historyAbort(id, err)
 	}
 	e.recIn.Store(en)
 	en.deps.beginTop(e)
 	defer en.deps.forget(e)
-
+	sp = sp.Next(obs.PhaseExecute)
 	ret, err := fn(e.ctx())
 	if err == nil && e.Killed() {
 		err = &AbortError{Exec: id, Reason: "cascade", Retriable: true, Err: ErrKilled}
@@ -687,6 +708,7 @@ func (en *Engine) runShardedOnce(ctx context.Context, r Router, name string, fn 
 	if err == nil {
 		err = e.ctxAbortErr()
 	}
+	sp = sp.Next(obs.PhaseCommitBarrier)
 	if err == nil {
 		if need := cs.restartNeed(); need != nil {
 			// The body swallowed the restart error from a Call and
@@ -736,13 +758,16 @@ func (en *Engine) runShardedOnce(ctx context.Context, r Router, name string, fn 
 			// everything else counts as an aborted attempt.
 			cs.countEngine(en).aborts.Add(1)
 		}
+		sp.EndWith("abort")
 		return nil, err
 	}
 	en.deps.commitTop(e)
+	sp = sp.Next(obs.PhasePublish)
 	if en.opts.Versioning {
 		publishCommitSharded(e)
 	}
 	cs.countEngine(en).commits.Add(1)
+	sp.End()
 	return ret, nil
 }
 

@@ -36,6 +36,7 @@ import (
 	"fmt"
 
 	"objectbase/internal/core"
+	"objectbase/internal/obs"
 )
 
 // ErrViewDisabled is returned by RunView on an engine built without
@@ -117,6 +118,7 @@ func (en *Engine) RunView(ctx context.Context, name string, fn MethodFunc, args 
 		// counters so view cells stay comparable to locked ones.
 	}
 	en.viewFallbacks.Add(1)
+	en.tr.Event(obs.PhaseViewFallback, en.backoffRing(), "", "", "snapshot-stale")
 	return en.runRetry(ctx, name, fn, args, true)
 }
 
@@ -124,6 +126,14 @@ func (en *Engine) RunView(ctx context.Context, name string, fn MethodFunc, args 
 func (en *Engine) runViewOnce(ctx context.Context, name string, fn MethodFunc, args []core.Value, seq uint64) (core.Value, error) {
 	id := en.allocTop()
 	defer en.releaseTop(id)
+	tr := en.tr
+	sp := tr.StartSpan(obs.PhaseAdmit, ringKey(id), "", "")
+	if tr != nil {
+		// The exec key is formatted inside the admit span, not before it:
+		// the cost is real work of this attempt and must not fall into an
+		// unmeasured gap (the phases partition the attempt's wall time).
+		sp = sp.WithExec(id.Key())
+	}
 	e := &Exec{
 		id:       id,
 		object:   core.EnvironmentObject,
@@ -137,8 +147,11 @@ func (en *Engine) runViewOnce(ctx context.Context, name string, fn MethodFunc, a
 	}
 	e.top = e
 	if err := en.rec.AddExec(e.id, e.object, e.method); err != nil {
+		sp.EndWith("abort")
 		return nil, historyAbort(e.id, err)
 	}
+	sp = sp.Next(obs.PhaseExecute)
+	defer sp.End()
 	ret, err := fn(e.ctx())
 	if err == nil {
 		err = e.ctxAbortErr()

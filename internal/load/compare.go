@@ -18,14 +18,23 @@ import (
 // but not fatal (matrices legitimately grow); zero matched cells is an
 // error, because a gate that compares nothing passes vacuously.
 
-// CellKey identifies one comparable cell of the matrix.
+// CellKey identifies one comparable cell of the matrix. The trace flag
+// is part of the key only when set: enabled tracing costs throughput,
+// so a traced cell must never gate against an untraced baseline — and
+// keeping the flag out of untraced keys lets reports from before
+// tracing (no "trace" field, and no "phases" block; both optional)
+// compare cleanly against today's untraced cells.
 func (r *Result) CellKey() string {
 	shards := r.Shards
 	if shards == 0 {
 		shards = 1 // reports written before the shards field
 	}
-	return fmt.Sprintf("%s×%s hist=%s view=%t shards=%d %s c=%d t=%d d=%d k=%d θ=%g rf=%g rate=%g seed=%d",
-		r.Scenario, r.Scheduler, r.History, r.View, shards, r.Mode,
+	trace := ""
+	if r.Trace {
+		trace = " trace=true"
+	}
+	return fmt.Sprintf("%s×%s hist=%s view=%t shards=%d%s %s c=%d t=%d d=%d k=%d θ=%g rf=%g rate=%g seed=%d",
+		r.Scenario, r.Scheduler, r.History, r.View, shards, trace, r.Mode,
 		r.Clients, r.Txns, r.DurationNS, r.Keys, r.Theta, r.ReadFraction, r.TargetRate, r.Seed)
 }
 

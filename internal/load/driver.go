@@ -28,6 +28,14 @@ type Options struct {
 	// recorder is pure overhead on unverified load runs. Empty means
 	// auto: full when Verify is set, off otherwise.
 	History objectbase.HistoryMode
+	// Trace opens the DB with the flight recorder on
+	// (objectbase.WithTracing) and folds the per-phase latency summaries
+	// into Result.Phases (the report's "phases" block); the raw spans and
+	// recorder epoch ride along in Result.Spans/TraceEpoch (not
+	// serialised) for trace export. Enabled tracing costs a few percent
+	// of throughput, so traced cells are not comparable to untraced ones
+	// — the cell key records the flag.
+	Trace bool
 	// Open passes extra options (retry policy, lock timeout) through to
 	// objectbase.Open.
 	Open []objectbase.Option
@@ -87,6 +95,9 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	}
 	if k.Shards > 1 {
 		openOpts = append(openOpts, objectbase.WithShards(k.Shards))
+	}
+	if opts.Trace {
+		openOpts = append(openOpts, objectbase.WithTracing())
 	}
 	db, err := objectbase.Open(append(openOpts, opts.Open...)...)
 	if err != nil {
@@ -172,6 +183,11 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	merged := mergeRecorders(recs)
 	res := newResult(sc, opts.Scheduler, k, merged, elapsed, db.Stats().Sub(base))
 	res.History = string(mode)
+	if opts.Trace {
+		res.Trace = true
+		res.Phases = phaseStats(db.Metrics())
+		res.Spans, res.TraceEpoch = db.TraceSnapshot()
+	}
 	if opts.Verify {
 		_, verr := db.Verify()
 		ok := verr == nil

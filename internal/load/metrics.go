@@ -2,8 +2,9 @@ package load
 
 import (
 	"math"
-	"math/bits"
 	"time"
+
+	"objectbase/internal/obs"
 )
 
 // Histogram is an HDR-style log-linear latency histogram: each power of
@@ -12,9 +13,11 @@ import (
 // O(1) recording. Values are nanoseconds; the exact min, max, sum and
 // count are tracked alongside the buckets.
 //
-// A Histogram is not synchronised: the driver gives each client its own
-// recorder (single-writer, lock-free) and merges them after the clients
-// join.
+// The bucket layout (obs.BucketIndex/obs.BucketUpper) is shared with the
+// tracer's concurrent obs.Hist, so harness latencies and phase latencies
+// are directly comparable. A Histogram is not synchronised: the driver
+// gives each client its own recorder (single-writer, lock-free) and
+// merges them after the clients join.
 type Histogram struct {
 	counts [histBuckets]uint64
 	count  uint64
@@ -23,33 +26,12 @@ type Histogram struct {
 	max    int64
 }
 
-const (
-	histSubBits = 5
-	histSubBkts = 1 << histSubBits // 32 linear sub-buckets per power of two
-	// Groups cover exponents histSubBits..62 plus the linear group for
-	// values below histSubBkts.
-	histGroups  = 63 - histSubBits + 1
-	histBuckets = histGroups * histSubBkts
-)
+const histBuckets = obs.HistBuckets
 
-func bucketIndex(v int64) int {
-	if v < histSubBkts {
-		return int(v)
-	}
-	exp := bits.Len64(uint64(v)) - 1 // 2^exp <= v < 2^(exp+1)
-	g := exp - (histSubBits - 1)     // group 1 is exponent histSubBits
-	sub := int(v>>(exp-histSubBits)) - histSubBkts
-	return g*histSubBkts + sub
-}
+func bucketIndex(v int64) int { return obs.BucketIndex(v) }
 
 // bucketUpper returns the largest value the bucket holds.
-func bucketUpper(idx int) int64 {
-	g, sub := idx/histSubBkts, idx%histSubBkts
-	if g == 0 {
-		return int64(sub)
-	}
-	return int64(histSubBkts+sub+1)<<(g-1) - 1
-}
+func bucketUpper(idx int) int64 { return obs.BucketUpper(idx) }
 
 // Record adds one latency observation.
 func (h *Histogram) Record(d time.Duration) {

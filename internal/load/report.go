@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -29,15 +30,28 @@ type Latency struct {
 
 // Counters mirrors objectbase.Stats with stable JSON names.
 type Counters struct {
-	Commits       int64 `json:"commits"`
-	Aborts        int64 `json:"aborts"`
-	Retries       int64 `json:"retries"`
-	LockWaits     int64 `json:"lock_waits"`
-	Deadlocks     int64 `json:"deadlocks"`
-	CertValidated int64 `json:"cert_validated"`
-	CertRejected  int64 `json:"cert_rejected"`
-	ViewCommits   int64 `json:"view_commits"`
-	ViewFallbacks int64 `json:"view_fallbacks"`
+	Commits        int64 `json:"commits"`
+	Aborts         int64 `json:"aborts"`
+	Retries        int64 `json:"retries"`
+	LockWaits      int64 `json:"lock_waits"`
+	Deadlocks      int64 `json:"deadlocks"`
+	CertValidated  int64 `json:"cert_validated"`
+	CertRejected   int64 `json:"cert_rejected"`
+	ViewCommits    int64 `json:"view_commits"`
+	ViewFallbacks  int64 `json:"view_fallbacks"`
+	SerialRestarts int64 `json:"serial_restarts,omitempty"`
+	TwoPCRestarts  int64 `json:"twopc_restarts,omitempty"`
+}
+
+// PhaseStat is one phase's latency summary on a traced run, in
+// nanoseconds. TotalNS is the phase's wall-clock sum across the run:
+// the exclusive phases partition each attempt, so their totals
+// reconcile with the latency histogram's sum.
+type PhaseStat struct {
+	Count   int64 `json:"count"`
+	P50     int64 `json:"p50"`
+	P99     int64 `json:"p99"`
+	TotalNS int64 `json:"total_ns"`
 }
 
 // Result is one scenario × scheduler cell of the matrix.
@@ -57,6 +71,7 @@ type Result struct {
 	History      string  `json:"history"` // recording mode: "full" or "off"
 	View         bool    `json:"view"`    // read-only txns routed through DB.View
 	Shards       int     `json:"shards"`  // object-space partitions (1 = unsharded)
+	Trace        bool    `json:"trace,omitempty"`
 	TargetRate   float64 `json:"target_rate,omitempty"`
 
 	// Measurements.
@@ -67,6 +82,16 @@ type Result struct {
 	Latency    Latency          `json:"latency_ns"`
 	Counters   Counters         `json:"counters"`
 	ByName     map[string]int64 `json:"ops_by_name,omitempty"`
+
+	// Phases carries the per-phase latency summaries of a traced run
+	// (Options.Trace); absent otherwise, and optional to every consumer,
+	// so reports from before tracing diff cleanly. Spans and TraceEpoch
+	// carry the raw flight-recorder contents for trace export — they are
+	// deliberately not serialised (a traced cell can hold hundreds of
+	// thousands of spans; the JSON report stays small).
+	Phases     map[string]PhaseStat    `json:"phases,omitempty"`
+	Spans      []objectbase.SpanRecord `json:"-"`
+	TraceEpoch time.Time               `json:"-"`
 
 	// Oracle outcome, present only when the run was sampled for
 	// verification. Legal is the engine-invariant subset of the check:
@@ -124,6 +149,29 @@ func newResult(sc *Scenario, scheduler string, k Knobs, rec *Recorder, elapsed t
 		res.Throughput = float64(rec.Ops-rec.Errors) / elapsed.Seconds()
 	}
 	return res
+}
+
+// phaseStats folds a traced DB's registry snapshot into the report's
+// phases block, dropping phases that never fired. The "phase_" metric
+// prefix is stripped: the report speaks the phase taxonomy's names
+// (admit, lock-wait, execute, ...).
+func phaseStats(m objectbase.Metrics) map[string]PhaseStat {
+	out := make(map[string]PhaseStat, len(m.Phases))
+	for name, h := range m.Phases {
+		if h.Count == 0 {
+			continue
+		}
+		out[strings.TrimPrefix(name, "phase_")] = PhaseStat{
+			Count:   int64(h.Count),
+			P50:     int64(h.P50),
+			P99:     int64(h.P99),
+			TotalNS: int64(h.Sum),
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // Report is the machine-readable bench output written as BENCH_load.json.
@@ -187,10 +235,12 @@ func ReadReport(r io.Reader) (*Report, error) {
 	return &rp, nil
 }
 
-// Table writes the human-readable matrix.
+// Table writes the human-readable matrix. The lock-wait and publish
+// columns come from the phases block of traced cells; untraced cells
+// show "-".
 func (rp *Report) Table(w io.Writer) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "SCENARIO\tSCHED\tMODE\tHIST\tVIEW\tSHARDS\tCLIENTS\tOPS\tERR\tTXN/S\tP50\tP95\tP99\tMAX\tRETRIES\tVERIFIED")
+	fmt.Fprintln(tw, "SCENARIO\tSCHED\tMODE\tHIST\tVIEW\tSHARDS\tCLIENTS\tOPS\tERR\tTXN/S\tP50\tP95\tP99\tMAX\tLKW-P50\tLKW-P99\tPUB-P50\tPUB-P99\tRETRIES\tVERIFIED")
 	for i := range rp.Results {
 		r := &rp.Results[i]
 		verified := "-"
@@ -213,9 +263,19 @@ func (rp *Report) Table(w io.Writer) {
 		if shards == 0 {
 			shards = 1 // pre-sharding reports
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%d\t%d\t%d\t%.0f\t%s\t%s\t%s\t%s\t%d\t%s\n",
+		phase := func(name string, q func(PhaseStat) int64) string {
+			ps, ok := r.Phases[name]
+			if !ok {
+				return "-"
+			}
+			return fdur(q(ps))
+		}
+		p50 := func(ps PhaseStat) int64 { return ps.P50 }
+		p99 := func(ps PhaseStat) int64 { return ps.P99 }
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%d\t%d\t%d\t%.0f\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d\t%s\n",
 			r.Scenario, r.Scheduler, r.Mode, hist, view, shards, r.Clients, r.Ops, r.Errors, r.Throughput,
 			fdur(r.Latency.P50), fdur(r.Latency.P95), fdur(r.Latency.P99), fdur(r.Latency.Max),
+			phase("lock-wait", p50), phase("lock-wait", p99), phase("publish", p50), phase("publish", p99),
 			r.Counters.Retries, verified)
 	}
 	tw.Flush()

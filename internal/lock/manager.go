@@ -66,11 +66,15 @@ package lock
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"objectbase/internal/core"
+	"objectbase/internal/obs"
 )
 
 // ErrDeadlock is returned when granting the request could never happen
@@ -139,6 +143,9 @@ type Manager struct {
 	owners  [numStripes]ownerShard
 	waits   waitRegistry
 	stats   *Stats
+	// tr, when non-nil, records lock-wait spans (with object scope and
+	// stripe rank) and deadlock-denial events into the flight recorder.
+	tr *obs.Tracer
 }
 
 // stripe is one slice of the lock table: the shards whose names hash
@@ -191,6 +198,7 @@ type heldLock struct {
 type Waiter struct {
 	m     *Manager
 	key   string
+	label string // tracing label: scope plus stripe rank ("" when off)
 	exec  core.ExecID
 	ch    chan struct{}
 	start time.Time
@@ -251,6 +259,56 @@ func (o *ownerShard) indexOwnerLocked(owner core.ExecID, shardName string) {
 
 // Stats returns the manager's counters.
 func (m *Manager) Stats() *Stats { return m.stats }
+
+// SetTracer wires the flight recorder into the manager's blocking
+// paths. Call before traffic starts (it is not synchronised against
+// in-flight requests). Nil turns tracing back off.
+func (m *Manager) SetTracer(tr *obs.Tracer) { m.tr = tr }
+
+// traceLabel names a lock scope for the flight recorder: the shard
+// (conflict scope) name plus the stripe it hashes to — the lock-order
+// rank context of the wait. Only built when tracing is on.
+func traceLabel(key string) string {
+	return key + " [stripe " + strconv.Itoa(int(fnv32(key)&(numStripes-1))) + "]"
+}
+
+// traceRing maps an execution to its flight-recorder ring: the
+// top-level transaction number, matching the engine's choice so a
+// transaction's lock waits land on its timeline.
+func traceRing(e core.ExecID) uint64 { return uint64(uint32(e[0])) }
+
+// WaitsForDOT snapshots the waits-for graph as a Graphviz DOT digraph:
+// one edge per (waiter, blocking owner) pair, nodes named by execution
+// key. The snapshot is taken under the registry lock, so it is a
+// consistent picture of who waits for whom — the live deadlock
+// diagnosis surface behind the debug server's /waitsfor endpoint.
+func (m *Manager) WaitsForDOT() string {
+	type edge struct{ from, to string }
+	var edges []edge
+	ordAcquire(ordRankWaits, "waits registry")
+	m.waits.mu.Lock()
+	for _, wi := range m.waits.waitingFor {
+		from := wi.exec.Key()
+		for _, o := range wi.owners {
+			edges = append(edges, edge{from: from, to: o.Key()})
+		}
+	}
+	ordRelease(ordRankWaits, "waits registry")
+	m.waits.mu.Unlock()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	var b strings.Builder
+	b.WriteString("digraph waitsfor {\n")
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %q -> %q;\n", e.from, e.to)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
 
 // Granularity returns the manager's configured granularity.
 func (m *Manager) Granularity() Granularity { return m.opts.Granularity }
@@ -362,6 +420,9 @@ func (m *Manager) TryAcquire(e core.ExecID, object string, rel core.ConflictRela
 		ordRelease(ordRankStripe, "stripe")
 		st.mu.Unlock()
 		m.stats.Deadlocks.Add(1)
+		if m.tr != nil {
+			m.tr.Event(obs.PhaseLockWait, traceRing(e), e.Key(), traceLabel(key), "deadlock")
+		}
 		return false, nil, fmt.Errorf("%w: %s requesting %s on %s", ErrDeadlock, e, req.Invocation(), object)
 	}
 	ordRelease(ordRankWaits, "waits registry")
@@ -369,6 +430,9 @@ func (m *Manager) TryAcquire(e core.ExecID, object string, rel core.ConflictRela
 	// The waiter is registered under the stripe lock, so a release on
 	// this shard after the blockers were computed cannot miss it.
 	w := &Waiter{m: m, key: key, exec: e, ch: make(chan struct{}, 1), start: time.Now()}
+	if m.tr != nil {
+		w.label = traceLabel(key)
+	}
 	sh.waiters = append(sh.waiters, w)
 	ordRelease(ordRankStripe, "stripe")
 	st.mu.Unlock()
@@ -387,6 +451,12 @@ func (w *Waiter) Wait() error { return w.WaitDone(nil) }
 // before the lock situation changes, the waiter is deregistered and
 // ErrCancelled returned. A nil done never fires.
 func (w *Waiter) WaitDone(done <-chan struct{}) error {
+	var sp obs.Span
+	if tr := w.m.tr; tr != nil {
+		// One span per blocked stretch: from wait start to wake, timeout,
+		// or cancellation.
+		sp = tr.StartSpan(obs.PhaseLockWait, traceRing(w.exec), w.exec.Key(), w.label)
+	}
 	remaining := w.m.opts.WaitTimeout - time.Since(w.start)
 	if remaining <= 0 {
 		// Same rule as the timer branch below: a wake that already
@@ -394,20 +464,24 @@ func (w *Waiter) WaitDone(done <-chan struct{}) error {
 		// over a spurious deadlock verdict.
 		select {
 		case <-w.ch:
+			sp.EndWith("wake")
 			return nil
 		default:
 		}
 		w.Cancel()
 		w.m.stats.Deadlocks.Add(1)
+		sp.EndWith("timeout")
 		return fmt.Errorf("%w: %s timed out", ErrDeadlock, w.exec)
 	}
 	t := time.NewTimer(remaining)
 	defer t.Stop()
 	select {
 	case <-w.ch:
+		sp.EndWith("wake")
 		return nil
 	case <-done:
 		w.Cancel()
+		sp.EndWith("cancel")
 		return fmt.Errorf("%w: %s", ErrCancelled, w.exec)
 	case <-t.C:
 		// A wake-up racing the timeout means the lock situation changed
@@ -415,11 +489,13 @@ func (w *Waiter) WaitDone(done <-chan struct{}) error {
 		// verdict (the caller's next TryAcquire decides for real).
 		select {
 		case <-w.ch:
+			sp.EndWith("wake")
 			return nil
 		default:
 		}
 		w.Cancel()
 		w.m.stats.Deadlocks.Add(1)
+		sp.EndWith("timeout")
 		return fmt.Errorf("%w: %s timed out", ErrDeadlock, w.exec)
 	}
 }

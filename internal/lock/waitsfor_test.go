@@ -1,0 +1,105 @@
+package lock
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"objectbase/internal/core"
+	"objectbase/internal/objects"
+	"objectbase/internal/obs"
+)
+
+// TestWaitsForDOTFlatRing drives the TestDeadlockDetectedFlat scenario —
+// t0 holds variable a, t1 holds variable b, t0 blocks requesting b, t1's
+// request for a would close the ring — and checks the live introspection
+// surfaces at each stage: the waits-for DOT snapshot shows the blocked
+// edge while it exists and drains after the wake, and the flight
+// recorder carries both the blocked stretch (outcome "wake") and the
+// deadlock denial instant.
+func TestWaitsForDOTFlatRing(t *testing.T) {
+	m := New(Options{WaitTimeout: 5 * time.Second})
+	tr := obs.NewTracer()
+	m.SetTracer(tr)
+	rel := objects.Register().Conflicts
+	t0, t1 := core.RootID(0), core.RootID(1)
+	if err := m.Acquire(t0, "A", rel, write("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(t1, "A", rel, write("b", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if dot := m.WaitsForDOT(); strings.Contains(dot, "->") {
+		t.Fatalf("nobody waits yet, got %q", dot)
+	}
+	ch0 := acquireAsync(m, t0, "A", rel, write("b", 2))
+	mustBlocked(t, ch0)
+	if dot := m.WaitsForDOT(); !strings.Contains(dot, `"0" -> "1";`) {
+		t.Fatalf("waits-for graph missing the blocked edge:\n%s", dot)
+	}
+	// Closing the ring is refused by the detector (single manager: the
+	// cycle would pass through the requester's own subtree).
+	if err := m.Acquire(t1, "A", rel, write("a", 2)); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("closing the ring: want ErrDeadlock, got %v", err)
+	}
+	// Releasing t1's lock on b wakes t0; the graph drains.
+	m.CommitTransfer(t1)
+	mustGranted(t, ch0)
+	if dot := m.WaitsForDOT(); strings.Contains(dot, "->") {
+		t.Fatalf("graph should drain after the wake, got %q", dot)
+	}
+	var wake, deadlock bool
+	for _, s := range tr.Snapshot() {
+		if s.Phase != obs.PhaseLockWait {
+			continue
+		}
+		if !s.Instant && s.Outcome == "wake" && s.Exec == "0" && strings.Contains(s.Object, "[stripe ") {
+			wake = true
+		}
+		if s.Instant && s.Outcome == "deadlock" && s.Exec == "1" {
+			deadlock = true
+		}
+	}
+	if !wake {
+		t.Error("no lock-wait span with outcome \"wake\" for t0")
+	}
+	if !deadlock {
+		t.Error("no deadlock denial instant for t1")
+	}
+}
+
+// TestWaitsForDOTCrossManagerRing builds the same flat ring split across
+// two lock managers, the way a two-shard space splits it: each manager
+// sees a single waits-for edge, so neither detector can refuse the
+// closing request, and the ring persists until the wait budget expires.
+// Only the merged graph — what the debug server's /waitsfor endpoint
+// serves — shows the cycle.
+func TestWaitsForDOTCrossManagerRing(t *testing.T) {
+	mA := New(Options{WaitTimeout: 5 * time.Second})
+	mB := New(Options{WaitTimeout: 5 * time.Second})
+	rel := objects.Register().Conflicts
+	t0, t1 := core.RootID(0), core.RootID(1)
+	if err := mA.Acquire(t0, "A", rel, write("x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mB.Acquire(t1, "B", rel, write("y", 1)); err != nil {
+		t.Fatal(err)
+	}
+	ch0 := acquireAsync(mB, t0, "B", rel, write("y", 2))
+	mustBlocked(t, ch0)
+	ch1 := acquireAsync(mA, t1, "A", rel, write("x", 2))
+	mustBlocked(t, ch1)
+	dot := obs.MergeDOT(mA.WaitsForDOT(), mB.WaitsForDOT())
+	for _, edge := range []string{`"0" -> "1";`, `"1" -> "0";`} {
+		if !strings.Contains(dot, edge) {
+			t.Fatalf("merged waits-for graph missing %s:\n%s", edge, dot)
+		}
+	}
+	// Break the ring: committing t0 on shard A releases x, granting t1;
+	// then t1's commit on shard B releases y, granting t0.
+	mA.CommitTransfer(t0)
+	mustGranted(t, ch1)
+	mB.CommitTransfer(t1)
+	mustGranted(t, ch0)
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// MergeDOT merges several "digraph waitsfor { ... }" documents into one:
+// the union of their edge lines, sorted and deduplicated. A sharded
+// space has one lock manager per shard, and each manager can only see
+// its own waits-for edges — a cycle spanning shards (the deadlocks the
+// wait-budget backstop exists for, since no single detector can refuse
+// them) shows only in the merged graph. The debug server's /waitsfor
+// endpoint serves this union.
+func MergeDOT(parts ...string) string {
+	seen := make(map[string]bool)
+	var edges []string
+	for _, p := range parts {
+		for _, line := range strings.Split(p, "\n") {
+			trimmed := strings.TrimSpace(line)
+			if !strings.HasPrefix(trimmed, `"`) || !strings.HasSuffix(trimmed, ";") {
+				continue
+			}
+			if !seen[trimmed] {
+				seen[trimmed] = true
+				edges = append(edges, trimmed)
+			}
+		}
+	}
+	sort.Strings(edges)
+	var b strings.Builder
+	b.WriteString("digraph waitsfor {\n")
+	for _, e := range edges {
+		b.WriteString("  ")
+		b.WriteString(e)
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The log-linear bucket layout is shared with internal/load's
+// single-writer Histogram: each power of two splits into 32 linear
+// sub-buckets, so quantile estimates carry at most ~3% relative error at
+// any magnitude with a fixed footprint and O(1) recording. load's
+// Histogram delegates to BucketIndex/BucketUpper, so the two histogram
+// kinds (single-writer for the harness, atomic here for the tracer) stay
+// bucket-compatible.
+
+const (
+	// HistSubBits sets the linear resolution: 2^HistSubBits sub-buckets
+	// per power of two.
+	HistSubBits = 5
+	// HistSubBkts is the number of linear sub-buckets per power of two.
+	HistSubBkts = 1 << HistSubBits
+	// HistGroups covers exponents HistSubBits..62 plus the linear group
+	// for values below HistSubBkts.
+	HistGroups = 63 - HistSubBits + 1
+	// HistBuckets is the total bucket count.
+	HistBuckets = HistGroups * HistSubBkts
+)
+
+// BucketIndex maps a non-negative value to its bucket.
+func BucketIndex(v int64) int {
+	if v < HistSubBkts {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // 2^exp <= v < 2^(exp+1)
+	g := exp - (HistSubBits - 1)     // group 1 is exponent HistSubBits
+	sub := int(v>>(exp-HistSubBits)) - HistSubBkts
+	return g*HistSubBkts + sub
+}
+
+// BucketUpper returns the largest value the bucket holds.
+func BucketUpper(idx int) int64 {
+	g, sub := idx/HistSubBkts, idx%HistSubBkts
+	if g == 0 {
+		return int64(sub)
+	}
+	return int64(HistSubBkts+sub+1)<<(g-1) - 1
+}
+
+// Hist is the concurrent variant of the log-linear histogram: every
+// field is atomic, so any number of goroutines may Record while others
+// Snapshot. Values are nanoseconds.
+type Hist struct {
+	counts [HistBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	min    atomic.Int64
+	max    atomic.Int64
+}
+
+// NewHist returns an empty concurrent histogram.
+func NewHist() *Hist {
+	h := &Hist{}
+	h.reset()
+	return h
+}
+
+func (h *Hist) reset() {
+	h.min.Store(math.MaxInt64)
+}
+
+// Record adds one latency observation.
+func (h *Hist) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[BucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations so far.
+func (h *Hist) Count() uint64 { return h.count.Load() }
+
+// HistSnapshot is a point-in-time copy of a Hist, safe to read without
+// synchronisation. Concurrent recording makes the copy slightly fuzzy
+// (buckets are read one by one); Count is recomputed from the copied
+// buckets so quantile ranks are internally consistent.
+type HistSnapshot struct {
+	Counts [HistBuckets]uint64
+	Count  uint64
+	Sum    int64
+	Min    int64
+	Max    int64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	s.Min = h.min.Load()
+	s.Max = h.max.Load()
+	if s.Count == 0 {
+		s.Min, s.Max, s.Sum = 0, 0, 0
+	}
+	return s
+}
+
+// Mean returns the exact average of the snapshot.
+func (s *HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / int64(s.Count))
+}
+
+// Quantile returns the latency at quantile q in [0, 1], to within the
+// bucket resolution (the bucket's upper bound, clamped to the exact
+// extremes).
+func (s *HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return time.Duration(s.Min)
+	}
+	if q >= 1 {
+		return time.Duration(s.Max)
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := uint64(0)
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			v := BucketUpper(i)
+			if v > s.Max {
+				v = s.Max
+			}
+			if v < s.Min {
+				v = s.Min
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(s.Max)
+}

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketLayout pins the log-linear bucket math: indices are
+// monotone, uppers bound their bucket, and index(upper(i)) == i.
+func TestBucketLayout(t *testing.T) {
+	last := -1
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1 << 10, 1<<20 + 7, 1 << 40, 1<<62 + 12345} {
+		idx := BucketIndex(v)
+		if idx < last {
+			t.Fatalf("bucket index not monotone at %d: %d < %d", v, idx, last)
+		}
+		last = idx
+		if up := BucketUpper(idx); v > up {
+			t.Fatalf("value %d above its bucket upper %d (idx %d)", v, up, idx)
+		}
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		v := r.Int63()
+		idx := BucketIndex(v)
+		if got := BucketIndex(BucketUpper(idx)); got != idx {
+			t.Fatalf("index(upper(%d)) = %d, want %d (v=%d)", idx, got, idx, v)
+		}
+	}
+}
+
+// TestHistConcurrent hammers one Hist from many goroutines and checks
+// the snapshot totals.
+func TestHistConcurrent(t *testing.T) {
+	h := NewHist()
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(r.Int63n(1 << 20)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	if s.Min > s.Max {
+		t.Fatalf("min %d > max %d", s.Min, s.Max)
+	}
+	if p50, p99 := s.Quantile(0.5), s.Quantile(0.99); p50 > p99 {
+		t.Fatalf("p50 %v > p99 %v", p50, p99)
+	}
+}
+
+// TestNilTracerNoop verifies the disabled fast path: every method of a
+// nil tracer (and the zero Span it hands out) is a no-op.
+func TestNilTracerNoop(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	sp := tr.StartSpan(PhaseExecute, 1, "T1", "A")
+	sp.End()
+	sp.EndWith("grant")
+	tr.Event(PhaseTwoPCRestart, 1, "T1", "", "restart")
+	if got := tr.Snapshot(); got != nil {
+		t.Fatalf("nil tracer snapshot = %v, want nil", got)
+	}
+	if tr.Dropped() != 0 || tr.PhaseHist(PhaseExecute) != nil {
+		t.Fatal("nil tracer leaked state")
+	}
+}
+
+// TestTracerSpans records a few spans and events and checks the drained
+// records and phase histograms.
+func TestTracerSpans(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.StartSpan(PhaseLockWait, 7, "T1", "acct-3")
+	time.Sleep(time.Millisecond)
+	sp.EndWith("grant")
+	tr.Event(PhaseViewFallback, 7, "T2", "", "")
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("snapshot = %d spans, want 2", len(spans))
+	}
+	var lw *SpanRecord
+	for i := range spans {
+		if spans[i].Phase == PhaseLockWait {
+			lw = &spans[i]
+		}
+	}
+	if lw == nil || lw.Object != "acct-3" || lw.Outcome != "grant" || lw.Exec != "T1" {
+		t.Fatalf("lock-wait span mislabelled: %+v", lw)
+	}
+	if lw.Dur < time.Millisecond {
+		t.Fatalf("lock-wait dur %v < slept 1ms", lw.Dur)
+	}
+	if got := tr.PhaseHist(PhaseLockWait).Count(); got != 1 {
+		t.Fatalf("lock-wait hist count = %d, want 1", got)
+	}
+	if _, ok := PhaseByName("lock-wait"); !ok {
+		t.Fatal("PhaseByName(lock-wait) missed")
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		if p.String() == "unknown" {
+			t.Fatalf("phase %d has no name", p)
+		}
+	}
+}
+
+// TestRingWraparound hammers the flight recorder far past ring capacity
+// from concurrent writers while a reader drains — the wraparound path
+// the race suite's tracing cell exercises. Histograms must keep every
+// observation even though rings overwrite.
+func TestRingWraparound(t *testing.T) {
+	tr := NewTracer()
+	const writers = 8
+	perWriter := 2 * ringSize // guarantee wrap on every ring touched
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() { // concurrent drains while writers run
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = tr.Snapshot()
+			}
+		}
+	}()
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				sp := tr.StartSpan(PhaseExecute, uint64(w), "T", "")
+				sp.End()
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	reader.Wait()
+
+	if got := tr.PhaseHist(PhaseExecute).Count(); got != uint64(writers*perWriter) {
+		t.Fatalf("hist count = %d, want %d (histograms must survive wraparound)", got, writers*perWriter)
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("expected ring wraparound drops")
+	}
+	spans := tr.Snapshot()
+	if len(spans) == 0 || len(spans) > writers*ringSize {
+		t.Fatalf("snapshot size %d out of range (0, %d]", len(spans), writers*ringSize)
+	}
+}
+
+// TestTraceJSONRoundTrip writes spans as chrome trace_event JSON and
+// parses them back.
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.StartSpan(PhasePublish, 3, "T9", "")
+	sp.End()
+	tr.Event(PhaseSerialRestart, 3, "T9", "", "incomplete-set")
+	evs := ToTraceEvents(tr.Snapshot(), tr.Epoch(), 42)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, &TraceFile{TraceEvents: evs, Metadata: map[string]string{"cell": "t"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("trace output is not valid JSON")
+	}
+	tf, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tf.TraceEvents) != 2 {
+		t.Fatalf("round trip lost events: %d", len(tf.TraceEvents))
+	}
+	var sawX, sawI bool
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			sawX = true
+			if ev.Name != "publish" || ev.Pid != 42 || ev.Tid != 3 {
+				t.Fatalf("span event mislabelled: %+v", ev)
+			}
+		case "i":
+			sawI = true
+			if ev.Name != "serial-restart" || ev.Args["outcome"] != "incomplete-set" {
+				t.Fatalf("instant event mislabelled: %+v", ev)
+			}
+		}
+	}
+	if !sawX || !sawI {
+		t.Fatalf("missing event kinds: X=%v i=%v", sawX, sawI)
+	}
+}
+
+// TestRegistryParityAndProm registers func-backed counters and a
+// histogram and checks both the snapshot and the Prometheus rendering.
+func TestRegistryParityAndProm(t *testing.T) {
+	reg := NewRegistry()
+	v := int64(41)
+	reg.Counter("commits", "committed transactions", func() int64 { return v })
+	reg.Gauge("rings", "flight recorder rings", func() int64 { return numRings })
+	h := NewHist()
+	h.Record(time.Millisecond)
+	reg.Histogram("phase_lock_wait", "lock wait latency", h)
+
+	v++
+	m := reg.Snapshot()
+	if m.Counters["commits"] != 42 {
+		t.Fatalf("counter reads stale value %d, want 42 (must be func-backed)", m.Counters["commits"])
+	}
+	if m.Phases["phase_lock_wait"].Count != 1 || m.Phases["phase_lock_wait"].P99 < time.Millisecond/2 {
+		t.Fatalf("hist stat wrong: %+v", m.Phases["phase_lock_wait"])
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE objectbase_commits_total counter",
+		"objectbase_commits_total 42",
+		"# TYPE objectbase_rings gauge",
+		"# TYPE objectbase_phase_lock_wait_seconds summary",
+		`objectbase_phase_lock_wait_seconds{quantile="0.99"}`,
+		"objectbase_phase_lock_wait_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRegisterPhases wires a tracer's histograms into a registry.
+func TestRegisterPhases(t *testing.T) {
+	tr := NewTracer()
+	reg := NewRegistry()
+	reg.RegisterPhases(tr)
+	sp := tr.StartSpan(PhaseCommitBarrier, 0, "T", "")
+	sp.End()
+	m := reg.Snapshot()
+	if m.Phases["phase_commit-barrier"].Count != 1 {
+		t.Fatalf("phase hist not registered: %+v", m.Phases)
+	}
+	// nil tracer: no phase metrics, no panic.
+	reg2 := NewRegistry()
+	reg2.RegisterPhases(nil)
+	if len(reg2.Snapshot().Phases) != 0 {
+		t.Fatal("nil tracer registered phases")
+	}
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry is the metrics catalogue: named counters and gauges backed
+// by caller-supplied read functions (so a metric and the endpoint
+// counter it mirrors read the same atomic and can never disagree), plus
+// named latency histograms. Registration takes a lock; reads are
+// lock-free apart from a read-lock over the catalogue itself.
+type Registry struct {
+	mu       sync.RWMutex
+	counters []metricFn
+	gauges   []metricFn
+	hists    []metricHist
+}
+
+type metricFn struct {
+	name string
+	help string
+	fn   func() int64
+}
+
+type metricHist struct {
+	name string
+	help string
+	h    *Hist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers a monotonically-non-decreasing metric backed by fn.
+// Registering an existing name replaces its reader.
+func (r *Registry) Counter(name, help string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.counters {
+		if r.counters[i].name == name {
+			r.counters[i] = metricFn{name, help, fn}
+			return
+		}
+	}
+	r.counters = append(r.counters, metricFn{name, help, fn})
+}
+
+// Gauge registers a point-in-time metric backed by fn.
+func (r *Registry) Gauge(name, help string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.gauges {
+		if r.gauges[i].name == name {
+			r.gauges[i] = metricFn{name, help, fn}
+			return
+		}
+	}
+	r.gauges = append(r.gauges, metricFn{name, help, fn})
+}
+
+// Histogram registers (or re-points) a named latency histogram.
+func (r *Registry) Histogram(name, help string, h *Hist) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.hists {
+		if r.hists[i].name == name {
+			r.hists[i] = metricHist{name, help, h}
+			return
+		}
+	}
+	r.hists = append(r.hists, metricHist{name, help, h})
+}
+
+// HistStat summarises one latency histogram at snapshot time.
+type HistStat struct {
+	Count uint64
+	Sum   time.Duration
+	Min   time.Duration
+	Max   time.Duration
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+func histStat(h *Hist) HistStat {
+	if h == nil {
+		return HistStat{}
+	}
+	s := h.Snapshot()
+	return HistStat{
+		Count: s.Count,
+		Sum:   time.Duration(s.Sum),
+		Min:   time.Duration(s.Min),
+		Max:   time.Duration(s.Max),
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P95:   s.Quantile(0.95),
+		P99:   s.Quantile(0.99),
+	}
+}
+
+// Metrics is a point-in-time snapshot of everything the registry
+// exports.
+type Metrics struct {
+	Counters map[string]int64
+	Gauges   map[string]int64
+	Phases   map[string]HistStat
+}
+
+// Snapshot reads every registered metric.
+func (r *Registry) Snapshot() Metrics {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m := Metrics{
+		Counters: make(map[string]int64, len(r.counters)),
+		Gauges:   make(map[string]int64, len(r.gauges)),
+		Phases:   make(map[string]HistStat, len(r.hists)),
+	}
+	for _, c := range r.counters {
+		m.Counters[c.name] = c.fn()
+	}
+	for _, g := range r.gauges {
+		m.Gauges[g.name] = g.fn()
+	}
+	for _, h := range r.hists {
+		m.Phases[h.name] = histStat(h.h)
+	}
+	return m
+}
+
+// promName sanitises a metric name into the Prometheus charset.
+func promName(name string) string {
+	var b strings.Builder
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format. Counters get a _total suffix, histograms are
+// rendered as summaries with p50/p95/p99 quantiles in seconds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	counters := append([]metricFn(nil), r.counters...)
+	gauges := append([]metricFn(nil), r.gauges...)
+	hists := append([]metricHist(nil), r.hists...)
+	r.mu.RUnlock()
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	for _, c := range counters {
+		n := "objectbase_" + promName(c.name) + "_total"
+		if c.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", n, c.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.fn()); err != nil {
+			return err
+		}
+	}
+	for _, g := range gauges {
+		n := "objectbase_" + promName(g.name)
+		if g.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", n, g.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, g.fn()); err != nil {
+			return err
+		}
+	}
+	for _, h := range hists {
+		n := "objectbase_" + promName(h.name) + "_seconds"
+		if h.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", n, h.help); err != nil {
+				return err
+			}
+		}
+		st := histStat(h.h)
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", n); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			q string
+			v time.Duration
+		}{{"0.5", st.P50}, {"0.95", st.P95}, {"0.99", st.P99}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %g\n", n, q.q, q.v.Seconds()); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", n, st.Sum.Seconds(), n, st.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterPhases registers the tracer's per-phase latency histograms
+// under phase_<name> metric names. No-op for a nil tracer (the phase
+// metrics simply stay absent when tracing is off).
+func (r *Registry) RegisterPhases(t *Tracer) {
+	if t == nil {
+		return
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		r.Histogram("phase_"+p.String(), "latency of the "+p.String()+" phase", t.PhaseHist(p))
+	}
+}

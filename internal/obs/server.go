@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServerOptions configures the debug server. Dependencies are injected
+// as plain functions so obs stays import-free of the engine and lock
+// packages it observes.
+type ServerOptions struct {
+	// Addr is the listen address ("localhost:0" picks a free port).
+	Addr string
+	// Registry backs /metrics (Prometheus text format). Required.
+	Registry *Registry
+	// WaitsFor returns the lock manager's current waits-for graph as
+	// DOT; nil disables /waitsfor (404).
+	WaitsFor func() string
+	// Trace returns the flight recorder's drained spans and epoch,
+	// served at /trace as chrome trace_event JSON; nil disables /trace.
+	Trace func() ([]SpanRecord, time.Time)
+}
+
+// Server is the live introspection endpoint: /metrics, /waitsfor,
+// /trace, and the stdlib pprof handlers under /debug/pprof/.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer binds opts.Addr and serves in a background goroutine.
+func StartServer(opts ServerOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = opts.Registry.WritePrometheus(w)
+	})
+	if opts.WaitsFor != nil {
+		mux.HandleFunc("/waitsfor", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+			_, _ = w.Write([]byte(opts.WaitsFor()))
+		})
+	}
+	if opts.Trace != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+			spans, epoch := opts.Trace()
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = WriteTrace(w, &TraceFile{TraceEvents: ToTraceEvents(spans, epoch, 1)})
+		})
+	}
+	// The stdlib pprof handlers self-register only on DefaultServeMux;
+	// wire them onto the private mux explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{ln: ln, srv: srv}
+	go func() { _ = srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServerEndpoints starts the debug server on a free port and probes
+// /metrics, /waitsfor, /trace and the pprof index.
+func TestServerEndpoints(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.StartSpan(PhaseExecute, 0, "T1", "")
+	sp.End()
+	reg := NewRegistry()
+	reg.Counter("commits", "", func() int64 { return 7 })
+	reg.RegisterPhases(tr)
+
+	srv, err := StartServer(ServerOptions{
+		Addr:     "localhost:0",
+		Registry: reg,
+		WaitsFor: func() string { return "digraph waitsfor {\n  \"T1\" -> \"T2\";\n}\n" },
+		Trace:    func() ([]SpanRecord, time.Time) { return tr.Snapshot(), tr.Epoch() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, body := get(t, base+"/metrics"); code != 200 || !strings.Contains(body, "objectbase_commits_total 7") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	if code, body := get(t, base+"/waitsfor"); code != 200 || !strings.Contains(body, `"T1" -> "T2"`) {
+		t.Fatalf("/waitsfor: code=%d body=%q", code, body)
+	}
+	if code, body := get(t, base+"/trace"); code != 200 || !strings.Contains(body, `"traceEvents"`) {
+		t.Fatalf("/trace: code=%d body=%q", code, body)
+	}
+	if code, _ := get(t, base+"/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/: code=%d", code)
+	}
+}
+
+// TestServerNoWaitsFor leaves the DOT source unset; /waitsfor must 404
+// rather than panic.
+func TestServerNoWaitsFor(t *testing.T) {
+	srv, err := StartServer(ServerOptions{Addr: "localhost:0", Registry: NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, _ := get(t, "http://"+srv.Addr()+"/waitsfor"); code != 404 {
+		t.Fatalf("/waitsfor without source: code=%d, want 404", code)
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Chrome trace_event JSON (the "JSON Array Format" wrapped in an object
+// with a traceEvents key, as chrome://tracing and Perfetto load it).
+// Complete spans use ph "X", instant events ph "i"; timestamps and
+// durations are microseconds. pid distinguishes trace sources (obsim
+// uses one pid per load cell), tid is the flight-recorder ring.
+
+// TraceEvent is one chrome://tracing event.
+type TraceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// TraceFile is the on-disk trace container.
+type TraceFile struct {
+	TraceEvents []TraceEvent      `json:"traceEvents"`
+	Metadata    map[string]string `json:"metadata,omitempty"`
+}
+
+// ToTraceEvents converts drained span records into trace events.
+// epoch is the tracer's wall-clock base (span starts are relative to
+// it); pid labels this span source.
+func ToTraceEvents(spans []SpanRecord, epoch time.Time, pid int) []TraceEvent {
+	base := float64(epoch.UnixNano()) / 1e3 // µs
+	evs := make([]TraceEvent, 0, len(spans))
+	for _, sp := range spans {
+		ev := TraceEvent{
+			Name: sp.Phase.String(),
+			Cat:  "phase",
+			Ts:   base + float64(sp.Start)/1e3,
+			Pid:  pid,
+			Tid:  sp.Ring,
+		}
+		if sp.Instant {
+			ev.Ph, ev.S = "i", "t"
+		} else {
+			ev.Ph = "X"
+			ev.Dur = float64(sp.Dur) / 1e3
+		}
+		args := map[string]string{}
+		if sp.Exec != "" {
+			args["exec"] = sp.Exec
+		}
+		if sp.Object != "" {
+			args["object"] = sp.Object
+		}
+		if sp.Outcome != "" {
+			args["outcome"] = sp.Outcome
+		}
+		if len(args) > 0 {
+			ev.Args = args
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// WriteTrace renders a trace file as JSON.
+func WriteTrace(w io.Writer, tf *TraceFile) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}
+
+// ReadTrace parses a trace file previously written by WriteTrace (or
+// any traceEvents-keyed chrome trace).
+func ReadTrace(r io.Reader) (*TraceFile, error) {
+	var tf TraceFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tf); err != nil {
+		return nil, fmt.Errorf("parse trace: %w", err)
+	}
+	return &tf, nil
+}

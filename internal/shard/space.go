@@ -3,10 +3,12 @@ package shard
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"objectbase/internal/core"
 	"objectbase/internal/engine"
+	"objectbase/internal/obs"
 )
 
 // Space is a sharded object base: N engines behind one deterministic
@@ -29,6 +31,11 @@ type Space struct {
 	dir     *Directory
 	engines []*engine.Engine
 	gates   []sync.RWMutex
+	// tr, when non-nil, records gate-wait spans for contended gate
+	// acquisitions (uncontended TryLocks record nothing, so the serial
+	// fast path stays span-free when gates are free).
+	tr        *obs.Tracer
+	gateNames []string // "gate-<s>", precomputed so spans allocate nothing
 }
 
 // NewSpace returns a space over the given engines (one per shard, index =
@@ -41,6 +48,19 @@ func NewSpace(engines []*engine.Engine) *Space {
 		dir:     NewDirectory(len(engines)),
 		engines: engines,
 		gates:   make([]sync.RWMutex, len(engines)),
+	}
+}
+
+// SetTracer wires the flight recorder into the space's gates. Call
+// before traffic starts (it is not synchronised against in-flight gate
+// acquisitions).
+func (sp *Space) SetTracer(tr *obs.Tracer) {
+	sp.tr = tr
+	if tr != nil && sp.gateNames == nil {
+		sp.gateNames = make([]string, len(sp.gates))
+		for i := range sp.gateNames {
+			sp.gateNames[i] = "gate-" + strconv.Itoa(i)
+		}
 	}
 }
 
@@ -65,14 +85,38 @@ func (sp *Space) Base() *engine.Engine { return sp.engines[0] }
 // TryGate implements engine.Router.
 func (sp *Space) TryGate(s int) bool { return sp.gates[s].TryLock() }
 
-// LockGate implements engine.Router.
-func (sp *Space) LockGate(s int) { sp.gates[s].Lock() }
+// LockGate implements engine.Router. Contended acquisitions (the
+// TryLock misses) are recorded as gate-wait spans when tracing is on.
+func (sp *Space) LockGate(s int) {
+	if sp.tr == nil {
+		sp.gates[s].Lock()
+		return
+	}
+	if sp.gates[s].TryLock() {
+		return
+	}
+	span := sp.tr.StartSpan(obs.PhaseGateWait, uint64(s), "", sp.gateNames[s])
+	sp.gates[s].Lock()
+	span.End()
+}
 
 // UnlockGate implements engine.Router.
 func (sp *Space) UnlockGate(s int) { sp.gates[s].Unlock() }
 
-// RLockGate implements engine.Router.
-func (sp *Space) RLockGate(s int) { sp.gates[s].RLock() }
+// RLockGate implements engine.Router; contended shared acquisitions
+// are recorded like LockGate's.
+func (sp *Space) RLockGate(s int) {
+	if sp.tr == nil {
+		sp.gates[s].RLock()
+		return
+	}
+	if sp.gates[s].TryRLock() {
+		return
+	}
+	span := sp.tr.StartSpan(obs.PhaseGateWait, uint64(s), "", sp.gateNames[s])
+	sp.gates[s].RLock()
+	span.EndWith("shared")
+}
 
 // TryRGate implements engine.Router.
 func (sp *Space) TryRGate(s int) bool { return sp.gates[s].TryRLock() }
