@@ -1,0 +1,231 @@
+package objectbase_test
+
+// Epoch group commit correctness: the oracle certifies epoch cells under
+// every scheduler, a -race hammer mixes epoch, undeclared, and View
+// traffic across shards with money conservation, and a mid-batch abort
+// rolls back only its own undo without poisoning the rest of its epoch.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"objectbase"
+	"objectbase/internal/load"
+)
+
+// TestEpochOracleAllSchedulers runs oracle-verified epoch cells across
+// every scheduler × bank/hotspot-counter: batching changes when commits
+// are sequenced and published, never what is serialisable, so the
+// stitched history of an epoch run must certify exactly like a serial
+// one.
+func TestEpochOracleAllSchedulers(t *testing.T) {
+	for _, scenario := range []string{"bank", "hotspot-counter"} {
+		sc, ok := load.Get(scenario)
+		if !ok {
+			t.Fatalf("scenario %q not registered", scenario)
+		}
+		for _, sched := range objectbase.Schedulers() {
+			t.Run(scenario+"/"+sched, func(t *testing.T) {
+				res, err := load.Run(context.Background(), load.Options{
+					Scenario:  sc,
+					Scheduler: sched,
+					Verify:    true,
+					Knobs: load.Knobs{
+						Clients: 4, Txns: 40, Shards: 2, Seed: 7,
+						Epoch: "1ms:4",
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Errors != 0 {
+					t.Fatalf("%d transaction errors", res.Errors)
+				}
+				if res.Legal == nil || !*res.Legal {
+					t.Fatalf("history not legal: %s", res.Verdict)
+				}
+				// "none" is the anomaly control: it may legitimately
+				// produce non-serialisable histories, never illegal ones.
+				if res.Verified == nil || !*res.Verified {
+					if sched == "none" {
+						t.Logf("none control: %s", res.Verdict)
+					} else {
+						t.Fatalf("epoch cell not serialisable: %s", res.Verdict)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEpochHammerMixedTraffic is the -race hammer for the epoch
+// machinery: eight shards with batching enabled, clients mixing
+// declared-set transfers (the epoch path), undeclared transfers (the
+// scheduled path), and snapshot Views, with money conservation checked
+// both through live Views mid-run and at quiescence.
+func TestEpochHammerMixedTraffic(t *testing.T) {
+	const (
+		accounts = 13
+		shards   = 8
+		clients  = 8
+		txns     = 40
+	)
+	db, err := objectbase.Open(
+		objectbase.WithShards(shards),
+		objectbase.WithReadOnly(),
+		objectbase.WithEpochs(200*time.Microsecond, 4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardBank(t, db, accounts, 1000)
+	ctx := context.Background()
+	audit := func(c *objectbase.Ctx) (objectbase.Value, error) {
+		total := int64(0)
+		for i := 0; i < accounts; i++ {
+			v, err := c.Call(fmt.Sprintf("acct%d", i), "balance")
+			if err != nil {
+				return nil, err
+			}
+			total += v.(int64)
+		}
+		return total, nil
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(c)*104729 + 1))
+			for i := 0; i < txns; i++ {
+				from := fmt.Sprintf("acct%d", r.Intn(accounts))
+				to := fmt.Sprintf("acct%d", r.Intn(accounts))
+				if to == from {
+					to = fmt.Sprintf("acct%d", (r.Intn(accounts-1)+1+c)%accounts)
+				}
+				amount := int64(1 + r.Intn(5))
+				var err error
+				switch i % 4 {
+				case 0, 1: // declared set → epoch accumulators
+					_, err = db.ExecTouching(ctx, "transfer", []string{from, to}, transferBody(from, to, amount))
+				case 2: // undeclared → scheduled path with discovery
+					_, err = db.Exec(ctx, "transfer", transferBody(from, to, amount))
+				default: // snapshot view: sees whole epochs or none of them
+					var v objectbase.Value
+					v, err = db.View(ctx, "audit", audit)
+					if err == nil && v.(int64) != accounts*1000 {
+						err = fmt.Errorf("view saw a torn epoch: total = %d, want %d", v, accounts*1000)
+					}
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("client %d txn %d: %w", c, i, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	v, err := db.Exec(ctx, "audit", audit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int64) != accounts*1000 {
+		t.Fatalf("money not conserved: total = %d, want %d", v, accounts*1000)
+	}
+	st := db.Stats()
+	if st.EpochFlushes == 0 || st.EpochCommits == 0 {
+		t.Fatalf("epoch path never exercised: %d commits in %d flushes", st.EpochCommits, st.EpochFlushes)
+	}
+	if st.EpochCommits > st.Commits {
+		t.Fatalf("EpochCommits %d exceeds Commits %d", st.EpochCommits, st.Commits)
+	}
+	if _, err := db.Verify(); err != nil {
+		t.Fatalf("stitched history rejected: %v", err)
+	}
+}
+
+// TestEpochMidBatchAbort pins the per-member undo isolation: three
+// transactions coalesce into one epoch, the middle one aborts after
+// mutating state, and only its own steps roll back — the other two
+// commit, the epoch publishes them, and the history certifies.
+func TestEpochMidBatchAbort(t *testing.T) {
+	db, err := objectbase.Open(
+		objectbase.WithEpochs(500*time.Millisecond, 3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardBank(t, db, 3, 100)
+	ctx := context.Background()
+	base := db.Stats()
+	abortErr := errors.New("business rule says no")
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			acct := fmt.Sprintf("acct%d", i)
+			_, errs[i] = db.ExecTouching(ctx, "bump", []string{acct},
+				func(c *objectbase.Ctx) (objectbase.Value, error) {
+					if _, err := c.Call(acct, "deposit", int64(7)); err != nil {
+						return nil, err
+					}
+					if i == 1 {
+						// Abort after the deposit landed: the undo must
+						// reverse it without touching the epoch's other
+						// members.
+						return nil, abortErr
+					}
+					return nil, nil
+				})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if i == 1 {
+			if !errors.Is(err, abortErr) {
+				t.Fatalf("member 1: error = %v, want the abort error", err)
+			}
+		} else if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+	}
+	for i, want := range []int64{107, 100, 107} {
+		v, err := db.Exec(ctx, "audit", func(c *objectbase.Ctx) (objectbase.Value, error) {
+			return c.Call(fmt.Sprintf("acct%d", i), "balance")
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(int64) != want {
+			t.Fatalf("acct%d balance = %d, want %d (mid-batch abort leaked)", i, v, want)
+		}
+	}
+	st := db.Stats().Sub(base)
+	if st.EpochCommits != 2 {
+		t.Fatalf("EpochCommits = %d, want 2", st.EpochCommits)
+	}
+	if st.Aborts != 1 {
+		t.Fatalf("Aborts = %d, want 1", st.Aborts)
+	}
+	// The 500ms window must have coalesced all three concurrent members
+	// into a single flush — this is also what makes the test exercise a
+	// genuinely mid-batch abort rather than three degenerate epochs.
+	if st.EpochFlushes != 1 {
+		t.Fatalf("EpochFlushes = %d, want 1 (batch did not coalesce)", st.EpochFlushes)
+	}
+	if _, err := db.Verify(); err != nil {
+		t.Fatalf("history rejected: %v", err)
+	}
+}

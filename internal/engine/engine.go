@@ -106,6 +106,8 @@ type Engine struct {
 	viewFallbacks  atomic.Int64
 	serialRestarts atomic.Int64
 	twopcRestarts  atomic.Int64
+	epochCommits   atomic.Int64
+	epochFlushes   atomic.Int64
 }
 
 // New creates an engine running the given scheduler.
@@ -251,6 +253,14 @@ func (en *Engine) SerialRestarts() int64 { return en.serialRestarts.Load() }
 // TwoPCRestarts returns the number of cross-shard attempts that
 // restarted 2PC after discovering new shards mid-flight.
 func (en *Engine) TwoPCRestarts() int64 { return en.twopcRestarts.Load() }
+
+// EpochCommits returns the number of transactions committed through the
+// epoch group-commit path — a subset of Commits.
+func (en *Engine) EpochCommits() int64 { return en.epochCommits.Load() }
+
+// EpochFlushes returns the number of epoch batches flushed by this
+// engine's accumulators (counted on the base engine).
+func (en *Engine) EpochFlushes() int64 { return en.epochFlushes.Load() }
 
 // Tracer returns the engine's flight recorder (nil when tracing is
 // off).

@@ -1,0 +1,64 @@
+package engine
+
+// The restart path pools its shard-set merge buffers (restartScratch):
+// a transaction growing its gate set across discovery restarts must not
+// allocate per restart once the scratch is warm — the assertion that
+// pins the pooling in place.
+
+import (
+	"testing"
+)
+
+// restartMergeStep performs exactly what one discovery restart does to
+// the shard set: alternate the scratch buffers (the live pregate aliases
+// the previous merge) and merge the grown set into the spare.
+func restartMergeStep(scratch *restartScratch, pregate, need []int) []int {
+	scratch.a, scratch.b = scratch.b, scratch.a
+	scratch.a = mergeShardSetsInto(scratch.a[:0], pregate, need)
+	return scratch.a
+}
+
+func TestRestartMergeNoAllocPerRestart(t *testing.T) {
+	scratch := restartScratchPool.Get().(*restartScratch)
+	defer restartScratchPool.Put(scratch)
+	declared := []int{0, 2, 4, 6}
+	discovered := [][]int{{1}, {3}, {5, 7}}
+	// Warm the buffers through one full discovery sequence, as the first
+	// restarts of an attempt would.
+	pregate := declared
+	for _, need := range discovered {
+		pregate = restartMergeStep(scratch, pregate, need)
+	}
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	if len(pregate) != len(want) {
+		t.Fatalf("merged set = %v, want %v", pregate, want)
+	}
+	for i, s := range want {
+		if pregate[i] != s {
+			t.Fatalf("merged set = %v, want %v", pregate, want)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		p := declared
+		for _, need := range discovered {
+			p = restartMergeStep(scratch, p, need)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("restart merge allocates %v per restart sequence, want 0", allocs)
+	}
+}
+
+func BenchmarkRestartMerge(b *testing.B) {
+	scratch := restartScratchPool.Get().(*restartScratch)
+	defer restartScratchPool.Put(scratch)
+	declared := []int{0, 2, 4, 6}
+	need := []int{1, 3, 5, 7}
+	restartMergeStep(scratch, declared, need) // warm both buffers
+	restartMergeStep(scratch, declared, need)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		restartMergeStep(scratch, declared, need)
+	}
+}

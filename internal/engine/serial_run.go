@@ -64,12 +64,20 @@ func serialChildGet(home *Engine, parent *Exec, id core.ExecID, object, method s
 	return c
 }
 
-// serialExecGet returns a reset shardedExec in serial mode. The reset is
-// explicit, field by field: the structs embed mutexes and atomics, so a
-// wholesale overwrite is not an option, and every field the serial path
-// can have touched must be listed here.
+// serialExecGet returns a reset shardedExec in serial mode.
 func serialExecGet(r Router) *shardedExec {
 	st := serialExecPool.Get().(*shardedExec)
+	serialExecReset(st, r)
+	return st
+}
+
+// serialExecReset re-arms a shardedExec for one serial-mode attempt (an
+// epoch flusher re-arms the same state between batch members instead of
+// round-tripping the pool). The reset is explicit, field by field: the
+// structs embed mutexes and atomics, so a wholesale overwrite is not an
+// option, and every field the serial path can have touched must be
+// listed here.
+func serialExecReset(st *shardedExec, r Router) {
 	e, cs := &st.e, &st.cs
 	e.args = nil
 	e.parent = nil
@@ -95,7 +103,6 @@ func serialExecGet(r Router) *shardedExec {
 	cs.counted = nil
 	cs.pinned = nil
 	cs.snapSeq = 0
-	return st
 }
 
 // runSerialOnce is one attempt of a declared-set transaction: exclusive

@@ -577,22 +577,36 @@ func pregateFor(r Router, touches []string) []int {
 func runShardedRetry(ctx context.Context, r Router, name string, fn MethodFunc, args []core.Value, touches []string, readOnly bool) (core.Value, error) {
 	base := r.Base()
 	pregate := pregateFor(r, touches)
-	// A declared object set runs serially under exclusive gates; an
+	// A declared object set runs serially under exclusive gates — batched
+	// through the epoch accumulators when the space runs them — while an
 	// undeclared transaction runs scheduled, and keeps the scheduled path
 	// across its discovery restarts (the learned set is then pre-gated
 	// around the per-shard schedulers' two-phase commit).
 	serial := len(pregate) > 0
+	er, epochs := r.(EpochRouter)
+	if epochs {
+		epochs = er.EpochsEnabled()
+	}
 	backoff := base.opts.RetryBackoff
 	restarts := 0
+	var scratch *restartScratch
+	defer func() {
+		if scratch != nil {
+			restartScratchPool.Put(scratch)
+		}
+	}()
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		var ret core.Value
 		var err error
-		if serial {
+		switch {
+		case serial && epochs:
+			ret, err = runEpochOnce(ctx, er, name, fn, args, readOnly, pregate)
+		case serial:
 			ret, err = base.runSerialOnce(ctx, r, name, fn, args, readOnly, pregate)
-		} else {
+		default:
 			ret, err = base.runShardedOnce(ctx, r, name, fn, args, readOnly, pregate)
 		}
 		if err == nil {
@@ -612,7 +626,13 @@ func runShardedRetry(ctx context.Context, r Router, name string, fn MethodFunc, 
 				base.twopcRestarts.Add(1)
 				base.tr.Event(obs.PhaseTwoPCRestart, base.backoffRing(), "", "", "discovery")
 			}
-			pregate = mergeShardSets(pregate, rs.need)
+			if scratch == nil {
+				scratch = restartScratchPool.Get().(*restartScratch)
+			}
+			// Alternate buffers: pregate may alias the previous merge.
+			scratch.a, scratch.b = scratch.b, scratch.a
+			scratch.a = mergeShardSetsInto(scratch.a[:0], pregate, rs.need)
+			pregate = scratch.a
 			attempt--
 			continue
 		}
@@ -636,17 +656,37 @@ func runShardedRetry(ctx context.Context, r Router, name string, fn MethodFunc, 
 	}
 }
 
-func mergeShardSets(a, b []int) []int {
-	seen := make(map[int]bool, len(a)+len(b))
-	var out []int
-	for _, s := range append(append([]int(nil), a...), b...) {
-		if !seen[s] {
-			seen[s] = true
-			out = append(out, s)
+// restartScratch pools the shard-set merge buffers of the restart path,
+// the same way serial_run.go pools per-attempt state: a transaction that
+// restarts to grow its shard set should not pay a map and fresh slices
+// per restart. Two buffers alternate because the current pregate slice
+// aliases the buffer of the previous merge.
+type restartScratch struct{ a, b []int }
+
+var restartScratchPool = sync.Pool{New: func() any { return &restartScratch{} }}
+
+// mergeShardSetsInto merges two sorted ascending shard sets into dst
+// (pass it resliced to length zero), deduplicating; allocation-free once
+// dst has the capacity. Inputs must not alias dst.
+func mergeShardSetsInto(dst, a, b []int) []int {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
 		}
 	}
-	sort.Ints(out)
-	return out
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
 }
 
 // runShardedOnce is one attempt of a sharded transaction: the analogue of
@@ -923,7 +963,7 @@ func publishCommitSharded(e *Exec) {
 	}
 	topKey := e.id.Key()
 	for en, list := range byEng {
-		en.publishObjects(topKey, list)
+		en.publishObjects(topKey, list, nil)
 	}
 }
 

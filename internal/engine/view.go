@@ -264,22 +264,31 @@ func (en *Engine) publishCommit(e *Exec) {
 	if len(objs) == 0 {
 		return
 	}
-	en.publishObjects(e.id.Key(), objs)
+	en.publishObjects(e.id.Key(), objs, nil)
 }
 
 // publishObjects sequences and captures the given committed objects under
 // this engine's publication counter; the per-engine half of publishCommit,
 // shared with the cross-shard commit path (which groups a transaction's
-// touched objects by home engine first).
-func (en *Engine) publishObjects(topKey string, objs []*Object) {
+// touched objects by home engine first) and the epoch flusher. batchKeys,
+// non-nil only on the epoch path, lists per object the further committed
+// batch members whose pending marks the capture retires alongside topKey:
+// a whole epoch publishes as one sequence number per engine, so the
+// group commit costs one watermark round no matter how many transactions
+// it carried.
+func (en *Engine) publishObjects(topKey string, objs []*Object, batchKeys [][]string) {
 	ordAcquire(ordRankPub, "pubMu")
 	en.pubMu.Lock()
 	en.pubNext++
 	seq := en.pubNext
 	ordRelease(ordRankPub, "pubMu")
 	en.pubMu.Unlock()
-	for _, o := range objs {
-		o.publishVersion(topKey, seq)
+	for i, o := range objs {
+		var more []string
+		if batchKeys != nil {
+			more = batchKeys[i]
+		}
+		o.publishVersion(topKey, more, seq)
 	}
 	ordAcquire(ordRankPub, "pubMu")
 	en.pubMu.Lock()

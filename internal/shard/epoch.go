@@ -1,0 +1,160 @@
+// Per-shard epoch accumulators: the collection half of epoch group
+// commit (the execution half is engine.ExecuteEpoch).
+//
+// Each shard owns one accumulator run in the flat-combining style: a
+// declared-set transaction enqueues into the accumulator of its lowest
+// home shard, and the first request to find no flusher active becomes
+// the flusher, draining the queue batch by batch until it is empty.
+// While one batch executes under the gates, new arrivals accumulate
+// behind it — backpressure forms the next batch with no timer involved,
+// so a saturated shard flushes continuously and an idle one costs
+// nothing (there are no background goroutines; epochs are driven
+// entirely by requester goroutines). The window only adds patience: a
+// flusher whose next batch is still below maxBatch parks for at most
+// the window to let stragglers join, trading that much latency for
+// batch size at low load.
+//
+// Cross-shard alignment: a multi-shard declared transaction joins the
+// epoch of its lowest shard, and the flusher gates the union of the
+// batch's shard sets (in directory order, so concurrent flushers from
+// different accumulators cannot deadlock — they serialise on the shared
+// shards instead). A declared transaction therefore never needs the
+// 2PC path in epoch mode; undeclared transactions keep the scheduled
+// path untouched.
+package shard
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"objectbase/internal/engine"
+)
+
+// epochConfig is the batching policy: flush at most maxBatch requests
+// per batch, waiting up to window for a short batch to fill.
+type epochConfig struct {
+	window   time.Duration
+	maxBatch int
+}
+
+// epochAccum is one shard's accumulator. flushing marks a flusher
+// goroutine draining the queue; collecting marks it parked in a window
+// wait, during which full (capacity 1) signals that the size cap was
+// reached.
+type epochAccum struct {
+	mu         sync.Mutex
+	queue      []*engine.EpochReq
+	flushing   bool
+	collecting bool
+	full       chan struct{}
+}
+
+// EnableEpochs turns on epoch group commit for declared-set
+// transactions: batches are bounded by the time window and the size
+// cap. Call before traffic starts (it is not synchronised against
+// in-flight transactions). A maxBatch of one keeps the per-transaction
+// serial fast path (the degenerate epoch is pure overhead), so
+// EpochsEnabled stays false.
+func (sp *Space) EnableEpochs(window time.Duration, maxBatch int) {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	sp.epochs = &epochConfig{window: window, maxBatch: maxBatch}
+	sp.accums = make([]epochAccum, len(sp.engines))
+}
+
+// EpochsEnabled implements engine.EpochRouter.
+func (sp *Space) EpochsEnabled() bool {
+	return sp.epochs != nil && sp.epochs.maxBatch > 1
+}
+
+// EpochEnqueue implements engine.EpochRouter. When a flusher is already
+// draining the shard, the request just joins the queue and the call
+// returns immediately; otherwise the calling goroutine becomes the
+// flusher and serves batches until the queue is empty — so the call may
+// block for several epochs, and the caller must then wait on the
+// request's done channel either way (its own request was in the first
+// batch it flushed).
+func (sp *Space) EpochEnqueue(req *engine.EpochReq) {
+	cfg := sp.epochs
+	a := &sp.accums[req.HomeShard()]
+	a.mu.Lock()
+	a.queue = append(a.queue, req)
+	if a.flushing {
+		if a.collecting && len(a.queue) >= cfg.maxBatch {
+			select {
+			case a.full <- struct{}{}:
+			default:
+			}
+		}
+		a.mu.Unlock()
+		return
+	}
+	a.flushing = true
+	if a.full == nil {
+		a.full = make(chan struct{}, 1)
+	}
+	a.mu.Unlock()
+	sp.flushLoop(a, cfg)
+}
+
+// flushLoop drains the accumulator batch by batch. The queue-non-empty
+// ⇒ flusher-active invariant is maintained under the accumulator mutex:
+// the loop only exits after observing an empty queue, and an enqueuer
+// that finds flushing unset becomes the flusher itself, so no parked
+// request is ever left without a goroutine responsible for it.
+func (sp *Space) flushLoop(a *epochAccum, cfg *epochConfig) {
+	var batch []*engine.EpochReq
+	for {
+		a.mu.Lock()
+		if len(a.queue) == 0 {
+			a.flushing = false
+			a.mu.Unlock()
+			return
+		}
+		if len(a.queue) < cfg.maxBatch && cfg.window > 0 {
+			// A short batch waits for company; enqueuers cut the wait
+			// short the moment the size cap is reached. The wait is two
+			// tiers: first a bare scheduler yield — on a saturated
+			// machine every runnable requester enqueues during it, which
+			// fills the batch for the cost of one goroutine switch — and
+			// only if the batch is still short does the flusher park in a
+			// timer for the rest of the window.
+			a.collecting = true
+			a.mu.Unlock()
+			runtime.Gosched()
+			a.mu.Lock()
+			if len(a.queue) < cfg.maxBatch {
+				a.mu.Unlock()
+				timer := time.NewTimer(cfg.window)
+				//oblint:allow ctxwait -- the flusher's collection wait is bounded by the epoch window; honouring one member's context here would abandon the requests queued behind this batch
+				select {
+				case <-timer.C:
+				case <-a.full:
+					timer.Stop()
+				}
+				a.mu.Lock()
+			}
+			a.collecting = false
+			// Drain a stale size-cap signal under the same lock that
+			// orders the senders (they only signal while collecting is
+			// set), so the next batch's wait cannot be cut short by this
+			// batch's signal.
+			select {
+			case <-a.full:
+			default:
+			}
+		}
+		n := len(a.queue)
+		if n > cfg.maxBatch {
+			n = cfg.maxBatch
+		}
+		batch = append(batch[:0], a.queue[:n]...)
+		rem := copy(a.queue, a.queue[n:])
+		clear(a.queue[rem:])
+		a.queue = a.queue[:rem]
+		a.mu.Unlock()
+		engine.ExecuteEpoch(sp, batch)
+	}
+}

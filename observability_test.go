@@ -39,6 +39,8 @@ var statsMetricName = map[string]string{
 	"ViewFallbacks":  "view_fallbacks",
 	"SerialRestarts": "serial_restarts",
 	"TwoPCRestarts":  "twopc_restarts",
+	"EpochCommits":   "epoch_commits",
+	"EpochFlushes":   "epoch_flushes",
 }
 
 // TestMetricsStatsParity hammers a sharded, tracing DB with declared,
@@ -196,6 +198,55 @@ func TestTraceReconciliation(t *testing.T) {
 		fracs = append(fracs, frac)
 	}
 	t.Errorf("exclusive phase sums never reconciled with the latency sum within 5%%: off by %.1f%%, %.1f%%, %.1f%% across three runs",
+		fracs[0]*100, fracs[1]*100, fracs[2]*100)
+}
+
+// TestTraceReconciliationEpochs re-checks the partition invariant with
+// epoch group commit enabled: a batched attempt's wall time is exactly
+// admit + epoch-wait (the flusher's epoch-flush spans overlap the
+// members' waits and are deliberately non-exclusive), so the exclusive
+// sums must still reconcile with the latency histogram within 5%.
+func TestTraceReconciliationEpochs(t *testing.T) {
+	sc, ok := load.Get("hotspot-counter")
+	if !ok {
+		t.Fatal("hotspot-counter scenario not registered")
+	}
+	var fracs []float64
+	for attempt := 0; attempt < 3; attempt++ {
+		res, err := load.Run(context.Background(), load.Options{
+			Scenario:  sc,
+			Scheduler: "n2pl-op",
+			Trace:     true,
+			Knobs:     load.Knobs{Clients: 16, Txns: 300, Seed: int64(23 + attempt), Epoch: "100us:16"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("expected a clean commuting run, got %d errors", res.Errors)
+		}
+		if res.Phases["epoch-wait"].Count == 0 {
+			t.Fatal("epoch cell recorded no epoch-wait phases")
+		}
+		var phaseSum int64
+		for _, name := range []string{"admit", "epoch-wait", "schedule-wait", "execute", "commit-barrier", "publish", "retry-backoff"} {
+			phaseSum += res.Phases[name].TotalNS
+		}
+		latSum := res.Latency.Mean * (res.Ops - res.Errors)
+		if latSum <= 0 {
+			t.Fatalf("degenerate latency sum %d", latSum)
+		}
+		diff := phaseSum - latSum
+		if diff < 0 {
+			diff = -diff
+		}
+		frac := float64(diff) / float64(latSum)
+		if frac <= 0.05 {
+			return
+		}
+		fracs = append(fracs, frac)
+	}
+	t.Errorf("epoch-mode exclusive phase sums never reconciled with the latency sum within 5%%: off by %.1f%%, %.1f%%, %.1f%% across three runs",
 		fracs[0]*100, fracs[1]*100, fracs[2]*100)
 }
 
