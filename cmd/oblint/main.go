@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/oblint [-C dir] [-tags tag,tag] [-list] [packages]
+//	go run ./cmd/oblint [-C dir] [-tags tag,tag] [-list] [-gen] [packages]
 //
 // Packages default to ./... . Exit status is 0 when clean, 1 when any
 // diagnostic is reported, 2 on load/usage errors. Diagnostics can be
@@ -14,12 +14,19 @@
 //	//oblint:allow <analyzer> -- <justification>
 //
 // comment on, or directly above, the offending line.
+//
+// With -gen, oblint instead re-derives the object library's conflict
+// relations (the commutativity derivation behind the conflictsound
+// analyzer) and rewrites internal/objects/conflict_gen.go; -gen -check
+// verifies the committed file matches without writing (the CI drift gate).
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"objectbase/internal/analysis"
@@ -27,12 +34,14 @@ import (
 
 func main() {
 	var (
-		dir  = flag.String("C", ".", "module root to analyze")
-		tags = flag.String("tags", "", "comma-separated build tags (e.g. ordercheck)")
-		list = flag.Bool("list", false, "print the analyzer catalogue and exit")
+		dir   = flag.String("C", ".", "module root to analyze")
+		tags  = flag.String("tags", "", "comma-separated build tags (e.g. ordercheck)")
+		list  = flag.Bool("list", false, "print the analyzer catalogue and exit")
+		gen   = flag.Bool("gen", false, "regenerate internal/objects/conflict_gen.go from the derivation and exit")
+		check = flag.Bool("check", false, "with -gen: verify the committed file matches instead of writing")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: oblint [-C dir] [-tags tag,tag] [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: oblint [-C dir] [-tags tag,tag] [-list] [-gen [-check]] [packages]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -40,6 +49,14 @@ func main() {
 	if *list {
 		for _, a := range analysis.All() {
 			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	if *gen {
+		if err := generate(*dir, *check); err != nil {
+			fmt.Fprintf(os.Stderr, "oblint: %v\n", err)
+			os.Exit(2)
 		}
 		return
 	}
@@ -69,4 +86,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "oblint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// generate re-derives the object library's conflict relations and writes
+// (or, with check, compares) internal/objects/conflict_gen.go.
+func generate(dir string, check bool) error {
+	schemas, err := analysis.DeriveTree(dir)
+	if err != nil {
+		return err
+	}
+	module, err := analysis.ModulePath(dir)
+	if err != nil {
+		return err
+	}
+	want := analysis.GenerateConflicts(schemas, module)
+	path := filepath.Join(dir, "internal", "objects", "conflict_gen.go")
+	if check {
+		got, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("%s is stale: re-run `go run ./cmd/oblint -gen`", path)
+		}
+		fmt.Printf("oblint: %s is up to date\n", path)
+		return nil
+	}
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("oblint: wrote %s (%d schemas)\n", path, len(schemas))
+	return nil
 }

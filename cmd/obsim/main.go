@@ -31,6 +31,11 @@
 //	                           # 'obsim load -trace' (or /trace on the
 //	                           # debug server): per-phase span counts and
 //	                           # latencies, instant events by outcome
+//	obsim schema [-C DIR]      # print each schema's declared conflict
+//	                           # relation next to the one derived
+//	                           # statically from the operation bodies;
+//	                           # exit 1 when a declared verdict is
+//	                           # unsound
 //
 // The -sched flags accept any scheduler registered with the objectbase
 // package; -scenario accepts any scenario in the internal/load registry
@@ -81,6 +86,8 @@ func main() {
 		runCompare(os.Args[2:])
 	case "trace":
 		runTrace(os.Args[2:])
+	case "schema":
+		runSchema(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -88,7 +95,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: obsim {list | exp <ID> | all | bank | load | compare | trace} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: obsim {list | exp <ID> | all | bank | load | compare | trace | schema} [flags]")
 	fmt.Fprintf(os.Stderr, "schedulers: %s\n", strings.Join(objectbase.Schedulers(), ", "))
 	fmt.Fprintf(os.Stderr, "scenarios:  %s\n", strings.Join(load.Names(), ", "))
 }

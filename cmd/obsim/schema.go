@@ -1,0 +1,151 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"objectbase/internal/analysis"
+	"objectbase/internal/core"
+	"objectbase/internal/objects"
+)
+
+// runSchema prints, for every schema in the object library, the declared
+// conflict relation next to the one the static derivation computes from the
+// operation bodies, one matrix per schema. Cells read declared/derived:
+// "." commutes, "k" conflicts only on equal keys, "#" conflicts
+// unconditionally. Disagreements are listed under the matrix; an unsound
+// one (the declared relation commutes a pair the derivation proves
+// conflicting, or keys an unconditional conflict) exits 1.
+func runSchema(args []string) {
+	fs := flag.NewFlagSet("schema", flag.ContinueOnError)
+	dir := fs.String("C", ".", "module root to derive from (its internal/objects is analysed)")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	derived, err := analysis.DeriveTree(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obsim schema: %v\n", err)
+		os.Exit(1)
+	}
+	byName := make(map[string]*analysis.DerivedSchema, len(derived))
+	for _, d := range derived {
+		byName[d.Name] = d
+	}
+
+	unsound := 0
+	for _, sc := range objects.Library() {
+		d, ok := byName[sc.Name]
+		if !ok {
+			fmt.Printf("%s: no derivation (schema not built in internal/objects?)\n\n", sc.Name)
+			continue
+		}
+		unsound += printSchemaMatrix(sc, d)
+	}
+	if unsound > 0 {
+		fmt.Fprintf(os.Stderr, "obsim schema: %d unsound declared verdict(s)\n", unsound)
+		os.Exit(1)
+	}
+}
+
+// printSchemaMatrix prints one schema's declared-vs-derived matrix and
+// returns how many cells were unsound.
+func printSchemaMatrix(sc *core.Schema, d *analysis.DerivedSchema) int {
+	fmt.Printf("%s  (cells: declared/derived — . commute, k conflict iff keys equal, # conflict)\n", sc.Name)
+	for _, op := range d.OpNames {
+		fp := d.Ops[op]
+		if fp != nil && fp.Opaque {
+			fmt.Printf("  %s: footprint opaque (%s); derived verdicts are conservative\n", op, fp.OpaqueWhy)
+		} else if fp != nil {
+			fmt.Printf("  %s: %s\n", op, fp)
+		}
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprint(w, "  ")
+	for _, b := range d.OpNames {
+		fmt.Fprintf(w, "\t%s", b)
+	}
+	fmt.Fprintln(w)
+	type mismatch struct{ a, b, decl, deriv string }
+	var bad []mismatch
+	unsound := 0
+	for _, a := range d.OpNames {
+		fmt.Fprintf(w, "  %s", a)
+		for _, b := range d.OpNames {
+			decl := liveVerdict(sc.Conflicts, a, b)
+			deriv := verdictSymbol(d.Verdict(a, b))
+			fmt.Fprintf(w, "\t%s/%s", decl, deriv)
+			if decl != deriv {
+				bad = append(bad, mismatch{a, b, decl, deriv})
+				if isUnsound(decl, deriv) {
+					unsound++
+				}
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+
+	for _, m := range bad {
+		kind := "over-coarse"
+		if isUnsound(m.decl, m.deriv) {
+			kind = "UNSOUND"
+		}
+		fmt.Printf("  %s: %s/%s declared %q but derived %q\n", kind, m.a, m.b, m.decl, m.deriv)
+	}
+	if len(bad) == 0 {
+		fmt.Println("  declared relation matches the derivation exactly")
+	}
+	fmt.Println()
+	return unsound
+}
+
+// liveVerdict classifies the declared relation's verdict for one ordered
+// pair by probing OpConflicts twice: once with equal first arguments and
+// once with distinct ones. Every relation in the library keys on the first
+// argument when it keys at all, so the two probes separate the three
+// verdicts.
+func liveVerdict(rel core.ConflictRelation, a, b string) string {
+	args := func(key string) []core.Value { return []core.Value{key, int64(0)} }
+	eq := rel.OpConflicts(
+		core.OpInvocation{Op: a, Args: args("probe")},
+		core.OpInvocation{Op: b, Args: args("probe")})
+	ne := rel.OpConflicts(
+		core.OpInvocation{Op: a, Args: args("probe")},
+		core.OpInvocation{Op: b, Args: args("other")})
+	switch {
+	case eq && ne:
+		return "#"
+	case eq:
+		return "k"
+	case ne:
+		// Conflicts only on distinct keys: no relation in the library does
+		// this; classify conservatively as an unconditional conflict.
+		return "#"
+	default:
+		return "."
+	}
+}
+
+func verdictSymbol(v analysis.PairVerdict) string {
+	switch {
+	case !v.Conflict:
+		return "."
+	case v.Keyed:
+		return "k"
+	default:
+		return "#"
+	}
+}
+
+// isUnsound reports whether a declared/derived disagreement is on the
+// unsafe side: the declared relation admits a swap the derivation forbids.
+func isUnsound(decl, deriv string) bool {
+	if decl == "." && deriv != "." {
+		return true
+	}
+	return decl == "k" && deriv == "#"
+}

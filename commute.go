@@ -1,0 +1,21 @@
+package objectbase
+
+import "objectbase/internal/core"
+
+// SampleCommutativity drives the runtime commutativity witness over a
+// schema: randomized states and argument tuples, and for every ordered
+// pair of operations the declared conflict relation commutes, a
+// differential check of Definition 3 — both orders must be legal with the
+// same return values and final states, and the undo closures must commute
+// too (the engine's abort path interleaves them). It returns, per ordered
+// pair of operation names, how many rounds completed the full check (so
+// callers can assert coverage), and the first violation found.
+//
+// This is the runtime half of the static commutativity certification: the
+// oblint conflictsound analyzer proves relations sound from the operation
+// bodies, and this witness re-checks the same obligation on concrete
+// executions. The load harness runs it on every oracle-verified cell
+// (obsim load -verify).
+func SampleCommutativity(sc *Schema, seed int64, rounds int) (map[[2]string]int, error) {
+	return core.SampleCommutativity(sc, seed, rounds)
+}

@@ -334,6 +334,9 @@ type DB struct {
 	// regMu serialises registration: the duplicate-object check and the
 	// engine insertion must be atomic against concurrent registrations.
 	regMu sync.Mutex
+	// schemas holds the distinct schema instances registered so far, in
+	// first-registration order (see Schemas).
+	schemas []*Schema
 }
 
 // Open creates an object base. With no options it runs the default
@@ -460,7 +463,27 @@ func (db *DB) RegisterObject(name string, schema *Schema, initial State) error {
 		return fmt.Errorf("objectbase: object %q already registered", name)
 	}
 	db.registrar().AddObject(name, schema, initial)
+	known := false
+	for _, s := range db.schemas {
+		if s == schema {
+			known = true
+			break
+		}
+	}
+	if !known {
+		db.schemas = append(db.schemas, schema)
+	}
 	return nil
+}
+
+// Schemas returns the distinct schema instances registered on the DB, in
+// first-registration order. Verification harnesses sweep it to run
+// per-schema witnesses (e.g. SampleCommutativity) over exactly the object
+// types a workload exercised.
+func (db *DB) Schemas() []*Schema {
+	db.regMu.Lock()
+	defer db.regMu.Unlock()
+	return append([]*Schema(nil), db.schemas...)
 }
 
 // RegisterMethod installs a method on a registered object. Methods are

@@ -158,12 +158,26 @@
 // the shard-gate acquisition order, version-publication discipline,
 // context plumbing on blocking paths, flight-recorder span balance,
 // and the cmd//examples import boundary — are machine-checked. `go run
-// ./cmd/oblint ./...` runs the six analyzers of internal/analysis over
+// ./cmd/oblint ./...` runs the eight analyzers of internal/analysis over
 // the tree (CI enforces a clean run), and building or testing with
 // -tags ordercheck compiles in a runtime witness that panics at the
 // call site of any out-of-order lock or gate acquisition. See the
 // README's "Static analysis" section for the analyzer catalogue and
 // the rank table.
+//
+// The conflict relations everything rests on are certified twice over.
+// Statically, the conflictsound analyzer derives each schema's relation
+// from its operation bodies (read/write footprints, argument-keyed
+// accesses, commuting increments) and flags any declared relation that
+// commutes a provably conflicting pair; `go run ./cmd/oblint -gen`
+// writes the derived argument-aware tables to
+// internal/objects/conflict_gen.go. Dynamically, SampleCommutativity
+// (with its single-pair form, core.VerifyCommutativitySoundness) replays
+// randomized states through every declared-commuting pair and checks
+// Definition 3 differentially — both orders legal, identical returns and
+// final states, undo closures included; `obsim load -verify` chains it
+// after the serialisability oracle, and `obsim schema` prints the
+// declared-vs-derived matrices.
 //
 // See README.md for the repository layout, the scheduler catalogue, and a
 // complete quickstart; the runnable programs under examples/ exercise the

@@ -89,13 +89,26 @@ func (f Finding) String() string {
 // allowRe matches suppression comments; see the package comment.
 var allowRe = regexp.MustCompile(`^//\s*oblint:allow\s+([A-Za-z0-9_,\s]+?)(?:\s+--.*)?$`)
 
-// allowedLines indexes //oblint:allow comments: analyzer name -> file ->
-// set of line numbers on which that analyzer's diagnostics are
-// acknowledged (the comment's own line and the line below it).
-type allowedLines map[string]map[string]map[int]bool
+// allowSite is one analyzer name acknowledged by one //oblint:allow
+// comment: it suppresses that analyzer's diagnostics on the comment's own
+// line and the line directly below, and records whether it ever did (a
+// site that never fires is stale — see stalesuppress).
+type allowSite struct {
+	name string
+	pos  token.Pos      // the comment, for stalesuppress diagnostics
+	loc  token.Position // resolved comment position
+	used bool
+}
 
-func collectAllows(fset *token.FileSet, files []*ast.File) allowedLines {
-	out := make(allowedLines)
+// allowIndex indexes //oblint:allow comments: analyzer name -> file ->
+// line -> site.
+type allowIndex struct {
+	byName map[string]map[string]map[int]*allowSite
+	sites  []*allowSite // in source order
+}
+
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowIndex {
+	out := &allowIndex{byName: make(map[string]map[string]map[int]*allowSite)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -109,18 +122,20 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowedLines {
 					if name == "" {
 						continue
 					}
-					byFile := out[name]
+					site := &allowSite{name: name, pos: c.Pos(), loc: pos}
+					out.sites = append(out.sites, site)
+					byFile := out.byName[name]
 					if byFile == nil {
-						byFile = make(map[string]map[int]bool)
-						out[name] = byFile
+						byFile = make(map[string]map[int]*allowSite)
+						out.byName[name] = byFile
 					}
 					lines := byFile[pos.Filename]
 					if lines == nil {
-						lines = make(map[int]bool)
+						lines = make(map[int]*allowSite)
 						byFile[pos.Filename] = lines
 					}
-					lines[pos.Line] = true
-					lines[pos.Line+1] = true
+					lines[pos.Line] = site
+					lines[pos.Line+1] = site
 				}
 			}
 		}
@@ -128,18 +143,25 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowedLines {
 	return out
 }
 
-func (a allowedLines) suppressed(name string, pos token.Position) bool {
-	byFile := a[name]
-	if byFile == nil {
+// suppressed reports whether a diagnostic of the named analyzer at pos is
+// acknowledged, marking the acknowledging site live.
+func (a *allowIndex) suppressed(name string, pos token.Position) bool {
+	site := a.byName[name][pos.Filename][pos.Line]
+	if site == nil {
 		return false
 	}
-	return byFile[pos.Filename][pos.Line]
+	site.used = true
+	return true
 }
 
 // Run applies every analyzer to every package and returns the surviving
 // findings sorted by position. Packages with load errors contribute an
 // error instead of findings.
 func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	var findings []Finding
 	for _, pkg := range pkgs {
 		allows := collectAllows(pkg.Fset, pkg.Files)
@@ -159,6 +181,27 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
 					continue
 				}
 				findings = append(findings, Finding{Position: position, Message: d.Message, Analyzer: a.Name})
+			}
+		}
+		// Stale-suppression pass: an allow whose analyzer ran in this
+		// invocation and suppressed nothing is dead weight (or hides a fix
+		// that already landed) and is itself reported. Allows naming
+		// analyzers outside this run are left alone — a partial run cannot
+		// judge them. Stale findings honour their own allows.
+		if ran[StaleSuppress.Name] {
+			for _, site := range allows.sites {
+				if site.used || site.name == StaleSuppress.Name || !ran[site.name] {
+					continue
+				}
+				if allows.suppressed(StaleSuppress.Name, site.loc) {
+					continue
+				}
+				findings = append(findings, Finding{
+					Position: site.loc,
+					Message: fmt.Sprintf("stale //oblint:allow %s: no %s diagnostic fires on this line",
+						site.name, site.name),
+					Analyzer: StaleSuppress.Name,
+				})
 			}
 		}
 	}
@@ -184,5 +227,20 @@ func All() []*Analyzer {
 		NoInternal,
 		ObserverComplete,
 		SpanBalance,
+		ConflictSound,
+		StaleSuppress,
 	}
+}
+
+// StaleSuppress reports //oblint:allow comments that acknowledge nothing:
+// the named analyzer ran over the file and no diagnostic of it fired on
+// the comment's lines. Implemented in the driver (Run), because liveness
+// is only known after suppression filtering; the analyzer itself exists so
+// the check can be named, listed, and allowed like any other.
+var StaleSuppress = &Analyzer{
+	Name: "stalesuppress",
+	Doc: "report //oblint:allow comments whose analyzer fires no diagnostic on the " +
+		"acknowledged lines (stale suppressions); checked by the driver after all " +
+		"suppression filtering, only for analyzers included in the run",
+	Run: func(*Pass) error { return nil },
 }

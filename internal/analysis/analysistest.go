@@ -30,7 +30,15 @@ type expectation struct {
 // finding must be wanted, every want must be found.
 func RunFixture(t *testing.T, a *Analyzer, tags ...string) {
 	t.Helper()
-	dir := "testdata/" + a.Name + "/src"
+	RunFixtureSuite(t, a.Name, []*Analyzer{a}, tags...)
+}
+
+// RunFixtureSuite is RunFixture for several analyzers run together over
+// testdata/<name>/src — needed by checks like stalesuppress, whose driver
+// pass only judges suppressions of analyzers included in the same run.
+func RunFixtureSuite(t *testing.T, name string, analyzers []*Analyzer, tags ...string) {
+	t.Helper()
+	dir := "testdata/" + name + "/src"
 	pkgs, err := Load(LoadConfig{Dir: dir, Module: "objectbase", Tags: tags}, "./...")
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
@@ -38,9 +46,9 @@ func RunFixture(t *testing.T, a *Analyzer, tags ...string) {
 	if len(pkgs) == 0 {
 		t.Fatalf("fixture %s contains no packages", dir)
 	}
-	findings, err := Run([]*Analyzer{a}, pkgs)
+	findings, err := Run(analyzers, pkgs)
 	if err != nil {
-		t.Fatalf("running %s on fixture: %v", a.Name, err)
+		t.Fatalf("running %s on fixture: %v", name, err)
 	}
 
 	var wants []*expectation

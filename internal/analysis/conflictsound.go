@@ -1,0 +1,104 @@
+package analysis
+
+// conflictsound cross-checks every schema's hand-written conflict relation
+// against the relation derived from its operation bodies (footprint.go,
+// derive.go, declread.go). Two failure directions:
+//
+//   - Unsound: the declared relation omits a conflict the footprints
+//     imply. The engine would then commute steps whose order matters —
+//     a correctness bug (Definition 3 violated).
+//
+//   - Over-coarse: the declared relation contains a pair the derivation
+//     proves commuting (or keys a pair it proves key-scoped). Safe but
+//     concurrency left on the table; reported so the relation can adopt
+//     the generated table (conflict_gen.go).
+//
+// Relations built by generatedConflicts() are the generator's own output
+// and are certified by construction (the CI drift gate keeps the committed
+// table in sync with the derivation), so only footprint-level problems are
+// reported for them.
+
+var ConflictSound = &Analyzer{
+	Name: "conflictsound",
+	Doc: "cross-check declared conflict relations against derived operation footprints: " +
+		"fail on declared relations that omit a derived conflict (unsound), report declared " +
+		"conflicts the derivation proves commuting or key-scoped (over-coarse), and check " +
+		"undo/Peek/ReadOnly footprint obligations",
+	Run: runConflictSound,
+}
+
+func runConflictSound(pass *Pass) error {
+	for _, d := range DeriveSchemas(pass.Pkg) {
+		checkSchema(pass, d)
+	}
+	return nil
+}
+
+func checkSchema(pass *Pass, d *DerivedSchema) {
+	// Footprint-level obligations hold regardless of the declared relation.
+	for _, name := range d.OpNames {
+		for _, p := range d.Ops[name].Problems {
+			pass.Reportf(d.Ops[name].Pos, "schema %q: %s", d.Name, p)
+		}
+	}
+
+	decl := readDeclared(pass.Pkg, d.RelExpr, d.OpNames)
+	if decl.certified {
+		return // the generator's own output; drift-gated in CI
+	}
+	if !decl.ok {
+		pass.Reportf(d.RelPos, "schema %q: declared conflict relation is not statically certifiable: %s",
+			d.Name, decl.why)
+		return
+	}
+
+	reportedOpaque := map[string]bool{}
+	for _, a := range d.OpNames {
+		for _, b := range d.OpNames {
+			pair := [2]string{a, b}
+			dv := decl.pairs[pair] // zero value: declared commuting
+			der := d.Verdict(a, b)
+
+			// An opaque operation derives as conflict-with-everything;
+			// distinguish "not certifiable" from a real omission.
+			if fa, fb := d.Ops[a], d.Ops[b]; fa.Opaque || fb.Opaque {
+				if !dv.Conflict || dv.Keyed {
+					op := fa
+					if !op.Opaque {
+						op = fb
+					}
+					if !reportedOpaque[op.Name] {
+						reportedOpaque[op.Name] = true
+						pass.Reportf(op.Pos,
+							"schema %q: operation %s is not certifiable (%s) but the declared relation commutes it with some operation",
+							d.Name, op.Name, op.OpaqueWhy)
+					}
+				}
+				continue
+			}
+
+			switch {
+			case der.Conflict && !dv.Conflict:
+				pass.Reportf(d.RelPos,
+					"schema %q: declared relation omits derived conflict %s/%s (footprints %s vs %s): unsound",
+					d.Name, a, b, d.Ops[a], d.Ops[b])
+			case der.Conflict && !der.Keyed && dv.Keyed:
+				pass.Reportf(d.RelPos,
+					"schema %q: declared relation keys %s/%s by argument but the derived conflict is unconditional (footprints %s vs %s): unsound",
+					d.Name, a, b, d.Ops[a], d.Ops[b])
+			case der.Conflict && der.Keyed && dv.Keyed && (dv.ArgA != der.ArgA || dv.ArgB != der.ArgB):
+				pass.Reportf(d.RelPos,
+					"schema %q: declared relation keys %s/%s on arg%d/arg%d but the derivation keys it on arg%d/arg%d: unsound",
+					d.Name, a, b, dv.ArgA, dv.ArgB, der.ArgA, der.ArgB)
+			case !der.Conflict && dv.Conflict:
+				pass.Reportf(d.RelPos,
+					"schema %q: %s/%s provably commute (footprints %s vs %s) but are declared conflicting: over-coarse",
+					d.Name, a, b, d.Ops[a], d.Ops[b])
+			case der.Conflict && der.Keyed && dv.Conflict && !dv.Keyed:
+				pass.Reportf(d.RelPos,
+					"schema %q: %s/%s conflict only on equal keys (arg%d=arg%d) but are declared conflicting unconditionally: over-coarse",
+					d.Name, a, b, der.ArgA, der.ArgB)
+			}
+		}
+	}
+}

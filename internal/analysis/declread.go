@@ -1,0 +1,680 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file reads a schema's *declared* conflict relation statically, into
+// the same PairVerdict form the derivation produces, so conflictsound can
+// compare them. It understands the core combinators (TotalConflict,
+// TableConflict with ConflictPairs/SymmetricPairs, RWTable, Refine,
+// Sharded), the generatedConflicts marker of internal/objects (certified
+// by construction, drift-gated in CI), and custom relation types whose
+// OpConflicts method is simple enough to evaluate concretely per pair of
+// operation names.
+
+// declRelation is a statically-read declared relation.
+type declRelation struct {
+	ok  bool   // readable
+	why string // when !ok: what defeated the reader
+	// certified: the relation is the generator's own output
+	// (generatedConflicts), so declared == derived by construction.
+	certified bool
+	// pairs maps every ordered pair of operation names to its declared
+	// verdict (zero value = commute).
+	pairs map[[2]string]PairVerdict
+}
+
+func declUnreadable(format string, args ...interface{}) declRelation {
+	return declRelation{why: fmt.Sprintf(format, args...)}
+}
+
+// readDeclared interprets the relation expression over the operation-name
+// universe ops.
+func readDeclared(pkg *Package, relExpr ast.Expr, ops []string) declRelation {
+	e := ast.Unparen(relExpr)
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return readDeclared(pkg, e.X, ops)
+		}
+	case *ast.CallExpr:
+		return readDeclaredCall(pkg, e, ops)
+	case *ast.CompositeLit:
+		return readDeclaredLit(pkg, e, ops)
+	case *ast.Ident:
+		// A variable binding resolved by the caller would already be
+		// substituted; a remaining ident is beyond the reader.
+		return declUnreadable("relation bound to %s, which the reader cannot resolve", e.Name)
+	}
+	return declUnreadable("unrecognised relation expression %T", e)
+}
+
+func readDeclaredCall(pkg *Package, call *ast.CallExpr, ops []string) declRelation {
+	switch name := calleeName(call); name {
+	case "Refine":
+		// Step-granularity refinement only shrinks StepConflicts; the
+		// op-granularity relation is the base's.
+		if isCorePkgCall(pkg, call) && len(call.Args) == 2 {
+			return readDeclared(pkg, call.Args[0], ops)
+		}
+	case "Sharded":
+		// rel.Sharded(n) answers conflicts exactly like rel.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return readDeclared(pkg, sel.X, ops)
+		}
+	case "generatedConflicts":
+		return declRelation{ok: true, certified: true}
+	case "RWTable":
+		if !isCorePkgCall(pkg, call) || len(call.Args) != 3 {
+			break
+		}
+		readers, ok1 := stringSliceLit(pkg, call.Args[0])
+		writers, ok2 := stringSliceLit(pkg, call.Args[1])
+		keyed, okKey := readKeyFunc(pkg, call.Args[2], true)
+		if !ok1 || !ok2 || !okKey {
+			return declUnreadable("RWTable with non-literal arguments")
+		}
+		pairs := map[[2]string]PairVerdict{}
+		conflict := PairVerdict{Conflict: true, Keyed: keyed}
+		for _, w := range writers {
+			for _, w2 := range writers {
+				pairs[[2]string{w, w2}] = conflict
+			}
+			for _, r := range readers {
+				pairs[[2]string{w, r}] = conflict
+				pairs[[2]string{r, w}] = conflict
+			}
+		}
+		return declRelation{ok: true, pairs: pairs}
+	}
+	return declUnreadable("unrecognised relation call %s", calleeName(call))
+}
+
+// isCorePkgCall reports whether the call resolves into internal/core.
+func isCorePkgCall(pkg *Package, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	case *ast.Ident:
+		id = fn
+	default:
+		return false
+	}
+	obj := pkg.Info.Uses[id]
+	return obj != nil && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/core")
+}
+
+func readDeclaredLit(pkg *Package, lit *ast.CompositeLit, ops []string) declRelation {
+	t := typeOf(pkg, lit)
+	named, ok := t.(*types.Named)
+	if !ok {
+		return declUnreadable("relation literal of unnamed type")
+	}
+	obj := named.Obj()
+	inCore := obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/core")
+	switch {
+	case inCore && obj.Name() == "TotalConflict":
+		pairs := map[[2]string]PairVerdict{}
+		for _, a := range ops {
+			for _, b := range ops {
+				pairs[[2]string{a, b}] = PairVerdict{Conflict: true}
+			}
+		}
+		return declRelation{ok: true, pairs: pairs}
+	case inCore && obj.Name() == "TableConflict":
+		return readTableConflict(pkg, lit)
+	case inCore:
+		return declUnreadable("unrecognised core relation %s", obj.Name())
+	default:
+		return readCustomRelation(pkg, named, ops)
+	}
+}
+
+func readTableConflict(pkg *Package, lit *ast.CompositeLit) declRelation {
+	var pairs map[[2]string]bool
+	keyed := false // Key nil = SingleKey: one scope, unkeyed conflicts
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			return declUnreadable("positional TableConflict literal")
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Pairs":
+			p, ok := readPairsExpr(pkg, kv.Value)
+			if !ok {
+				return declUnreadable("TableConflict.Pairs is not a literal pair table")
+			}
+			pairs = p
+		case "Key":
+			k, ok := readKeyFunc(pkg, kv.Value, false)
+			if !ok {
+				return declUnreadable("TableConflict.Key is not a recognised key function")
+			}
+			keyed = k
+		case "Refine":
+			// Step granularity only; ignored at op granularity.
+		}
+	}
+	out := map[[2]string]PairVerdict{}
+	for p := range pairs {
+		out[p] = PairVerdict{Conflict: true, Keyed: keyed}
+	}
+	return declRelation{ok: true, pairs: out}
+}
+
+// readKeyFunc classifies a KeyFunc expression: FirstArgKey keys conflicts
+// on (arg0, arg0); SingleKey and nil put everything in one scope
+// (defaultFirstArg selects RWTable's nil default).
+func readKeyFunc(pkg *Package, e ast.Expr, defaultFirstArg bool) (keyed, ok bool) {
+	e = ast.Unparen(e)
+	if id, isIdent := e.(*ast.Ident); isIdent && id.Name == "nil" {
+		return defaultFirstArg, true
+	}
+	var id *ast.Ident
+	switch f := e.(type) {
+	case *ast.SelectorExpr:
+		id = f.Sel
+	case *ast.Ident:
+		id = f
+	default:
+		return false, false
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/core") {
+		return false, false
+	}
+	switch obj.Name() {
+	case "FirstArgKey":
+		return true, true
+	case "SingleKey":
+		return false, true
+	}
+	return false, false
+}
+
+// readPairsExpr reads a ConflictPairs/SymmetricPairs call or a map literal
+// of [2]string pairs.
+func readPairsExpr(pkg *Package, e ast.Expr) (map[[2]string]bool, bool) {
+	e = ast.Unparen(e)
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	symmetric := false
+	switch calleeName(call) {
+	case "ConflictPairs":
+	case "SymmetricPairs":
+		symmetric = true
+	default:
+		return nil, false
+	}
+	if !isCorePkgCall(pkg, call) {
+		return nil, false
+	}
+	out := map[[2]string]bool{}
+	for _, arg := range call.Args {
+		lit, ok := ast.Unparen(arg).(*ast.CompositeLit)
+		if !ok || len(lit.Elts) != 2 {
+			return nil, false
+		}
+		var pair [2]string
+		for i, el := range lit.Elts {
+			s, ok := stringConst(pkg, el)
+			if !ok {
+				return nil, false
+			}
+			pair[i] = s
+		}
+		out[pair] = true
+		if symmetric {
+			out[[2]string{pair[1], pair[0]}] = true
+		}
+	}
+	return out, true
+}
+
+func stringConst(pkg *Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func stringSliceLit(pkg *Package, e ast.Expr) ([]string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.CompositeLit)
+	if !ok {
+		return nil, false
+	}
+	var out []string
+	for _, el := range lit.Elts {
+		s, ok := stringConst(pkg, el)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, s)
+	}
+	return out, true
+}
+
+// --- custom relations: concrete evaluation of OpConflicts ---
+
+// readCustomRelation evaluates a hand-written relation type's OpConflicts
+// method concretely for every ordered pair of operation names. Key
+// equality (core.ValueEqual over FirstArgKey) is the one unknown: the body
+// is evaluated once under "keys equal" and once under "keys differ", and
+// the two booleans classify the pair (true/true = conflict, false/false =
+// commute, conflict-only-when-equal = keyed).
+func readCustomRelation(pkg *Package, named *types.Named, ops []string) declRelation {
+	method := methodDecl(pkg, named, "OpConflicts")
+	if method == nil {
+		return declUnreadable("relation type %s: OpConflicts not found in package", named.Obj().Name())
+	}
+	params := method.Type.Params.List
+	var invObjs []types.Object
+	for _, f := range params {
+		for _, n := range f.Names {
+			invObjs = append(invObjs, pkg.Info.Defs[n])
+		}
+	}
+	if len(invObjs) != 2 {
+		return declUnreadable("relation type %s: OpConflicts does not take two invocations", named.Obj().Name())
+	}
+
+	pairs := map[[2]string]PairVerdict{}
+	for _, a := range ops {
+		for _, b := range ops {
+			under := func(keq bool) (bool, bool) {
+				ev := &concEval{pkg: pkg, keq: keq, vals: map[types.Object]ccVal{
+					invObjs[0]: ccInv{op: a, side: 0},
+					invObjs[1]: ccInv{op: b, side: 1},
+				}}
+				ret, returned := ev.stmts(method.Body.List)
+				if !ev.ok() || !returned {
+					return false, false
+				}
+				bv, isBool := ret.(ccBool)
+				return bool(bv), isBool
+			}
+			eq, ok1 := under(true)
+			ne, ok2 := under(false)
+			if !ok1 || !ok2 {
+				return declUnreadable("relation type %s: OpConflicts is beyond the concrete evaluator", named.Obj().Name())
+			}
+			switch {
+			case eq && ne:
+				pairs[[2]string{a, b}] = PairVerdict{Conflict: true}
+			case eq && !ne:
+				pairs[[2]string{a, b}] = PairVerdict{Conflict: true, Keyed: true}
+			case !eq && ne:
+				// "Conflicts only when the keys differ" — not expressible;
+				// conservative.
+				pairs[[2]string{a, b}] = PairVerdict{Conflict: true}
+			}
+		}
+	}
+	return declRelation{ok: true, pairs: pairs}
+}
+
+// methodDecl finds the FuncDecl of named's method in the package (value or
+// pointer receiver).
+func methodDecl(pkg *Package, named *types.Named, name string) *ast.FuncDecl {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != name || len(fd.Recv.List) != 1 {
+				continue
+			}
+			t := typeOf(pkg, fd.Recv.List[0].Type)
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if recv, ok := t.(*types.Named); ok && recv.Obj() == named.Obj() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// ccVal is a concrete value of the OpConflicts evaluator.
+type ccVal interface{}
+
+type ccBool bool
+type ccString string
+
+// ccInv is one of the two invocation parameters.
+type ccInv struct {
+	op   string
+	side int
+}
+
+// ccArgs is inv.Args; ccKey is FirstArgKey(inv.Op, inv.Args).
+type ccArgs struct{ side int }
+type ccKey struct{ side int }
+
+// ccFunc is a local closure bound with :=.
+type ccFunc struct{ lit *ast.FuncLit }
+
+type concEval struct {
+	pkg    *Package
+	keq    bool
+	vals   map[types.Object]ccVal
+	failed bool
+}
+
+func (e *concEval) ok() bool { return !e.failed }
+
+func (e *concEval) fail() ccVal {
+	e.failed = true
+	return nil
+}
+
+// stmts executes statements until a return; it reports whether a return
+// was taken and its value.
+func (e *concEval) stmts(list []ast.Stmt) (ccVal, bool) {
+	for _, s := range list {
+		if v, returned := e.stmt(s); e.failed || returned {
+			return v, returned
+		}
+	}
+	return nil, false
+}
+
+func (e *concEval) stmt(s ast.Stmt) (ccVal, bool) {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		if len(s.Results) != 1 {
+			return e.fail(), false
+		}
+		return e.expr(s.Results[0]), true
+	case *ast.AssignStmt:
+		if s.Tok != token.DEFINE || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			e.fail()
+			return nil, false
+		}
+		id, ok := s.Lhs[0].(*ast.Ident)
+		if !ok {
+			e.fail()
+			return nil, false
+		}
+		v := e.expr(s.Rhs[0])
+		if obj := e.pkg.Info.Defs[id]; obj != nil {
+			e.vals[obj] = v
+		}
+		return nil, false
+	case *ast.IfStmt:
+		if s.Init != nil {
+			if _, ret := e.stmt(s.Init); e.failed || ret {
+				return nil, ret
+			}
+		}
+		cond, ok := e.expr(s.Cond).(ccBool)
+		if e.failed || !ok {
+			e.fail()
+			return nil, false
+		}
+		if cond {
+			return e.stmts(s.Body.List)
+		}
+		if s.Else != nil {
+			return e.stmt(s.Else)
+		}
+		return nil, false
+	case *ast.BlockStmt:
+		return e.stmts(s.List)
+	case *ast.SwitchStmt:
+		return e.switchStmt(s)
+	case *ast.EmptyStmt:
+		return nil, false
+	default:
+		e.fail()
+		return nil, false
+	}
+}
+
+func (e *concEval) switchStmt(s *ast.SwitchStmt) (ccVal, bool) {
+	if s.Init != nil {
+		if _, ret := e.stmt(s.Init); e.failed || ret {
+			return nil, ret
+		}
+	}
+	var tag ccVal
+	if s.Tag != nil {
+		tag = e.expr(s.Tag)
+		if e.failed {
+			return nil, false
+		}
+	}
+	var deflt *ast.CaseClause
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			deflt = cc
+			continue
+		}
+		for _, ce := range cc.List {
+			v := e.expr(ce)
+			if e.failed {
+				return nil, false
+			}
+			match := false
+			if s.Tag == nil {
+				b, ok := v.(ccBool)
+				match = ok && bool(b)
+			} else {
+				match = v == tag
+			}
+			if match {
+				return e.stmts(cc.Body)
+			}
+		}
+	}
+	if deflt != nil {
+		return e.stmts(deflt.Body)
+	}
+	return nil, false
+}
+
+func (e *concEval) expr(x ast.Expr) ccVal {
+	if e.failed {
+		return nil
+	}
+	x = ast.Unparen(x)
+	if tv, ok := e.pkg.Info.Types[x]; ok && tv.Value != nil {
+		switch tv.Value.Kind() {
+		case constant.String:
+			return ccString(constant.StringVal(tv.Value))
+		case constant.Bool:
+			return ccBool(constant.BoolVal(tv.Value))
+		}
+	}
+	switch x := x.(type) {
+	case *ast.Ident:
+		if obj := e.pkg.Info.Uses[x]; obj != nil {
+			if v, ok := e.vals[obj]; ok {
+				return v
+			}
+		}
+		return e.fail()
+	case *ast.FuncLit:
+		return ccFunc{lit: x}
+	case *ast.SelectorExpr:
+		recv := e.expr(x.X)
+		inv, ok := recv.(ccInv)
+		if !ok {
+			return e.fail()
+		}
+		switch x.Sel.Name {
+		case "Op":
+			return ccString(inv.op)
+		case "Args":
+			return ccArgs{side: inv.side}
+		}
+		return e.fail()
+	case *ast.UnaryExpr:
+		if x.Op != token.NOT {
+			return e.fail()
+		}
+		b, ok := e.expr(x.X).(ccBool)
+		if !ok {
+			return e.fail()
+		}
+		return !b
+	case *ast.BinaryExpr:
+		return e.binary(x)
+	case *ast.CallExpr:
+		return e.call(x)
+	}
+	return e.fail()
+}
+
+func (e *concEval) binary(x *ast.BinaryExpr) ccVal {
+	switch x.Op {
+	case token.LAND:
+		l, ok := e.expr(x.X).(ccBool)
+		if !ok {
+			return e.fail()
+		}
+		if !l {
+			return ccBool(false)
+		}
+		r, ok := e.expr(x.Y).(ccBool)
+		if !ok {
+			return e.fail()
+		}
+		return r
+	case token.LOR:
+		l, ok := e.expr(x.X).(ccBool)
+		if !ok {
+			return e.fail()
+		}
+		if l {
+			return ccBool(true)
+		}
+		r, ok := e.expr(x.Y).(ccBool)
+		if !ok {
+			return e.fail()
+		}
+		return r
+	case token.EQL, token.NEQ:
+		l := e.expr(x.X)
+		r := e.expr(x.Y)
+		if e.failed {
+			return nil
+		}
+		eq, ok := e.equal(l, r)
+		if !ok {
+			return e.fail()
+		}
+		if x.Op == token.NEQ {
+			return ccBool(!eq)
+		}
+		return ccBool(eq)
+	}
+	return e.fail()
+}
+
+func (e *concEval) equal(l, r ccVal) (bool, bool) {
+	switch lv := l.(type) {
+	case ccString:
+		rv, ok := r.(ccString)
+		return ok && lv == rv, ok
+	case ccBool:
+		rv, ok := r.(ccBool)
+		return ok && lv == rv, ok
+	case ccKey:
+		rv, ok := r.(ccKey)
+		if !ok {
+			return false, false
+		}
+		if lv.side == rv.side {
+			return true, true
+		}
+		return e.keq, true
+	}
+	return false, false
+}
+
+func (e *concEval) call(x *ast.CallExpr) ccVal {
+	// Local closure?
+	if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+		if obj := e.pkg.Info.Uses[id]; obj != nil {
+			if f, ok := e.vals[obj].(ccFunc); ok {
+				return e.closureCall(x, f)
+			}
+		}
+	}
+	if !isCorePkgCall(e.pkg, x) {
+		return e.fail()
+	}
+	switch calleeName(x) {
+	case "FirstArgKey":
+		if len(x.Args) != 2 {
+			return e.fail()
+		}
+		args, ok := e.expr(x.Args[1]).(ccArgs)
+		if !ok {
+			return e.fail()
+		}
+		return ccKey{side: args.side}
+	case "ValueEqual":
+		if len(x.Args) != 2 {
+			return e.fail()
+		}
+		l := e.expr(x.Args[0])
+		r := e.expr(x.Args[1])
+		if e.failed {
+			return nil
+		}
+		eq, ok := e.equal(l, r)
+		if !ok {
+			return e.fail()
+		}
+		return ccBool(eq)
+	}
+	return e.fail()
+}
+
+func (e *concEval) closureCall(x *ast.CallExpr, f ccFunc) ccVal {
+	var params []types.Object
+	for _, fl := range f.lit.Type.Params.List {
+		for _, n := range fl.Names {
+			params = append(params, e.pkg.Info.Defs[n])
+		}
+	}
+	if len(params) != len(x.Args) {
+		return e.fail()
+	}
+	saved := make(map[types.Object]ccVal, len(params))
+	for i, p := range params {
+		saved[p] = e.vals[p]
+		e.vals[p] = e.expr(x.Args[i])
+	}
+	if e.failed {
+		return nil
+	}
+	ret, returned := e.stmts(f.lit.Body.List)
+	for p, v := range saved {
+		if v == nil {
+			delete(e.vals, p)
+		} else {
+			e.vals[p] = v
+		}
+	}
+	if e.failed || !returned {
+		return e.fail()
+	}
+	return ret
+}

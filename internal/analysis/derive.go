@@ -1,0 +1,373 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file derives pairwise commutativity from the per-operation
+// footprints of footprint.go: discover every core.NewSchema call, analyze
+// its operation literals, and compare footprints pairwise. Two operations
+// conflict when a write of one may overlap an access of the other —
+// "may overlap" refined to "iff these argument positions are equal" when
+// both sides key the location injectively by an argument — except for the
+// recognised commuting forms (two increments of the same location).
+
+// PairVerdict is the derived verdict for one ordered pair of operations.
+type PairVerdict struct {
+	// Conflict: the pair may conflict. False means proven commuting.
+	Conflict bool
+	// Keyed scopes the conflict: it only arises when argument ArgA of the
+	// first invocation equals argument ArgB of the second.
+	Keyed      bool
+	ArgA, ArgB int
+}
+
+func (v PairVerdict) String() string {
+	switch {
+	case !v.Conflict:
+		return "commute"
+	case v.Keyed:
+		return fmt.Sprintf("conflict iff arg%d=arg%d", v.ArgA, v.ArgB)
+	default:
+		return "conflict"
+	}
+}
+
+// overlap describes whether two abstract locations may denote the same
+// concrete location.
+type overlap struct {
+	conflict   bool // may overlap at all
+	keyed      bool // overlap exactly when the key arguments are equal
+	argA, argB int
+}
+
+func keyOverlap(a, b Key) overlap {
+	switch {
+	case a.Kind == KeyConst && b.Kind == KeyConst:
+		if a.Lit == b.Lit {
+			return overlap{conflict: true}
+		}
+		return overlap{}
+	case a.Kind == KeyArg && b.Kind == KeyArg:
+		return overlap{conflict: true, keyed: true, argA: a.Arg, argB: b.Arg}
+	default:
+		// KeyAny, or a constant against an argument: may be equal.
+		return overlap{conflict: true}
+	}
+}
+
+// overlapLoc combines the variable- and element-level key conditions. A
+// conjunction of two keyed conditions keeps only one (dropping the other
+// widens toward "always overlaps": sound).
+func overlapLoc(a, b Loc) overlap {
+	v := keyOverlap(a.Var, b.Var)
+	if !v.conflict {
+		return overlap{}
+	}
+	if a.Elem == nil || b.Elem == nil {
+		return v // a var-level access aliases every element
+	}
+	e := keyOverlap(*a.Elem, *b.Elem)
+	if !e.conflict {
+		return overlap{}
+	}
+	if v.keyed {
+		return v
+	}
+	return e
+}
+
+// derivePair compares two footprints. Ordered pairs get the same verdict
+// in both orders here (footprints cannot see the asymmetric cases), which
+// over-approximates the asymmetric true relation: sound.
+func derivePair(a, b *OpFootprint) PairVerdict {
+	if a.Opaque || b.Opaque {
+		return PairVerdict{Conflict: true}
+	}
+	var out PairVerdict // commute until an overlap says otherwise
+	for _, x := range a.Accesses {
+		for _, y := range b.Accesses {
+			if !x.Write && !y.Write {
+				continue // two reads never conflict
+			}
+			if x.Incr && y.Incr {
+				// Increments of the same location commute; increment
+				// locations are exact (constant var, no element), so
+				// distinct locations cannot overlap either.
+				continue
+			}
+			o := overlapLoc(x.Loc, y.Loc)
+			if !o.conflict {
+				continue
+			}
+			if !o.keyed {
+				return PairVerdict{Conflict: true}
+			}
+			if out.Conflict && (out.ArgA != o.argA || out.ArgB != o.argB || !out.Keyed) {
+				// Two different key conditions would disjoin; widen.
+				return PairVerdict{Conflict: true}
+			}
+			out = PairVerdict{Conflict: true, Keyed: true, ArgA: o.argA, ArgB: o.argB}
+		}
+	}
+	return out
+}
+
+// DerivedSchema is the full derivation for one core.NewSchema call site.
+type DerivedSchema struct {
+	Name string
+	// Pos anchors diagnostics about the schema as a whole.
+	Pos token.Pos
+	// RelExpr is the declared conflict-relation argument, resolved through
+	// one level of local variable binding; RelPos anchors its diagnostics.
+	RelExpr ast.Expr
+	RelPos  token.Pos
+	// Ops holds the derived footprint per operation name; OpNames is
+	// sorted.
+	Ops     map[string]*OpFootprint
+	OpNames []string
+	// Pairs holds the derived verdict for every ordered pair.
+	Pairs map[[2]string]PairVerdict
+}
+
+// Verdict returns the derived verdict for the ordered pair.
+func (d *DerivedSchema) Verdict(a, b string) PairVerdict {
+	return d.Pairs[[2]string{a, b}]
+}
+
+// ShardArg reports the argument position every conflicting pair is keyed
+// on, when one exists — the condition under which the relation can shard
+// (core.DerivedRelation.Sharded).
+func (d *DerivedSchema) ShardArg() (int, bool) {
+	arg, found := 0, false
+	for _, v := range d.Pairs {
+		if !v.Conflict {
+			continue
+		}
+		if !v.Keyed || v.ArgA != v.ArgB {
+			return 0, false
+		}
+		if found && v.ArgA != arg {
+			return 0, false
+		}
+		arg, found = v.ArgA, true
+	}
+	return arg, found
+}
+
+func (d *DerivedSchema) derive() {
+	d.Pairs = make(map[[2]string]PairVerdict, len(d.OpNames)*len(d.OpNames))
+	for _, a := range d.OpNames {
+		for _, b := range d.OpNames {
+			d.Pairs[[2]string{a, b}] = derivePair(d.Ops[a], d.Ops[b])
+		}
+	}
+}
+
+// --- schema discovery ---
+
+// constructorScope is the result of scanning a schema constructor's body:
+// the abstract environment its closures capture, the operation literals,
+// and the local variable bindings (for resolving the relation expression).
+type constructorScope struct {
+	env    env
+	opLits map[types.Object]opBinding
+	vars   map[types.Object]ast.Expr
+}
+
+type opBinding struct {
+	lit *ast.CompositeLit
+	env env
+}
+
+// scanConstructor walks the top-level statements of a function body in
+// source order, binding `x := <func literal>` into the abstract
+// environment (treeOf, key, ... — the helpers operation bodies close
+// over) and collecting `x := &core.Operation{...}` bindings.
+func scanConstructor(pkg *Package, body *ast.BlockStmt) *constructorScope {
+	sc := &constructorScope{
+		env:    env{},
+		opLits: map[types.Object]opBinding{},
+		vars:   map[types.Object]ast.Expr{},
+	}
+	for _, st := range body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			continue
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			continue
+		}
+		rhs := ast.Unparen(as.Rhs[0])
+		sc.vars[obj] = rhs
+		switch r := rhs.(type) {
+		case *ast.FuncLit:
+			sc.env[obj] = aval{kind: avFunc, lit: r, env: sc.env.clone()}
+		case *ast.UnaryExpr:
+			if lit, ok := r.X.(*ast.CompositeLit); ok && r.Op == token.AND && isOperationLitType(pkg, lit) {
+				sc.opLits[obj] = opBinding{lit: lit, env: sc.env.clone()}
+			}
+		}
+	}
+	return sc
+}
+
+func isOperationLitType(pkg *Package, lit *ast.CompositeLit) bool {
+	t := typeOf(pkg, lit)
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Operation" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/core")
+}
+
+// opFromLit reads an operation literal's fields.
+func opFromLit(pkg *Package, lit *ast.CompositeLit, scope env) opSource {
+	src := opSource{env: scope, pos: lit.Pos()}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Name":
+			if tv, ok := pkg.Info.Types[kv.Value]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				src.name = constant.StringVal(tv.Value)
+			}
+		case "ReadOnly":
+			if tv, ok := pkg.Info.Types[kv.Value]; ok && tv.Value != nil && tv.Value.Kind() == constant.Bool {
+				src.readOnly = constant.BoolVal(tv.Value)
+			}
+		case "Apply":
+			if fl, ok := ast.Unparen(kv.Value).(*ast.FuncLit); ok {
+				src.apply = fl
+			}
+		case "Peek":
+			if fl, ok := ast.Unparen(kv.Value).(*ast.FuncLit); ok {
+				src.peek = fl
+			}
+		}
+	}
+	return src
+}
+
+// isNewSchemaCall reports whether the call is core.NewSchema(...).
+func isNewSchemaCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pkg.Info.Uses[sel.Sel]
+	return obj != nil && obj.Name() == "NewSchema" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/core")
+}
+
+// DeriveSchemas discovers every core.NewSchema call in the package and
+// derives each schema's commutativity relation from its operation bodies.
+// Schemas are returned sorted by name.
+func DeriveSchemas(pkg *Package) []*DerivedSchema {
+	var out []*DerivedSchema
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			scope := scanConstructor(pkg, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isNewSchemaCall(pkg, call) || len(call.Args) < 3 {
+					return true
+				}
+				out = append(out, deriveSchema(pkg, scope, call))
+				return true
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func deriveSchema(pkg *Package, scope *constructorScope, call *ast.CallExpr) *DerivedSchema {
+	d := &DerivedSchema{
+		Pos: call.Pos(),
+		Ops: map[string]*OpFootprint{},
+	}
+	if tv, ok := pkg.Info.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		d.Name = constant.StringVal(tv.Value)
+	}
+
+	// The declared relation, resolved through one local binding.
+	d.RelExpr = ast.Unparen(call.Args[2])
+	d.RelPos = d.RelExpr.Pos()
+	if id, ok := d.RelExpr.(*ast.Ident); ok {
+		if obj := pkg.Info.Uses[id]; obj != nil {
+			if bound, ok := scope.vars[obj]; ok {
+				d.RelExpr = bound
+			}
+		}
+	}
+
+	for _, arg := range call.Args[3:] {
+		var src opSource
+		switch a := ast.Unparen(arg).(type) {
+		case *ast.Ident:
+			obj := pkg.Info.Uses[a]
+			b, ok := scope.opLits[obj]
+			if !ok {
+				src = opSource{name: a.Name, pos: a.Pos()}
+			} else {
+				src = opFromLit(pkg, b.lit, b.env)
+			}
+		case *ast.UnaryExpr:
+			if lit, ok := a.X.(*ast.CompositeLit); ok && a.Op == token.AND && isOperationLitType(pkg, lit) {
+				src = opFromLit(pkg, lit, scope.env)
+			} else {
+				src = opSource{pos: a.Pos()}
+			}
+		default:
+			src = opSource{pos: arg.Pos()}
+		}
+		if src.name == "" {
+			src.name = fmt.Sprintf("op%d", len(d.OpNames))
+		}
+		fp := analyzeOp(pkg, src)
+		d.Ops[fp.Name] = fp
+		d.OpNames = append(d.OpNames, fp.Name)
+	}
+	sort.Strings(d.OpNames)
+	d.derive()
+	return d
+}
+
+// DeriveTree loads the module rooted at dir and derives the schemas of its
+// object library (internal/objects).
+func DeriveTree(dir string) ([]*DerivedSchema, error) {
+	pkgs, err := Load(LoadConfig{Dir: dir}, "./internal/objects")
+	if err != nil {
+		return nil, err
+	}
+	for _, pkg := range pkgs {
+		if pathIs(pkg, "internal/objects") {
+			return DeriveSchemas(pkg), nil
+		}
+	}
+	return nil, fmt.Errorf("analysis: internal/objects not found under %s", dir)
+}

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// deriveLibrary runs the commutativity derivation once over the real tree
+// and caches it for the tests below (the loader type-checks the whole
+// module, which is the expensive part).
+var libraryDerivation struct {
+	schemas map[string]*DerivedSchema
+	err     error
+	done    bool
+}
+
+func deriveLibrary(t *testing.T) map[string]*DerivedSchema {
+	t.Helper()
+	if !libraryDerivation.done {
+		libraryDerivation.done = true
+		schemas, err := DeriveTree("../..")
+		libraryDerivation.err = err
+		if err == nil {
+			libraryDerivation.schemas = make(map[string]*DerivedSchema, len(schemas))
+			for _, d := range schemas {
+				libraryDerivation.schemas[d.Name] = d
+			}
+		}
+	}
+	if libraryDerivation.err != nil {
+		t.Fatalf("DeriveTree: %v", libraryDerivation.err)
+	}
+	return libraryDerivation.schemas
+}
+
+// TestDeriveLibraryFootprints pins the derived footprints of the real
+// object library: every operation must certify (no Opaque, no Problems),
+// and the footprint strings act as golden values for the abstract
+// interpreter — increments, injective argument keys, and handle summaries
+// all show up here.
+func TestDeriveLibraryFootprints(t *testing.T) {
+	want := map[string]map[string]string{
+		"account": {
+			"Balance":  `{R:"balance"}`,
+			"Deposit":  `{±"balance"}`,
+			"Withdraw": `{R:"balance" W:"balance"}`,
+		},
+		"counter": {
+			"Add": `{±"n"}`,
+			"Get": `{R:"n"}`,
+		},
+		"dictionary": {
+			"Insert": `{R:"tree"[arg0] W:"tree"[arg0]}`,
+			"Delete": `{R:"tree"[arg0] W:"tree"[arg0]}`,
+			"Lookup": `{R:"tree"[arg0]}`,
+			"Len":    `{R:"tree"[*]}`,
+		},
+		"queue": {
+			"Enqueue": `{R:"items" W:"items"}`,
+			"Dequeue": `{R:"items" W:"items"}`,
+			"Len":     `{R:"items"}`,
+		},
+		"register": {
+			"Read":  `{R:arg0}`,
+			"Write": `{R:arg0 W:arg0}`,
+		},
+		"set": {
+			"Add":      `{R:arg0 W:arg0}`,
+			"Remove":   `{R:arg0 W:arg0}`,
+			"Contains": `{R:arg0}`,
+		},
+	}
+	schemas := deriveLibrary(t)
+	for name, ops := range want {
+		d := schemas[name]
+		if d == nil {
+			t.Errorf("schema %s not discovered by the derivation", name)
+			continue
+		}
+		if len(d.OpNames) != len(ops) {
+			t.Errorf("schema %s: derived ops %v, want %d operations", name, d.OpNames, len(ops))
+		}
+		for op, fpWant := range ops {
+			fp := d.Ops[op]
+			if fp == nil {
+				t.Errorf("schema %s: operation %s not derived", name, op)
+				continue
+			}
+			if fp.Opaque {
+				t.Errorf("schema %s: operation %s is opaque (%s), want %s", name, op, fp.OpaqueWhy, fpWant)
+				continue
+			}
+			if len(fp.Problems) != 0 {
+				t.Errorf("schema %s: operation %s has problems %v", name, op, fp.Problems)
+			}
+			if got := fp.String(); got != fpWant {
+				t.Errorf("schema %s: operation %s footprint = %s, want %s", name, op, got, fpWant)
+			}
+		}
+	}
+}
+
+// TestDeriveLibraryVerdicts pins representative pairwise verdicts,
+// including the two over-coarse declarations the derivation caught
+// (queue Len/Len and account Balance/Balance) and the argument-aware
+// conflicts the generated tables carry.
+func TestDeriveLibraryVerdicts(t *testing.T) {
+	schemas := deriveLibrary(t)
+	check := func(schema, a, b, want string) {
+		t.Helper()
+		d := schemas[schema]
+		if d == nil {
+			t.Fatalf("schema %s not discovered", schema)
+		}
+		if got := d.Verdict(a, b).String(); got != want {
+			t.Errorf("%s: %s/%s = %s, want %s", schema, a, b, got, want)
+		}
+	}
+
+	// The regressions fixed in this change: read-only pairs commute.
+	check("queue", "Len", "Len", "commute")
+	check("account", "Balance", "Balance", "commute")
+
+	// Increments commute with themselves but conflict with readers.
+	check("counter", "Add", "Add", "commute")
+	check("counter", "Add", "Get", "conflict")
+	check("account", "Deposit", "Deposit", "commute")
+	check("account", "Deposit", "Withdraw", "conflict")
+
+	// Argument-aware verdicts: keyed by the injective first argument.
+	check("register", "Write", "Write", "conflict iff arg0=arg0")
+	check("register", "Read", "Read", "commute")
+	check("set", "Add", "Remove", "conflict iff arg0=arg0")
+	check("set", "Contains", "Contains", "commute")
+	check("dictionary", "Insert", "Delete", "conflict iff arg0=arg0")
+	check("dictionary", "Lookup", "Lookup", "commute")
+
+	// Len reads every element, so it conflicts unconditionally with
+	// mutations but commutes with point reads.
+	check("dictionary", "Len", "Insert", "conflict")
+	check("dictionary", "Len", "Lookup", "commute")
+
+	// Queue operations on the shared slice stay unkeyed conflicts.
+	check("queue", "Enqueue", "Dequeue", "conflict")
+
+	// Shardability: register and set key every conflict on arg0.
+	for _, name := range []string{"register", "set"} {
+		arg, ok := schemas[name].ShardArg()
+		if !ok || arg != 0 {
+			t.Errorf("%s: ShardArg = (%d, %v), want (0, true)", name, arg, ok)
+		}
+	}
+	if _, ok := schemas["dictionary"].ShardArg(); ok {
+		t.Errorf("dictionary must not shard (Len conflicts are unkeyed)")
+	}
+}
+
+// TestGeneratedConflictsDrift is the in-tree mirror of the CI drift gate:
+// the committed conflict_gen.go must match a fresh derivation byte for
+// byte (`go run ./cmd/oblint -gen` regenerates it).
+func TestGeneratedConflictsDrift(t *testing.T) {
+	schemas, err := DeriveTree("../..")
+	if err != nil {
+		t.Fatalf("DeriveTree: %v", err)
+	}
+	module, err := ModulePath("../..")
+	if err != nil {
+		t.Fatalf("ModulePath: %v", err)
+	}
+	want := GenerateConflicts(schemas, module)
+	got, err := os.ReadFile("../objects/conflict_gen.go")
+	if err != nil {
+		t.Fatalf("read committed table: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("internal/objects/conflict_gen.go is stale: re-run `go run ./cmd/oblint -gen`")
+	}
+}

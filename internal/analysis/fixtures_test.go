@@ -12,6 +12,13 @@ func TestCtxWaitFixtures(t *testing.T)          { RunFixture(t, CtxWait) }
 func TestNoInternalFixtures(t *testing.T)       { RunFixture(t, NoInternal) }
 func TestObserverCompleteFixtures(t *testing.T) { RunFixture(t, ObserverComplete) }
 func TestSpanBalanceFixtures(t *testing.T)      { RunFixture(t, SpanBalance) }
+func TestConflictSoundFixtures(t *testing.T)    { RunFixture(t, ConflictSound) }
+
+// stalesuppress only judges allows of analyzers in the same run, so its
+// fixture runs together with conflictsound (the analyzer its allows name).
+func TestStaleSuppressFixtures(t *testing.T) {
+	RunFixtureSuite(t, StaleSuppress.Name, []*Analyzer{ConflictSound, StaleSuppress})
+}
 
 // TestSuiteOnRealTree pins the acceptance bar in-process: the full suite
 // over the real module must come back clean (the same check CI enforces

@@ -1,0 +1,1304 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the footprint half of the commutativity derivation
+// (derive.go builds the pairwise relation on top, conflictsound.go is the
+// analyzer): a small abstract interpreter over the Apply/Peek/undo bodies
+// of core.Operation literals. It computes, per operation, a conservative
+// set of state accesses — which state variables (and which container
+// elements, keyed by argument position) the operation reads and writes —
+// plus the recognised commuting-update form: pure increments
+// (s[v] = s[v] ± f(args)) whose undo is the inverse increment. Everything
+// the interpreter cannot prove precise degrades monotonically toward
+// "touches everything", so a derived relation only ever over-approximates
+// the true conflicts.
+
+// KeyKind classifies an abstract access key.
+type KeyKind int
+
+const (
+	// KeyConst is a compile-time constant key ("n", "balance", "tree").
+	KeyConst KeyKind = iota
+	// KeyArg is a key derived injectively from one invocation argument:
+	// two invocations have equal keys iff their arguments at Arg are equal.
+	KeyArg
+	// KeyAny is the unknown key: overlaps everything.
+	KeyAny
+)
+
+// Key abstracts the identity of a state variable or container element.
+type Key struct {
+	Kind KeyKind
+	Lit  string // KeyConst: the constant, as constant.Value.ExactString()
+	Arg  int    // KeyArg: the argument position
+}
+
+func (k Key) String() string {
+	switch k.Kind {
+	case KeyConst:
+		return k.Lit
+	case KeyArg:
+		return fmt.Sprintf("arg%d", k.Arg)
+	default:
+		return "*"
+	}
+}
+
+// Loc is one abstract state location: a state variable, optionally refined
+// to one element of the container it holds. A var-level access (Elem nil)
+// aliases every element.
+type Loc struct {
+	Var  Key
+	Elem *Key
+}
+
+func (l Loc) String() string {
+	if l.Elem == nil {
+		return l.Var.String()
+	}
+	return l.Var.String() + "[" + l.Elem.String() + "]"
+}
+
+func locEq(a, b Loc) bool {
+	if a.Var != b.Var {
+		return false
+	}
+	if (a.Elem == nil) != (b.Elem == nil) {
+		return false
+	}
+	return a.Elem == nil || *a.Elem == *b.Elem
+}
+
+// Access is one footprint entry. Incr marks the commuting-update form: a
+// read-modify-write of Loc by a state-independent delta whose undo is the
+// inverse update — two Incr accesses of the same Loc commute.
+type Access struct {
+	Loc   Loc
+	Write bool
+	Incr  bool
+}
+
+func (a Access) String() string {
+	switch {
+	case a.Incr:
+		return "±" + a.Loc.String()
+	case a.Write:
+		return "W:" + a.Loc.String()
+	default:
+		return "R:" + a.Loc.String()
+	}
+}
+
+// OpFootprint is the derived summary of one operation.
+type OpFootprint struct {
+	Name     string
+	ReadOnly bool
+	// Accesses is the conservative state footprint of Apply, Peek and the
+	// undo closures together.
+	Accesses []Access
+	// Opaque is set when the interpreter met a construct it cannot bound;
+	// an opaque operation conservatively conflicts with everything.
+	Opaque    bool
+	OpaqueWhy string
+	// Problems are footprint-level findings independent of the declared
+	// relation: an undo touching locations outside the operation's own
+	// footprint, a Peek that writes, a ReadOnly operation that writes.
+	Problems []string
+	// Pos anchors diagnostics about this operation.
+	Pos token.Pos
+}
+
+// String renders the footprint compactly, for the obsim schema audit.
+func (f *OpFootprint) String() string {
+	if f.Opaque {
+		return "opaque(" + f.OpaqueWhy + ")"
+	}
+	parts := make([]string, len(f.Accesses))
+	for i, a := range f.Accesses {
+		parts[i] = a.String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// Reads reports whether the footprint reads a location overlapping l.
+func (f *OpFootprint) touches(l Loc, write bool) bool {
+	for _, a := range f.Accesses {
+		if write && !a.Write {
+			continue
+		}
+		if v := overlapLoc(a.Loc, l); v.conflict {
+			return true
+		}
+	}
+	return false
+}
+
+// --- abstract values ---
+
+type avKind int
+
+const (
+	avOpaque    avKind = iota // anything else; taint flags apply
+	avConst                   // compile-time constant (cval) or the nil literal
+	avArgs                    // the []Value argument slice itself
+	avArg                     // one argument; exact when derived injectively
+	avState                   // the core.State parameter
+	avStateRead               // a value read from state location loc
+	avHandle                  // a container handle (*btree.Tree) for state var loc
+	avArith                   // state-read of loc plus a state-independent delta
+	avFunc                    // a function value: literal or declaration, with captures
+	avTuple                   // multi-value result
+)
+
+type aval struct {
+	kind  avKind
+	cval  constant.Value // avConst (nil for the nil literal)
+	arg   int            // avArg
+	exact bool           // avArg: injective in args[arg]
+	loc   Loc            // avStateRead, avHandle, avArith
+	lit   *ast.FuncLit   // avFunc (literal)
+	decl  *ast.FuncDecl  // avFunc (package function)
+	env   env            // avFunc: captured environment
+	elems []aval         // avTuple
+
+	// taint: does the value depend on state / on the arguments?
+	stateDep bool
+	argDep   bool
+}
+
+func opaqueVal(stateDep, argDep bool) aval {
+	return aval{kind: avOpaque, stateDep: stateDep, argDep: argDep}
+}
+
+func (v aval) taintedBy(w aval) aval {
+	v.stateDep = v.stateDep || w.stateDep
+	v.argDep = v.argDep || w.argDep
+	return v
+}
+
+func (v aval) isStateDerived() bool {
+	switch v.kind {
+	case avStateRead, avArith, avHandle, avState:
+		return true
+	}
+	return v.stateDep
+}
+
+// asKey abstracts the value as an access key.
+func (v aval) asKey() Key {
+	switch v.kind {
+	case avConst:
+		if v.cval != nil {
+			return Key{Kind: KeyConst, Lit: v.cval.ExactString()}
+		}
+		return Key{Kind: KeyConst, Lit: "nil"}
+	case avArg:
+		if v.exact {
+			return Key{Kind: KeyArg, Arg: v.arg}
+		}
+	}
+	return Key{Kind: KeyAny}
+}
+
+func constEq(a, b constant.Value) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || (a.Kind() == b.Kind() && a.ExactString() == b.ExactString())
+}
+
+// join widens two abstract values; used when a variable is bound on more
+// than one path. Keys only ever widen (toward KeyAny), which makes the
+// derived relation grow, never shrink: sound.
+func join(a, b aval) aval {
+	if a.kind == b.kind {
+		switch a.kind {
+		case avConst:
+			if constEq(a.cval, b.cval) {
+				return a
+			}
+		case avArg:
+			if a.arg == b.arg {
+				a.exact = a.exact && b.exact
+				return a
+			}
+		case avArgs, avState:
+			return a
+		case avStateRead, avHandle:
+			if locEq(a.loc, b.loc) {
+				return a
+			}
+		case avFunc:
+			if a.lit == b.lit && a.decl == b.decl {
+				return a
+			}
+		}
+	}
+	return opaqueVal(a.isStateDerived() || b.isStateDerived(), a.argDep || b.argDep)
+}
+
+// env binds type-checker objects to abstract values.
+type env map[types.Object]aval
+
+func (e env) clone() env {
+	out := make(env, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// freeze converts a captured environment for undo analysis: whatever an
+// undo closure captured is a per-execution constant by the time it runs,
+// so state-derived captures lose their state dependency (they are before-
+// images, fixed at capture) while argument-derived keys keep their
+// precision.
+func freeze(e env) env {
+	out := make(env, len(e))
+	for k, v := range e {
+		if v.kind == avFunc {
+			out[k] = aval{kind: avFunc, lit: v.lit, decl: v.decl, env: freeze(v.env)}
+			continue
+		}
+		if v.isStateDerived() {
+			out[k] = opaqueVal(false, v.argDep)
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// --- the interpreter ---
+
+// interp interprets one function body, accumulating accesses into the
+// footprint under construction.
+type interp struct {
+	pkg     *Package
+	fp      *OpFootprint
+	env     env
+	depth   int
+	returns [][]aval
+	// undoSlot is the result index holding the undo closure (1 for
+	// ApplyFunc), or -1.
+	undoSlot int
+	// leaked is set when a state-derived value escapes into control flow,
+	// a return value, a key, or an unknown call — any consumption that
+	// could make a read observable beyond a candidate increment. A leaked
+	// op keeps its plain read/write footprint (sound); it only loses
+	// increment classification.
+	leaked bool
+	// writes records, per written location, the abstract RHS — the
+	// increment classifier inspects them.
+	writes []writeRec
+}
+
+type writeRec struct {
+	loc Loc
+	rhs aval
+}
+
+// bail abandons precision for the whole operation.
+func (in *interp) bail(n ast.Node, why string) {
+	if !in.fp.Opaque {
+		in.fp.Opaque = true
+		in.fp.OpaqueWhy = why
+	}
+}
+
+func (in *interp) read(l Loc) {
+	in.fp.Accesses = append(in.fp.Accesses, Access{Loc: l})
+}
+
+func (in *interp) write(l Loc, rhs aval) {
+	in.fp.Accesses = append(in.fp.Accesses, Access{Loc: l, Write: true})
+	in.writes = append(in.writes, writeRec{loc: l, rhs: rhs})
+	// Writing a state-derived value anywhere but back onto its own
+	// location in increment form is a leak.
+	if !(rhs.kind == avArith && locEq(rhs.loc, l)) {
+		in.leak(rhs)
+	}
+}
+
+// leak marks state-derived consumption (see the leaked field).
+func (in *interp) leak(v aval) {
+	if v.isStateDerived() {
+		in.leaked = true
+	}
+	for _, e := range v.elems {
+		in.leak(e)
+	}
+}
+
+// keyFrom abstracts a key expression's value, leaking state-derived keys
+// (which widen to KeyAny and disable increment classification).
+func (in *interp) keyFrom(v aval) Key {
+	if v.isStateDerived() && v.kind != avConst {
+		in.leaked = true
+	}
+	return v.asKey()
+}
+
+// --- statements ---
+
+func (in *interp) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		in.stmt(s)
+		if in.fp.Opaque {
+			return
+		}
+	}
+}
+
+func (in *interp) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		in.assign(s)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			in.stmt(s.Init)
+		}
+		in.leak(in.eval(s.Cond))
+		in.stmts(s.Body.List)
+		if s.Else != nil {
+			in.stmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		in.stmts(s.List)
+	case *ast.ReturnStmt:
+		in.ret(s)
+	case *ast.ExprStmt:
+		in.eval(s.X)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			in.bail(s, "unsupported declaration")
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				v := opaqueVal(false, false) // zero value
+				if i < len(vs.Values) {
+					v = in.eval(vs.Values[i])
+				}
+				in.bind(name, v)
+			}
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			in.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			in.leak(in.eval(s.Tag))
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				in.leak(in.eval(e))
+			}
+			in.stmts(cc.Body)
+		}
+	case *ast.IncDecStmt:
+		// x++ / s[k]++: treat as x = x + 1.
+		if ix, ok := ast.Unparen(s.X).(*ast.IndexExpr); ok {
+			base := in.eval(ix.X)
+			if base.kind == avState {
+				l := Loc{Var: in.keyFrom(in.eval(ix.Index))}
+				in.read(l)
+				in.write(l, aval{kind: avArith, loc: l, stateDep: true})
+				return
+			}
+		}
+		in.leak(in.eval(s.X))
+	case *ast.EmptyStmt:
+	default:
+		// for/range/select/go/defer/labels: nothing in the object library
+		// needs them inside an operation body; bail conservatively.
+		in.bail(s, fmt.Sprintf("unsupported statement %T", s))
+	}
+}
+
+func (in *interp) bind(id *ast.Ident, v aval) {
+	if id.Name == "_" {
+		return
+	}
+	obj := in.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = in.pkg.Info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if old, ok := in.env[obj]; ok {
+		v = join(old, v)
+	}
+	in.env[obj] = v
+}
+
+func (in *interp) assign(s *ast.AssignStmt) {
+	var vals []aval
+	switch {
+	case len(s.Rhs) == 1 && len(s.Lhs) == 2:
+		// Comma-ok (map index, type assert) or a 2-result call.
+		switch ast.Unparen(s.Rhs[0]).(type) {
+		case *ast.IndexExpr, *ast.TypeAssertExpr:
+			v := in.eval(s.Rhs[0])
+			vals = []aval{v, opaqueVal(v.isStateDerived(), v.argDep)}
+		default:
+			v := in.eval(s.Rhs[0])
+			if v.kind == avTuple && len(v.elems) == 2 {
+				vals = v.elems
+			} else {
+				vals = []aval{opaqueVal(v.isStateDerived(), v.argDep), opaqueVal(v.isStateDerived(), v.argDep)}
+			}
+		}
+	case len(s.Rhs) == 1 && len(s.Lhs) > 2:
+		v := in.eval(s.Rhs[0])
+		vals = make([]aval, len(s.Lhs))
+		for i := range vals {
+			if v.kind == avTuple && i < len(v.elems) {
+				vals[i] = v.elems[i]
+			} else {
+				vals[i] = opaqueVal(v.isStateDerived(), v.argDep)
+			}
+		}
+	default:
+		for _, r := range s.Rhs {
+			vals = append(vals, in.eval(r))
+		}
+	}
+	if len(vals) != len(s.Lhs) {
+		in.bail(s, "unbalanced assignment")
+		return
+	}
+	for i, lhs := range s.Lhs {
+		v := vals[i]
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			in.bind(l, v)
+		case *ast.IndexExpr:
+			base := in.eval(l.X)
+			if base.kind == avState {
+				in.write(Loc{Var: in.keyFrom(in.eval(l.Index))}, v)
+			} else {
+				in.bail(s, "write through a non-state container")
+			}
+		default:
+			in.bail(s, fmt.Sprintf("unsupported assignment target %T", lhs))
+		}
+	}
+}
+
+// ret handles return statements. Failure returns — those whose final
+// error-typed result is not nil — are excluded from the joined result:
+// an errored application is "not defined on the state" and carries no
+// commutativity obligation (the legality escape of Definition 2), exactly
+// as VerifyConflictSoundness treats it. Accesses on the failure path are
+// still recorded, conservatively.
+func (in *interp) ret(s *ast.ReturnStmt) {
+	vals := make([]aval, len(s.Results))
+	for i, r := range s.Results {
+		vals[i] = in.eval(r)
+	}
+	if in.failureReturn(s, vals) {
+		return
+	}
+	in.returns = append(in.returns, vals)
+	// Non-undo return values are observable: state feeding them is a leak
+	// (their reads are already in the footprint; this only disables
+	// increment classification).
+	for i, v := range vals {
+		if i == in.undoSlot {
+			continue // the undo closure: analyzed separately
+		}
+		in.leak(v)
+	}
+}
+
+// failureReturn reports whether the return's last result is error-typed
+// and not nil.
+func (in *interp) failureReturn(s *ast.ReturnStmt, vals []aval) bool {
+	if len(s.Results) == 0 {
+		return false
+	}
+	last := s.Results[len(s.Results)-1]
+	tv, ok := in.pkg.Info.Types[last]
+	if !ok || tv.Type == nil || !isErrorType(tv.Type) {
+		return false
+	}
+	v := vals[len(vals)-1]
+	return !(v.kind == avConst && v.cval == nil)
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+// --- expressions ---
+
+func (in *interp) eval(e ast.Expr) aval {
+	if in.fp.Opaque {
+		return opaqueVal(true, true)
+	}
+	e = ast.Unparen(e)
+
+	// Compile-time constants come straight from the type checker.
+	if tv, ok := in.pkg.Info.Types[e]; ok && tv.Value != nil {
+		return aval{kind: avConst, cval: tv.Value}
+	}
+
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return aval{kind: avConst}
+		}
+		obj := in.pkg.Info.Uses[e]
+		if obj == nil {
+			return opaqueVal(false, false)
+		}
+		if v, ok := in.env[obj]; ok {
+			return v
+		}
+		if fd := funcDeclOf(in.pkg, obj); fd != nil {
+			return aval{kind: avFunc, decl: fd, env: env{}}
+		}
+		// Package-level vars (error sentinels): state-independent.
+		return opaqueVal(false, false)
+
+	case *ast.FuncLit:
+		return aval{kind: avFunc, lit: e, env: in.env.clone()}
+
+	case *ast.IndexExpr:
+		base := in.eval(e.X)
+		switch base.kind {
+		case avState:
+			l := Loc{Var: in.keyFrom(in.eval(e.Index))}
+			in.read(l)
+			return aval{kind: avStateRead, loc: l, stateDep: true}
+		case avArgs:
+			iv := in.eval(e.Index)
+			if iv.kind == avConst && iv.cval != nil && iv.cval.Kind() == constant.Int {
+				if i, ok := constant.Int64Val(iv.cval); ok {
+					return aval{kind: avArg, arg: int(i), exact: true, argDep: true}
+				}
+			}
+			return opaqueVal(false, true)
+		default:
+			idx := in.eval(e.Index)
+			return opaqueVal(base.isStateDerived() || idx.isStateDerived(), base.argDep || idx.argDep)
+		}
+
+	case *ast.SliceExpr:
+		v := in.eval(e.X)
+		for _, ix := range []ast.Expr{e.Low, e.High, e.Max} {
+			if ix != nil {
+				v = v.taintedBy(in.eval(ix))
+			}
+		}
+		return opaqueVal(v.isStateDerived(), v.argDep)
+
+	case *ast.TypeAssertExpr:
+		v := in.eval(e.X)
+		if v.kind == avStateRead && e.Type != nil && isHandleType(typeOf(in.pkg, e.Type)) {
+			// Extracting a container handle from its state variable is not
+			// a semantic read: accesses happen per element through the
+			// handle's methods. Drop the read just recorded.
+			in.unread(v.loc)
+			return aval{kind: avHandle, loc: v.loc, stateDep: true}
+		}
+		if v.kind == avArg {
+			return v // assertion preserves identity and injectivity
+		}
+		if v.kind == avStateRead {
+			return v
+		}
+		return opaqueVal(v.isStateDerived(), v.argDep)
+
+	case *ast.BinaryExpr:
+		x := in.eval(e.X)
+		y := in.eval(e.Y)
+		if a, ok := arithOf(x, y, e.Op); ok {
+			return a
+		}
+		return opaqueVal(x.isStateDerived() || y.isStateDerived(), x.argDep || y.argDep)
+
+	case *ast.UnaryExpr:
+		v := in.eval(e.X)
+		return opaqueVal(v.isStateDerived(), v.argDep)
+
+	case *ast.CallExpr:
+		return in.call(e)
+
+	case *ast.SelectorExpr:
+		v := in.eval(e.X)
+		return opaqueVal(v.isStateDerived(), v.argDep)
+
+	case *ast.CompositeLit:
+		var out aval
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			out = out.taintedBy(in.eval(el))
+		}
+		out.kind = avOpaque
+		return out
+
+	case *ast.StarExpr:
+		v := in.eval(e.X)
+		return opaqueVal(v.isStateDerived(), v.argDep)
+
+	case *ast.BasicLit:
+		return opaqueVal(false, false)
+
+	default:
+		in.bail(e, fmt.Sprintf("unsupported expression %T", e))
+		return opaqueVal(true, true)
+	}
+}
+
+func typeOf(pkg *Package, e ast.Expr) types.Type {
+	if tv, ok := pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// unread removes the most recent read of l (handle extraction).
+func (in *interp) unread(l Loc) {
+	for i := len(in.fp.Accesses) - 1; i >= 0; i-- {
+		a := in.fp.Accesses[i]
+		if !a.Write && locEq(a.Loc, l) {
+			in.fp.Accesses = append(in.fp.Accesses[:i], in.fp.Accesses[i+1:]...)
+			return
+		}
+	}
+}
+
+// isHandleType reports whether t is a pointer to a container the
+// interpreter summarizes per element (internal/btree.Tree).
+func isHandleType(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Tree" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/btree")
+}
+
+// arithOf recognises the increment form: a state-read combined with a
+// state-independent delta under + or - (either operand order for +).
+func arithOf(x, y aval, op token.Token) (aval, bool) {
+	if op != token.ADD && op != token.SUB {
+		return aval{}, false
+	}
+	stateSide, otherSide := x, y
+	if y.kind == avStateRead || y.kind == avArith {
+		if x.kind == avStateRead || x.kind == avArith {
+			return aval{}, false // state on both sides: not a pure delta
+		}
+		if op != token.ADD {
+			return aval{}, false // k - s[v] is not an increment of s[v]
+		}
+		stateSide, otherSide = y, x
+	}
+	if stateSide.kind != avStateRead && stateSide.kind != avArith {
+		return aval{}, false
+	}
+	if otherSide.isStateDerived() {
+		return aval{}, false
+	}
+	return aval{kind: avArith, loc: stateSide.loc, stateDep: true,
+		argDep: stateSide.argDep || otherSide.argDep}, true
+}
+
+// --- calls ---
+
+func (in *interp) call(e *ast.CallExpr) aval {
+	info := in.pkg.Info
+
+	if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+		switch id.Name {
+		case "len", "cap":
+			if obj := info.Uses[id]; obj != nil && obj.Pkg() == nil {
+				v := in.eval(e.Args[0])
+				if v.kind == avState {
+					in.read(Loc{Var: Key{Kind: KeyAny}})
+					return opaqueVal(true, false)
+				}
+				return opaqueVal(v.isStateDerived(), v.argDep)
+			}
+		case "append":
+			if obj := info.Uses[id]; obj != nil && obj.Pkg() == nil {
+				var out aval
+				for _, a := range e.Args {
+					out = out.taintedBy(in.eval(a))
+				}
+				out.kind = avOpaque
+				return out
+			}
+		case "delete":
+			if obj := info.Uses[id]; obj != nil && obj.Pkg() == nil {
+				base := in.eval(e.Args[0])
+				kv := in.eval(e.Args[1])
+				if base.kind == avState {
+					in.write(Loc{Var: in.keyFrom(kv)}, opaqueVal(false, false))
+					return aval{}
+				}
+				in.bail(e, "delete on a non-state container")
+				return opaqueVal(true, true)
+			}
+		case "panic":
+			if obj := info.Uses[id]; obj == nil || obj.Pkg() == nil {
+				in.leak(in.eval(e.Args[0]))
+				return aval{}
+			}
+		}
+		if obj := info.Uses[id]; obj != nil {
+			if _, isType := obj.(*types.TypeName); isType {
+				// Conversion: int64(x), string(x)...
+				v := in.eval(e.Args[0])
+				if v.kind == avArg {
+					return v
+				}
+				return opaqueVal(v.isStateDerived(), v.argDep)
+			}
+		}
+		fn := in.eval(e.Fun)
+		if fn.kind == avFunc {
+			return in.interpCall(e, fn)
+		}
+		in.bail(e, fmt.Sprintf("call of unknown function %s", id.Name))
+		return opaqueVal(true, true)
+	}
+
+	if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+		if _, isSel := info.Selections[sel]; isSel {
+			recv := in.eval(sel.X)
+			if recv.kind == avHandle {
+				return in.handleMethod(e, recv, sel.Sel.Name)
+			}
+			in.bail(e, fmt.Sprintf("method call %s on unknown receiver", sel.Sel.Name))
+			return opaqueVal(true, true)
+		}
+		return in.pkgCall(e, sel)
+	}
+
+	in.bail(e, "call through unsupported expression")
+	return opaqueVal(true, true)
+}
+
+// handleMethod summarizes the per-element container API of internal/btree.
+func (in *interp) handleMethod(e *ast.CallExpr, recv aval, name string) aval {
+	elemLoc := func(argIdx int) Loc {
+		l := recv.loc
+		k := Key{Kind: KeyAny}
+		if argIdx < len(e.Args) {
+			k = in.keyFrom(in.eval(e.Args[argIdx]))
+		}
+		l.Elem = &k
+		return l
+	}
+	switch name {
+	case "Lookup":
+		l := elemLoc(0)
+		in.read(l)
+		return aval{kind: avTuple, stateDep: true, elems: []aval{
+			{kind: avStateRead, loc: l, stateDep: true}, opaqueVal(true, false)}}
+	case "Insert":
+		l := elemLoc(0)
+		in.leak(in.eval(e.Args[1])) // the stored value: taint only
+		in.read(l)
+		in.write(l, opaqueVal(true, true))
+		return aval{kind: avTuple, stateDep: true, elems: []aval{
+			{kind: avStateRead, loc: l, stateDep: true}, opaqueVal(true, false)}}
+	case "Delete":
+		l := elemLoc(0)
+		in.read(l)
+		in.write(l, opaqueVal(true, true))
+		return aval{kind: avTuple, stateDep: true, elems: []aval{
+			{kind: avStateRead, loc: l, stateDep: true}, opaqueVal(true, false)}}
+	case "Len", "Export", "String":
+		l := recv.loc
+		any := Key{Kind: KeyAny}
+		l.Elem = &any
+		in.read(l)
+		return opaqueVal(true, false)
+	default:
+		in.bail(e, "unknown container method "+name)
+		return opaqueVal(true, true)
+	}
+}
+
+// pkgCall summarizes cross-package calls the object library relies on.
+func (in *interp) pkgCall(e *ast.CallExpr, sel *ast.SelectorExpr) aval {
+	obj := in.pkg.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		in.bail(e, "unresolved call")
+		return opaqueVal(true, true)
+	}
+	path := obj.Pkg().Path()
+	name := obj.Name()
+	switch {
+	case path == "fmt" && name == "Sprintf":
+		return in.sprintf(e)
+	case path == "fmt" && (name == "Errorf" || name == "Sprint" || name == "Sprintln"):
+		var out aval
+		for _, a := range e.Args {
+			out = out.taintedBy(in.eval(a))
+		}
+		out.kind = avOpaque
+		return out
+	case strings.HasSuffix(path, "internal/btree") && name == "New":
+		for _, a := range e.Args {
+			in.eval(a)
+		}
+		return opaqueVal(false, false)
+	}
+	// A same-module function (the core helpers in fixtures, argInt and
+	// friends in the real tree resolve as plain idents): interpret it.
+	if fd := funcDeclOf(in.pkg, obj); fd != nil {
+		return in.interpCall(e, aval{kind: avFunc, decl: fd, env: env{}})
+	}
+	in.bail(e, fmt.Sprintf("call of %s.%s", path, name))
+	return opaqueVal(true, true)
+}
+
+// sprintf recognises the injective single-verb format: Sprintf("p%dq", x)
+// is injective in x, so the result keys as precisely as x itself.
+func (in *interp) sprintf(e *ast.CallExpr) aval {
+	if len(e.Args) == 2 {
+		f := in.eval(e.Args[0])
+		v := in.eval(e.Args[1])
+		if f.kind == avConst && f.cval != nil && f.cval.Kind() == constant.String &&
+			injectiveFormat(constant.StringVal(f.cval)) && v.kind == avArg && v.exact {
+			return v // the string image of args[v.arg], still injective
+		}
+		return opaqueVal(v.isStateDerived(), v.argDep)
+	}
+	var out aval
+	for _, a := range e.Args {
+		out = out.taintedBy(in.eval(a))
+	}
+	out.kind = avOpaque
+	return out
+}
+
+// injectiveFormat reports whether the format string has exactly one verb
+// and that verb renders its operand injectively.
+func injectiveFormat(f string) bool {
+	verbs := 0
+	for i := 0; i < len(f); i++ {
+		if f[i] != '%' {
+			continue
+		}
+		if i+1 >= len(f) {
+			return false
+		}
+		switch f[i+1] {
+		case '%':
+		case 'd', 'v', 's', 'q', 'x':
+			verbs++
+		default:
+			return false
+		}
+		i++
+	}
+	return verbs == 1
+}
+
+// interpCall interprets a closure or same-module function call inline,
+// recording its accesses into the current footprint and returning the
+// join of its success returns.
+func (in *interp) interpCall(e *ast.CallExpr, fn aval) aval {
+	if in.depth >= 12 {
+		in.bail(e, "call depth limit (recursion?)")
+		return opaqueVal(true, true)
+	}
+	var ftype *ast.FuncType
+	var body *ast.BlockStmt
+	switch {
+	case fn.lit != nil:
+		ftype, body = fn.lit.Type, fn.lit.Body
+	case fn.decl != nil:
+		ftype, body = fn.decl.Type, fn.decl.Body
+	}
+	if body == nil {
+		in.bail(e, "call of bodyless function")
+		return opaqueVal(true, true)
+	}
+
+	callee := &interp{
+		pkg:      in.pkg,
+		fp:       in.fp,
+		env:      fn.env.clone(),
+		depth:    in.depth + 1,
+		undoSlot: -1,
+	}
+	args := make([]aval, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = in.eval(a)
+	}
+	i := 0
+	for _, field := range ftype.Params.List {
+		for _, name := range field.Names {
+			v := opaqueVal(false, false)
+			if i < len(args) {
+				v = args[i]
+			}
+			callee.bind(name, v)
+			i++
+		}
+	}
+	callee.stmts(body.List)
+	in.leaked = in.leaked || callee.leaked
+	in.writes = append(in.writes, callee.writes...)
+	if in.fp.Opaque {
+		return opaqueVal(true, true)
+	}
+
+	nres := 0
+	if ftype.Results != nil {
+		for _, f := range ftype.Results.List {
+			n := len(f.Names)
+			if n == 0 {
+				n = 1
+			}
+			nres += n
+		}
+	}
+	if len(callee.returns) == 0 {
+		// Every return was a failure return: the call's results only
+		// matter on excluded paths.
+		if nres > 1 {
+			elems := make([]aval, nres)
+			for i := range elems {
+				elems[i] = opaqueVal(false, false)
+			}
+			return aval{kind: avTuple, elems: elems}
+		}
+		return opaqueVal(false, false)
+	}
+	joined := append([]aval(nil), callee.returns[0]...)
+	for _, r := range callee.returns[1:] {
+		for i := range joined {
+			if i < len(r) {
+				joined[i] = join(joined[i], r[i])
+			}
+		}
+	}
+	if len(joined) == 1 {
+		return joined[0]
+	}
+	var st, ad bool
+	for _, v := range joined {
+		st = st || v.isStateDerived()
+		ad = ad || v.argDep
+	}
+	return aval{kind: avTuple, elems: joined, stateDep: st, argDep: ad}
+}
+
+// funcDeclOf finds the package-level FuncDecl defining obj.
+func funcDeclOf(pkg *Package, obj types.Object) *ast.FuncDecl {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && pkg.Info.Defs[fd.Name] == fn {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// --- operation assembly ---
+
+// opSource is one operation literal plus the constructor environment its
+// function literals close over.
+type opSource struct {
+	name     string
+	readOnly bool
+	apply    *ast.FuncLit
+	peek     *ast.FuncLit
+	env      env
+	pos      token.Pos
+}
+
+// analyzeOp derives the footprint of one operation: interpret Apply,
+// analyze each undo closure it returns (under a frozen capture
+// environment), interpret Peek, classify increments, and merge.
+func analyzeOp(pkg *Package, src opSource) *OpFootprint {
+	fp := &OpFootprint{Name: src.name, ReadOnly: src.readOnly, Pos: src.pos}
+	if src.apply == nil {
+		fp.Opaque = true
+		fp.OpaqueWhy = "Apply is not a function literal"
+		return fp
+	}
+
+	inA := newFuncInterp(pkg, fp, src.env, src.apply, 1)
+	inA.stmts(src.apply.Body.List)
+	applyEnd := len(fp.Accesses)
+
+	// Undo closures from the success returns' undo slot.
+	var undos []aval
+	seen := map[*ast.FuncLit]bool{}
+	undoOK := true
+	for _, r := range inA.returns {
+		if len(r) <= 1 {
+			continue
+		}
+		u := r[1]
+		switch {
+		case u.kind == avConst && u.cval == nil:
+		case u.kind == avFunc && u.lit != nil:
+			if !seen[u.lit] {
+				seen[u.lit] = true
+				undos = append(undos, u)
+			}
+		default:
+			undoOK = false
+			fp.Problems = append(fp.Problems,
+				fmt.Sprintf("operation %s returns an undo the analysis cannot resolve", src.name))
+		}
+	}
+	var undoInterps []*interp
+	for _, u := range undos {
+		inU := newFuncInterp(pkg, fp, freeze(u.env), u.lit, -1)
+		inU.stmts(u.lit.Body.List)
+		undoInterps = append(undoInterps, inU)
+	}
+	undoEnd := len(fp.Accesses)
+
+	if src.peek != nil {
+		inP := newFuncInterp(pkg, fp, src.env, src.peek, -1)
+		inP.stmts(src.peek.Body.List)
+	}
+
+	if fp.Opaque {
+		fp.Accesses = nil
+		return fp
+	}
+
+	applyAcc := fp.Accesses[:applyEnd]
+	undoAcc := fp.Accesses[applyEnd:undoEnd]
+	peekAcc := fp.Accesses[undoEnd:]
+
+	// Footprint-level obligations.
+	for _, a := range peekAcc {
+		if a.Write {
+			fp.Problems = append(fp.Problems,
+				fmt.Sprintf("operation %s writes %s in Peek — Peek must be pure", src.name, a.Loc))
+		}
+	}
+	if src.readOnly {
+		for _, a := range fp.Accesses {
+			if a.Write {
+				fp.Problems = append(fp.Problems,
+					fmt.Sprintf("operation %s is declared ReadOnly but writes %s", src.name, a.Loc))
+			}
+		}
+	}
+	// Undo closures must stay inside the operation's own footprint: the
+	// engine interleaves undos of commuting operations, so an undo
+	// touching fresh locations would widen the real conflict relation
+	// beyond what Apply shows.
+	for _, u := range undoAcc {
+		if !coveredBy(u, applyAcc) {
+			fp.Problems = append(fp.Problems,
+				fmt.Sprintf("operation %s: undo access %s is outside Apply's footprint", src.name, u))
+		}
+	}
+
+	// Increment classification.
+	incr := classifyIncrements(inA, undoInterps, peekAcc, undoOK)
+	merged := make([]Access, 0, len(fp.Accesses))
+	for l := range incr {
+		merged = append(merged, Access{Loc: l, Write: true, Incr: true})
+	}
+	for _, a := range fp.Accesses {
+		if a.Loc.Elem == nil {
+			if _, ok := incr[a.Loc]; ok {
+				continue // absorbed into the increment access
+			}
+		}
+		merged = append(merged, a)
+	}
+	fp.Accesses = dedupAccesses(merged)
+	return fp
+}
+
+func newFuncInterp(pkg *Package, fp *OpFootprint, base env, lit *ast.FuncLit, undoSlot int) *interp {
+	in := &interp{pkg: pkg, fp: fp, env: base.clone(), undoSlot: undoSlot}
+	params := lit.Type.Params.List
+	for _, field := range params {
+		t := typeOf(pkg, field.Type)
+		for _, name := range field.Names {
+			switch {
+			case isStateType(t):
+				in.bind(name, aval{kind: avState, stateDep: true})
+			case isValueSliceType(t):
+				in.bind(name, aval{kind: avArgs, argDep: true})
+			default:
+				in.bind(name, opaqueVal(false, false))
+			}
+		}
+	}
+	return in
+}
+
+// isStateType reports whether t is core.State (by name and path suffix).
+func isStateType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "State" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/core")
+}
+
+// isValueSliceType reports whether t is []core.Value.
+func isValueSliceType(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	named, ok := sl.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Value" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/core")
+}
+
+// classifyIncrements returns the locations the operation updates in pure
+// increment form: no state leak anywhere in Apply, every Apply write of
+// the location is an arith update of itself, every undo write of it is
+// too (undo deltas are frozen captures, i.e. per-execution constants),
+// and Peek never touches it.
+func classifyIncrements(inA *interp, undos []*interp, peekAcc []Access, undoOK bool) map[Loc]bool {
+	if inA.leaked || !undoOK {
+		return nil
+	}
+	for _, u := range undos {
+		if u.leaked {
+			return nil
+		}
+	}
+	cand := map[Loc]bool{}
+	for _, w := range inA.writes {
+		if w.loc.Elem != nil || w.loc.Var.Kind == KeyAny {
+			continue
+		}
+		if w.rhs.kind == avArith && locEq(w.rhs.loc, w.loc) {
+			cand[w.loc] = true
+		}
+	}
+	// Disqualify: any non-arith write to the candidate (Apply or undo),
+	// or a Peek access touching it.
+	check := func(ws []writeRec) {
+		for _, w := range ws {
+			for l := range cand {
+				if locEq(w.loc, l) && !(w.rhs.kind == avArith && locEq(w.rhs.loc, l)) {
+					delete(cand, l)
+				}
+			}
+		}
+	}
+	check(inA.writes)
+	for _, u := range undos {
+		check(u.writes)
+		// The undo must write the candidate back (the inverse update);
+		// an undo that ignores the loc is suspicious but safe: its
+		// absence just means Apply's write is the only effect — still
+		// require the undo arith write for the classification.
+		for l := range cand {
+			found := false
+			for _, w := range u.writes {
+				if locEq(w.loc, l) {
+					found = true
+				}
+			}
+			if !found {
+				delete(cand, l)
+			}
+		}
+	}
+	for _, a := range peekAcc {
+		for l := range cand {
+			if overlapLoc(a.Loc, l).conflict {
+				delete(cand, l)
+			}
+		}
+	}
+	if len(cand) == 0 {
+		return nil
+	}
+	return cand
+}
+
+// coveredBy reports whether access u is within the apply footprint: some
+// apply access of at least u's strength on the same location.
+func coveredBy(u Access, apply []Access) bool {
+	for _, a := range apply {
+		if u.Write && !a.Write {
+			continue
+		}
+		if locEq(a.Loc, u.Loc) {
+			return true
+		}
+		// A var-level apply access covers element accesses of the var.
+		if a.Loc.Elem == nil && u.Loc.Elem != nil && a.Loc.Var == u.Loc.Var {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupAccesses(in []Access) []Access {
+	sort.Slice(in, func(i, j int) bool { return accessLess(in[i], in[j]) })
+	out := in[:0]
+	for i, a := range in {
+		if i > 0 && accessEq(out[len(out)-1], a) {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func accessEq(a, b Access) bool {
+	return a.Write == b.Write && a.Incr == b.Incr && locEq(a.Loc, b.Loc)
+}
+
+func accessLess(a, b Access) bool {
+	as, bs := a.String(), b.String()
+	if as != bs {
+		return as < bs
+	}
+	return false
+}

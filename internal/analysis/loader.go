@@ -147,6 +147,10 @@ func walkDirs(root string, visit func(string)) error {
 	})
 }
 
+// ModulePath reads the module path from dir/go.mod (the generator needs
+// it to render the core import).
+func ModulePath(dir string) (string, error) { return modulePath(dir) }
+
 // modulePath reads the module path from dir/go.mod.
 func modulePath(dir string) (string, error) {
 	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))

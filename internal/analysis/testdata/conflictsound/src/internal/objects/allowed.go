@@ -1,0 +1,26 @@
+package objects
+
+import "objectbase/internal/core"
+
+// Allowed is Coarse with the over-coarse declaration acknowledged: the
+// allow on the NewSchema call suppresses the diagnostic.
+func Allowed() *core.Schema {
+	set := &core.Operation{
+		Name: "Set",
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			old := s["n"]
+			s["n"] = args[0]
+			return nil, func(st core.State) { st["n"] = old }, nil
+		},
+	}
+	size := &core.Operation{
+		Name:     "Size",
+		ReadOnly: true,
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			return s["n"], nil, nil
+		},
+	}
+	rel := &core.TotalConflict{}
+	//oblint:allow conflictsound -- deliberately coarse while the schema is experimental
+	return core.NewSchema("allowed", func() core.State { return core.State{} }, rel, set, size)
+}

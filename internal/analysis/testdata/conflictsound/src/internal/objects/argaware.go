@@ -1,0 +1,39 @@
+package objects
+
+import "objectbase/internal/core"
+
+// ArgAware is clean: the hand-written relation is evaluated concretely and
+// matches the derivation exactly — Read/Read commutes, every other pair
+// conflicts iff the first arguments are equal.
+func ArgAware() *core.Schema {
+	read := &core.Operation{
+		Name:     "Read",
+		ReadOnly: true,
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			name, _ := args[0].(string)
+			return s[name], nil, nil
+		},
+	}
+	write := &core.Operation{
+		Name: "Write",
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			name, _ := args[0].(string)
+			old := s[name]
+			s[name] = args[1]
+			return nil, func(st core.State) { st[name] = old }, nil
+		},
+	}
+	rel := &argRel{}
+	return core.NewSchema("argaware", func() core.State { return core.State{} }, rel, read, write)
+}
+
+type argRel struct{}
+
+func (argRel) OpConflicts(a, b core.OpInvocation) bool {
+	if a.Op == "Read" && b.Op == "Read" {
+		return false
+	}
+	return core.ValueEqual(core.FirstArgKey(a.Op, a.Args), core.FirstArgKey(b.Op, b.Args))
+}
+
+func (argRel) StepConflicts(a, b core.StepInfo) bool { return true }

@@ -1,0 +1,25 @@
+package objects
+
+import "objectbase/internal/core"
+
+// Certified adopts the generator's own output (generatedConflicts): the
+// relation is declared == derived by construction and drift-gated in CI,
+// so no pair comparison happens — even though the Loop operation below is
+// beyond the abstract interpreter.
+func Certified() *core.Schema {
+	loop := &core.Operation{
+		Name: "Loop",
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			n := 0
+			for range args {
+				n++
+			}
+			s["n"] = n
+			return nil, nil, nil
+		},
+	}
+	rel := core.Refine(generatedConflicts("certified"), func(a, b core.StepInfo) bool { return true })
+	return core.NewSchema("certified", func() core.State { return core.State{} }, rel, loop)
+}
+
+func generatedConflicts(name string) core.ConflictRelation { return &core.TotalConflict{} }

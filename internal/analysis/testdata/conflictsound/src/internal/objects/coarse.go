@@ -1,0 +1,43 @@
+package objects
+
+import "objectbase/internal/core"
+
+// Coarse declares TotalConflict although the read-only Size/Size pair
+// provably commutes.
+func Coarse() *core.Schema {
+	set := &core.Operation{
+		Name: "Set",
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			old := s["n"]
+			s["n"] = args[0]
+			return nil, func(st core.State) { st["n"] = old }, nil
+		},
+	}
+	size := &core.Operation{
+		Name:     "Size",
+		ReadOnly: true,
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			return s["n"], nil, nil
+		},
+	}
+	rel := &core.TotalConflict{}
+	return core.NewSchema("coarse", func() core.State { return core.State{} }, rel, set, size) // want "Size/Size provably commute .* but are declared conflicting: over-coarse"
+}
+
+// CoarseKeyed conflicts unconditionally although every derived conflict is
+// scoped to an equal first argument.
+func CoarseKeyed() *core.Schema {
+	wr := &core.Operation{
+		Name: "Wr",
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			name, _ := args[0].(string)
+			old := s[name]
+			s[name] = args[1]
+			return nil, func(st core.State) { st[name] = old }, nil
+		},
+	}
+	rel := &core.TableConflict{
+		Pairs: core.ConflictPairs([2]string{"Wr", "Wr"}),
+	}
+	return core.NewSchema("coarsekeyed", func() core.State { return core.State{} }, rel, wr) // want "Wr/Wr conflict only on equal keys \\(arg0=arg0\\) but are declared conflicting unconditionally: over-coarse"
+}

@@ -1,0 +1,19 @@
+package objects
+
+import "objectbase/internal/core"
+
+// Unreadable binds the relation through a helper call the reader cannot
+// resolve: the schema cannot be certified at all.
+func Unreadable() *core.Schema {
+	get := &core.Operation{
+		Name:     "Get",
+		ReadOnly: true,
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			return s["x"], nil, nil
+		},
+	}
+	rel := makeRel()
+	return core.NewSchema("unreadable", func() core.State { return core.State{} }, rel, get) // want "declared conflict relation is not statically certifiable"
+}
+
+func makeRel() core.ConflictRelation { return &core.TotalConflict{} }

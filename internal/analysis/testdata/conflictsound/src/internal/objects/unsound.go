@@ -1,0 +1,45 @@
+package objects
+
+import "objectbase/internal/core"
+
+// Unsound declares a table that omits the Put/Put write/write conflict the
+// footprints imply.
+func Unsound() *core.Schema {
+	put := &core.Operation{
+		Name: "Put",
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			old := s["x"]
+			s["x"] = args[0]
+			return nil, func(st core.State) { st["x"] = old }, nil
+		},
+	}
+	get := &core.Operation{
+		Name:     "Get",
+		ReadOnly: true,
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			return s["x"], nil, nil
+		},
+	}
+	rel := &core.TableConflict{
+		Pairs: core.SymmetricPairs([2]string{"Put", "Get"}),
+	}
+	return core.NewSchema("unsound", func() core.State { return core.State{} }, rel, put, get) // want "omits derived conflict Put/Put .*: unsound"
+}
+
+// UnsoundKeyed keys Put/Put per first argument, but the operations address
+// a fixed variable: equal-key scoping misses the conflict on distinct keys.
+func UnsoundKeyed() *core.Schema {
+	put := &core.Operation{
+		Name: "Put",
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			old := s["x"]
+			s["x"] = args[0]
+			return nil, func(st core.State) { st["x"] = old }, nil
+		},
+	}
+	rel := &core.TableConflict{
+		Pairs: core.ConflictPairs([2]string{"Put", "Put"}),
+		Key:   core.FirstArgKey,
+	}
+	return core.NewSchema("unsoundkeyed", func() core.State { return core.State{} }, rel, put) // want "keys Put/Put by argument but the derived conflict is unconditional .*: unsound"
+}

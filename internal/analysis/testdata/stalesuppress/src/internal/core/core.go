@@ -1,0 +1,100 @@
+// Package core is a fixture mirror of the schema and conflict-relation
+// surface the conflictsound derivation keys on: type and function names
+// (and the internal/core import-path suffix) match the real package, the
+// bodies are stubs.
+package core
+
+type Value any
+
+type State map[string]Value
+
+type UndoFunc func(State)
+
+type ApplyFunc func(State, []Value) (Value, UndoFunc, error)
+
+type PeekFunc func(State, []Value) (Value, error)
+
+type Operation struct {
+	Name     string
+	ReadOnly bool
+	Apply    ApplyFunc
+	Peek     PeekFunc
+}
+
+type OpInvocation struct {
+	Op   string
+	Args []Value
+}
+
+type StepInfo struct {
+	Op   string
+	Args []Value
+	Ret  Value
+}
+
+type ConflictRelation interface {
+	OpConflicts(a, b OpInvocation) bool
+	StepConflicts(a, b StepInfo) bool
+}
+
+type Schema struct {
+	Name string
+}
+
+func NewSchema(name string, newState func() State, rel ConflictRelation, ops ...*Operation) *Schema {
+	return &Schema{Name: name}
+}
+
+// TotalConflict conflicts every pair.
+type TotalConflict struct{}
+
+func (TotalConflict) OpConflicts(a, b OpInvocation) bool { return true }
+func (TotalConflict) StepConflicts(a, b StepInfo) bool   { return true }
+
+type KeyFunc func(op string, args []Value) Value
+
+func FirstArgKey(op string, args []Value) Value {
+	if len(args) == 0 {
+		return nil
+	}
+	return args[0]
+}
+
+func SingleKey(op string, args []Value) Value { return nil }
+
+func ValueEqual(a, b Value) bool { return a == b }
+
+type TableConflict struct {
+	Pairs  map[[2]string]bool
+	Key    KeyFunc
+	Refine func(a, b StepInfo) bool
+}
+
+func (t *TableConflict) OpConflicts(a, b OpInvocation) bool { return t.Pairs[[2]string{a.Op, b.Op}] }
+func (t *TableConflict) StepConflicts(a, b StepInfo) bool {
+	return t.OpConflicts(a.Invocation(), b.Invocation())
+}
+
+func (s StepInfo) Invocation() OpInvocation { return OpInvocation{Op: s.Op, Args: s.Args} }
+
+func ConflictPairs(pairs ...[2]string) map[[2]string]bool {
+	out := map[[2]string]bool{}
+	for _, p := range pairs {
+		out[p] = true
+	}
+	return out
+}
+
+func SymmetricPairs(pairs ...[2]string) map[[2]string]bool {
+	out := ConflictPairs(pairs...)
+	for _, p := range pairs {
+		out[[2]string{p[1], p[0]}] = true
+	}
+	return out
+}
+
+func RWTable(readers, writers []string, key KeyFunc) ConflictRelation {
+	return &TableConflict{Key: key}
+}
+
+func Refine(base ConflictRelation, refine func(a, b StepInfo) bool) ConflictRelation { return base }

@@ -1,0 +1,36 @@
+package objects
+
+import "objectbase/internal/core"
+
+// Coarse declares TotalConflict over a pair of read-only operations; the
+// conflictsound diagnostic is acknowledged, so that allow is live and must
+// NOT be reported stale.
+func Coarse() *core.Schema {
+	size := &core.Operation{
+		Name:     "Size",
+		ReadOnly: true,
+		Apply: func(s core.State, args []core.Value) (core.Value, core.UndoFunc, error) {
+			return s["n"], nil, nil
+		},
+	}
+	rel := &core.TotalConflict{}
+	//oblint:allow conflictsound -- deliberately coarse; this allow is live
+	return core.NewSchema("coarse", func() core.State { return core.State{} }, rel, size)
+}
+
+// No conflictsound diagnostic fires below: the allow is stale.
+//
+//oblint:allow conflictsound -- nothing to acknowledge here // want "stale //oblint:allow conflictsound: no conflictsound diagnostic fires"
+var keepStale = 1
+
+// Allows naming analyzers outside the current run are not judged — a
+// partial run cannot tell whether they are live.
+//
+//oblint:allow lockorder -- lockorder is not part of this fixture run
+var keepForeign = 2
+
+// A stale allow can itself be acknowledged with a stalesuppress allow.
+//
+//oblint:allow stalesuppress -- the allow below is kept for documentation
+//oblint:allow conflictsound -- stale, but acknowledged above
+var keepAcked = 3

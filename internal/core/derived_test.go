@@ -1,0 +1,172 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func testDerivedRegister() *DerivedRelation {
+	return &DerivedRelation{
+		Ops: []string{"Read", "Write"},
+		Pairs: map[[2]string]DerivedVerdict{
+			{"Write", "Write"}: {Keyed: true},
+			{"Write", "Read"}:  {Keyed: true},
+			{"Read", "Write"}:  {Keyed: true},
+		},
+	}
+}
+
+func TestDerivedRelationVerdicts(t *testing.T) {
+	rel := testDerivedRegister()
+	inv := func(op string, args ...Value) OpInvocation { return OpInvocation{Op: op, Args: args} }
+
+	if rel.OpConflicts(inv("Read", "x"), inv("Read", "x")) {
+		t.Error("Read/Read: absent pair must not conflict")
+	}
+	if !rel.OpConflicts(inv("Write", "x", int64(1)), inv("Write", "x", int64(2))) {
+		t.Error("Write/Write same key must conflict")
+	}
+	if rel.OpConflicts(inv("Write", "x", int64(1)), inv("Write", "y", int64(1))) {
+		t.Error("Write/Write distinct keys must not conflict")
+	}
+	if !rel.OpConflicts(inv("Read", "x"), inv("Unknown")) {
+		t.Error("unknown operation must conservatively conflict")
+	}
+	// Missing key arguments fall in one scope: conservative conflict.
+	if !rel.OpConflicts(inv("Write"), inv("Write")) {
+		t.Error("missing key arguments must conservatively conflict")
+	}
+
+	total := &DerivedRelation{Ops: []string{"A"}, Pairs: map[[2]string]DerivedVerdict{{"A", "A"}: {}}}
+	if !total.OpConflicts(inv("A", int64(1)), inv("A", int64(2))) {
+		t.Error("unkeyed verdict must conflict regardless of arguments")
+	}
+}
+
+func TestDerivedRelationSharded(t *testing.T) {
+	rel := testDerivedRegister().Sharded(0)
+	if got := rel.ShardKey("Write", []Value{"x", int64(1)}); got != "x" {
+		t.Errorf("ShardKey = %v, want x", got)
+	}
+	if got := rel.ShardKey("Read", nil); got != nil {
+		t.Errorf("ShardKey with no args = %v, want nil", got)
+	}
+	// The sharded wrapper still answers conflicts like the base relation.
+	if rel.OpConflicts(OpInvocation{Op: "Write", Args: []Value{"x"}}, OpInvocation{Op: "Write", Args: []Value{"y"}}) {
+		t.Error("sharded wrapper changed the relation")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("Sharded must panic when a pair is not keyed on the shard argument")
+		}
+	}()
+	(&DerivedRelation{Ops: []string{"A"}, Pairs: map[[2]string]DerivedVerdict{{"A", "A"}: {}}}).Sharded(0)
+}
+
+func TestRefine(t *testing.T) {
+	base := testDerivedRegister().Sharded(0)
+	rel := Refine(base, func(a, b StepInfo) bool { return a.Ret != nil })
+
+	a := StepInfo{Op: "Write", Args: []Value{"x", int64(1)}}
+	b := StepInfo{Op: "Write", Args: []Value{"x", int64(2)}}
+	if !rel.OpConflicts(a.Invocation(), b.Invocation()) {
+		t.Error("Refine must not change OpConflicts")
+	}
+	if rel.StepConflicts(a, b) {
+		t.Error("refinement (Ret != nil) must drop the step conflict")
+	}
+	a.Ret = int64(7)
+	if !rel.StepConflicts(a, b) {
+		t.Error("refinement must keep the step conflict when it returns true")
+	}
+
+	s, ok := rel.(Sharder)
+	if !ok {
+		t.Fatal("refining a Sharder must preserve Sharder")
+	}
+	if got := s.ShardKey("Write", []Value{"x"}); got != "x" {
+		t.Errorf("refined ShardKey = %v, want x", got)
+	}
+	if _, ok := Refine(TotalConflict{}, func(a, b StepInfo) bool { return true }).(Sharder); ok {
+		t.Error("refining a non-Sharder must not invent a shard key")
+	}
+}
+
+// brokenUndoSchema declares Inc/Inc commuting (true at the state level) but
+// gives Inc an undo that zeroes the counter instead of subtracting — the
+// undo-commutativity obligation must catch it.
+func brokenUndoSchema() *Schema {
+	inc := &Operation{
+		Name: "Inc",
+		Apply: func(s State, args []Value) (Value, UndoFunc, error) {
+			n, _ := s["n"].(int64)
+			s["n"] = n + 1
+			return nil, func(st State) { st["n"] = int64(0) }, nil
+		},
+	}
+	return NewSchema("brokenundo", func() State { return State{"n": int64(0)} },
+		&DerivedRelation{Ops: []string{"Inc"}, Pairs: map[[2]string]DerivedVerdict{}}, inc)
+}
+
+func TestVerifyCommutativitySoundness(t *testing.T) {
+	// The honest counter: Inc/Inc is declared commuting and genuinely
+	// commutes, undo included.
+	sc := testCounterSchema()
+	ran, err := VerifyCommutativitySoundness(sc, sc.NewState(),
+		OpInvocation{Op: "Inc"}, OpInvocation{Op: "Inc"})
+	if err != nil {
+		t.Fatalf("counter Inc/Inc: %v", err)
+	}
+	if !ran {
+		t.Fatal("counter Inc/Inc: witness did not run")
+	}
+
+	// Declared conflicting pairs carry no obligation.
+	ran, err = VerifyCommutativitySoundness(sc, sc.NewState(),
+		OpInvocation{Op: "Inc"}, OpInvocation{Op: "Get"})
+	if err != nil || ran {
+		t.Fatalf("counter Inc/Get: ran=%v err=%v, want no obligation", ran, err)
+	}
+
+	// A state-level unsound declaration: Write/Write on the same variable
+	// declared non-conflicting.
+	reg := testRegisterSchema()
+	reg.Conflicts = &DerivedRelation{Ops: []string{"Read", "Write"}, Pairs: map[[2]string]DerivedVerdict{}}
+	_, err = VerifyCommutativitySoundness(reg, State{},
+		OpInvocation{Op: "Write", Args: []Value{"x", int64(1)}},
+		OpInvocation{Op: "Write", Args: []Value{"x", int64(2)}})
+	if err == nil || !strings.Contains(err.Error(), "final states differ") {
+		t.Fatalf("unsound Write/Write: err = %v, want final-state violation", err)
+	}
+
+	// The undo obligation: state and returns commute, the undo does not.
+	bu := brokenUndoSchema()
+	_, err = VerifyCommutativitySoundness(bu, bu.NewState(),
+		OpInvocation{Op: "Inc"}, OpInvocation{Op: "Inc"})
+	if err == nil || !strings.Contains(err.Error(), "undoing") {
+		t.Fatalf("broken undo: err = %v, want undo violation", err)
+	}
+}
+
+func TestSampleCommutativity(t *testing.T) {
+	// The register test schema's Read indexes args[0] unchecked, so this
+	// also exercises the panic-safe shape probe.
+	covered, err := SampleCommutativity(testRegisterSchema(), 1, 400)
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if covered[[2]string{"Read", "Read"}] == 0 {
+		t.Error("register: Read/Read never exercised")
+	}
+	if covered[[2]string{"Write", "Write"}] == 0 {
+		t.Error("register: distinct-key Write/Write never exercised")
+	}
+
+	// An unsound relation must be found by sampling.
+	reg := testRegisterSchema()
+	reg.Conflicts = &DerivedRelation{Ops: []string{"Read", "Write"}, Pairs: map[[2]string]DerivedVerdict{}}
+	if _, err := SampleCommutativity(reg, 1, 400); err == nil {
+		t.Error("unsound register relation survived 400 rounds")
+	}
+}

@@ -193,6 +193,18 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	}
 	if opts.Verify {
 		_, verr := db.Verify()
+		if verr == nil {
+			// The serialisability oracle passed; the commutativity witness
+			// rides the same verified cell: differentially re-check the
+			// declared-commuting pairs of every schema this cell registered
+			// (Definition 3 in both orders, undo closures included).
+			for _, schema := range db.Schemas() {
+				if _, werr := objectbase.SampleCommutativity(schema, k.Seed, 200); werr != nil {
+					verr = fmt.Errorf("commutativity witness: %w", werr)
+					break
+				}
+			}
+		}
 		ok := verr == nil
 		// Legality is an engine invariant, not a scheduler guarantee:
 		// report it separately so harnesses that tolerate anomalies from

@@ -16,8 +16,8 @@ import (
 //	                            balance is insufficient)
 //	Balance()                -> int64
 //
-// Operation granularity (no return values known): only Deposit/Deposit
-// commute.
+// Operation granularity (no return values known): only Deposit/Deposit and
+// Balance/Balance commute.
 //
 // Step granularity (return values known) — derived case by case from
 // Definition 3, quantifying over all states on which the first sequence is
@@ -99,7 +99,12 @@ func Account() *core.Schema {
 type accountConflicts struct{}
 
 func (accountConflicts) OpConflicts(a, b core.OpInvocation) bool {
-	// Conservative: only Deposit/Deposit commute without return values.
+	// Without return values only Deposit/Deposit (increments add) and the
+	// read-only Balance/Balance commute; the latter was an over-coarse
+	// declaration caught by the conflictsound derivation.
+	if a.Op == "Balance" && b.Op == "Balance" {
+		return false
+	}
 	return !(a.Op == "Deposit" && b.Op == "Deposit")
 }
 

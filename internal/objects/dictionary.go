@@ -112,7 +112,18 @@ func Dictionary() *core.Schema {
 		},
 	}
 
-	rel := dictConflicts{}
+	// Operation granularity comes from the certified derived table
+	// (conflict_gen.go): Insert/Delete pairs conflict only on equal keys,
+	// Len conflicts with any mutation, Lookup commutes with everything
+	// read-only. Step granularity refines with effects: a pair conflicts
+	// only when at least one side actually changed membership. Len observes
+	// every key, so the relation cannot be sharded per key (DerivedRelation
+	// only implements Sharder via Sharded, which this table rejects): the
+	// lock manager falls back to one scope per dictionary object, and the
+	// per-key precision lives in the conflict test itself.
+	rel := core.Refine(generatedConflicts("dictionary"), func(a, b core.StepInfo) bool {
+		return dictChanged(a) || dictChanged(b)
+	})
 	sc := core.NewSchema("dictionary",
 		func() core.State { return core.State{"tree": btree.New(0)} },
 		rel, insert, del, lookup, size)
@@ -131,36 +142,9 @@ type errMissing string
 
 func (e errMissing) Error() string { return "objects: " + string(e) }
 
-// dictConflicts implements the relation documented on Dictionary. Len
-// observes every key, so it conflicts with mutations on any key — which
-// also means the relation cannot be sharded per key (no Sharder
-// implementation): the lock manager and the dependency tracker fall back
-// to one scope per dictionary object, and the per-key precision lives in
-// the conflict test itself.
-type dictConflicts struct{}
-
-func (dictConflicts) OpConflicts(a, b core.OpInvocation) bool {
-	mutating := func(op string) bool { return op == "Insert" || op == "Delete" }
-	if a.Op == "Len" || b.Op == "Len" {
-		return mutating(a.Op) || mutating(b.Op)
-	}
-	if !mutating(a.Op) && !mutating(b.Op) {
-		return false // Lookup/Lookup
-	}
-	// Same key?
-	return core.ValueEqual(core.FirstArgKey(a.Op, a.Args), core.FirstArgKey(b.Op, b.Args))
-}
-
-func (d dictConflicts) StepConflicts(a, b core.StepInfo) bool {
-	if a.Op == "Len" || b.Op == "Len" {
-		return dictChanged(a) || dictChanged(b)
-	}
-	if !d.OpConflicts(a.Invocation(), b.Invocation()) {
-		return false
-	}
-	return dictChanged(a) || dictChanged(b)
-}
-
+// dictChanged reports whether a step actually changed dictionary
+// membership; it drives the step-granularity refinement of the derived
+// relation above.
 func dictChanged(s core.StepInfo) bool {
 	switch s.Op {
 	case "Insert":

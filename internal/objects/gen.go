@@ -1,0 +1,38 @@
+package objects
+
+import "objectbase/internal/core"
+
+// conflict_gen.go is the committed output of the commutativity derivation
+// in internal/analysis (footprints of Apply/Peek/undo bodies → pairwise
+// verdicts). Regenerate after changing any operation body; CI fails on
+// drift.
+//
+//go:generate go run objectbase/cmd/oblint -gen -C ../..
+
+// generatedConflicts returns the derived conflict relation certified for
+// the named schema. The conflictsound analyzer treats a relation built
+// from this table as sound by construction, and the randomized
+// commutativity witness (core.SampleCommutativity) re-checks it at
+// runtime. Panics on an unknown schema name: a schema can only adopt a
+// table the generator actually derived.
+func generatedConflicts(name string) *core.DerivedRelation {
+	rel, ok := generatedRelations[name]
+	if !ok {
+		panic("objects: no generated conflict relation for schema " + name)
+	}
+	return rel
+}
+
+// Library returns one instance of every schema in the object library, for
+// audits and witnesses that sweep the whole catalogue (obsim schema, the
+// commutativity fuzz, load -verify sampling).
+func Library() []*core.Schema {
+	return []*core.Schema{
+		Account(),
+		Counter(),
+		Dictionary(),
+		Queue(),
+		Register(),
+		Set(),
+	}
+}

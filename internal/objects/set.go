@@ -78,25 +78,21 @@ func Set() *core.Schema {
 		},
 	}
 
-	rel := &core.TableConflict{
-		Pairs: core.SymmetricPairs(
-			[2]string{"Add", "Add"},
-			[2]string{"Add", "Remove"},
-			[2]string{"Add", "Contains"},
-			[2]string{"Remove", "Remove"},
-			[2]string{"Remove", "Contains"},
-		),
-		Key: core.FirstArgKey,
-		Refine: func(a, b core.StepInfo) bool {
-			changed := func(s core.StepInfo) bool {
-				if s.Op == "Contains" {
-					return false
-				}
-				ok, _ := s.Ret.(bool)
-				return ok
+	// Operation granularity comes from the certified derived table
+	// (conflict_gen.go): every conflicting pair is keyed on the element
+	// argument, so the relation shards per element for the lock manager
+	// (Sharded would panic if the derivation ever stopped keying a pair).
+	// Step granularity refines with effects: same-element pairs conflict
+	// only when a side actually changed membership.
+	rel := core.Refine(generatedConflicts("set").Sharded(0), func(a, b core.StepInfo) bool {
+		changed := func(s core.StepInfo) bool {
+			if s.Op == "Contains" {
+				return false
 			}
-			return changed(a) || changed(b)
-		},
-	}
+			ok, _ := s.Ret.(bool)
+			return ok
+		}
+		return changed(a) || changed(b)
+	})
 	return core.NewSchema("set", func() core.State { return core.State{} }, rel, add, remove, contains)
 }
